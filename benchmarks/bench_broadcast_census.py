@@ -1,0 +1,63 @@
+"""Broadcast census — §3's classification, quantified on every design.
+
+Not a paper table, but the quantitative backbone of its §3 argument: the
+baseline netlists contain large implicit broadcasts of the classes Table 1
+names, and the optimized netlists demonstrably shrink the worst ones.
+"""
+
+import pytest
+
+from repro.analysis.netstats import census, format_census
+from repro.designs import build_design, design_names
+from repro.flow import Flow
+from repro.opt import BASELINE, FULL
+
+CENSUS_DESIGNS = ("genome", "stream_buffer", "hbm_stencil", "stencil")
+
+
+@pytest.fixture(scope="module")
+def censuses(record):
+    flow = Flow()
+    out = {}
+    blocks = []
+    for name in CENSUS_DESIGNS:
+        design = build_design(name)
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, FULL)
+        out[name] = (
+            census(orig.gen.netlist, orig.placement),
+            census(opt.gen.netlist, opt.placement),
+        )
+        blocks.append("ORIG " + format_census(out[name][0]))
+        blocks.append("OPT  " + format_census(out[name][1]))
+    record("broadcast_census", "\n\n".join(blocks))
+    return out
+
+
+def test_broadcast_census(benchmark, censuses):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    test_baselines_contain_big_broadcasts(censuses)
+    test_control_broadcast_in_stall_designs(censuses)
+    test_optimization_shrinks_worst_enable(censuses)
+
+
+def test_baselines_contain_big_broadcasts(censuses):
+    for name, (orig, _opt) in censuses.items():
+        _cls, stats = orig.broadcastiest()
+        assert stats.max_fanout >= 32, name
+
+
+def test_control_broadcast_in_stall_designs(censuses):
+    # The stall enable reaches everything: in the stream buffer it must be
+    # one of the largest nets of the whole design.
+    orig, _opt = censuses["stream_buffer"]
+    assert orig.classes["enable"].max_fanout >= 1000
+
+
+def test_optimization_shrinks_worst_enable(censuses):
+    for name, (orig, opt) in censuses.items():
+        before = orig.classes.get("enable")
+        after = opt.classes.get("enable")
+        if before is None or after is None:
+            continue
+        assert after.max_fanout <= before.max_fanout, name

@@ -1,0 +1,19 @@
+"""Figure 9 — delay vs broadcast factor for add / BRAM access / float mul."""
+
+import pytest
+
+from repro.experiments import format_fig9, run_fig9
+
+
+def test_fig9_calibration_curves(benchmark, record):
+    panels = benchmark.pedantic(run_fig9, rounds=1, iterations=1)
+    record("fig09_calibration", format_fig9(panels))
+    # Shape assertions mirroring the paper's three panels:
+    add = panels["add_i32"]
+    assert add.measured[0] == pytest.approx(add.hls_predicted[0], abs=0.35)
+    assert add.measured[-1] > 2 * add.hls_predicted[-1]
+    mul = panels["mul_f32"]
+    assert mul.measured[0] < mul.hls_predicted[0]  # conservative prediction
+    assert mul.crossover_factor() > 1
+    mem = panels["load_bram"]
+    assert mem.measured[-1] > mem.measured[0]

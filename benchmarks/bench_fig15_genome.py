@@ -1,0 +1,57 @@
+"""Figures 14/15 — genome sequencing case study across unroll factors."""
+
+import pytest
+
+from repro.experiments.fig15 import format_fig15, run_fig15
+
+
+@pytest.fixture(scope="module")
+def result(record):
+    out = run_fig15(unrolls=(8, 16, 32, 64, 128))
+    record("fig15_genome", format_fig15(out))
+    return out
+
+
+def test_fig15_genome_case_study(benchmark, result):
+    benchmark.pedantic(format_fig15, args=(result,), rounds=1, iterations=1)
+    assert len(result.points) == 5
+    test_calibrated_estimate_tracks_actual_better(result)
+    test_hls_estimate_insensitive_to_unroll(result)
+    test_opt_beats_orig_at_every_unroll(result)
+    test_orig_degrades_with_unroll_while_hls_estimate_flat(result)
+    test_depth_overhead_small(result)
+
+
+def test_calibrated_estimate_tracks_actual_better(result):
+    """Fig 15a: our estimate grows with the broadcast factor; HLS's barely
+    moves.  At large unroll the calibrated estimate must be much closer to
+    the post-placement reality."""
+    big = result.points[-1]
+    hls_gap = abs(big.actual_ns - big.hls_estimate_ns)
+    cal_gap = abs(big.actual_ns - big.calibrated_estimate_ns)
+    assert cal_gap < hls_gap
+
+
+def test_hls_estimate_insensitive_to_unroll(result):
+    ests = [p.hls_estimate_ns for p in result.points]
+    assert max(ests) - min(ests) < 0.7
+
+
+def test_opt_beats_orig_at_every_unroll(result):
+    for p in result.points:
+        assert p.fmax_opt_mhz >= p.fmax_orig_mhz
+
+
+def test_orig_degrades_with_unroll_while_hls_estimate_flat(result):
+    """Fig 15b's real point: achieved frequency collapses as the broadcast
+    factor grows, yet the HLS tool's own estimate barely moves — it cannot
+    see the problem."""
+    freqs = [p.fmax_orig_mhz for p in result.points]
+    assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+    assert freqs[0] > 1.4 * freqs[-1]
+
+
+def test_depth_overhead_small(result):
+    """§5.2: ~one extra pipeline stage (9 -> 10 in the paper)."""
+    for p in result.points:
+        assert 0 <= p.depth_opt - p.depth_orig <= 4

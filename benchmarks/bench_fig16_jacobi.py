@@ -1,0 +1,49 @@
+"""Figure 16 — Jacobi super-pipeline, stall vs skid across sizes."""
+
+import pytest
+
+from repro.experiments.fig16 import format_fig16, run_fig16
+from repro.experiments.paper_data import FIG16_SKID_BUFFER_KB
+
+
+@pytest.fixture(scope="module")
+def result(record):
+    out = run_fig16(iterations=(1, 2, 4, 8))
+    record("fig16_jacobi", format_fig16(out))
+    return out
+
+
+def test_fig16_jacobi_sweep(benchmark, result):
+    benchmark.pedantic(format_fig16, args=(result,), rounds=1, iterations=1)
+    assert [p.iterations for p in result.points] == [1, 2, 4, 8]
+    test_skid_beats_stall_everywhere(result)
+    test_stall_collapses_with_size(result)
+    test_skid_holds_with_size(result)
+    test_eight_iteration_pipeline_depth(result)
+    test_skid_buffer_about_23kb(result)
+
+
+def test_skid_beats_stall_everywhere(result):
+    for p in result.points:
+        assert p.fmax_skid_mhz > p.fmax_stall_mhz
+
+
+def test_stall_collapses_with_size(result):
+    assert result.points[-1].fmax_stall_mhz < 0.75 * result.points[0].fmax_stall_mhz
+
+
+def test_skid_holds_with_size(result):
+    """The paper's key contrast: skid frequency does not collapse."""
+    first, last = result.points[0], result.points[-1]
+    stall_drop = first.fmax_stall_mhz / last.fmax_stall_mhz
+    skid_drop = first.fmax_skid_mhz / last.fmax_skid_mhz
+    assert skid_drop < stall_drop
+
+
+def test_eight_iteration_pipeline_depth(result):
+    assert result.points[-1].stages >= 350  # paper: ~370 datapath stages
+
+
+def test_skid_buffer_about_23kb(result):
+    kb = result.points[-1].skid_buffer_bits / 8 / 1024
+    assert kb == pytest.approx(FIG16_SKID_BUFFER_KB, rel=0.25)

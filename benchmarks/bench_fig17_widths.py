@@ -1,0 +1,46 @@
+"""Figure 17 — stage widths of the (a·b)*c pipeline + min-area cuts."""
+
+import pytest
+
+from repro.experiments.fig17 import format_fig17, run_fig17
+
+
+@pytest.fixture(scope="module")
+def result(record):
+    out = run_fig17(width=32)
+    record("fig17_widths", format_fig17(out))
+    return out
+
+
+def test_fig17_width_profile(benchmark, result):
+    benchmark.pedantic(run_fig17, kwargs={"width": 32}, rounds=1, iterations=1)
+    assert result.width == 32
+    test_spindle_shape(result)
+    test_cut_at_waist_saves_multiples(result)
+    test_min_plan_cut_sits_at_narrow_region(result)
+
+
+def test_spindle_shape(result):
+    """Wide at both ends, one-scalar waist in the middle (Fig. 17)."""
+    profile = result.profile
+    waist = result.waist_stage
+    assert profile[0] >= 512
+    assert profile[waist - 1] == 32
+    assert profile[-1] >= 1024
+
+
+def test_cut_at_waist_saves_multiples(result):
+    assert result.saving_factor > 3.0  # paper: 8.0x for its stage counts
+
+
+def test_min_plan_cut_sits_at_narrow_region(result):
+    first_cut = result.min_plan.cuts[0]
+    assert result.profile[first_cut - 1] == min(result.profile)
+
+
+def test_scaling_to_512_wide(record):
+    big = run_fig17(width=512)
+    record("fig17_widths_512", format_fig17(big))
+    assert min(big.profile) == 32
+    assert max(big.profile) >= 16384
+    assert big.saving_factor > 5.0

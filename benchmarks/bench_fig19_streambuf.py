@@ -1,0 +1,45 @@
+"""Figure 19 — stream buffer frequency vs buffer size, three variants."""
+
+import pytest
+
+from repro.experiments.fig19 import format_fig19, run_fig19
+
+
+@pytest.fixture(scope="module")
+def result(record):
+    out = run_fig19()
+    record("fig19_streambuf", format_fig19(out))
+    return out
+
+
+def test_fig19_stream_buffer_sweep(benchmark, result):
+    benchmark.pedantic(format_fig19, args=(result,), rounds=1, iterations=1)
+    assert len(result.points) >= 4
+    test_orig_degrades_with_size(result)
+    test_full_opt_scales(result)
+    test_full_beats_data_only_at_large_sizes(result)
+    test_ordering_at_largest_size(result)
+
+
+def test_orig_degrades_with_size(result):
+    assert result.points[-1].fmax_orig_mhz < 0.75 * result.points[0].fmax_orig_mhz
+
+
+def test_full_opt_scales(result):
+    """'we need to optimize both the data broadcast and the control
+    broadcast to achieve scalable performance' — the full-opt curve holds
+    while orig collapses."""
+    first, last = result.points[0], result.points[-1]
+    orig_drop = first.fmax_orig_mhz / last.fmax_orig_mhz
+    full_drop = first.fmax_full_mhz / last.fmax_full_mhz
+    assert full_drop < orig_drop
+
+
+def test_full_beats_data_only_at_large_sizes(result):
+    big = result.points[-1]
+    assert big.fmax_full_mhz > big.fmax_data_mhz
+
+
+def test_ordering_at_largest_size(result):
+    big = result.points[-1]
+    assert big.fmax_full_mhz > big.fmax_data_mhz >= big.fmax_orig_mhz * 0.95

@@ -1,0 +1,65 @@
+"""Table 1 — Orig vs Opt on all nine benchmark designs.
+
+The headline reproduction: every design must gain frequency under the full
+optimization set, with an average gain in the tens of percent (the paper
+reports +53%).  Also covers the §5.3 HBM-stencil sync-pruning case study.
+"""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE1
+from repro.experiments.table1 import average_gain, format_table1, run_table1
+
+
+@pytest.fixture(scope="module")
+def entries(record):
+    result = run_table1()
+    record("table1_designs", format_table1(result))
+    return result
+
+
+def test_table1_full_suite(benchmark, entries):
+    # entries are computed once (module fixture); benchmark the formatting
+    # path so the expensive flow runs aren't repeated by pedantic rounds.
+    benchmark.pedantic(format_table1, args=(entries,), rounds=1, iterations=1)
+    assert len(entries) == len(TABLE1)
+    # Under --benchmark-only the granular tests are skipped, so the full
+    # shape validation also runs here.
+    test_every_design_gains(entries)
+    test_average_gain_tens_of_percent(entries)
+    test_gain_ranking_control_heavy_designs(entries)
+    test_hbm_stencil_sync_pruning_case(entries)
+    test_critical_class_shifts_or_improves(entries)
+
+
+def test_every_design_gains(entries):
+    for entry in entries:
+        assert entry.opt.fmax_mhz > entry.orig.fmax_mhz, entry.design
+
+
+def test_average_gain_tens_of_percent(entries):
+    gain = average_gain(entries)
+    assert 20.0 <= gain <= 120.0  # paper: 53%
+
+
+def test_gain_ranking_control_heavy_designs(entries):
+    """Control-broadcast designs gain the most at scale (paper: stencil
+    +111%, stream buffer +82% top the table)."""
+    by_name = {e.design: e.gain_pct for e in entries}
+    data_only = [by_name["lstm"], by_name["face_detection"]]
+    ctrl_heavy = [by_name["stencil"], by_name["hbm_stencil"]]
+    assert max(ctrl_heavy) > max(data_only)
+
+
+def test_hbm_stencil_sync_pruning_case(entries):
+    """§5.3: splitting the fused HBM flows recovers a large fraction."""
+    entry = next(e for e in entries if e.design == "hbm_stencil")
+    assert entry.gain_pct >= 25.0
+
+
+def test_critical_class_shifts_or_improves(entries):
+    """Optimization either clears the broadcast class or speeds it up."""
+    for entry in entries:
+        orig_worst = entry.orig.timing.raw_period_ns
+        opt_worst = entry.opt.timing.raw_period_ns
+        assert opt_worst < orig_worst

@@ -1,0 +1,43 @@
+"""Table 2 — 512-wide vector product under three control schemes."""
+
+import pytest
+
+from repro.experiments.table2 import format_table2, run_table2
+
+
+@pytest.fixture(scope="module")
+def result(record):
+    out = run_table2(width=512)
+    record("table2_vecprod", format_table2(out))
+    return out
+
+
+def test_table2_vector_product(benchmark, result):
+    benchmark.pedantic(format_table2, args=(result,), rounds=1, iterations=1)
+    assert set(result.rows) == {"stall", "skid", "skid_minarea"}
+    test_skid_beats_stall(result)
+    test_minarea_matches_skid_frequency(result)
+    test_minarea_slashes_buffer_bits(result)
+    test_naive_skid_buffer_costs_brams(result)
+
+
+def test_skid_beats_stall(result):
+    assert result.rows["skid"].fmax_mhz > result.rows["stall"].fmax_mhz
+
+
+def test_minarea_matches_skid_frequency(result):
+    """Table 2: 299 vs 301 MHz — splitting the buffer costs no speed."""
+    skid = result.rows["skid"].fmax_mhz
+    mina = result.rows["skid_minarea"].fmax_mhz
+    assert mina >= 0.9 * skid
+
+
+def test_minarea_slashes_buffer_bits(result):
+    """Table 2's BRAM column: 12% naive vs 0.02% min-area."""
+    assert result.skid_bits("skid_minarea") < result.skid_bits("skid") / 3
+
+
+def test_naive_skid_buffer_costs_brams(result):
+    naive_bram = result.rows["skid"].utilization["BRAM"]
+    mina_bram = result.rows["skid_minarea"].utilization["BRAM"]
+    assert naive_bram > mina_bram

@@ -1,0 +1,32 @@
+"""Table 3 — pattern matching: orig / data-only / data+ctrl."""
+
+import pytest
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+@pytest.fixture(scope="module")
+def result(record):
+    out = run_table3()
+    record("table3_patmatch", format_table3(out))
+    return out
+
+
+def test_table3_pattern_matching(benchmark, result):
+    benchmark.pedantic(format_table3, args=(result,), rounds=1, iterations=1)
+    assert set(result.rows) == {"orig", "opt_data", "opt_data_ctrl"}
+    test_data_only_helps(result)
+    test_both_needed_for_full_gain(result)
+
+
+def test_data_only_helps(result):
+    assert result.rows["opt_data"].fmax_mhz > result.rows["orig"].fmax_mhz
+
+
+def test_both_needed_for_full_gain(result):
+    """Table 3: 187 -> 208 (data) -> 278 (data+ctrl): the control fix
+    contributes the larger share."""
+    orig = result.rows["orig"].fmax_mhz
+    data = result.rows["opt_data"].fmax_mhz
+    both = result.rows["opt_data_ctrl"].fmax_mhz
+    assert both > data > orig

@@ -1,0 +1,32 @@
+"""Benchmark-suite fixtures.
+
+Each benchmark reproduces one table or figure of the paper, prints it next
+to the paper's reported numbers, and writes the rendering to
+``benchmarks/results/<name>.txt`` so results survive output capturing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def record(results_dir):
+    """Write a reproduced table/figure to disk and echo it."""
+
+    def _record(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n(written to {path})")
+
+    return _record

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Reproduce the §4.1 calibration methodology on one operator.
+
+Builds skeleton broadcast designs (one source register feeding K adders),
+measures post-placement delay at each broadcast factor, applies the
+paper's neighbor smoothing and max-with-prediction rule, and prints an
+ASCII rendering of the resulting Fig. 9 panel.
+
+Run:  python examples/calibration_study.py
+"""
+
+from repro.delay.calibrated import CalibrationTable
+from repro.delay.calibration import characterize_operator
+from repro.delay.tables import hls_predicted_delay
+from repro.ir.ops import Opcode
+from repro.ir.types import i32
+
+FACTORS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def bar(value: float, scale: float = 8.0) -> str:
+    return "#" * max(1, int(value * scale))
+
+
+def main() -> None:
+    print("characterizing int32 ADD skeletons (this places ~2k cells)...")
+    points = characterize_operator(Opcode.ADD, i32, FACTORS)
+
+    table = CalibrationTable()
+    for factor, delay in points:
+        table.add("add_i32", factor, delay)
+    smoothed = table.smoothed()
+
+    predicted = hls_predicted_delay(Opcode.ADD, i32)
+    print(f"\nHLS-predicted delay (flat): {predicted:.2f} ns\n")
+    print(f"{'factor':>7s} {'measured':>9s} {'calibrated':>11s}  curve")
+    for factor, raw in points:
+        cal = max(predicted, smoothed.lookup("add_i32", factor))
+        print(f"{factor:7d} {raw:9.2f} {cal:11.2f}  {bar(cal)}")
+
+    at64 = smoothed.lookup("add_i32", 64)
+    print(
+        f"\npaper anchor (§5.2): predicted 0.78 ns vs ~2.08 ns actual at"
+        f" broadcast factor 64; we measure {at64:.2f} ns"
+    )
+    print(
+        "\nThe calibrated model is max(predicted, smooth(measured)) — drop"
+        " it into CalibratedDelayModel and the scheduler splits these"
+        " chains automatically."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Visualize what broadcast-aware scheduling actually changes.
+
+Builds an unrolled broadcast kernel, schedules it twice — with the
+broadcast-blind HLS model and with the calibrated model — and renders both
+schedules as ASCII Gantt charts.  The optimized chart shows the broadcast
+consumers pushed out of the overloaded cycle ("inserting register modules
+... equivalent to forcing the scheduler to split the operations into
+different cycles", §4.1).
+
+Also demonstrates the functional interpreter: both schedules compute the
+same values, because scheduling only moves work in time.
+
+Run:  python examples/compare_schedules.py
+"""
+
+from repro import CalibratedDelayModel, build_default_calibration
+from repro.delay.hls_model import HlsDelayModel
+from repro.ir.builder import DFGBuilder
+from repro.ir.interp import Evaluator
+from repro.ir.passes import unroll_loop
+from repro.ir.program import Loop
+from repro.ir.types import i32
+from repro.scheduling.chaining import ChainingScheduler
+from repro.scheduling.gantt import render_gantt
+
+CLOCK_NS = 3.0
+UNROLL = 32
+
+
+def build_kernel():
+    b = DFGBuilder("kernel")
+    anchor = b.input("anchor", i32, loop_invariant=True)
+    sample = b.input("sample", i32)
+    dist = b.sub(sample, anchor, name="dist")
+    clipped = b.max_(dist, b.const(0, i32), name="clipped")
+    score = b.add(clipped, b.const(7, i32), name="score")
+    return Loop("l", b.build(), trip_count=UNROLL, unroll=UNROLL)
+
+
+def main() -> None:
+    dfg = unroll_loop(build_kernel()).body
+
+    hls_schedule = ChainingScheduler(HlsDelayModel(), CLOCK_NS).schedule(dfg.clone())
+    print("== baseline schedule (HLS model: broadcast factor invisible) ==")
+    print(render_gantt(hls_schedule, max_ops=10))
+
+    calibrated = CalibratedDelayModel(build_default_calibration("aws-f1"))
+    cal_schedule = ChainingScheduler(calibrated, CLOCK_NS).schedule(dfg)
+    print("\n== broadcast-aware schedule (calibrated model) ==")
+    print(render_gantt(cal_schedule, max_ops=10))
+
+    print(
+        f"\ndepth {hls_schedule.depth} -> {cal_schedule.depth} "
+        f"(the broadcast sub chain is split across cycles)"
+    )
+
+    # Scheduling never changes semantics — the interpreter confirms.
+    inputs = {"anchor": 5, **{f"sample#{k}": 10 + k for k in range(UNROLL)}}
+    env = Evaluator().run(dfg, inputs=inputs)
+    assert all(env[f"score#{k}"] == (10 + k - 5) + 7 for k in range(UNROLL))
+    print("functional check passed: all unrolled copies compute (sample-anchor)+7")
+
+
+if __name__ == "__main__":
+    main()

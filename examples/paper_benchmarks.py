@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Run any of the paper's nine benchmark designs from the command line.
+
+    python examples/paper_benchmarks.py               # list designs
+    python examples/paper_benchmarks.py genome        # orig vs full opt
+    python examples/paper_benchmarks.py stencil --configs orig,skid_minarea
+    python examples/paper_benchmarks.py hbm_stencil --ports 12
+
+Any design parameter can be overridden with --<param> <value> (integers).
+"""
+
+import argparse
+import sys
+
+from repro import Flow
+from repro.analysis import diagnose
+from repro.control.styles import ControlStyle
+from repro.designs import build_design, design_names
+from repro.experiments.paper_data import TABLE1
+from repro.opt import BASELINE, CTRL_ONLY, DATA_ONLY, FULL, OptimizationConfig
+
+CONFIGS = {
+    "orig": BASELINE,
+    "data": DATA_ONLY,
+    "ctrl": CTRL_ONLY,
+    "full": FULL,
+    "skid": OptimizationConfig(control=ControlStyle.SKID),
+    "skid_minarea": OptimizationConfig(control=ControlStyle.SKID_MINAREA),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("design", nargs="?", help="design name (omit to list)")
+    parser.add_argument(
+        "--configs", default="orig,full", help="comma list of " + "/".join(CONFIGS)
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    args, extra = parser.parse_known_args(argv)
+
+    if args.design is None:
+        print("available designs (Table 1 order):")
+        for name in design_names():
+            row = TABLE1[name]
+            print(
+                f"  {name:18s} {row.broadcast_type:20s} paper "
+                f"{row.freq[0]}->{row.freq[1]} MHz"
+            )
+        return 0
+
+    params = {}
+    key = None
+    for token in extra:
+        if token.startswith("--"):
+            key = token[2:]
+        elif key is not None:
+            params[key] = int(token)
+            key = None
+
+    design = build_design(args.design, **params)
+    flow = Flow(seed=args.seed)
+    paper = TABLE1.get(args.design)
+    if paper:
+        print(f"paper reports: {paper.freq[0]} -> {paper.freq[1]} MHz\n")
+    for label in args.configs.split(","):
+        config = CONFIGS[label.strip()]
+        result = flow.run(design, config)
+        print(result.summary())
+        for line in diagnose(result.timing)[:1]:
+            print("   worst:", line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                         — list the nine benchmark designs;
+* ``run <design> [--config C]``    — run the flow on one design;
+* ``tune <design>``                — auto-apply techniques until converged;
+* ``diagnose <design>``            — broadcast classification + advice;
+* ``diemap <design>``              — ASCII die map + worst broadcast net;
+* ``table1 | table2 | table3``     — reproduce a table;
+* ``fig9 | fig15 | fig16 | fig17 | fig19`` — reproduce a figure;
+* ``all [--out report.md]``        — run every experiment, one report;
+* ``verilog <design> <out.v>``     — emit the generated netlist as Verilog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import Flow
+from repro.analysis import classify_design, diagnose, format_critical_path
+from repro.control.styles import ControlStyle
+from repro.designs import build_design, design_names
+from repro.opt import BASELINE, CTRL_ONLY, DATA_ONLY, FULL, OptimizationConfig
+
+CONFIGS = {
+    "orig": BASELINE,
+    "data": DATA_ONLY,
+    "ctrl": CTRL_ONLY,
+    "full": FULL,
+    "skid": OptimizationConfig(control=ControlStyle.SKID),
+    "skid_minarea": OptimizationConfig(control=ControlStyle.SKID_MINAREA),
+}
+
+
+def _cmd_list(_args) -> int:
+    from repro.experiments.paper_data import TABLE1
+
+    for name in design_names():
+        row = TABLE1[name]
+        print(f"{name:18s} {row.broadcast_type:20s} paper {row.freq[0]}->{row.freq[1]} MHz")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    design = build_design(args.design)
+    flow = Flow(seed=args.seed)
+    for label in args.config.split(","):
+        result = flow.run(design, CONFIGS[label.strip()])
+        print(result.summary())
+        if args.verbose:
+            print(format_critical_path(result.timing))
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    design = build_design(args.design)
+    print(classify_design(design).summary())
+    result = Flow(seed=args.seed).run(design, BASELINE)
+    print()
+    print(format_critical_path(result.timing))
+    print()
+    for line in diagnose(result.timing):
+        print(" *", line)
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.autotune import auto_optimize
+
+    design = build_design(args.design)
+    result = auto_optimize(design, flow=Flow(seed=args.seed))
+    print(result.log())
+    print(result.best.summary())
+    return 0
+
+
+def _cmd_diemap(args) -> int:
+    from repro.physical.device import get_device
+    from repro.physical.diemap import density_map, worst_broadcast_map
+    from repro.physical.fabric import Fabric
+
+    design = build_design(args.design)
+    result = Flow(seed=args.seed).run(design, CONFIGS[args.config])
+    fabric = Fabric(get_device(design.device))
+    print(density_map(result.gen.netlist, result.placement, fabric))
+    print()
+    print(worst_broadcast_map(result.gen.netlist, result.placement, fabric))
+    return 0
+
+
+def _cmd_verilog(args) -> int:
+    from repro.rtl.verilog import write_verilog
+
+    design = build_design(args.design)
+    result = Flow(seed=args.seed).run(design, CONFIGS[args.config])
+    write_verilog(result.gen.netlist, args.output)
+    print(f"wrote {len(result.gen.netlist.cells)} cells to {args.output}")
+    return 0
+
+
+def _experiment_command(name: str):
+    def run(_args) -> int:
+        import repro.experiments as exp
+
+        runner = getattr(exp, f"run_{name}")
+        formatter = getattr(exp, f"format_{name}")
+        print(formatter(runner()))
+        return 0
+
+    return run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("--seed", type=int, default=2020)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark designs").set_defaults(fn=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run the flow on one design")
+    p_run.add_argument("design", choices=design_names())
+    p_run.add_argument("--config", default="orig,full")
+    p_run.add_argument("--verbose", action="store_true")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_diag = sub.add_parser("diagnose", help="broadcast classification + advice")
+    p_diag.add_argument("design", choices=design_names())
+    p_diag.set_defaults(fn=_cmd_diagnose)
+
+    p_tune = sub.add_parser("tune", help="auto-apply the paper's techniques")
+    p_tune.add_argument("design", choices=design_names(include_extra=True))
+    p_tune.set_defaults(fn=_cmd_tune)
+
+    p_map = sub.add_parser("diemap", help="ASCII die map + worst broadcast")
+    p_map.add_argument("design", choices=design_names(include_extra=True))
+    p_map.add_argument("--config", default="orig", choices=sorted(CONFIGS))
+    p_map.set_defaults(fn=_cmd_diemap)
+
+    p_v = sub.add_parser("verilog", help="emit generated netlist as Verilog")
+    p_v.add_argument("design", choices=design_names())
+    p_v.add_argument("output")
+    p_v.add_argument("--config", default="full", choices=sorted(CONFIGS))
+    p_v.set_defaults(fn=_cmd_verilog)
+
+    for exp_name in ("table1", "table2", "table3", "fig9", "fig15", "fig16", "fig17", "fig19"):
+        sub.add_parser(exp_name, help=f"reproduce {exp_name}").set_defaults(
+            fn=_experiment_command(exp_name)
+        )
+
+    p_all = sub.add_parser("all", help="run every experiment, print one report")
+    p_all.add_argument("--out", default=None, help="also write the report here")
+
+    def _cmd_all(args) -> int:
+        from repro.experiments.summary import run_all
+
+        report = run_all()
+        text = report.render()
+        print(text)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+        return 0
+
+    p_all.set_defaults(fn=_cmd_all)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

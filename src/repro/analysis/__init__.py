@@ -1,0 +1,26 @@
+"""Broadcast detection, classification and critical-path diagnosis (§3)."""
+
+from repro.analysis.broadcast import (
+    BroadcastRecord,
+    BroadcastReport,
+    classify_design,
+    classify_netlist,
+)
+from repro.analysis.compare import OptimizationDelta, compare_runs, format_delta
+from repro.analysis.diagnose import diagnose, format_critical_path
+from repro.analysis.netstats import NetlistCensus, census, format_census
+
+__all__ = [
+    "BroadcastRecord",
+    "BroadcastReport",
+    "classify_design",
+    "classify_netlist",
+    "diagnose",
+    "format_critical_path",
+    "census",
+    "format_census",
+    "NetlistCensus",
+    "compare_runs",
+    "format_delta",
+    "OptimizationDelta",
+]

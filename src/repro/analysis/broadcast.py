@@ -1,0 +1,157 @@
+"""Broadcast structure detection and classification.
+
+Implements the paper's §3 taxonomy as executable analysis:
+
+* **data broadcasts** — high-fanout SSA values in loop bodies (loop
+  unrolling, Fig. 1) and stores/loads over multi-bank buffers (Fig. 3);
+* **control/sync broadcasts** — done-reduce/start-broadcast over parallel
+  instances and per-loop status aggregation over fused flows (Fig. 5/6);
+* **control/pipeline broadcasts** — stall/enable nets (Fig. 7/8).
+
+Two entry points: :func:`classify_design` works at the IR level (before any
+RTL exists — what a user-facing linter would run), :func:`classify_netlist`
+works on generated netlists (what the timing engine's attribution uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.ir.ops import MEM_OPS, Opcode
+from repro.ir.passes import apply_pragmas
+from repro.ir.program import Design
+from repro.rtl.netlist import Netlist, NetKind
+from repro.sync.flowgraph import dfg_components
+
+#: Fanout at or above which a value/net counts as a broadcast.
+DATA_THRESHOLD = 8
+CONTROL_THRESHOLD = 8
+
+
+@dataclass(frozen=True)
+class BroadcastRecord:
+    """One detected broadcast structure."""
+
+    kind: str  # "data" | "memory" | "sync" | "pipeline-control"
+    where: str  # kernel/loop or net name
+    subject: str  # value, buffer or signal name
+    fanout: int
+    note: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.where}: {self.subject} fanout={self.fanout} {self.note}"
+
+
+@dataclass
+class BroadcastReport:
+    """All broadcasts found, ordered by descending fanout."""
+
+    records: List[BroadcastRecord] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[BroadcastRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    @property
+    def kinds(self) -> List[str]:
+        seen: List[str] = []
+        for record in self.records:
+            if record.kind not in seen:
+                seen.append(record.kind)
+        return seen
+
+    def sorted(self) -> List[BroadcastRecord]:
+        return sorted(self.records, key=lambda r: (-r.fanout, r.kind, r.subject))
+
+    def summary(self) -> str:
+        lines = [f"{len(self.records)} broadcast structure(s):"]
+        lines.extend(f"  {record}" for record in self.sorted()[:20])
+        return "\n".join(lines)
+
+
+def classify_design(design: Design) -> BroadcastReport:
+    """IR-level broadcast scan of a design (pragmas are lowered first)."""
+    report = BroadcastReport()
+    lowered = apply_pragmas(design)
+    for kernel, loop in lowered.all_loops():
+        where = f"{kernel.name}/{loop.name}"
+        for value, fanout in loop.body.broadcast_sources(threshold=DATA_THRESHOLD):
+            note = "loop-invariant" if value.loop_invariant else ""
+            report.records.append(
+                BroadcastRecord("data", where, value.name, fanout, note)
+            )
+        for op in loop.body.mem_ops():
+            buffer = op.attrs["buffer"]
+            banks = buffer.bram36_units()
+            if banks >= DATA_THRESHOLD:
+                report.records.append(
+                    BroadcastRecord(
+                        "memory",
+                        where,
+                        f"{buffer.name}[{op.opcode.value}]",
+                        banks,
+                        f"{buffer.total_bits} bits over {banks} BRAM36",
+                    )
+                )
+        calls = [op for op in loop.body.ops if op.opcode is Opcode.CALL]
+        if len(calls) >= 2:
+            report.records.append(
+                BroadcastRecord(
+                    "sync",
+                    where,
+                    "done-reduce/start-broadcast",
+                    len(calls),
+                    f"{len(calls)} parallel instances",
+                )
+            )
+        components = dfg_components(loop.body)
+        if len(components) >= 2:
+            report.records.append(
+                BroadcastRecord(
+                    "sync",
+                    where,
+                    "fused-independent-flows",
+                    len(components),
+                    f"{len(components)} isolated sub-graphs in one loop",
+                )
+            )
+        if loop.pipeline:
+            fifo_count = sum(len(side) for side in loop.fifo_endpoints())
+            seq_estimate = sum(1 for _ in loop.body.ops)
+            if fifo_count and seq_estimate >= CONTROL_THRESHOLD:
+                report.records.append(
+                    BroadcastRecord(
+                        "pipeline-control",
+                        where,
+                        "stall/enable",
+                        seq_estimate,
+                        f"{fifo_count} flow-controlled interface(s)",
+                    )
+                )
+    return report
+
+
+def classify_netlist(netlist: Netlist, threshold: int = CONTROL_THRESHOLD) -> BroadcastReport:
+    """Netlist-level broadcast scan: high-fanout nets by net kind."""
+    kind_map = {
+        NetKind.DATA: "data",
+        NetKind.MEM: "memory",
+        NetKind.SYNC: "sync",
+        NetKind.ENABLE: "pipeline-control",
+        NetKind.STATUS: "pipeline-control",
+    }
+    report = BroadcastReport()
+    for net in netlist.high_fanout_nets(threshold=threshold):
+        kind = kind_map.get(net.kind)
+        if kind is None:
+            continue
+        report.records.append(
+            BroadcastRecord(
+                kind,
+                netlist.name,
+                net.name,
+                net.fanout,
+                f"driver={net.driver.name}",
+            )
+        )
+    return report

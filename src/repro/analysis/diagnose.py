@@ -1,0 +1,77 @@
+"""Critical-path explanation and optimization suggestions.
+
+The paper motivates this tooling gap directly: "current HLS tools do not
+provide helpful feedback or guidelines on how to improve the clock
+frequency".  :func:`diagnose` turns a :class:`~repro.physical.timing.
+TimingResult` into exactly that feedback: which broadcast class limits the
+design and which §4 technique addresses it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.physical.timing import TimingResult
+from repro.rtl.netlist import NetKind
+
+_ADVICE = {
+    NetKind.DATA: (
+        "data broadcast on the critical path — apply broadcast-aware "
+        "scheduling (§4.1): calibrate delays vs broadcast factor and insert "
+        "register stages (OptimizationConfig(broadcast_aware=True))"
+    ),
+    NetKind.MEM: (
+        "multi-bank memory distribution on the critical path — add "
+        "pipelining between the data port and the BRAM banks (§4.1 memory "
+        "rule; OptimizationConfig(broadcast_aware=True))"
+    ),
+    NetKind.ENABLE: (
+        "pipeline stall/enable broadcast on the critical path — switch to "
+        "skid-buffer-based control (§4.3; ControlStyle.SKID_MINAREA)"
+    ),
+    NetKind.SYNC: (
+        "synchronization broadcast on the critical path — prune redundant "
+        "synchronization (§4.2; OptimizationConfig(sync_pruning=True))"
+    ),
+    NetKind.STATUS: (
+        "FIFO status aggregation on the critical path — reduce the fused "
+        "flow-control domain (§4.2 flow splitting) or adopt skid-buffer "
+        "control (§4.3)"
+    ),
+}
+
+
+def format_critical_path(timing: TimingResult) -> str:
+    """Render the critical path like a timing-report path table."""
+    lines = [
+        f"Critical path: {timing.raw_period_ns:.2f} ns "
+        f"({timing.fmax_mhz:.0f} MHz), class={timing.path_class.value}",
+        f"  startpoint: {timing.startpoint}",
+    ]
+    for hop in timing.critical_path:
+        lines.append(
+            f"    +{hop.incr_ns:5.2f} ns  -> {hop.cell}  (via {hop.net})"
+            f"  arrival {hop.arrival_ns:5.2f}"
+        )
+    lines.append(f"  endpoint: {timing.endpoint}")
+    return "\n".join(lines)
+
+
+def diagnose(timing: TimingResult) -> List[str]:
+    """Actionable findings for a timing result, worst class first."""
+    findings: List[str] = []
+    ranked = sorted(
+        timing.class_periods.items(), key=lambda item: -item[1]
+    )
+    for kind_value, worst in ranked:
+        try:
+            kind = NetKind(kind_value)
+        except ValueError:  # pragma: no cover - defensive
+            continue
+        advice = _ADVICE.get(kind)
+        if advice is None:
+            continue
+        findings.append(f"{worst:.2f} ns worst path via {kind_value}: {advice}")
+    if not findings:
+        findings.append("no broadcast-classifiable paths; design is wire-limited")
+    return findings

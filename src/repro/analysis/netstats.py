@@ -1,0 +1,92 @@
+"""Netlist statistics: the §3 broadcast census, quantified.
+
+Computes fanout histograms and estimated wirelength per net class for a
+placed design, so the "implicit broadcast" footprint of each benchmark can
+be tabulated — a quantitative companion to the paper's Table 1 'Broadcast
+type' column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.physical.placement import Placement
+from repro.rtl.netlist import Netlist, NetKind
+
+#: Histogram bucket upper bounds (inclusive); last bucket is open-ended.
+FANOUT_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
+
+
+@dataclass
+class ClassStats:
+    """Aggregate statistics for one net class."""
+
+    nets: int = 0
+    sinks: int = 0
+    max_fanout: int = 0
+    max_fanout_net: str = ""
+    total_wirelength: float = 0.0
+    histogram: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_fanout(self) -> float:
+        return self.sinks / self.nets if self.nets else 0.0
+
+
+@dataclass
+class NetlistCensus:
+    """Per-class stats for a whole netlist."""
+
+    design: str
+    classes: Dict[str, ClassStats] = field(default_factory=dict)
+
+    def broadcastiest(self) -> Tuple[str, ClassStats]:
+        """The class with the largest single fanout."""
+        key = max(self.classes, key=lambda k: self.classes[k].max_fanout)
+        return key, self.classes[key]
+
+
+def _bucket(fanout: int) -> str:
+    for bound in FANOUT_BUCKETS:
+        if fanout <= bound:
+            return f"<={bound}"
+    return f">{FANOUT_BUCKETS[-1]}"
+
+
+def census(netlist: Netlist, placement: Optional[Placement] = None) -> NetlistCensus:
+    """Tabulate fanout and (optionally placed) wirelength per net class."""
+    result = NetlistCensus(design=netlist.name)
+    for net in netlist.nets.values():
+        if net.kind is NetKind.CLOCKLESS:
+            continue
+        stats = result.classes.setdefault(net.kind.value, ClassStats())
+        stats.nets += 1
+        stats.sinks += net.fanout
+        if net.fanout > stats.max_fanout:
+            stats.max_fanout = net.fanout
+            stats.max_fanout_net = net.name
+        stats.histogram[_bucket(net.fanout)] = (
+            stats.histogram.get(_bucket(net.fanout), 0) + 1
+        )
+        if placement is not None:
+            for cell, _pin in net.sinks:
+                stats.total_wirelength += placement.distance(net.driver, cell)
+    return result
+
+
+def format_census(result: NetlistCensus) -> str:
+    """Render the census as a text table."""
+    lines = [
+        f"broadcast census for {result.design!r}:",
+        f"{'class':>8s} {'nets':>7s} {'sinks':>8s} {'mean':>7s} {'max':>6s}"
+        f" {'wirelength':>11s}  worst net",
+    ]
+    for key in sorted(result.classes, key=lambda k: -result.classes[k].max_fanout):
+        stats = result.classes[key]
+        lines.append(
+            f"{key:>8s} {stats.nets:7d} {stats.sinks:8d} {stats.mean_fanout:7.1f}"
+            f" {stats.max_fanout:6d} {stats.total_wirelength:11.0f}"
+            f"  {stats.max_fanout_net}"
+        )
+    return "\n".join(lines)

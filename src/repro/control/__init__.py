@@ -1,0 +1,23 @@
+"""Pipeline flow-control styles.
+
+* :mod:`repro.control.stall` — the baseline broadcast stall/enable control
+  HLS tools emit (§3.3);
+* :mod:`repro.control.skid` — skid-buffer-based always-flowing control
+  (§4.3), with depth N+1 buffers;
+* :mod:`repro.control.minarea` — the O(N²) dynamic program that splits the
+  skid buffer at narrow waists of the stage-width profile (Fig. 12/17).
+"""
+
+from repro.control.styles import ControlStyle
+from repro.control.minarea import CutPlan, end_buffer_plan, min_area_cuts
+from repro.control.skid import SkidBufferSpec, skid_buffer_specs, fifo_area
+
+__all__ = [
+    "ControlStyle",
+    "CutPlan",
+    "min_area_cuts",
+    "end_buffer_plan",
+    "SkidBufferSpec",
+    "skid_buffer_specs",
+    "fifo_area",
+]

@@ -1,0 +1,122 @@
+"""Min-area skid-buffer placement by dynamic programming (§4.3).
+
+For a depth-``N`` pipeline with stage output widths ``w_1..w_N`` the skid
+capacity protecting stages ``j+1..i`` must hold ``i - j + 1`` elements of
+width ``w_i`` (the +1 because a FIFO's empty flag deasserts one cycle after
+the first push).  Choosing cut points ``0 = c_0 < c_1 < ... < c_k = N`` to
+minimize total bits is the paper's "easily solved using dynamic
+programming" problem:
+
+    dp[i] = min over j < i of  dp[j] + (i - j + 1) * w_i,   dp[0] = 0
+
+which is O(N²).  The paper's Fig. 17 example — widths narrowing to one
+scalar at stage 56 of 61 — reproduces exactly: a cut at the waist gives
+(56+1)*32 + (5+1)*1024 = 7968 bits vs 63488 for the end-only buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import ControlError
+
+
+@dataclass(frozen=True)
+class CutPlan:
+    """A skid-buffer placement.
+
+    Attributes:
+        cuts: Stage indices (1-based) after which a buffer sits; the last
+            cut is always the pipeline end ``N``.
+        segments: Per buffer: ``(depth, width_bits)`` — depth counts the
+            protected stages plus one.
+        total_bits: Sum of ``depth * width`` over all buffers.
+    """
+
+    cuts: Tuple[int, ...]
+    segments: Tuple[Tuple[int, int], ...]
+    total_bits: int
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self.cuts)
+
+
+def _plan_from_cuts(widths: Sequence[int], cuts: Sequence[int]) -> CutPlan:
+    segments: List[Tuple[int, int]] = []
+    total = 0
+    prev = 0
+    for cut in cuts:
+        depth = cut - prev + 1
+        width = widths[cut - 1]
+        segments.append((depth, width))
+        total += depth * width
+        prev = cut
+    return CutPlan(cuts=tuple(cuts), segments=tuple(segments), total_bits=total)
+
+
+def end_buffer_plan(widths: Sequence[int]) -> CutPlan:
+    """The naive Fig. 11 plan: one (N+1)-deep buffer of the output width."""
+    if not widths:
+        raise ControlError("cannot plan a skid buffer for an empty pipeline")
+    return _plan_from_cuts(widths, [len(widths)])
+
+
+def min_area_cuts(widths: Sequence[int], max_buffers: int = 0) -> CutPlan:
+    """Optimal cut placement minimizing total buffered bits.
+
+    Args:
+        widths: ``w_1..w_N`` — bits crossing the boundary after each stage.
+        max_buffers: Optional cap on the number of buffers (0 = unlimited);
+            practical deployments may bound the number of FIFOs.
+
+    Returns the optimal :class:`CutPlan`; falls back to the end-only plan
+    for length-1 pipelines.
+    """
+    n = len(widths)
+    if n == 0:
+        raise ControlError("cannot plan a skid buffer for an empty pipeline")
+    if any(w < 0 for w in widths):
+        raise ControlError("stage widths must be non-negative")
+    # dp[i][k] when capped, else dp[i]; j ranges over previous cut points.
+    if max_buffers <= 0:
+        dp = [0] + [0] * n
+        choice = [0] * (n + 1)
+        for i in range(1, n + 1):
+            best, best_j = None, 0
+            for j in range(i):
+                cost = dp[j] + (i - j + 1) * widths[i - 1]
+                if best is None or cost < best:
+                    best, best_j = cost, j
+            dp[i] = best
+            choice[i] = best_j
+        cuts: List[int] = []
+        i = n
+        while i > 0:
+            cuts.append(i)
+            i = choice[i]
+        cuts.reverse()
+        return _plan_from_cuts(widths, cuts)
+
+    INF = float("inf")
+    dp2 = [[INF] * (max_buffers + 1) for _ in range(n + 1)]
+    choice2 = [[0] * (max_buffers + 1) for _ in range(n + 1)]
+    dp2[0][0] = 0
+    for i in range(1, n + 1):
+        for k in range(1, max_buffers + 1):
+            for j in range(i):
+                if dp2[j][k - 1] == INF:
+                    continue
+                cost = dp2[j][k - 1] + (i - j + 1) * widths[i - 1]
+                if cost < dp2[i][k]:
+                    dp2[i][k] = cost
+                    choice2[i][k] = j
+    best_k = min(range(1, max_buffers + 1), key=lambda k: dp2[n][k])
+    cuts = []
+    i, k = n, best_k
+    while i > 0:
+        cuts.append(i)
+        i, k = choice2[i][k], k - 1
+    cuts.reverse()
+    return _plan_from_cuts(widths, cuts)

@@ -1,0 +1,77 @@
+"""Skid-buffer sizing and FIFO implementation costs (§4.3).
+
+A skid buffer protecting ``L`` pipeline stages needs depth ``L + 1``: when
+the downstream stalls, every in-flight element must land in the buffer, and
+the producer only notices one cycle after the buffer's empty flag deasserts
+(the paper's "+1").  Simulation property tests in ``tests/test_sim_*``
+verify both directions: depth L+1 never overflows, depth L can.
+
+FIFO area follows FPGA practice: shallow FIFOs map to shift-register LUTs
+(SRL32: one LUT per bit), deep ones to BRAM36 blocks shaped
+``ceil(width/72) * ceil(depth/512)``.  That shaping is why the naive
+end-of-pipeline buffer for a wide-output pipeline is expensive (Table 2's
+12% BRAM) while the min-area plan is nearly free (0.02%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.control.minarea import CutPlan
+
+#: FIFOs up to this depth use SRL/register implementation instead of BRAM.
+SRL_MAX_DEPTH = 32
+
+
+def fifo_area(depth: int, width: int) -> Tuple[int, int, int]:
+    """Implementation cost of one FIFO as ``(luts, ffs, brams)``."""
+    if depth <= 0 or width <= 0:
+        return (0, 0, 0)
+    if depth <= SRL_MAX_DEPTH:
+        # One SRL32 LUT per bit plus a sliver of pointer logic; output reg.
+        return (width + 8, width, 0)
+    brams = math.ceil(width / 72) * math.ceil(depth / 512)
+    return (24, width, brams)
+
+
+@dataclass(frozen=True)
+class SkidBufferSpec:
+    """One physical skid FIFO to instantiate.
+
+    Attributes:
+        after_stage: 1-based pipeline stage the buffer follows.
+        depth: FIFO capacity in elements (protected stages + 1).
+        width: Element width in bits.
+        luts / ffs / brams: Implementation cost.
+    """
+
+    after_stage: int
+    depth: int
+    width: int
+    luts: int
+    ffs: int
+    brams: int
+
+    @property
+    def bits(self) -> int:
+        return self.depth * self.width
+
+
+def skid_buffer_specs(plan: CutPlan) -> List[SkidBufferSpec]:
+    """Materialize a :class:`CutPlan` into per-FIFO specs."""
+    specs: List[SkidBufferSpec] = []
+    for cut, (depth, width) in zip(plan.cuts, plan.segments):
+        luts, ffs, brams = fifo_area(depth, width)
+        specs.append(
+            SkidBufferSpec(
+                after_stage=cut,
+                depth=depth,
+                width=width,
+                luts=luts,
+                ffs=ffs,
+                brams=brams,
+            )
+        )
+    return specs

@@ -1,0 +1,27 @@
+"""Control-style selection shared by the RTL generator and the flow."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ControlStyle(enum.Enum):
+    """How a pipelined loop's flow control is implemented.
+
+    STALL — broadcast empty/full-derived enable to every pipeline element
+    (the production-HLS default, §3.3).
+
+    SKID — always-flowing pipeline with valid bits and one skid FIFO of
+    width w_out at the end (§4.3, Fig. 11).
+
+    SKID_MINAREA — skid control with the buffer split at stage-width waists
+    chosen by dynamic programming (§4.3, Fig. 12).
+    """
+
+    STALL = "stall"
+    SKID = "skid"
+    SKID_MINAREA = "skid_minarea"
+
+    @property
+    def uses_skid(self) -> bool:
+        return self in (ControlStyle.SKID, ControlStyle.SKID_MINAREA)

@@ -1,0 +1,53 @@
+"""Stage-width profile extraction (Fig. 17).
+
+The paper: "To obtain the data width between stages, we parse the schedule
+report and collect the definition location and usage location for each
+variable, thus obtaining the total data width passed between stages."
+
+:func:`width_profile_from_report` does literally that — it works from
+report text plus the DFG, not from scheduler internals — while
+:func:`width_profile` is the direct in-memory shortcut.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.dfg import DFG
+from repro.scheduling.report import parse_report
+from repro.scheduling.schedule import Schedule
+
+
+def width_profile(schedule: Schedule) -> List[int]:
+    """Bits crossing each stage boundary of a scheduled pipeline."""
+    return schedule.width_profile()
+
+
+def skid_width_profile(schedule: Schedule) -> List[int]:
+    """Width profile for skid-buffer sizing (§4.3).
+
+    Identical to :func:`width_profile` except the final boundary carries at
+    least the pipeline's *output* width — the elements the end buffer must
+    hold are the produced results, even though they "exit" at the last
+    stage rather than crossing its boundary.
+    """
+    profile = schedule.width_profile()
+    if not profile:
+        return profile
+    out_bits = 0
+    for entry in schedule.entries.values():
+        if entry.op.opcode.value == "fifo_write":
+            out_bits += entry.op.operands[0].type.bits
+    profile[-1] = max(profile[-1], out_bits)
+    return profile
+
+
+def width_profile_from_report(report_text: str, dfg: DFG) -> List[int]:
+    """Recover the stage-width profile from schedule report text.
+
+    For every value, its definition stage is the producer's finish cycle
+    and its last-use stage is the max consumer cycle; the value occupies
+    every boundary in between.
+    """
+    schedule = parse_report(report_text, dfg)
+    return schedule.width_profile()

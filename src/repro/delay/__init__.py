@@ -1,0 +1,26 @@
+"""Operator delay models.
+
+* :class:`~repro.delay.hls_model.HlsDelayModel` — the broadcast-blind,
+  pre-characterized model production HLS schedulers use (§2).
+* :mod:`repro.delay.calibration` — the skeleton-design characterization
+  harness of §4.1, measuring post-placement delay vs broadcast factor.
+* :class:`~repro.delay.calibrated.CalibratedDelayModel` — the paper's
+  calibrated model: ``smooth(max(hls_predicted, measured))``.
+"""
+
+from repro.delay.hls_model import HlsDelayModel
+from repro.delay.calibrated import CalibratedDelayModel, CalibrationTable
+from repro.delay.calibration import (
+    build_default_calibration,
+    characterize_memory,
+    characterize_operator,
+)
+
+__all__ = [
+    "HlsDelayModel",
+    "CalibratedDelayModel",
+    "CalibrationTable",
+    "build_default_calibration",
+    "characterize_operator",
+    "characterize_memory",
+]

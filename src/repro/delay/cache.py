@@ -1,0 +1,78 @@
+"""Disk persistence for calibration tables.
+
+The paper's calibration is a one-time per-device characterization whose
+statistics are "reusable"; this module makes that literal: run the skeleton
+sweeps once, save the table, and let later sessions (or CI) load it instead
+of re-measuring.
+
+JSON format (from :meth:`CalibrationTable.to_dict`) wrapped with metadata::
+
+    {"device": "aws-f1", "seed": 2020, "smooth_passes": 1,
+     "curves": {"add_i32": [[1, 0.78], ...], ...}}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.delay.calibrated import CalibrationTable
+from repro.delay.calibration import build_default_calibration
+from repro.errors import ReproError
+
+FORMAT_VERSION = 1
+
+
+def save_calibration(
+    table: CalibrationTable,
+    path: str,
+    device: str,
+    seed: int = 2020,
+    smooth_passes: int = 1,
+) -> None:
+    """Write a calibration table plus provenance metadata to ``path``."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "device": device,
+        "seed": seed,
+        "smooth_passes": smooth_passes,
+        "curves": table.to_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def load_calibration(path: str, device: Optional[str] = None) -> CalibrationTable:
+    """Load a saved table; optionally check it was built for ``device``."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != FORMAT_VERSION:
+        raise ReproError(
+            f"calibration file {path!r} has version {payload.get('version')}, "
+            f"expected {FORMAT_VERSION}"
+        )
+    if device is not None and payload.get("device") != device:
+        raise ReproError(
+            f"calibration file {path!r} was characterized for "
+            f"{payload.get('device')!r}, not {device!r}"
+        )
+    return CalibrationTable.from_dict(payload["curves"])
+
+
+def get_or_build_calibration(
+    path: str,
+    device: str = "aws-f1",
+    seed: int = 2020,
+    smooth_passes: int = 1,
+) -> CalibrationTable:
+    """Load ``path`` if present, otherwise characterize and save.
+
+    The workhorse for scripts and CI: the first run pays for the skeleton
+    sweeps, every later run starts instantly.
+    """
+    if os.path.exists(path):
+        return load_calibration(path, device=device)
+    table = build_default_calibration(device, seed=seed, smooth_passes=smooth_passes)
+    save_calibration(table, path, device=device, seed=seed, smooth_passes=smooth_passes)
+    return table

@@ -1,0 +1,170 @@
+"""Calibration tables and the broadcast-aware delay model (§4.1).
+
+The paper: *"we collect reusable statistics of calibrated delays for each
+combination of operator, data type and broadcast factor. Each data point is
+averaged with its neighbors to suppress random noise ... we choose the
+maximum between the HLS-predicted delay and our experimented results as our
+calibrated delay."*
+
+:class:`CalibrationTable` stores (broadcast factor → measured delay) curves
+per operator key; :class:`CalibratedDelayModel` combines them with the HLS
+model exactly as quoted.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.delay.hls_model import HlsDelayModel
+from repro.delay.tables import op_delay_key
+from repro.errors import ReproError
+from repro.ir.ops import MEM_OPS, Opcode, Operation
+from repro.ir.values import Value
+
+
+class CalibrationTable:
+    """Measured delay (ns) per (operator key, broadcast factor)."""
+
+    def __init__(self) -> None:
+        self._curves: Dict[str, List[Tuple[int, float]]] = {}
+
+    # -- construction ---------------------------------------------------
+    def add(self, key: str, factor: int, delay_ns: float) -> None:
+        if factor < 1:
+            raise ReproError(f"broadcast factor must be >= 1, got {factor}")
+        curve = self._curves.setdefault(key, [])
+        curve.append((factor, delay_ns))
+        curve.sort(key=lambda p: p[0])
+
+    def keys(self) -> List[str]:
+        return sorted(self._curves)
+
+    def points(self, key: str) -> List[Tuple[int, float]]:
+        return list(self._curves.get(key, []))
+
+    # -- the paper's neighbor smoothing -----------------------------------
+    def smoothed(self, passes: int = 1) -> "CalibrationTable":
+        """Return a copy with each point averaged with its neighbors.
+
+        Suppresses the placement-jitter noise of individual skeleton runs
+        (§4.1).  Multiple passes smooth more aggressively.
+        """
+        table = CalibrationTable()
+        for key, curve in self._curves.items():
+            values = [delay for _f, delay in curve]
+            for _ in range(passes):
+                if len(values) >= 3:
+                    values = (
+                        [(values[0] + values[1]) / 2]
+                        + [
+                            (values[i - 1] + values[i] + values[i + 1]) / 3
+                            for i in range(1, len(values) - 1)
+                        ]
+                        + [(values[-2] + values[-1]) / 2]
+                    )
+            for (factor, _), delay in zip(curve, values):
+                table.add(key, factor, delay)
+        return table
+
+    # -- lookup -----------------------------------------------------------
+    def lookup(self, key: str, factor: int) -> Optional[float]:
+        """Interpolated measured delay, or None when the key is unknown.
+
+        Interpolation is piecewise-linear in ``log2(factor)`` (the sweep is
+        geometric); factors outside the measured range clamp to the ends.
+        """
+        curve = self._curves.get(key)
+        if not curve:
+            return None
+        factor = max(1, factor)
+        if factor <= curve[0][0]:
+            return curve[0][1]
+        if factor >= curve[-1][0]:
+            return curve[-1][1]
+        for (f0, d0), (f1, d1) in zip(curve, curve[1:]):
+            if f0 <= factor <= f1:
+                if f0 == f1:
+                    return max(d0, d1)
+                t = (math.log2(factor) - math.log2(f0)) / (
+                    math.log2(f1) - math.log2(f0)
+                )
+                return d0 + t * (d1 - d0)
+        return curve[-1][1]  # pragma: no cover - defensive
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, List[List[float]]]:
+        return {k: [[f, d] for f, d in v] for k, v in self._curves.items()}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, List[List[float]]]) -> "CalibrationTable":
+        table = cls()
+        for key, curve in data.items():
+            for factor, delay in curve:
+                table.add(key, int(factor), float(delay))
+        return table
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CalibrationTable":
+        return cls.from_dict(json.loads(text))
+
+
+def broadcast_factor_of(op: Operation) -> int:
+    """Broadcast factor governing ``op``'s input wire delay.
+
+    The paper analyzes RAW dependencies to count "how many times a variable
+    is read by later instructions in the same cycle"; in a fully-pipelined
+    (II=1) body every consumer is concurrently active, so the static fanout
+    of the widest-read operand is the right statistic.  Constants do not
+    broadcast (they are replicated for free into each LUT).
+    """
+    factor = 1
+    for operand in op.operands:
+        if isinstance(operand, Value) and not operand.is_const:
+            factor = max(factor, operand.fanout)
+    return factor
+
+
+class CalibratedDelayModel:
+    """``smooth(max(hls_predicted, measured))`` — the paper's model.
+
+    Arithmetic ops look up their operand broadcast factor; memory ops look
+    up the BRAM bank count of the buffer they touch.
+    """
+
+    name = "calibrated"
+
+    def __init__(
+        self,
+        table: CalibrationTable,
+        hls: Optional[HlsDelayModel] = None,
+    ) -> None:
+        self.table = table
+        self.hls = hls or HlsDelayModel()
+
+    def _factor(self, op: Operation) -> int:
+        if op.opcode in MEM_OPS:
+            banks = op.attrs["buffer"].bram36_units()
+            group = op.attrs.get("bank_group")
+            if isinstance(group, tuple):
+                # Partitioned access: the port only reaches its bank group.
+                banks = math.ceil(banks / group[1])
+            return banks
+        return broadcast_factor_of(op)
+
+    def op_delay(self, op: Operation) -> float:
+        base = self.hls.op_delay(op)
+        if op.opcode is Opcode.CALL:
+            return base
+        measured = self.table.lookup(op_delay_key(op), self._factor(op))
+        if measured is None:
+            return base
+        return max(base, measured)
+
+    def describe(self, op: Operation) -> str:
+        """Annotation used in schedule reports: delay plus broadcast factor."""
+        return f"{self.op_delay(op):.2f}ns@bf{self._factor(op)}"

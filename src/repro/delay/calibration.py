@@ -1,0 +1,217 @@
+"""Skeleton-design characterization (§4.1).
+
+    "We implement skeleton broadcast structures on an empty FPGA to obtain
+    the post-routed delay. For example, in one skeleton design, we
+    instantiate 64 adders, and one of the two input ports of every adder is
+    connected to a common source register."
+
+We do the same, against our physical model instead of a Vivado board run:
+build the skeleton netlist, place it on an empty device, run the backend
+fanout optimization, and read the critical register-to-register path from
+STA.  Because the *same* physical model later times the full designs, the
+calibration is ground truth for the scheduler, just as on-silicon
+characterization is for the paper.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from repro.delay.tables import (
+    BRAM_CLK_Q_NS,
+    CLK_Q_NS,
+    LOAD_ADDR_LOGIC_NS,
+    LOAD_MUX_LOGIC_NS,
+    STORE_PORT_LOGIC_NS,
+    op_resources,
+    physical_cell_delay,
+)
+from repro.errors import PlacementError, ReproError
+from repro.ir.ops import Opcode
+from repro.ir.types import DataType
+from repro.physical.device import get_device
+from repro.physical.fabric import Fabric
+from repro.physical.placement import Placer
+from repro.physical.replication import ReplicationConfig, replicate_high_fanout
+from repro.physical.timing import SETUP_NS, TimingAnalyzer
+from repro.rtl.netlist import CellKind, Netlist, NetKind
+
+#: Default geometric sweep of broadcast factors, as in Fig. 9's x axis.
+DEFAULT_FACTORS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def _measure(netlist: Netlist, device: str, seed: int, replicate: bool = True) -> float:
+    """Place, fanout-optimize and time a skeleton; returns the raw critical
+    path (ns), *not* floored to the device minimum period."""
+    fabric = Fabric(get_device(device))
+    placement = Placer(fabric, seed=seed).place(netlist)
+    if replicate:
+        replicate_high_fanout(netlist, placement, ReplicationConfig())
+    result = TimingAnalyzer(netlist, placement).analyze()
+    return result.raw_period_ns
+
+
+def build_arith_skeleton(opcode: Opcode, dtype: DataType, factor: int) -> Netlist:
+    """``factor`` operator instances sharing one source register input.
+
+    Every instance also has a private second-operand register and a private
+    result register, so the only multi-sink net is the broadcast under test.
+    """
+    netlist = Netlist(f"skel_{opcode.value}_{dtype}_x{factor}")
+    width = dtype.bits
+    src = netlist.new_cell("src", CellKind.FF, delay_ns=CLK_Q_NS, ffs=width, width=width)
+    luts, ffs, dsps = op_resources(opcode, dtype)
+    kind = CellKind.DSP if dsps else CellKind.LOGIC
+    sinks = []
+    for i in range(factor):
+        op_cell = netlist.new_cell(
+            f"op{i}",
+            kind,
+            delay_ns=physical_cell_delay(opcode, dtype),
+            luts=luts,
+            ffs=ffs,
+            dsps=dsps,
+            width=width,
+        )
+        b_reg = netlist.new_cell(
+            f"b{i}", CellKind.FF, delay_ns=CLK_Q_NS, ffs=width, width=width
+        )
+        out_reg = netlist.new_cell(
+            f"q{i}", CellKind.FF, delay_ns=CLK_Q_NS, ffs=width, width=width
+        )
+        netlist.connect(f"b{i}_net", b_reg, [(op_cell, "b")], width=width)
+        netlist.connect(f"q{i}_net", op_cell, [(out_reg, "d")], width=width)
+        sinks.append((op_cell, "a"))
+    netlist.connect("bcast", src, sinks, kind=NetKind.DATA, width=width)
+    return netlist
+
+
+def build_store_skeleton(bram_units: int, width: int = 32) -> Netlist:
+    """A data register driving the write ports of ``bram_units`` BRAMs
+    through shared port logic — the Fig. 3/4 structure."""
+    netlist = Netlist(f"skel_store_x{bram_units}")
+    src = netlist.new_cell("src", CellKind.FF, delay_ns=CLK_Q_NS, ffs=width, width=width)
+    port = netlist.new_cell(
+        "wport", CellKind.LOGIC, delay_ns=STORE_PORT_LOGIC_NS, luts=24, width=width
+    )
+    netlist.connect("src_net", src, [(port, "d")], width=width)
+    sinks = []
+    for i in range(bram_units):
+        bram = netlist.new_cell(
+            f"bram{i}", CellKind.BRAM, delay_ns=BRAM_CLK_Q_NS, brams=1, width=width
+        )
+        sinks.append((bram, "din"))
+    netlist.connect("wdata", port, sinks, kind=NetKind.MEM, width=width)
+    return netlist
+
+
+def build_load_skeleton(bram_units: int, width: int = 32) -> Netlist:
+    """Address broadcast to ``bram_units`` BRAMs plus the read-side mux."""
+    netlist = Netlist(f"skel_load_x{bram_units}")
+    addr = netlist.new_cell("addr", CellKind.FF, delay_ns=CLK_Q_NS, ffs=20, width=20)
+    aport = netlist.new_cell(
+        "aport", CellKind.LOGIC, delay_ns=LOAD_ADDR_LOGIC_NS, luts=12, width=20
+    )
+    netlist.connect("addr_net", addr, [(aport, "a")], width=20)
+    mux = netlist.new_cell(
+        "rmux", CellKind.LOGIC, delay_ns=LOAD_MUX_LOGIC_NS, luts=12 * bram_units, width=width
+    )
+    out = netlist.new_cell("rdata", CellKind.FF, delay_ns=CLK_Q_NS, ffs=width, width=width)
+    addr_sinks = []
+    for i in range(bram_units):
+        bram = netlist.new_cell(
+            f"bram{i}", CellKind.BRAM, delay_ns=BRAM_CLK_Q_NS, brams=1, width=width
+        )
+        addr_sinks.append((bram, "addr"))
+        netlist.connect(f"dout{i}", bram, [(mux, f"i{i}")], kind=NetKind.MEM, width=width)
+    netlist.connect("abcast", aport, addr_sinks, kind=NetKind.MEM, width=20)
+    netlist.connect("rnet", mux, [(out, "d")], width=width)
+    return netlist
+
+
+def characterize_operator(
+    opcode: Opcode,
+    dtype: DataType,
+    factors: Sequence[int] = DEFAULT_FACTORS,
+    device: str = "aws-f1",
+    seed: int = 2020,
+) -> List[Tuple[int, float]]:
+    """Measured operator delay (ns) at each broadcast factor.
+
+    The measurement convention matches the HLS tables: the raw
+    register-to-register critical path minus launch clock-to-out and capture
+    setup, i.e. "wire + operator" as an HLS per-op estimate would count it.
+    """
+    points: List[Tuple[int, float]] = []
+    for factor in factors:
+        netlist = build_arith_skeleton(opcode, dtype, factor)
+        try:
+            raw = _measure(netlist, device, seed=seed * 1000 + factor)
+        except PlacementError:
+            # The skeleton outgrew the (empty) device — sweep what fits,
+            # the lookup clamps to the largest measured factor.
+            break
+        points.append((factor, raw - CLK_Q_NS - SETUP_NS))
+    return points
+
+
+def characterize_memory(
+    op: str,
+    bram_counts: Sequence[int] = DEFAULT_FACTORS,
+    device: str = "aws-f1",
+    seed: int = 2020,
+    width: int = 32,
+) -> List[Tuple[int, float]]:
+    """Measured ``load``/``store`` path delay (ns) per BRAM bank count."""
+    if op not in ("load", "store"):
+        raise ReproError(f"memory op must be 'load' or 'store', got {op!r}")
+    build = build_store_skeleton if op == "store" else build_load_skeleton
+    points: List[Tuple[int, float]] = []
+    for count in bram_counts:
+        netlist = build(count, width=width)
+        try:
+            raw = _measure(netlist, device, seed=seed * 1000 + count)
+        except PlacementError:
+            break
+        points.append((count, raw - CLK_Q_NS - SETUP_NS))
+    return points
+
+
+@lru_cache(maxsize=8)
+def _default_calibration_cached(device: str, seed: int, smooth_passes: int):
+    from repro.delay.calibrated import CalibrationTable
+    from repro.ir.types import f32, i32
+
+    table = CalibrationTable()
+    sweeps = [
+        ("add_i32", Opcode.ADD, i32),
+        ("sub_i32", Opcode.SUB, i32),
+        ("mul_i32", Opcode.MUL, i32),
+        ("add_f32", Opcode.ADD, f32),
+        ("sub_f32", Opcode.SUB, f32),
+        ("mul_f32", Opcode.MUL, f32),
+    ]
+    for key, opcode, dtype in sweeps:
+        for factor, delay in characterize_operator(
+            opcode, dtype, device=device, seed=seed
+        ):
+            table.add(key, factor, delay)
+    for mem in ("load", "store"):
+        for count, delay in characterize_memory(mem, device=device, seed=seed):
+            table.add(f"{mem}_bram", count, delay)
+    return table.smoothed(passes=smooth_passes) if smooth_passes else table
+
+
+def build_default_calibration(
+    device: str = "aws-f1", seed: int = 2020, smooth_passes: int = 1
+):
+    """The full §4.1 characterization for the common operators.
+
+    Cached per (device, seed, smoothing) — building it runs ~80 placements
+    and takes a little while, exactly like the paper's one-off skeleton runs
+    whose statistics are "reusable" afterwards.
+
+    Returns a :class:`~repro.delay.calibrated.CalibrationTable`.
+    """
+    return _default_calibration_cached(device, seed, smooth_passes)

@@ -1,0 +1,41 @@
+"""The broadcast-blind HLS delay model (§2).
+
+This is the model the baseline scheduler uses: a fixed, pre-characterized
+delay per (opcode, type), with **no** dependence on operand fanout, buffer
+size or placement.  It reproduces the production-tool limitation the paper
+identifies: "The predicted delay by HLS tools for a certain operator is
+fixed regardless of the actual environment."
+"""
+
+from __future__ import annotations
+
+from repro.ir.ops import Opcode, Operation
+from repro.delay.tables import hls_predicted_delay
+
+
+class HlsDelayModel:
+    """Fixed per-operator delay estimates.
+
+    The interface (shared with :class:`~repro.delay.calibrated.
+    CalibratedDelayModel`) is a single :meth:`op_delay` keyed on the
+    operation instance; this model ignores everything about the instance's
+    environment.
+    """
+
+    name = "hls"
+
+    def op_delay(self, op: Operation) -> float:
+        """Estimated combinational delay contribution of ``op``, in ns."""
+        if op.opcode is Opcode.CALL:
+            return 0.0
+        if op.result is not None:
+            dtype = op.result.type
+        elif op.operands:
+            dtype = op.operands[-1].type
+        else:  # FIFO_READ has a result; nothing else lands here.
+            return 0.0
+        return hls_predicted_delay(op.opcode, dtype)
+
+    def describe(self, op: Operation) -> str:
+        """Human-readable delay annotation used in schedule reports."""
+        return f"{self.op_delay(op):.2f}ns"

@@ -1,0 +1,177 @@
+"""Pre-characterized operator delay and area tables.
+
+Two delay views exist for every operator:
+
+* :func:`hls_predicted_delay` — what the HLS scheduler believes (§2).  Fixed
+  per opcode/type/width; never depends on fanout or buffer size.  For
+  floating-point multiply it is deliberately conservative, mirroring the
+  paper's observation about Vivado HLS (Fig. 9, right panel).
+* :func:`physical_cell_delay` — the intrinsic cell delay used by the
+  physical model.  Chosen so that a factor-1 skeleton measurement (cell +
+  one short net) lands on top of the HLS prediction for integer ops, exactly
+  as the paper reports ("perfectly match ... when the broadcast factor is
+  small"), while float multiply measures *below* prediction.
+
+Values approximate an UltraScale+ speed grade; absolute numbers matter less
+than the relationships between them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import ReproError
+from repro.ir.ops import CMP_OPS, Opcode, Operation
+from repro.ir.types import DataType
+
+#: Register clock-to-out (ns) — all sequential cells default to this.
+CLK_Q_NS = 0.10
+#: BRAM clock-to-dout (ns).
+BRAM_CLK_Q_NS = 0.80
+#: FIFO status-flag clock-to-out (ns).
+FIFO_CLK_Q_NS = 0.45
+#: FSM state register clock-to-out (ns).
+CTRL_CLK_Q_NS = 0.25
+#: Typical connection overhead absorbed into HLS per-op predictions (ns):
+#: two short placed nets (operand in, result out) at broadcast factor 1.
+TYP_CONNECT_NS = 0.32
+
+#: Intrinsic delay of the memory-port logic cells the RTL generator and the
+#: calibration skeletons share.  Chosen so a 1-BRAM buffer access measures
+#: on top of the HLS prediction (Fig. 9, middle panel).
+STORE_PORT_LOGIC_NS = 0.70
+LOAD_ADDR_LOGIC_NS = 0.40
+LOAD_MUX_LOGIC_NS = 0.80
+
+#: HLS-side fixed predictions for memory ports ("the predicted delay remains
+#: the same regardless of the size of the buffer", §3.1).
+HLS_LOAD_NS = 2.10
+HLS_STORE_NS = 1.60
+HLS_FIFO_READ_NS = 1.00
+HLS_FIFO_WRITE_NS = 0.80
+
+
+def hls_predicted_delay(opcode: Opcode, dtype: DataType) -> float:
+    """The scheduler's static delay estimate for one operator, in ns."""
+    width = dtype.width
+    if dtype.is_float:
+        if opcode in (Opcode.ADD, Opcode.SUB):
+            return 2.90 if width <= 32 else 3.60
+        if opcode is Opcode.MUL:
+            # Deliberately conservative, as the paper observes of Vivado.
+            return 3.25 if width <= 32 else 4.20
+        if opcode is Opcode.DIV:
+            return 9.50
+        if opcode in CMP_OPS:
+            return 1.10
+        if opcode is Opcode.SELECT:
+            return 0.40 + 0.002 * width
+    if opcode in (Opcode.ADD, Opcode.SUB):
+        return 0.45 + 0.0103 * width  # carry chain: ~0.78 ns at 32 bits
+    if opcode is Opcode.MUL:
+        return 2.30 if width <= 18 else 2.95
+    if opcode is Opcode.DIV:
+        return 0.45 + 0.24 * width
+    if opcode in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT):
+        return 0.12
+    if opcode in (Opcode.SHL, Opcode.SHR):
+        return 0.55 + 0.006 * width
+    if opcode in CMP_OPS:
+        return 0.35 + 0.0045 * width
+    if opcode is Opcode.SELECT:
+        return 0.30 + 0.002 * width
+    if opcode in (Opcode.TRUNC, Opcode.ZEXT, Opcode.SEXT, Opcode.CONST):
+        return 0.0
+    if opcode is Opcode.LOAD:
+        return HLS_LOAD_NS
+    if opcode is Opcode.STORE:
+        return HLS_STORE_NS
+    if opcode is Opcode.FIFO_READ:
+        return HLS_FIFO_READ_NS
+    if opcode is Opcode.FIFO_WRITE:
+        return HLS_FIFO_WRITE_NS
+    if opcode in (Opcode.REG, Opcode.CALL):
+        return 0.0
+    raise ReproError(f"no delay entry for {opcode} {dtype}")
+
+
+def physical_cell_delay(opcode: Opcode, dtype: DataType) -> float:
+    """Intrinsic combinational delay of the implementing cell, in ns."""
+    if dtype.is_float and opcode is Opcode.MUL:
+        # Measures well below the conservative HLS prediction (Fig. 9).
+        return 2.20 if dtype.width <= 32 else 3.00
+    if dtype.is_float and opcode in (Opcode.ADD, Opcode.SUB):
+        return 2.55 if dtype.width <= 32 else 3.20
+    predicted = hls_predicted_delay(opcode, dtype)
+    return max(0.05, predicted - TYP_CONNECT_NS)
+
+
+def op_resources(opcode: Opcode, dtype: DataType) -> Tuple[int, int, int]:
+    """Area of one operator instance as ``(luts, ffs, dsps)``."""
+    width = dtype.width
+    if dtype.is_float:
+        if opcode is Opcode.MUL:
+            return (90, 120, 3) if width <= 32 else (220, 300, 8)
+        if opcode in (Opcode.ADD, Opcode.SUB):
+            return (210, 180, 2) if width <= 32 else (450, 400, 3)
+        if opcode is Opcode.DIV:
+            return (800, 900, 0)
+        if opcode in CMP_OPS:
+            return (70, 0, 0)
+        if opcode is Opcode.SELECT:
+            return (width, 0, 0)
+    if opcode in (Opcode.ADD, Opcode.SUB):
+        return (width, 0, 0)
+    if opcode is Opcode.MUL:
+        return (width // 2, 0, 1 if width <= 18 else 3)
+    if opcode is Opcode.DIV:
+        return (width * width // 2, width * 2, 0)
+    if opcode in (Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOT):
+        return (math.ceil(width / 2), 0, 0)
+    if opcode in (Opcode.SHL, Opcode.SHR):
+        return (2 * width, 0, 0)
+    if opcode in CMP_OPS:
+        return (math.ceil(width / 3), 0, 0)
+    if opcode is Opcode.SELECT:
+        return (math.ceil(width / 2), 0, 0)
+    if opcode in (Opcode.TRUNC, Opcode.ZEXT, Opcode.SEXT, Opcode.CONST):
+        return (0, 0, 0)
+    if opcode is Opcode.REG:
+        return (0, width, 0)
+    if opcode in (Opcode.LOAD, Opcode.STORE):
+        return (8, 0, 0)
+    if opcode in (Opcode.FIFO_READ, Opcode.FIFO_WRITE):
+        return (6, 0, 0)
+    if opcode is Opcode.CALL:
+        return (0, 0, 0)  # CALL areas come from attrs, see generator
+    raise ReproError(f"no resource entry for {opcode} {dtype}")
+
+
+def op_delay_key(op: Operation) -> str:
+    """Stable string key identifying the (opcode, type) delay class of an op.
+
+    Used to index calibration tables: e.g. ``add_i32``, ``mul_f32``,
+    ``load_bram``, ``store_bram``.
+    """
+    if op.opcode in (Opcode.LOAD, Opcode.STORE):
+        return f"{op.opcode.value}_bram"
+    if op.result is not None:
+        dtype = op.result.type
+    elif op.operands:
+        dtype = op.operands[-1].type
+    else:  # pragma: no cover - CONST handled by result branch
+        raise ReproError(f"cannot key {op}")
+    return f"{op.opcode.value}_{dtype}"
+
+
+def dtype_of_key(key: str) -> Tuple[Opcode, DataType]:
+    """Inverse of :func:`op_delay_key` for arithmetic keys.
+
+    >>> dtype_of_key("add_i32")
+    (<Opcode.ADD: 'add'>, DataType(kind='int', width=32))
+    """
+    opname, _, typespec = key.rpartition("_")
+    if typespec == "bram":
+        raise ReproError("memory keys carry no scalar type")
+    return Opcode(opname), DataType.parse(typespec)

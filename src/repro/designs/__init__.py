@@ -1,0 +1,10 @@
+"""The paper's nine benchmark designs (§5.1), reconstructed in the IR.
+
+Each module exposes ``build(**params) -> Design`` with defaults matching
+the paper's configuration, and the registry maps Table-1 row names to
+builders.
+"""
+
+from repro.designs.registry import DESIGN_BUILDERS, build_design, design_names
+
+__all__ = ["DESIGN_BUILDERS", "build_design", "design_names"]

@@ -1,0 +1,70 @@
+"""Shared helpers for benchmark design construction."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Design, Fifo, Kernel, Loop
+from repro.ir.types import DataType
+from repro.ir.values import Value
+
+
+def add_context_kernel(
+    design: Design,
+    luts: int,
+    ffs: int,
+    brams: int = 0,
+    dsps: int = 0,
+    latency: int = 64,
+    name: str = "surround",
+) -> None:
+    """Add a kernel representing the rest of the accelerator.
+
+    The paper's benchmarks are full applications; the broadcast-critical
+    loop under study shares the die with a large surrounding design, which
+    matters both for Table-1 utilization numbers and for placement spread.
+    The surround is modelled as one sub-module instance with the given area.
+    """
+    b = DFGBuilder(f"{name}_body")
+    x = b.input("ctx_in", DataType("uint", 32))
+    b.call(
+        name,
+        [x],
+        DataType("uint", 32),
+        latency=latency,
+        name=f"{name}_inst",
+    ).attrs["area"] = {"luts": luts, "ffs": ffs, "brams": brams, "dsps": dsps}
+    kernel = Kernel(f"{name}_kernel")
+    kernel.add_loop(Loop(f"{name}_loop", b.build(), trip_count=1, pipeline=False))
+    design.add_kernel(kernel)
+
+
+def external_stream(design: Design, name: str, elem: DataType, depth: int = 16) -> Fifo:
+    """Declare an off-design streaming interface (AXI-Stream / HBM port)."""
+    return design.add_fifo(Fifo(name, elem, depth=depth, external=True))
+
+
+def log2_select_chain(b: DFGBuilder, x: Value, levels: int = 5) -> Value:
+    """The Fig. 13 ``log2(dd)`` idiom: "a series of if-else".
+
+    Each level compares against a power-of-two threshold and selects,
+    producing a chain of cmp+select pairs like HLS emits for the C code.
+    """
+    result = b.const(0, x.type, name="log2_acc")
+    for level in range(levels):
+        threshold = b.const(1 << (levels - level), x.type, name=f"log2_t{level}")
+        bigger = b.cmp("gt", x, threshold, name=f"log2_c{level}")
+        inc = b.const(levels - level, x.type, name=f"log2_i{level}")
+        result = b.select(bigger, inc, result, name=f"log2_s{level}")
+    return result
+
+
+def widen_inputs(
+    b: DFGBuilder, stem: str, count: int, elem: DataType, loop_invariant: bool = False
+) -> List[Value]:
+    """Declare ``count`` scalar inputs ``stem0..stemN-1``."""
+    return [
+        b.input(f"{stem}{i}", elem, loop_invariant=loop_invariant)
+        for i in range(count)
+    ]

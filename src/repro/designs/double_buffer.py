@@ -1,0 +1,91 @@
+"""Double-buffered PE array (§3.1's motivating context, from [4]).
+
+"the double-buffer technique requires distributing data to the local
+buffers of multiple parallel processing elements (PEs), which tend to be
+inadequately pipelined."
+
+Two phases alternate over a ping and a pong buffer pair: while the PEs
+compute out of one bank set, the loader streams the next tile into the
+other.  The loader's store is the broadcast under study: one stream
+register fanning out across every PE's local bank — with *twice* the banks
+of a single-buffer design, because both ping and pong copies exist.
+
+Not part of Table 1; included as a supplementary benchmark exercising the
+same §4.1 memory-broadcast machinery at a different topology.
+"""
+
+from __future__ import annotations
+
+from repro.designs.common import add_context_kernel, external_stream
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer, Design, Kernel, Loop
+from repro.ir.types import i32
+
+DEFAULT_PES = 32
+DEFAULT_TILE = 2048
+
+
+def build(
+    pes: int = DEFAULT_PES,
+    tile_depth: int = DEFAULT_TILE,
+    clock_mhz: float = 300.0,
+) -> Design:
+    """Construct the double-buffered loader + PE array."""
+    design = Design(
+        "double_buffer",
+        device="aws-f1",
+        meta={
+            "clock_mhz": clock_mhz,
+            "paper_ref": "[4] DAC'18 (double-buffer context, §3.1)",
+            "broadcast_type": "Data (mem)",
+            "pes": pes,
+            "tile_depth": tile_depth,
+        },
+    )
+    in_fifo = external_stream(design, "tile_in", i32)
+    out_fifo = external_stream(design, "results", i32)
+    ping = design.add_buffer(Buffer("ping", i32, depth=pes * tile_depth, partition=pes))
+    pong = design.add_buffer(Buffer("pong", i32, depth=pes * tile_depth, partition=pes))
+
+    # Loader: one element per cycle from the stream into every PE's slice
+    # of the ping buffer (the broadcast: stream register -> all banks).
+    lb = DFGBuilder("load_body")
+    idx = lb.input("i", i32)
+    lb.store(ping, idx, lb.fifo_read(in_fifo))
+
+    # Compute: each PE reads its pong slice, accumulates into its own
+    # results slot (per-PE banks keep II = 1; funnelling every PE into one
+    # FIFO would serialize at the FIFO port).
+    results = design.add_buffer(Buffer("results", i32, depth=max(pes, 2) * 8, partition=pes))
+    cb = DFGBuilder("compute_body")
+    addr = cb.input("a", i32)
+    acc = cb.input("acc", i32)
+    slot = cb.input("slot", i32)
+    ld = cb.load(pong, addr, name="elem")
+    ld.producer.attrs["bank_group"] = "per_copy"
+    nxt = cb.add(acc, ld, name="acc_next")
+    st = cb.store(results, slot, nxt)
+    st.attrs["bank_group"] = "per_copy"
+
+    # Drain: stream the per-PE results out.
+    db = DFGBuilder("drain_body")
+    didx = db.input("d", i32)
+    db.fifo_write(out_fifo, db.load(results, didx, name="res"))
+
+    kernel = design.add_kernel(Kernel("double_buffer_kernel"))
+    kernel.add_loop(
+        Loop("load_tile", lb.build(), trip_count=pes * tile_depth, pipeline=True)
+    )
+    kernel.add_loop(
+        Loop(
+            "compute_tile",
+            cb.build(),
+            trip_count=tile_depth,
+            pipeline=True,
+            unroll=pes,
+        )
+    )
+    kernel.add_loop(Loop("drain", db.build(), trip_count=pes, pipeline=True))
+    add_context_kernel(design, luts=80_000, ffs=120_000, brams=64, dsps=600, name="db_rest")
+    design.verify()
+    return design

@@ -1,0 +1,50 @@
+"""Pointer-chasing over a heap buffer (HeteroRefactor [5] context, §3.1).
+
+"the HLS support for dynamic data structures also requires large buffers,
+where their accesses degrade the maximum frequency."
+
+A linked-list traversal kernel: each step loads a node's payload and next
+pointer from one large heap array.  Unlike the streaming designs, the
+*load* return network is the broadcast here — every access may hit any of
+the heap's hundreds of BRAM banks, and the loop-carried pointer dependence
+makes the access latency throughput-critical (the II analysis reports it).
+
+Supplementary benchmark, not part of Table 1.
+"""
+
+from __future__ import annotations
+
+from repro.designs.common import add_context_kernel, external_stream
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer, Design, Kernel, Loop
+from repro.ir.types import i32
+
+DEFAULT_HEAP_WORDS = 1 << 19  # 512K nodes -> hundreds of BRAM36
+
+
+def build(heap_words: int = DEFAULT_HEAP_WORDS, clock_mhz: float = 300.0) -> Design:
+    """Construct the heap-traversal kernel."""
+    design = Design(
+        "dynamic_struct",
+        device="aws-f1",
+        meta={
+            "clock_mhz": clock_mhz,
+            "paper_ref": "[5] ICSE'20 (dynamic data structures, §3.1)",
+            "broadcast_type": "Data (mem)",
+            "heap_words": heap_words,
+        },
+    )
+    out_fifo = external_stream(design, "visited", i32)
+    heap = design.add_buffer(Buffer("heap", i32, depth=heap_words))
+
+    b = DFGBuilder("walk_body")
+    cursor = b.input("cursor", i32)
+    payload = b.load(heap, cursor, name="payload")
+    next_ptr = b.load(heap, b.add(cursor, b.const(1, i32)), name="next_ptr")
+    b.fifo_write(out_fifo, b.xor(payload, next_ptr, name="digest"))
+
+    kernel = design.add_kernel(Kernel("walker"))
+    kernel.add_loop(Loop("walk", b.build(), trip_count=4096, pipeline=True))
+    add_context_kernel(design, luts=50_000, ffs=70_000, brams=32, dsps=0, name="ds_rest")
+    design.verify()
+    return design

@@ -1,0 +1,103 @@
+"""Genome sequencing accelerator inner loop (Fig. 13, from [1] FCCM'19).
+
+The minimap-style chaining score kernel: a pipelined loop fully unrolled by
+``BACK_SEARCH_COUNT`` (64 in the paper), comparing the current anchor
+``curr`` against 64 predecessors ``prev[j]``.  Every field of ``curr`` and
+every threshold constant is loop-invariant and broadcasts to all 64 copies
+— the paper's flagship data-broadcast case (sub predicted 0.78 ns, actual
+~2.08 ns at broadcast factor 64).
+
+Table 1: UltraScale+ (AWS F1), Orig 264 MHz → Opt 341 MHz (+29%).
+"""
+
+from __future__ import annotations
+
+from repro.designs.common import add_context_kernel, log2_select_chain
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer, Design, Kernel, Loop
+from repro.ir.types import i32
+
+#: The paper adjusts broadcast factor via BACK_SEARCH_COUNT; 64 is default.
+DEFAULT_UNROLL = 64
+
+
+def build(unroll: int = DEFAULT_UNROLL, clock_mhz: float = 333.0) -> Design:
+    """Construct the genome design with the given back-search count."""
+    design = Design(
+        "genome_sequencing",
+        device="aws-f1",
+        meta={
+            "clock_mhz": clock_mhz,
+            "paper_ref": "[1] FCCM'19",
+            "broadcast_type": "Data",
+            "unroll": unroll,
+        },
+    )
+    scores = design.add_buffer(
+        Buffer("dp_score", i32, depth=max(unroll, 2) * 16, partition=unroll)
+    )
+
+    b = DFGBuilder("chain_body")
+    # Broadcast sources: loop-invariant anchor fields and thresholds (blue
+    # in Fig. 13).
+    curr_x = b.input("curr_x", i32, loop_invariant=True)
+    curr_y = b.input("curr_y", i32, loop_invariant=True)
+    curr_tag = b.input("curr_tag", i32, loop_invariant=True)
+    avg_qspan = b.input("avg_qspan", i32, loop_invariant=True)
+    max_dist_x = b.input("max_dist_x", i32, loop_invariant=True)
+    max_dist_y = b.input("max_dist_y", i32, loop_invariant=True)
+    bw = b.input("bw", i32, loop_invariant=True)
+    neg_inf = b.const(-(2 ** 30), i32, name="NEG_INF_SCORE")
+    zero = b.const(0, i32, name="zero")
+    one = b.const(1, i32, name="one")
+
+    # Per-iteration inputs: prev[j] fields (distinct per unrolled copy).
+    prev_x = b.input("prev_x", i32)
+    prev_y = b.input("prev_y", i32)
+    prev_w = b.input("prev_w", i32)
+    prev_tag = b.input("prev_tag", i32)
+    j_idx = b.input("j_idx", i32)
+
+    # Fig. 13 lines 6-13.
+    dist_x = b.sub(prev_x, curr_x, name="dist_x")
+    dist_y = b.sub(prev_y, curr_y, name="dist_y")
+    dd = b.abs_diff(dist_x, dist_y, name="dd")
+    min_d = b.min_(dist_y, dist_x, name="min_d")
+    log_dd = log2_select_chain(b, dd)
+    temp = b.min_(min_d, prev_w, name="temp")
+    # dp_score[j] = temp - dd * avg_qspan - (log_dd >> 1)
+    penalty = b.mul(dd, avg_qspan, name="penalty")
+    half_log = b.shr(log_dd, one, name="half_log")
+    score0 = b.sub(temp, penalty, name="score0")
+    score = b.sub(score0, half_log, name="score")
+
+    # Fig. 13 lines 15-18: the disqualification predicate.
+    c1 = b.cmp("eq", dist_x, zero)
+    c2 = b.cmp("gt", dist_x, max_dist_x)
+    c3 = b.cmp("gt", dist_y, max_dist_y)
+    c4 = b.cmp("le", dist_y, zero)
+    c5 = b.cmp("gt", dd, bw)
+    c6 = b.cmp("ne", curr_tag, prev_tag)
+    bad = b.or_(b.or_(b.or_(c1, c2), b.or_(c3, c4)), b.or_(c5, c6), name="bad")
+    final = b.select(bad, neg_inf, score, name="dp_score_j")
+
+    store = b.store(scores, j_idx, final)
+    store.attrs["bank_group"] = "per_copy"
+
+    kernel = Kernel("chain_kernel")
+    kernel.add_loop(
+        Loop(
+            "back_search",
+            b.build(),
+            trip_count=unroll,
+            pipeline=True,
+            unroll=unroll,
+        )
+    )
+    design.add_kernel(kernel)
+    # Table 1 context: ~22% LUT, ~11% FF, 6% BRAM, 8% DSP on VU9P.
+    add_context_kernel(
+        design, luts=230_000, ffs=230_000, brams=120, dsps=520, name="genome_rest"
+    )
+    design.verify()
+    return design

@@ -1,0 +1,60 @@
+"""HBM-based Jacobi stencil front-end (SODA [2] + [12], on Alveo U50).
+
+§5.3: "the 512-bit data from each HBM port is scattered into 8 64-bit
+FIFOs ... the SODA compiler expresses the 28 independent flows together in
+a single loop, forming a sync broadcast pattern similar to Figure 6a. Thus
+there is a synchronization among all HBM ports and all destination FIFOs.
+We prune the unnecessary sync by splitting the independent parts into
+different loops. This boosts the frequency from 191 MHz to 324 MHz."
+
+The model: one ``while(1)`` loop whose body reads all 28 external HBM port
+FIFOs and writes 28×8 internal FIFOs.  Its flow graph has 28 isolated
+sub-graphs, which §4.2's :func:`~repro.sync.pruning.split_independent_flows`
+separates into 28 loops with private controllers.
+
+Table 1: UltraScale+ (Alveo U50), Orig 191 MHz → Opt 324 MHz (+70%).
+"""
+
+from __future__ import annotations
+
+from repro.designs.common import add_context_kernel, external_stream
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Design, Fifo, Kernel, Loop
+from repro.ir.types import DataType, u64
+
+DEFAULT_PORTS = 28
+SLICES_PER_PORT = 8
+
+u512 = DataType("uint", 512)
+
+
+def build(ports: int = DEFAULT_PORTS, clock_mhz: float = 300.0) -> Design:
+    """Construct the ``ports``-port HBM scatter stage."""
+    design = Design(
+        "hbm_stencil",
+        device="alveo-u50",
+        meta={
+            "clock_mhz": clock_mhz,
+            "paper_ref": "[2] + [12], §5.3",
+            "broadcast_type": "Pipe. Ctrl. & Sync.",
+            "ports": ports,
+        },
+    )
+    b = DFGBuilder("scatter_body")
+    for p in range(ports):
+        hbm = external_stream(design, f"hbm{p}", u512, depth=32)
+        raw = b.fifo_read(hbm, name=f"raw{p}")
+        for s in range(SLICES_PER_PORT):
+            dest = design.add_fifo(Fifo(f"lane{p}_{s}", u64, depth=8))
+            slice64 = b.slice_(raw, 64 * s, u64, name=f"s{p}_{s}")
+            b.fifo_write(dest, slice64)
+
+    kernel = Kernel("hbm_scatter")
+    kernel.add_loop(Loop("scatter", b.build(), trip_count=None, pipeline=True))
+    design.add_kernel(kernel)
+    # Table 1 context: downstream stencil compute, ~21% LUT etc. on U50.
+    add_context_kernel(
+        design, luts=140_000, ffs=330_000, brams=380, dsps=2_200, name="hbm_rest"
+    )
+    design.verify()
+    return design

@@ -1,0 +1,72 @@
+"""LSTM inference kernel (from [9] CLINK, ISLPED'18).
+
+The paper adapts the ``HLS_N-Node`` part, switches to floating point and
+sets N = 256: each gate evaluation multiplies the same input activation by
+256 weights concurrently — a float-multiply data broadcast.  This is the
+case where Vivado HLS's prediction is *conservative* (Fig. 9 right panel),
+so naive max-based calibration without measurement would over-pipeline; the
+calibrated model uses the measured curve instead.
+
+Table 1: UltraScale+ (AWS F1), Orig 285 MHz → Opt 325 MHz (+14%).
+"""
+
+from __future__ import annotations
+
+from repro.designs.common import add_context_kernel, external_stream
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Design, Kernel, Loop
+from repro.ir.types import f32, i32
+
+DEFAULT_NODES = 256
+
+
+def build(nodes: int = DEFAULT_NODES, clock_mhz: float = 333.0) -> Design:
+    """Construct the N-node LSTM gate evaluation design."""
+    design = Design(
+        "lstm_network",
+        device="aws-f1",
+        meta={
+            "clock_mhz": clock_mhz,
+            "paper_ref": "[9] ISLPED'18",
+            "broadcast_type": "Data",
+            "nodes": nodes,
+        },
+    )
+    out_fifo = external_stream(design, "gate_out", f32)
+
+    b = DFGBuilder("node_body")
+    # The recurrent activation broadcast to every node's MAC.
+    x_t = b.input("x_t", f32, loop_invariant=True)
+    h_prev = b.input("h_prev", f32, loop_invariant=True)
+    w_x = b.input("w_x", f32)  # per-node weights
+    w_h = b.input("w_h", f32)
+    bias = b.input("bias", f32)
+
+    px = b.mul(x_t, w_x, name="px")
+    ph = b.mul(h_prev, w_h, name="ph")
+    s = b.add(px, ph, name="s")
+    pre = b.add(s, bias, name="pre")
+    # Piecewise sigmoid approximation (cmp + select, as HLS lowers it).
+    hi = b.const(4.0, f32, name="sig_hi")
+    lo = b.const(-4.0, f32, name="sig_lo")
+    sat_hi = b.cmp("gt", pre, hi)
+    sat_lo = b.cmp("lt", pre, lo)
+    onec = b.const(1.0, f32, name="one")
+    zeroc = b.const(0.0, f32, name="zero")
+    quarter = b.const(0.25, f32, name="quarter")
+    halfc = b.const(0.5, f32, name="half")
+    lin = b.add(b.mul(pre, quarter), halfc, name="lin")
+    act = b.select(sat_hi, onec, b.select(sat_lo, zeroc, lin), name="act")
+    b.fifo_write(out_fifo, act)
+
+    kernel = Kernel("lstm_gate")
+    kernel.add_loop(
+        Loop("nodes", b.build(), trip_count=nodes, pipeline=True, unroll=nodes)
+    )
+    design.add_kernel(kernel)
+    # Table 1 context: ~8% LUT, 6% FF, 2% BRAM, 14% DSP on VU9P.
+    add_context_kernel(
+        design, luts=60_000, ffs=90_000, brams=40, dsps=300, name="lstm_rest"
+    )
+    design.verify()
+    return design

@@ -1,0 +1,58 @@
+"""Registry mapping Table-1 row names to design builders."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.ir.program import Design
+from repro.designs import (
+    double_buffer,
+    dynamic_struct,
+    face_detection,
+    genome,
+    hbm_stencil,
+    lstm,
+    matmul,
+    pattern_matching,
+    stencil,
+    stream_buffer,
+    vector_arith,
+)
+
+#: Row order matches Table 1 of the paper.
+DESIGN_BUILDERS: Dict[str, Callable[..., Design]] = {
+    "genome": genome.build,
+    "lstm": lstm.build,
+    "face_detection": face_detection.build,
+    "matmul": matmul.build,
+    "stream_buffer": stream_buffer.build,
+    "stencil": stencil.build,
+    "vector_arith": vector_arith.build,
+    "hbm_stencil": hbm_stencil.build,
+    "pattern_matching": pattern_matching.build,
+}
+
+#: Supplementary designs from contexts the paper's §3.1 motivates, beyond
+#: the Table 1 suite (double buffering [4], dynamic data structures [5]).
+EXTRA_BUILDERS: Dict[str, Callable[..., Design]] = {
+    "double_buffer": double_buffer.build,
+    "dynamic_struct": dynamic_struct.build,
+}
+
+
+def design_names(include_extra: bool = False) -> List[str]:
+    names = list(DESIGN_BUILDERS)
+    if include_extra:
+        names.extend(EXTRA_BUILDERS)
+    return names
+
+
+def build_design(name: str, **params) -> Design:
+    """Build a benchmark design by registry name (extras included)."""
+    builder = DESIGN_BUILDERS.get(name) or EXTRA_BUILDERS.get(name)
+    if builder is None:
+        raise ReproError(
+            f"unknown design {name!r}; known: {design_names(include_extra=True)}"
+        )
+    return builder(**params)

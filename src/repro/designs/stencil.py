@@ -1,0 +1,73 @@
+"""Jacobi stencil super-pipeline (SODA compiler output [2], ICCAD'18).
+
+The SODA microarchitecture concatenates stencil iterations into one very
+deep, fully-pipelined datapath on a 512-bit data bus.  The paper's Fig. 16
+experiment scales the pipeline from 1 to 8 concatenated Jacobi iterations
+(8 iterations ≈ 370 datapath stages) and shows stall-based flow control
+collapses with depth while skid-buffer control holds Fmax.
+
+Each iteration is modelled as one pipelined sub-module (compute window +
+reduction) of ~46 stages and ~5% LUT / 4% BRAM / 10% DSP of a VU9P, per
+the paper's §5.4 figures; iteration outputs are 512-bit values handed to
+the next iteration.
+
+Table 1: UltraScale+ (AWS F1), Orig 120 MHz → Opt 253 MHz (+111%).
+"""
+
+from __future__ import annotations
+
+from repro.designs.common import external_stream
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Design, Kernel, Loop
+from repro.ir.types import DataType
+
+DEFAULT_ITERATIONS = 8
+#: Datapath stages per concatenated Jacobi iteration (370/8 ≈ 46).
+STAGES_PER_ITERATION = 46
+
+u512 = DataType("uint", 512)
+
+
+def build(iterations: int = DEFAULT_ITERATIONS, clock_mhz: float = 300.0) -> Design:
+    """Construct the super-pipeline of ``iterations`` Jacobi iterations."""
+    design = Design(
+        "jacobi_stencil",
+        device="aws-f1",
+        meta={
+            "clock_mhz": clock_mhz,
+            "paper_ref": "[2] ICCAD'18 (SODA)",
+            "broadcast_type": "Pipe. Ctrl.",
+            "iterations": iterations,
+        },
+    )
+    in_fifo = external_stream(design, "stencil_in", u512)
+    out_fifo = external_stream(design, "stencil_out", u512)
+
+    b = DFGBuilder("jacobi_body")
+    val = b.fifo_read(in_fifo, name="line_in")
+    for i in range(iterations):
+        call = b.call(
+            f"jacobi_iter{i}",
+            [val],
+            u512,
+            latency=STAGES_PER_ITERATION,
+            name=f"iter{i}_out",
+        )
+        # §5.4: each iteration ~5% LUT, 5% FF, 4% BRAM, 10% DSP of VU9P.
+        call.attrs["area"] = {
+            "luts": 59_000,
+            "ffs": 118_000,
+            "brams": 86,
+            "dsps": 684,
+        }
+        # 512-bit data bus held at every internal stage (sizes the skid
+        # buffer: 8 iterations -> ~371 x 512 bits ≈ 23 KB, as in §5.4).
+        call.attrs["stage_width"] = 512
+        val = call.result
+    b.fifo_write(out_fifo, val)
+
+    kernel = Kernel("soda_pipeline")
+    kernel.add_loop(Loop("stream", b.build(), trip_count=None, pipeline=True))
+    design.add_kernel(kernel)
+    design.verify()
+    return design

@@ -1,0 +1,73 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at the flow boundary.  Sub-classes are grouped by
+pipeline phase: IR construction, scheduling, RTL generation, physical design,
+and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: bad types, dangling values, cyclic dataflow, etc."""
+
+
+class TypeMismatchError(IRError):
+    """An operation was given operands of incompatible types."""
+
+
+class VerificationError(IRError):
+    """A dataflow graph or design failed structural verification."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not produce a legal schedule."""
+
+
+class UnschedulableError(SchedulingError):
+    """A single operation cannot fit in the clock target even alone."""
+
+
+class ReportParseError(SchedulingError):
+    """A schedule report could not be parsed back into a Schedule."""
+
+
+class RTLError(ReproError):
+    """Netlist generation failed or produced an inconsistent netlist."""
+
+
+class ControlError(RTLError):
+    """Flow-control generation failed (e.g. invalid skid-buffer cuts)."""
+
+
+class SyncPruningError(ReproError):
+    """Synchronization pruning was asked to do something unsound."""
+
+
+class DynamicLatencyError(SyncPruningError):
+    """Longest-latency pruning refused a module with dynamic latency."""
+
+
+class PhysicalError(ReproError):
+    """Placement, replication, retiming or timing analysis failed."""
+
+
+class PlacementError(PhysicalError):
+    """The placer ran out of sites of a required type."""
+
+
+class SimulationError(ReproError):
+    """Cycle-accurate simulation hit an illegal condition."""
+
+
+class FifoOverflowError(SimulationError):
+    """A bounded FIFO was pushed while full (data would be lost)."""
+
+
+class FifoUnderflowError(SimulationError):
+    """A FIFO was popped while empty."""

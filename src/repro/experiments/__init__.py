@@ -1,0 +1,35 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each ``run_*`` function returns plain data (lists of rows / series) plus a
+``format_*`` helper that renders it the way the paper presents it, with the
+paper's reported numbers alongside for comparison.  The pytest-benchmark
+harnesses under ``benchmarks/`` are thin wrappers over these.
+"""
+
+from repro.experiments.fig9 import run_fig9, format_fig9
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.fig15 import run_fig15, format_fig15
+from repro.experiments.fig16 import run_fig16, format_fig16
+from repro.experiments.fig17 import run_fig17, format_fig17
+from repro.experiments.table2 import run_table2, format_table2
+from repro.experiments.fig19 import run_fig19, format_fig19
+from repro.experiments.table3 import run_table3, format_table3
+
+__all__ = [
+    "run_fig9",
+    "format_fig9",
+    "run_table1",
+    "format_table1",
+    "run_fig15",
+    "format_fig15",
+    "run_fig16",
+    "format_fig16",
+    "run_fig17",
+    "format_fig17",
+    "run_table2",
+    "format_table2",
+    "run_fig19",
+    "format_fig19",
+    "run_table3",
+    "format_table3",
+]

@@ -1,0 +1,100 @@
+"""Figures 14/15 — the genome sequencing case study (§5.2).
+
+(a) Delay estimation of the broadcast operation chain: the HLS model's
+    view, the calibrated model's view, and the "actual" (our physical
+    model's post-placement critical path) at each unroll factor.
+(b) Achieved frequency of the original schedule vs the broadcast-aware
+    schedule across unroll factors (the paper sweeps BACK_SEARCH_COUNT).
+
+Also checks the §5.2 overhead claim: pipeline depth grows by about one
+stage (9 → 10 in the paper) and II stays 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.delay.calibrated import CalibratedDelayModel
+from repro.delay.calibration import build_default_calibration
+from repro.designs import build_design
+from repro.flow import Flow
+from repro.opt import BASELINE, DATA_ONLY
+
+
+@dataclass
+class Fig15Point:
+    unroll: int
+    hls_estimate_ns: float
+    calibrated_estimate_ns: float
+    actual_ns: float
+    fmax_orig_mhz: float
+    fmax_opt_mhz: float
+    depth_orig: int
+    depth_opt: int
+
+
+@dataclass
+class Fig15Result:
+    points: List[Fig15Point] = field(default_factory=list)
+
+
+def run_fig15(
+    unrolls: Sequence[int] = (8, 16, 32, 64, 128),
+    flow: Optional[Flow] = None,
+) -> Fig15Result:
+    """Sweep the genome design's back-search count."""
+    flow = flow or Flow()
+    table = build_default_calibration("aws-f1")
+    cal = CalibratedDelayModel(table)
+    result = Fig15Result()
+    for unroll in unrolls:
+        design = build_design("genome", unroll=unroll)
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, DATA_ONLY)
+        # Estimates for the broadcast sub chain: the scheduler's believed
+        # worst in-cycle arrival vs the post-placement reality.
+        (_, loop0), = [
+            (k, l) for k, l in orig.schedules.items() if l.dfg.name.startswith("chain")
+        ][:1]
+        hls_est = max(
+            loop0.critical_arrival(c) for c in range(loop0.depth)
+        )
+        # Calibrated estimate of the same baseline schedule's worst chain.
+        from repro.scheduling.broadcast_aware import audit_chains
+
+        violations = audit_chains(loop0, cal)
+        cal_est = max(
+            (v.calibrated_arrival_ns for v in violations), default=hls_est
+        )
+        result.points.append(
+            Fig15Point(
+                unroll=unroll,
+                hls_estimate_ns=hls_est,
+                calibrated_estimate_ns=cal_est,
+                actual_ns=orig.timing.raw_period_ns,
+                fmax_orig_mhz=orig.fmax_mhz,
+                fmax_opt_mhz=opt.fmax_mhz,
+                depth_orig=orig.depth_by_loop["chain_kernel/back_search"],
+                depth_opt=opt.depth_by_loop["chain_kernel/back_search"],
+            )
+        )
+    return result
+
+
+def format_fig15(result: Fig15Result) -> str:
+    lines = [
+        f"{'unroll':>6s} {'HLS est':>8s} {'our est':>8s} {'actual':>8s}"
+        f" {'Fmax orig':>10s} {'Fmax opt':>9s} {'depth o->p':>11s}",
+    ]
+    for p in result.points:
+        lines.append(
+            f"{p.unroll:6d} {p.hls_estimate_ns:8.2f} {p.calibrated_estimate_ns:8.2f}"
+            f" {p.actual_ns:8.2f} {p.fmax_orig_mhz:10.0f} {p.fmax_opt_mhz:9.0f}"
+            f" {p.depth_orig:5d}->{p.depth_opt:<4d}"
+        )
+    lines.append(
+        "paper anchors: sub 0.78ns predicted vs ~2.08ns actual at unroll 64;"
+        " Fmax 264->341 MHz; depth 9->10, II=1 both"
+    )
+    return "\n".join(lines)

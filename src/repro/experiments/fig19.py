@@ -1,0 +1,77 @@
+"""Figure 19 — stream buffer frequency vs buffer size (§5.5).
+
+Three curves: the original design, the version with only the data
+broadcast optimized (§4.1), and the version with both data and control
+broadcasts optimized (§4.1 + §4.3).  The paper's point: both fixes are
+needed for scalable frequency — data-only still degrades at large sizes
+because the write-enable broadcast remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.designs import build_design
+from repro.flow import Flow
+from repro.ir.program import Buffer
+from repro.opt import BASELINE, DATA_ONLY, FULL
+
+
+@dataclass
+class Fig19Point:
+    depth: int
+    bram_units: int
+    fmax_orig_mhz: float
+    fmax_data_mhz: float
+    fmax_full_mhz: float
+
+
+@dataclass
+class Fig19Result:
+    points: List[Fig19Point] = field(default_factory=list)
+
+
+#: Element counts spanning ~2% to ~95% of the device's BRAM.
+DEFAULT_DEPTHS = (18_432, 73_728, 294_912, 589_824, 1_179_648)
+
+
+def run_fig19(
+    depths: Sequence[int] = DEFAULT_DEPTHS,
+    flow: Optional[Flow] = None,
+) -> Fig19Result:
+    flow = flow or Flow()
+    result = Fig19Result()
+    from repro.ir.types import u64
+
+    for depth in depths:
+        units = Buffer("probe", u64, depth).bram36_units()
+        orig = flow.run(build_design("stream_buffer", depth=depth), BASELINE)
+        data = flow.run(build_design("stream_buffer", depth=depth), DATA_ONLY)
+        full = flow.run(build_design("stream_buffer", depth=depth), FULL)
+        result.points.append(
+            Fig19Point(
+                depth=depth,
+                bram_units=units,
+                fmax_orig_mhz=orig.fmax_mhz,
+                fmax_data_mhz=data.fmax_mhz,
+                fmax_full_mhz=full.fmax_mhz,
+            )
+        )
+    return result
+
+
+def format_fig19(result: Fig19Result) -> str:
+    lines = [
+        f"{'elements':>10s} {'BRAM36':>7s} {'orig':>7s} {'opt data':>9s} {'opt both':>9s}"
+    ]
+    for p in result.points:
+        lines.append(
+            f"{p.depth:10d} {p.bram_units:7d} {p.fmax_orig_mhz:7.0f}"
+            f" {p.fmax_data_mhz:9.0f} {p.fmax_full_mhz:9.0f}"
+        )
+    lines.append(
+        "paper shape: orig degrades steeply with size; data-only helps but"
+        " still degrades; data+ctrl stays high (Fig. 19)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Figure 9 — operator delay vs broadcast factor.
+
+Three panels in the paper: int add, BRAM buffer access, float multiply.
+Each panel shows three series: the HLS-predicted (flat) delay, the raw
+skeleton measurement, and the calibrated curve
+``smooth(max(predicted, measured))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.delay.calibrated import CalibrationTable
+from repro.delay.calibration import (
+    DEFAULT_FACTORS,
+    characterize_memory,
+    characterize_operator,
+)
+from repro.delay.tables import HLS_LOAD_NS, hls_predicted_delay
+from repro.ir.ops import Opcode
+from repro.ir.types import f32, i32
+
+
+@dataclass
+class Fig9Series:
+    """One panel: delay (ns) per broadcast factor for the three series."""
+
+    label: str
+    factors: List[int] = field(default_factory=list)
+    hls_predicted: List[float] = field(default_factory=list)
+    measured: List[float] = field(default_factory=list)
+    calibrated: List[float] = field(default_factory=list)
+
+    def crossover_factor(self) -> int:
+        """First factor where measurement exceeds the HLS prediction."""
+        for factor, measured, predicted in zip(
+            self.factors, self.measured, self.hls_predicted
+        ):
+            if measured > predicted:
+                return factor
+        return 0
+
+
+def _panel(
+    label: str,
+    key: str,
+    points: Sequence[Tuple[int, float]],
+    predicted: float,
+) -> Fig9Series:
+    table = CalibrationTable()
+    for factor, delay in points:
+        table.add(key, factor, delay)
+    smoothed = table.smoothed()
+    series = Fig9Series(label)
+    for factor, delay in points:
+        series.factors.append(factor)
+        series.hls_predicted.append(predicted)
+        series.measured.append(delay)
+        series.calibrated.append(max(predicted, smoothed.lookup(key, factor) or 0.0))
+    return series
+
+
+def run_fig9(
+    factors: Sequence[int] = DEFAULT_FACTORS,
+    device: str = "aws-f1",
+    seed: int = 2020,
+) -> Dict[str, Fig9Series]:
+    """Reproduce the three Fig. 9 panels."""
+    panels: Dict[str, Fig9Series] = {}
+    add_points = characterize_operator(Opcode.ADD, i32, factors, device=device, seed=seed)
+    panels["add_i32"] = _panel(
+        "int32 add", "add_i32", add_points, hls_predicted_delay(Opcode.ADD, i32)
+    )
+    mem_points = characterize_memory("load", factors, device=device, seed=seed)
+    panels["load_bram"] = _panel("BRAM load", "load_bram", mem_points, HLS_LOAD_NS)
+    mul_points = characterize_operator(Opcode.MUL, f32, factors, device=device, seed=seed)
+    panels["mul_f32"] = _panel(
+        "float32 mul", "mul_f32", mul_points, hls_predicted_delay(Opcode.MUL, f32)
+    )
+    return panels
+
+
+def format_fig9(panels: Dict[str, Fig9Series]) -> str:
+    lines: List[str] = []
+    for key, series in panels.items():
+        lines.append(f"[{series.label}]  (HLS prediction is flat)")
+        lines.append(f"  {'factor':>8s} {'HLS':>7s} {'measured':>9s} {'calibrated':>11s}")
+        for i, factor in enumerate(series.factors):
+            lines.append(
+                f"  {factor:8d} {series.hls_predicted[i]:7.2f} "
+                f"{series.measured[i]:9.2f} {series.calibrated[i]:11.2f}"
+            )
+        cross = series.crossover_factor()
+        lines.append(
+            f"  measurement first exceeds prediction at factor {cross}"
+            if cross
+            else "  measurement never exceeds prediction in this sweep"
+        )
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""The paper's reported numbers, verbatim, for side-by-side printing.
+
+Source: Guo, Lau et al., "Analysis and Optimization of the Implicit
+Broadcasts in FPGA HLS to Improve Maximum Frequency", DAC 2020 — Tables
+1–3 and the §5 prose.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, NamedTuple
+
+
+class Table1Row(NamedTuple):
+    broadcast_type: str
+    target: str
+    lut: "tuple[int, int]"  # (orig %, opt %)
+    ff: "tuple[int, int]"
+    bram: "tuple[float, float]"
+    dsp: "tuple[int, int]"
+    freq: "tuple[int, int]"  # (orig MHz, opt MHz)
+
+
+#: Table 1, keyed by our design registry names (row order preserved).
+TABLE1: Dict[str, Table1Row] = {
+    "genome": Table1Row(
+        "Data", "UltraScale+ (AWS F1)", (22, 22), (11, 12), (6, 6), (8, 8), (264, 341)
+    ),
+    "lstm": Table1Row(
+        "Data", "UltraScale+ (AWS F1)", (8, 9), (6, 6), (2, 2), (14, 14), (285, 325)
+    ),
+    "face_detection": Table1Row(
+        "Data", "ZYNQ (ZC706)", (21, 22), (14, 15), (16, 16), (9, 9), (220, 273)
+    ),
+    "matmul": Table1Row(
+        "Pipe. Ctrl. & Data", "UltraScale+ (AWS F1)", (23, 23), (24, 27), (25, 25),
+        (74, 74), (202, 299),
+    ),
+    "stream_buffer": Table1Row(
+        "Pipe. Ctrl. & Data", "UltraScale+ (AWS F1)", (1, 1), (1, 1), (95, 95),
+        (0, 0), (154, 281),
+    ),
+    "stencil": Table1Row(
+        "Pipe. Ctrl.", "UltraScale+ (AWS F1)", (40, 40), (41, 41), (30, 29),
+        (83, 83), (120, 253),
+    ),
+    "vector_arith": Table1Row(
+        "Pipe. Ctrl. & Sync.", "UltraScale+ (AWS F1)", (17, 17), (16, 15), (0, 0.5),
+        (60, 60), (195, 301),
+    ),
+    "hbm_stencil": Table1Row(
+        "Pipe. Ctrl. & Sync.", "UltraScale+ (Alveo U50)", (21, 23), (23, 23), (34, 31),
+        (37, 37), (191, 324),
+    ),
+    "pattern_matching": Table1Row(
+        "Data & Sync.", "Virtex-7 (Alpha-Data)", (17, 17), (5, 7), (9, 9),
+        (0, 0), (187, 278),
+    ),
+}
+
+#: Table 2: 512-wide vector product (MHz, LUT%, FF%, BRAM%, DSP%).
+TABLE2 = {
+    "stall": (195, 17, 16, 0.0, 60),
+    "skid": (299, 18, 16, 12.0, 60),
+    "skid_minarea": (301, 17, 15, 0.02, 60),
+}
+
+#: Table 3: pattern matching (MHz, LUT%, FF%, BRAM%, DSP%).
+TABLE3 = {
+    "orig": (187, 17, 5, 9, 0),
+    "opt_data": (208, 18, 7, 9, 0),
+    "opt_data_ctrl": (278, 17, 7, 9, 0),
+}
+
+#: §3.1 / §5.2 case-study anchors.
+GENOME_SUB_PREDICTED_NS = 0.78
+GENOME_SUB_ACTUAL_NS = 2.08
+GENOME_PIPELINE_DEPTH = (9, 10)  # orig, opt
+#: Fig. 17 example: min-area skid buffer bits for the 32-wide (a.b)*c.
+FIG17_END_ONLY_BITS = 63_488
+FIG17_MIN_AREA_BITS = 7_968
+#: §5.4: skid buffer for the 8-iteration Jacobi super-pipeline, ~23 KB.
+FIG16_SKID_BUFFER_KB = 23
+#: §5.3: HBM stencil sync pruning gain.
+HBM_STENCIL_FREQ = (191, 324)
+
+#: Average Fmax gain across Table 1 (abstract: "by 53% on average").
+AVERAGE_GAIN_PCT = 53.0
+
+
+def table1_average_gain() -> float:
+    """Average relative frequency gain of Table 1 (paper reports 53%)."""
+    gains = [(row.freq[1] / row.freq[0] - 1) * 100 for row in TABLE1.values()]
+    return sum(gains) / len(gains)

@@ -1,0 +1,84 @@
+"""Run every reproduction experiment and assemble one report.
+
+``python -m repro all`` (or :func:`run_all`) regenerates Table 1–3 and
+Figures 9/15/16/17/19 in sequence and renders a single text report with
+the paper's numbers alongside — the one-command version of
+``pytest benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import (
+    format_fig15,
+    format_fig16,
+    format_fig17,
+    format_fig19,
+    format_fig9,
+    format_table1,
+    format_table2,
+    format_table3,
+    run_fig15,
+    run_fig16,
+    run_fig17,
+    run_fig19,
+    run_fig9,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+
+#: (name, runner, formatter) in the paper's presentation order.
+EXPERIMENTS = (
+    ("fig9", run_fig9, format_fig9),
+    ("table1", run_table1, format_table1),
+    ("fig15", run_fig15, format_fig15),
+    ("fig16", run_fig16, format_fig16),
+    ("fig17", run_fig17, format_fig17),
+    ("table2", run_table2, format_table2),
+    ("fig19", run_fig19, format_fig19),
+    ("table3", run_table3, format_table3),
+)
+
+
+@dataclass
+class SummaryReport:
+    """All experiment renderings plus wall-clock accounting."""
+
+    sections: Dict[str, str] = field(default_factory=dict)
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines: List[str] = [
+            "# Reproduction summary — DAC'20 implicit-broadcast paper",
+            "",
+        ]
+        for name, text in self.sections.items():
+            lines.append(f"## {name}  ({self.seconds[name]:.0f}s)")
+            lines.append("")
+            lines.append(text)
+            lines.append("")
+        total = sum(self.seconds.values())
+        lines.append(f"total wall clock: {total:.0f}s")
+        return "\n".join(lines)
+
+
+def run_all(
+    only: Optional[Sequence[str]] = None,
+    echo: bool = True,
+) -> SummaryReport:
+    """Run all (or ``only`` the named) experiments."""
+    report = SummaryReport()
+    for name, runner, formatter in EXPERIMENTS:
+        if only is not None and name not in only:
+            continue
+        start = time.time()
+        result = runner()
+        report.sections[name] = formatter(result)
+        report.seconds[name] = time.time() - start
+        if echo:
+            print(f"[{name} done in {report.seconds[name]:.0f}s]")
+    return report

@@ -1,0 +1,91 @@
+"""Generic parameter sweeps over designs and optimization configs.
+
+The paper's figures are all sweeps (unroll factor, buffer size, pipeline
+iterations); this utility generalizes them so users can produce the same
+kind of curve for their own designs::
+
+    from repro.experiments.sweep import sweep
+    rows = sweep("stream_buffer", "depth", [1 << 15, 1 << 17, 1 << 19],
+                 configs={"orig": BASELINE, "full": FULL})
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.designs import build_design
+from repro.flow import Flow, FlowResult
+from repro.ir.program import Design
+from repro.opt import BASELINE, FULL, OptimizationConfig
+
+Builder = Union[str, Callable[..., Design]]
+
+DEFAULT_CONFIGS: Dict[str, OptimizationConfig] = {"orig": BASELINE, "full": FULL}
+
+
+@dataclass
+class SweepRow:
+    """Results for one parameter value across the swept configs."""
+
+    value: object
+    results: Dict[str, FlowResult] = field(default_factory=dict)
+
+    def fmax(self, config: str) -> float:
+        return self.results[config].fmax_mhz
+
+
+@dataclass
+class SweepResult:
+    design: str
+    param: str
+    rows: List[SweepRow] = field(default_factory=list)
+
+    def series(self, config: str) -> List[float]:
+        return [row.fmax(config) for row in self.rows]
+
+    def crossover(self, better: str, worse: str) -> Optional[object]:
+        """First parameter value where ``better`` overtakes ``worse``."""
+        for row in self.rows:
+            if row.fmax(better) > row.fmax(worse):
+                return row.value
+        return None
+
+
+def sweep(
+    builder: Builder,
+    param: str,
+    values: Sequence[object],
+    configs: Optional[Dict[str, OptimizationConfig]] = None,
+    flow: Optional[Flow] = None,
+    **fixed_params,
+) -> SweepResult:
+    """Run every (value, config) combination.
+
+    ``builder`` is a registry name or a callable returning a
+    :class:`Design`; ``param`` is passed as a keyword to it.
+    """
+    configs = configs or DEFAULT_CONFIGS
+    flow = flow or Flow()
+    make = (lambda **kw: build_design(builder, **kw)) if isinstance(builder, str) else builder
+    name = builder if isinstance(builder, str) else getattr(builder, "__name__", "design")
+    result = SweepResult(design=str(name), param=param)
+    for value in values:
+        row = SweepRow(value=value)
+        for label, config in configs.items():
+            design = make(**{param: value}, **fixed_params)
+            row.results[label] = flow.run(design, config)
+        result.rows.append(row)
+    return result
+
+
+def format_sweep(result: SweepResult) -> str:
+    configs = list(result.rows[0].results) if result.rows else []
+    header = f"{result.param:>12s} " + " ".join(f"{c:>12s}" for c in configs)
+    lines = [f"sweep of {result.design!r} over {result.param}:", header]
+    for row in result.rows:
+        lines.append(
+            f"{str(row.value):>12s} "
+            + " ".join(f"{row.fmax(c):12.0f}" for c in configs)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Table 1 — Orig vs Opt frequency and resources on all nine designs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.designs import build_design, design_names
+from repro.experiments import paper_data
+from repro.flow import Flow, FlowResult
+from repro.opt import BASELINE, FULL
+
+
+@dataclass
+class Table1Entry:
+    """One reproduced Table-1 row."""
+
+    design: str
+    broadcast_type: str
+    device: str
+    orig: FlowResult
+    opt: FlowResult
+
+    @property
+    def gain_pct(self) -> float:
+        return (self.opt.fmax_mhz / self.orig.fmax_mhz - 1) * 100
+
+
+def run_table1(
+    designs: Optional[Sequence[str]] = None,
+    flow: Optional[Flow] = None,
+) -> List[Table1Entry]:
+    """Run Orig (BASELINE) and Opt (FULL) flows over the benchmark suite."""
+    flow = flow or Flow()
+    entries: List[Table1Entry] = []
+    for name in designs if designs is not None else design_names():
+        design = build_design(name)
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, FULL)
+        entries.append(
+            Table1Entry(
+                design=name,
+                broadcast_type=str(design.meta.get("broadcast_type", "?")),
+                device=design.device,
+                orig=orig,
+                opt=opt,
+            )
+        )
+    return entries
+
+
+def average_gain(entries: Sequence[Table1Entry]) -> float:
+    return sum(e.gain_pct for e in entries) / len(entries)
+
+
+def format_table1(entries: Sequence[Table1Entry]) -> str:
+    """Render reproduced rows next to the paper's reported ones."""
+    header = (
+        f"{'Application':18s} {'Broadcast':20s} "
+        f"{'LUT% o/p':>10s} {'FF% o/p':>10s} {'BRAM% o/p':>10s} {'DSP% o/p':>10s} "
+        f"{'Freq o->p':>12s} {'gain':>6s} {'paper':>14s}"
+    )
+    lines = [header, "-" * len(header)]
+    for e in entries:
+        uo, up = e.orig.utilization, e.opt.utilization
+        paper = paper_data.TABLE1.get(e.design)
+        paper_s = (
+            f"{paper.freq[0]}->{paper.freq[1]} ({(paper.freq[1]/paper.freq[0]-1)*100:+.0f}%)"
+            if paper
+            else "n/a"
+        )
+        lines.append(
+            f"{e.design:18s} {e.broadcast_type:20s} "
+            f"{uo['LUT']:4.0f}/{up['LUT']:<4.0f} "
+            f"{uo['FF']:4.0f}/{up['FF']:<4.0f} "
+            f"{uo['BRAM']:4.0f}/{up['BRAM']:<4.0f} "
+            f"{uo['DSP']:4.0f}/{up['DSP']:<4.0f} "
+            f"{e.orig.fmax_mhz:5.0f}->{e.opt.fmax_mhz:<5.0f} "
+            f"{e.gain_pct:+5.0f}% {paper_s:>14s}"
+        )
+    lines.append(
+        f"average gain: {average_gain(entries):+.0f}%   "
+        f"(paper: {paper_data.table1_average_gain():+.0f}%)"
+    )
+    return "\n".join(lines)

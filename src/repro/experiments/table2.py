@@ -1,0 +1,65 @@
+"""Table 2 — 512-wide vector product under the three control schemes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.control.styles import ControlStyle
+from repro.designs import build_design
+from repro.experiments import paper_data
+from repro.flow import Flow, FlowResult
+from repro.opt import OptimizationConfig
+
+
+@dataclass
+class Table2Result:
+    rows: Dict[str, FlowResult]
+
+    def skid_bits(self, key: str) -> int:
+        result = self.rows[key]
+        return sum(
+            spec.bits for info in result.gen.loops for spec in info.skid_specs
+        )
+
+
+def run_table2(width: int = 512, flow: Optional[Flow] = None) -> Table2Result:
+    """Stall vs naive skid vs min-area skid on the wide vector product.
+
+    All three runs keep §4.1/§4.2 on so the comparison isolates the
+    pipeline-control scheme, as Table 2 does.
+    """
+    flow = flow or Flow()
+    configs = {
+        "stall": OptimizationConfig(
+            broadcast_aware=True, sync_pruning=True, control=ControlStyle.STALL
+        ),
+        "skid": OptimizationConfig(
+            broadcast_aware=True, sync_pruning=True, control=ControlStyle.SKID
+        ),
+        "skid_minarea": OptimizationConfig(
+            broadcast_aware=True, sync_pruning=True, control=ControlStyle.SKID_MINAREA
+        ),
+    }
+    rows = {}
+    for key, config in configs.items():
+        design = build_design("vector_arith", width=width)
+        rows[key] = flow.run(design, config)
+    return Table2Result(rows=rows)
+
+
+def format_table2(result: Table2Result) -> str:
+    lines = [
+        f"{'implementation':>14s} {'Fmax':>6s} {'LUT%':>6s} {'FF%':>6s} "
+        f"{'BRAM%':>6s} {'DSP%':>6s} {'skid bits':>10s} {'paper MHz/BRAM%':>16s}"
+    ]
+    for key, res in result.rows.items():
+        util = res.utilization
+        paper = paper_data.TABLE2[key]
+        bits = result.skid_bits(key)
+        lines.append(
+            f"{key:>14s} {res.fmax_mhz:6.0f} {util['LUT']:6.1f} {util['FF']:6.1f} "
+            f"{util['BRAM']:6.2f} {util['DSP']:6.1f} {bits:10d} "
+            f"{paper[0]:5d}/{paper[3]:<5.2f}"
+        )
+    return "\n".join(lines)

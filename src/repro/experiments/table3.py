@@ -1,0 +1,41 @@
+"""Table 3 — pattern matching: original / data-only / data+ctrl (§5.5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.designs import build_design
+from repro.experiments import paper_data
+from repro.flow import Flow, FlowResult
+from repro.opt import BASELINE, DATA_ONLY, FULL
+
+
+@dataclass
+class Table3Result:
+    rows: Dict[str, FlowResult]
+
+
+def run_table3(flow: Optional[Flow] = None) -> Table3Result:
+    flow = flow or Flow()
+    rows = {
+        "orig": flow.run(build_design("pattern_matching"), BASELINE),
+        "opt_data": flow.run(build_design("pattern_matching"), DATA_ONLY),
+        "opt_data_ctrl": flow.run(build_design("pattern_matching"), FULL),
+    }
+    return Table3Result(rows=rows)
+
+
+def format_table3(result: Table3Result) -> str:
+    lines = [
+        f"{'implementation':>14s} {'Fmax':>6s} {'LUT%':>6s} {'FF%':>6s} "
+        f"{'BRAM%':>6s} {'DSP%':>6s} {'paper MHz':>10s}"
+    ]
+    for key, res in result.rows.items():
+        util = res.utilization
+        paper = paper_data.TABLE3[key]
+        lines.append(
+            f"{key:>14s} {res.fmax_mhz:6.0f} {util['LUT']:6.1f} {util['FF']:6.1f} "
+            f"{util['BRAM']:6.1f} {util['DSP']:6.1f} {paper[0]:10d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""End-to-end flow: Design → schedule → netlist → placement → Fmax.
+
+This is the reproduction's equivalent of "run Vivado HLS, then Vivado, then
+read the timing report".  :class:`Flow.run` executes:
+
+1. pragma lowering (loop unrolling — where data broadcasts are born);
+2. optional §4.2 synchronization pruning;
+3. scheduling — baseline HLS model, or §4.1 broadcast-aware;
+4. RTL generation with the selected §3.3/§4.3 control style;
+5. placement, movable-chain spreading, backend register replication,
+   movable-register retiming;
+6. static timing analysis → Fmax + critical-path attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.delay.calibrated import CalibratedDelayModel, CalibrationTable
+from repro.delay.calibration import build_default_calibration
+from repro.delay.hls_model import HlsDelayModel
+from repro.ir.passes import apply_pragmas
+from repro.ir.program import Design
+from repro.opt import BASELINE, OptimizationConfig
+from repro.physical.device import get_device
+from repro.physical.fabric import Fabric
+from repro.physical.placement import Placement, Placer
+from repro.physical.replication import ReplicationConfig, replicate_high_fanout
+from repro.physical.retiming import retime_movable
+from repro.physical.spreading import spread_movable_chains
+from repro.physical.timing import TimingAnalyzer, TimingResult
+from repro.rtl.generator import GenOptions, GenResult, generate_netlist
+from repro.rtl.resources import ResourceReport
+from repro.scheduling.broadcast_aware import broadcast_aware_schedule
+from repro.scheduling.chaining import ChainingScheduler
+from repro.scheduling.ii import analyze_ii
+from repro.scheduling.schedule import Schedule
+from repro.sync.pruning import SyncPruningReport, prune_synchronization
+
+#: Default HLS clock target when a design does not specify one (MHz).
+DEFAULT_CLOCK_MHZ = 300.0
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow run produced."""
+
+    design: str
+    config_label: str
+    clock_target_mhz: float
+    fmax_mhz: float
+    period_ns: float
+    timing: TimingResult
+    resources: ResourceReport
+    utilization: Dict[str, float]
+    schedules: Dict[Tuple[str, str], Schedule]
+    gen: GenResult
+    schedule_edits: List[str] = field(default_factory=list)
+    sync_report: Optional[SyncPruningReport] = None
+    ii_by_loop: Dict[str, int] = field(default_factory=dict)
+    #: Final placement (after replication/retiming); cells keyed by name.
+    placement: Optional[Placement] = None
+
+    @property
+    def depth_by_loop(self) -> Dict[str, int]:
+        return {f"{k}/{l}": s.depth for (k, l), s in self.schedules.items()}
+
+    def summary(self) -> str:
+        util = self.utilization
+        return (
+            f"{self.design} [{self.config_label}] "
+            f"Fmax={self.fmax_mhz:.0f}MHz "
+            f"(target {self.clock_target_mhz:.0f}MHz, "
+            f"critical: {self.timing.path_class.value}) "
+            f"LUT={util['LUT']:.0f}% FF={util['FF']:.0f}% "
+            f"BRAM={util['BRAM']:.0f}% DSP={util['DSP']:.0f}%"
+        )
+
+
+class Flow:
+    """Reusable flow driver.
+
+    Args:
+        clock_mhz: Override the design's HLS clock target.
+        seed: Placement seed (experiments keep it fixed for determinism).
+        calibration: Calibration table for §4.1; defaults to the cached
+            device-wide characterization.
+        replication: Backend fanout-optimization knobs (the paper runs with
+            it enabled; the ablation bench disables it).
+        retime: Run movable-register retiming after replication.
+    """
+
+    def __init__(
+        self,
+        clock_mhz: Optional[float] = None,
+        seed: int = 2020,
+        calibration: Optional[CalibrationTable] = None,
+        replication: Optional[ReplicationConfig] = None,
+        retime: bool = True,
+    ) -> None:
+        self.clock_mhz = clock_mhz
+        self.seed = seed
+        self.calibration = calibration
+        self.replication = replication or ReplicationConfig()
+        self.retime = retime
+
+    # ------------------------------------------------------------------
+    def run(self, design: Design, config: OptimizationConfig = BASELINE) -> FlowResult:
+        """Run the full flow on ``design`` under ``config``."""
+        design.verify()
+        clock_mhz = float(
+            self.clock_mhz or design.meta.get("clock_mhz", DEFAULT_CLOCK_MHZ)
+        )
+        clock_ns = 1000.0 / clock_mhz
+
+        lowered = apply_pragmas(design)
+        sync_report = None
+        if config.sync_pruning:
+            lowered, sync_report = prune_synchronization(lowered)
+
+        schedules: Dict[Tuple[str, str], Schedule] = {}
+        edits: List[str] = []
+        cal_model: Optional[CalibratedDelayModel] = None
+        if config.broadcast_aware:
+            table = self.calibration or build_default_calibration(lowered.device)
+            cal_model = CalibratedDelayModel(table)
+        hls_model = HlsDelayModel()
+        for kernel, loop in lowered.all_loops():
+            if cal_model is not None:
+                result = broadcast_aware_schedule(loop.body, clock_ns, cal_model)
+                schedules[(kernel.name, loop.name)] = result.schedule
+                edits.extend(
+                    f"{kernel.name}/{loop.name}: {edit}" for edit in result.edits
+                )
+            else:
+                schedules[(kernel.name, loop.name)] = ChainingScheduler(
+                    hls_model, clock_ns
+                ).schedule(loop.body)
+
+        ii_by_loop = {
+            f"{kernel.name}/{loop.name}": analyze_ii(
+                loop, schedules[(kernel.name, loop.name)]
+            ).ii
+            for kernel, loop in lowered.all_loops()
+        }
+
+        gen = generate_netlist(lowered, schedules, GenOptions(control=config.control))
+
+        fabric = Fabric(get_device(lowered.device))
+        placement = Placer(fabric, seed=self.seed).place(gen.netlist, anchor=gen.anchor)
+        spread_movable_chains(gen.netlist, placement)
+        replicate_high_fanout(gen.netlist, placement, self.replication)
+        netlist = gen.netlist
+        if self.retime:
+            netlist, placement, _moves = retime_movable(netlist, placement)
+        timing = TimingAnalyzer(netlist, placement).analyze()
+        # The retimed netlist is the final article; expose it in gen so
+        # downstream analysis (census, verilog) sees what was timed.
+        gen.netlist = netlist
+        resources = ResourceReport.of_netlist(netlist)
+        return FlowResult(
+            design=design.name,
+            config_label=config.label,
+            clock_target_mhz=clock_mhz,
+            fmax_mhz=timing.fmax_mhz,
+            period_ns=timing.period_ns,
+            timing=timing,
+            resources=resources,
+            utilization=resources.utilization(lowered.device),
+            schedules=schedules,
+            gen=gen,
+            schedule_edits=edits,
+            sync_report=sync_report,
+            ii_by_loop=ii_by_loop,
+            placement=placement,
+        )
+
+    def compare(
+        self,
+        design: Design,
+        baseline: OptimizationConfig = BASELINE,
+        optimized: Optional[OptimizationConfig] = None,
+    ) -> Tuple[FlowResult, FlowResult]:
+        """Run a design twice (Table 1's Orig vs Opt columns)."""
+        from repro.opt import FULL
+
+        orig = self.run(design, baseline)
+        opt = self.run(design, optimized if optimized is not None else FULL)
+        return orig, opt

@@ -1,0 +1,55 @@
+"""HLS-style intermediate representation.
+
+The IR mirrors what an HLS front-end produces right before scheduling: a
+typed SSA dataflow graph (:mod:`repro.ir.dfg`) per loop body, organized into
+loops, kernels and designs (:mod:`repro.ir.program`), with compiler passes
+such as loop unrolling and array partitioning (:mod:`repro.ir.passes`) that
+create the implicit broadcast structures the paper studies.
+"""
+
+from repro.ir.types import (
+    DataType,
+    f16,
+    f32,
+    f64,
+    i1,
+    i8,
+    i16,
+    i32,
+    i64,
+    u8,
+    u16,
+    u32,
+    u64,
+)
+from repro.ir.values import Value
+from repro.ir.ops import Opcode, Operation
+from repro.ir.dfg import DFG
+from repro.ir.program import Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.builder import DFGBuilder
+
+__all__ = [
+    "DataType",
+    "Value",
+    "Opcode",
+    "Operation",
+    "DFG",
+    "DFGBuilder",
+    "Buffer",
+    "Fifo",
+    "Loop",
+    "Kernel",
+    "Design",
+    "i1",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "f16",
+    "f32",
+    "f64",
+]

@@ -1,0 +1,101 @@
+"""Source-level broadcast tree construction.
+
+§4.1 discusses this alternative: "Another potential option is to
+explicitly construct a broadcast tree in the source code to deal with huge
+broadcasts. However, it is difficult to model the influence of different
+tree topologies on the black-box physical design process. Our extensive
+experimental experiences also show that it is better to let the physical
+design tools handle the register duplication during placement."
+
+We implement the option anyway so the claim can be tested:
+:func:`build_broadcast_tree` replaces a high-fanout value with a balanced
+tree of explicit register stages, each serving a bounded number of
+consumers.  The ablation bench compares it against leaving duplication to
+the backend (the default), reproducing the paper's conclusion that the
+fixed source-level topology is not better.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.errors import IRError
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode, Operation
+from repro.ir.values import Value
+
+
+def build_broadcast_tree(
+    dfg: DFG,
+    value: Value,
+    arity: int = 4,
+    levels: Optional[int] = None,
+) -> int:
+    """Fan ``value`` out through an explicit register tree.
+
+    Args:
+        dfg: Graph to edit in place.
+        value: The broadcast source (must belong to ``dfg``).
+        arity: Maximum consumers per tree node.
+        levels: Force a tree depth (default: enough levels so no node
+            exceeds ``arity`` consumers).
+
+    Returns the number of REG stages inserted.  Each inserted level adds a
+    cycle of latency for the rewired consumers, exactly like hand-written
+    ``register`` pragmas in HLS source.
+
+    Raises :class:`IRError` for foreign or unconsumed values.
+    """
+    if dfg.values.get(value.name) is not value:
+        raise IRError(f"value {value.name!r} does not belong to DFG {dfg.name!r}")
+    consumers = list(value.uses)
+    if not consumers:
+        raise IRError(f"value {value.name!r} has no consumers to tree up")
+    if arity < 2:
+        raise IRError("broadcast tree arity must be at least 2")
+
+    needed = max(1, math.ceil(math.log(max(len(consumers), 2), arity)))
+    depth = levels if levels is not None else needed
+    inserted = 0
+
+    # Build the tree top-down: at each level, split the current consumer
+    # groups into `arity` chunks and give each chunk its own register copy.
+    groups: List[List[Operation]] = [consumers]
+    sources: List[Value] = [value]
+    for level in range(depth):
+        next_groups: List[List[Operation]] = []
+        next_sources: List[Value] = []
+        for source, group in zip(sources, groups):
+            if len(group) <= 1 and level > 0:
+                next_groups.append(group)
+                next_sources.append(source)
+                continue
+            chunk = max(1, math.ceil(len(group) / arity))
+            for start in range(0, len(group), chunk):
+                sub = group[start : start + chunk]
+                reg_op = dfg.insert_reg_after(
+                    source, consumers=sub, name=f"{value.name}_bt{level}_{start // chunk}"
+                )
+                inserted += 1
+                next_groups.append(sub)
+                next_sources.append(reg_op.result)
+        groups = next_groups
+        sources = next_sources
+    dfg.verify()
+    return inserted
+
+
+def tree_fanout_profile(dfg: DFG, value_name: str) -> List[int]:
+    """Fanouts along a built tree, root first (for tests/inspection)."""
+    profile: List[int] = []
+    frontier = [dfg.values[value_name]]
+    while frontier:
+        profile.append(max(v.fanout for v in frontier))
+        next_frontier: List[Value] = []
+        for v in frontier:
+            for use in v.uses:
+                if use.opcode is Opcode.REG and use.result is not None:
+                    next_frontier.append(use.result)
+        frontier = next_frontier
+    return profile

@@ -1,0 +1,210 @@
+"""Fluent construction API for dataflow graphs.
+
+The benchmark designs (:mod:`repro.designs`) are written against this
+builder so they read like the HLS C snippets in the paper:
+
+>>> from repro.ir import DFGBuilder, i32
+>>> b = DFGBuilder("body")
+>>> x = b.input("x", i32, loop_invariant=True)
+>>> y = b.input("y", i32)
+>>> s = b.add(x, y)
+>>> d = b.sub(s, b.const(1, i32))
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode, Operation
+from repro.ir.program import Buffer, Fifo
+from repro.ir.types import DataType, i1
+from repro.ir.values import Value
+
+
+class DFGBuilder:
+    """Thin, chainable wrapper over :class:`~repro.ir.dfg.DFG`."""
+
+    def __init__(self, name: str = "body") -> None:
+        self.dfg = DFG(name)
+
+    # -- declarations ---------------------------------------------------
+    def input(self, name: str, type: DataType, loop_invariant: bool = False) -> Value:
+        return self.dfg.input(name, type, loop_invariant=loop_invariant)
+
+    def const(self, value: object, type: DataType, name: str = "c") -> Value:
+        return self.dfg.const(value, type, name=name)
+
+    # -- arithmetic -----------------------------------------------------
+    def _binary(self, opcode: Opcode, a: Value, b: Value, name: Optional[str]) -> Value:
+        op = self.dfg.add_op(opcode, [a, b], name=name)
+        assert op.result is not None
+        return op.result
+
+    def add(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.ADD, a, b, name)
+
+    def sub(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.SUB, a, b, name)
+
+    def mul(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.MUL, a, b, name)
+
+    def div(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.DIV, a, b, name)
+
+    def and_(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.AND, a, b, name)
+
+    def or_(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.OR, a, b, name)
+
+    def xor(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.XOR, a, b, name)
+
+    def shl(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.SHL, a, b, name)
+
+    def shr(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self._binary(Opcode.SHR, a, b, name)
+
+    def not_(self, a: Value, name: Optional[str] = None) -> Value:
+        op = self.dfg.add_op(Opcode.NOT, [a], name=name)
+        assert op.result is not None
+        return op.result
+
+    # -- comparisons & select --------------------------------------------
+    def cmp(self, kind: str, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        kinds = {
+            "eq": Opcode.EQ,
+            "ne": Opcode.NE,
+            "lt": Opcode.LT,
+            "le": Opcode.LE,
+            "gt": Opcode.GT,
+            "ge": Opcode.GE,
+        }
+        if kind not in kinds:
+            from repro.errors import IRError
+
+            raise IRError(f"unknown comparison {kind!r}; expected one of {sorted(kinds)}")
+        opcode = kinds[kind]
+        op = self.dfg.add_op(opcode, [a, b], result_type=i1, name=name)
+        assert op.result is not None
+        return op.result
+
+    def select(self, cond: Value, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        op = self.dfg.add_op(Opcode.SELECT, [cond, a, b], name=name)
+        assert op.result is not None
+        return op.result
+
+    def min_(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        """``a < b ? a : b`` — expands to cmp + select like HLS does."""
+        return self.select(self.cmp("lt", a, b), a, b, name=name)
+
+    def max_(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        return self.select(self.cmp("gt", a, b), a, b, name=name)
+
+    def abs_diff(self, a: Value, b: Value, name: Optional[str] = None) -> Value:
+        """``a > b ? a - b : b - a`` (the ``dd`` idiom of Fig. 13)."""
+        return self.select(self.cmp("gt", a, b), self.sub(a, b), self.sub(b, a), name=name)
+
+    # -- width casts ------------------------------------------------------
+    def slice_(
+        self, a: Value, lsb: int, type: DataType, name: Optional[str] = None
+    ) -> Value:
+        """Constant bit-field extraction ``a[lsb +: width]``.
+
+        Pure wiring in hardware (zero delay, zero LUTs) — how a 512-bit HBM
+        word scatters into lanes.
+        """
+        op = self.dfg.add_op(
+            Opcode.TRUNC, [a], result_type=type, attrs={"lsb": lsb}, name=name
+        )
+        assert op.result is not None
+        return op.result
+
+    def trunc(self, a: Value, type: DataType, name: Optional[str] = None) -> Value:
+        op = self.dfg.add_op(Opcode.TRUNC, [a], result_type=type, name=name)
+        assert op.result is not None
+        return op.result
+
+    def zext(self, a: Value, type: DataType, name: Optional[str] = None) -> Value:
+        op = self.dfg.add_op(Opcode.ZEXT, [a], result_type=type, name=name)
+        assert op.result is not None
+        return op.result
+
+    def sext(self, a: Value, type: DataType, name: Optional[str] = None) -> Value:
+        op = self.dfg.add_op(Opcode.SEXT, [a], result_type=type, name=name)
+        assert op.result is not None
+        return op.result
+
+    # -- memory & streaming ------------------------------------------------
+    def load(self, buffer: Buffer, addr: Value, name: Optional[str] = None) -> Value:
+        op = self.dfg.add_op(Opcode.LOAD, [addr], attrs={"buffer": buffer}, name=name)
+        assert op.result is not None
+        return op.result
+
+    def store(self, buffer: Buffer, addr: Value, data: Value) -> Operation:
+        return self.dfg.add_op(Opcode.STORE, [addr, data], attrs={"buffer": buffer})
+
+    def fifo_read(
+        self, fifo: Fifo, name: Optional[str] = None, unroll_shared: bool = False
+    ) -> Value:
+        """Read one element; ``unroll_shared`` reads once per post-unroll
+        iteration and broadcasts the element to every unrolled copy."""
+        attrs: dict = {"fifo": fifo}
+        if unroll_shared:
+            attrs["unroll_shared"] = True
+        op = self.dfg.add_op(
+            Opcode.FIFO_READ, [], result_type=fifo.elem_type, attrs=attrs, name=name
+        )
+        assert op.result is not None
+        return op.result
+
+    def fifo_write(self, fifo: Fifo, data: Value) -> Operation:
+        return self.dfg.add_op(Opcode.FIFO_WRITE, [data], attrs={"fifo": fifo})
+
+    # -- structural ----------------------------------------------------------
+    def reg(self, a: Value, name: Optional[str] = None) -> Value:
+        """Explicit one-cycle register stage (the paper's register module)."""
+        op = self.dfg.add_op(Opcode.REG, [a], name=name)
+        assert op.result is not None
+        return op.result
+
+    def call(
+        self,
+        callee: str,
+        operands: Sequence[Value],
+        result_type: Optional[DataType],
+        latency: int,
+        dynamic_latency: bool = False,
+        name: Optional[str] = None,
+    ) -> Operation:
+        """Instantiate a sub-module (a ``PE_*()`` call of Fig. 5b).
+
+        ``latency`` is the module latency in cycles; set ``dynamic_latency``
+        when the real latency is input-dependent (this blocks §4.2 pruning,
+        as in the paper).
+        """
+        attrs = {"callee": callee, "latency": latency, "dynamic_latency": dynamic_latency}
+        return self.dfg.add_op(
+            Opcode.CALL, list(operands), result_type=result_type, attrs=attrs, name=name
+        )
+
+    def reduce(self, values: Sequence[Value], op: str = "add") -> Value:
+        """Balanced reduction tree, as HLS infers for ``a[0]+a[1]+...``."""
+        assert values, "cannot reduce an empty sequence"
+        level = list(values)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self._binary(Opcode[op.upper()], level[i], level[i + 1], None))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def build(self) -> DFG:
+        """Finalize: verify and return the underlying DFG."""
+        self.dfg.verify()
+        return self.dfg

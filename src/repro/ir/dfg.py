@@ -1,0 +1,309 @@
+"""The dataflow graph (DFG): one per loop body.
+
+A DFG is an acyclic graph of :class:`~repro.ir.ops.Operation` nodes over SSA
+:class:`~repro.ir.values.Value` edges.  Construction order is definition
+order, so the op list is always a valid topological order — the scheduler
+relies on this.
+
+The DFG also hosts the surgical edits the paper's optimizations perform:
+:meth:`DFG.insert_reg_after` realizes the "insert register modules to the
+source code" step of broadcast-aware scheduling (§4.1).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import IRError, VerificationError
+from repro.ir.ops import (
+    FIFO_OPS,
+    MEM_OPS,
+    Opcode,
+    Operation,
+    result_type_of,
+)
+from repro.ir.types import DataType
+from repro.ir.values import Value
+
+
+class DFG:
+    """A mutable dataflow graph with unique value/op naming.
+
+    Typical construction goes through :class:`repro.ir.builder.DFGBuilder`;
+    the raw interface below is what passes and tests use.
+    """
+
+    def __init__(self, name: str = "dfg") -> None:
+        self.name = name
+        self.ops: List[Operation] = []
+        self.values: Dict[str, Value] = {}
+        self._counters: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _unique(self, stem: str) -> str:
+        """Return ``stem`` if free, else ``stem.N`` with increasing N."""
+        if stem not in self.values and stem not in self._counters:
+            self._counters[stem] = 0
+            return stem
+        self._counters[stem] += 1
+        candidate = f"{stem}.{self._counters[stem]}"
+        while candidate in self.values:
+            self._counters[stem] += 1
+            candidate = f"{stem}.{self._counters[stem]}"
+        return candidate
+
+    def input(self, name: str, type: DataType, loop_invariant: bool = False) -> Value:
+        """Declare a graph input (live-in from outside the loop body)."""
+        value = Value(self._unique(name), type)
+        value.loop_invariant = loop_invariant
+        self.values[value.name] = value
+        return value
+
+    def const(self, py_value: object, type: DataType, name: str = "c") -> Value:
+        """Declare a constant value (zero hardware cost, no broadcast risk)."""
+        value = Value(self._unique(name), type, const=py_value)
+        self.values[value.name] = value
+        op = Operation(Opcode.CONST, [], value, {"value": py_value}, name=self._unique(f"op_{name}"))
+        self.ops.append(op)
+        return value
+
+    def add_op(
+        self,
+        opcode: Opcode,
+        operands: Sequence[Value],
+        result_type: Optional[DataType] = None,
+        attrs: Optional[dict] = None,
+        name: Optional[str] = None,
+    ) -> Operation:
+        """Append an operation; infers the result type when possible.
+
+        Returns the :class:`Operation`; its ``result`` is the new value (or
+        ``None`` for sink ops).
+        """
+        operands = list(operands)
+        for operand in operands:
+            if self.values.get(operand.name) is not operand:
+                raise IRError(f"operand {operand.name!r} does not belong to DFG {self.name!r}")
+        attrs = dict(attrs or {})
+        if opcode is Opcode.LOAD:
+            result_type = attrs["buffer"].elem_type if "buffer" in attrs else result_type
+        inferred = result_type_of(opcode, operands, result_type)
+        result = None
+        if inferred is not None:
+            stem = name or opcode.value
+            result = Value(self._unique(stem), inferred)
+            self.values[result.name] = result
+        op = Operation(
+            opcode,
+            operands,
+            result,
+            attrs,
+            name=self._unique(f"op_{name or opcode.value}"),
+        )
+        self.ops.append(op)
+        return op
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def inputs(self) -> List[Value]:
+        """Graph inputs in declaration order."""
+        return [v for v in self.values.values() if v.is_input]
+
+    @property
+    def outputs(self) -> List[Value]:
+        """Values with no consumers inside the graph (live-outs)."""
+        return [
+            v
+            for v in self.values.values()
+            if not v.uses and v.producer is not None
+        ]
+
+    def consumers(self, value: Value) -> List[Operation]:
+        """Operations reading ``value`` (each listed once)."""
+        return list(value.uses)
+
+    def fanout(self, value: Value) -> int:
+        """Physical sink-pin count of ``value`` — the broadcast factor."""
+        return value.fanout
+
+    def op_index(self) -> Dict[Operation, int]:
+        return {op: i for i, op in enumerate(self.ops)}
+
+    def topo_order(self) -> List[Operation]:
+        """Operations in a valid topological order (construction order)."""
+        return list(self.ops)
+
+    def predecessors(self, op: Operation) -> List[Operation]:
+        """Producing operations of ``op``'s operands (constants included)."""
+        preds = []
+        for operand in op.operands:
+            if operand.producer is not None:
+                preds.append(operand.producer)
+        return preds
+
+    def successors(self, op: Operation) -> List[Operation]:
+        if op.result is None:
+            return []
+        return list(op.result.uses)
+
+    def broadcast_sources(self, threshold: int = 2) -> List[Tuple[Value, int]]:
+        """Values with fanout >= ``threshold``, sorted by descending fanout.
+
+        These are the candidate data-broadcast sources of §3.1.
+        """
+        pairs = [
+            (v, v.fanout) for v in self.values.values() if v.fanout >= threshold
+        ]
+        pairs.sort(key=lambda item: (-item[1], item[0].name))
+        return pairs
+
+    # ------------------------------------------------------------------
+    # Mutation used by optimization passes
+    # ------------------------------------------------------------------
+    def insert_reg_after(
+        self,
+        value: Value,
+        consumers: Optional[Iterable[Operation]] = None,
+        name: Optional[str] = None,
+    ) -> Operation:
+        """Insert an explicit register stage on ``value``.
+
+        All of ``consumers`` (default: every current consumer) are rewired to
+        read the registered copy instead.  This is the IR-level equivalent of
+        the paper's source-level "register module" insertion: it forces the
+        scheduler to place the rewired consumers at least one cycle later.
+        """
+        targets = list(consumers) if consumers is not None else list(value.uses)
+        for target in targets:
+            if value not in target.operands:
+                raise IRError(f"{target.name} does not consume {value.name}")
+        reg_op = self.add_op(Opcode.REG, [value], name=name or f"{value.name}_reg")
+        assert reg_op.result is not None
+        for target in targets:
+            target.replace_operand(value, reg_op.result)
+        # Keep topological validity: the REG was appended at the end, but its
+        # consumers may appear earlier in the op list.  Re-sort locally.
+        self._restore_topo_order()
+        return reg_op
+
+    def remove_op(self, op: Operation) -> None:
+        """Remove an operation whose result is unused."""
+        if op.result is not None and op.result.uses:
+            raise IRError(f"cannot remove {op.name}: result still used")
+        self.ops.remove(op)
+        for operand in op.operands:
+            if op in operand.uses:
+                operand.uses.remove(op)
+        if op.result is not None:
+            del self.values[op.result.name]
+
+    def _restore_topo_order(self) -> None:
+        """Stable-re-sort ``self.ops`` into topological order."""
+        indegree: Dict[Operation, int] = {}
+        for op in self.ops:
+            indegree[op] = 0
+        for op in self.ops:
+            for succ in self.successors(op):
+                if succ in indegree:
+                    indegree[succ] += 1
+        ready = [op for op in self.ops if indegree[op] == 0]
+        order: List[Operation] = []
+        position = self.op_index()
+        while ready:
+            ready.sort(key=lambda o: position[o])
+            op = ready.pop(0)
+            order.append(op)
+            for succ in self.successors(op):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.ops):
+            raise VerificationError(f"cycle detected in DFG {self.name!r}")
+        self.ops = order
+
+    # ------------------------------------------------------------------
+    # Validation & cloning
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Raise :class:`VerificationError` on any structural inconsistency."""
+        seen: Set[str] = set()
+        defined: Set[Value] = {v for v in self.values.values() if v.is_input}
+        for op in self.ops:
+            if op.name in seen:
+                raise VerificationError(f"duplicate op name {op.name!r}")
+            seen.add(op.name)
+            for operand in op.operands:
+                if self.values.get(operand.name) is not operand:
+                    raise VerificationError(
+                        f"{op.name} uses foreign value {operand.name!r}"
+                    )
+                if operand not in defined and not operand.is_const:
+                    raise VerificationError(
+                        f"{op.name} uses {operand.name!r} before definition"
+                    )
+                if op not in operand.uses:
+                    raise VerificationError(
+                        f"use list of {operand.name!r} is missing {op.name}"
+                    )
+            if op.result is not None:
+                if op.result.producer is not op:
+                    raise VerificationError(
+                        f"producer link of {op.result.name!r} is stale"
+                    )
+                defined.add(op.result)
+        for value in self.values.values():
+            if value.is_const:
+                defined.add(value)
+        for value in self.values.values():
+            if value not in defined and value.uses:
+                raise VerificationError(f"value {value.name!r} is never defined")
+
+    def clone(self, name: Optional[str] = None) -> "DFG":
+        """Deep-copy the graph (fresh Value/Operation objects, same names)."""
+        copy = DFG(name or self.name)
+        mapping: Dict[Value, Value] = {}
+        for value in self.values.values():
+            if value.is_input:
+                new_value = copy.input(value.name, value.type)
+                new_value.loop_invariant = value.loop_invariant
+                mapping[value] = new_value
+        for op in self.ops:
+            if op.opcode is Opcode.CONST:
+                mapping[op.result] = copy.const(
+                    op.attrs["value"], op.result.type, name=op.result.name
+                )
+                continue
+            new_operands = [mapping[v] for v in op.operands]
+            new_op = copy.add_op(
+                op.opcode,
+                new_operands,
+                result_type=op.result.type if op.result is not None else None,
+                attrs=dict(op.attrs),
+                name=op.result.name if op.result is not None else None,
+            )
+            if op.result is not None:
+                mapping[op.result] = new_op.result
+        return copy
+
+    # ------------------------------------------------------------------
+    # Stats
+    # ------------------------------------------------------------------
+    def count(self, opcode: Opcode) -> int:
+        return sum(1 for op in self.ops if op.opcode is opcode)
+
+    def mem_ops(self) -> List[Operation]:
+        return [op for op in self.ops if op.opcode in MEM_OPS]
+
+    def fifo_ops(self) -> List[Operation]:
+        return [op for op in self.ops if op.opcode in FIFO_OPS]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DFG {self.name!r}: {len(self.ops)} ops, {len(self.values)} values>"

@@ -1,0 +1,187 @@
+"""A functional interpreter for the HLS IR.
+
+Executes one iteration of a loop body over concrete values, with FIFOs as
+deques and buffers as plain lists.  Used to prove that compiler passes and
+the paper's optimizations are *semantics-preserving*: unrolling, flow
+splitting (§4.2), and broadcast-tree insertion must never change what a
+design computes — only its timing.
+
+Integer ops wrap to their declared width (two's complement for signed
+kinds), matching ``ap_int`` behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Deque, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode, Operation
+from repro.ir.types import DataType
+from repro.ir.values import Value
+
+
+def _wrap(value: float, dtype: DataType):
+    """Clamp a raw python result to the IR type's domain."""
+    if dtype.is_float:
+        return float(value)
+    mask = (1 << dtype.width) - 1
+    raw = int(value) & mask
+    if dtype.is_signed and raw >= (1 << (dtype.width - 1)):
+        raw -= 1 << dtype.width
+    return raw
+
+
+class Evaluator:
+    """Evaluates DFGs against shared FIFO/buffer state.
+
+    Attributes:
+        fifos: name → deque (reads pop left, writes append right).
+        buffers: name → list (index clamped into range).
+        call_impls: callee name → python callable for CALL ops; defaults to
+            identity on the first operand.
+    """
+
+    def __init__(
+        self,
+        fifos: Optional[Dict[str, Deque]] = None,
+        buffers: Optional[Dict[str, List]] = None,
+        call_impls: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.fifos = fifos if fifos is not None else {}
+        self.buffers = buffers if buffers is not None else {}
+        self.call_impls = call_impls or {}
+
+    # ------------------------------------------------------------------
+    def can_fire(self, dfg: DFG) -> bool:
+        """All FIFO reads satisfiable and writes have space right now."""
+        needed: Dict[str, int] = {}
+        written: Dict[str, int] = {}
+        for op in dfg.ops:
+            if op.opcode is Opcode.FIFO_READ:
+                needed[op.attrs["fifo"].name] = needed.get(op.attrs["fifo"].name, 0) + 1
+            elif op.opcode is Opcode.FIFO_WRITE:
+                fifo = op.attrs["fifo"]
+                written[fifo.name] = written.get(fifo.name, 0) + 1
+        for name, count in needed.items():
+            if len(self.fifos.get(name, ())) < count:
+                return False
+        for name, count in written.items():
+            fifo_obj = next(
+                (op.attrs["fifo"] for op in dfg.ops
+                 if op.opcode is Opcode.FIFO_WRITE and op.attrs["fifo"].name == name),
+            )
+            queue = self.fifos.setdefault(name, __import__("collections").deque())
+            if not fifo_obj.external and len(queue) + count > fifo_obj.depth:
+                return False
+        return True
+
+    def run(self, dfg: DFG, inputs: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+        """Execute one iteration; returns every computed value by name."""
+        env: Dict[Value, object] = {}
+        inputs = inputs or {}
+        for value in dfg.inputs:
+            base = value.name.split("#")[0]
+            if value.name in inputs:
+                env[value] = inputs[value.name]
+            elif base in inputs:
+                env[value] = inputs[base]
+            else:
+                env[value] = 0
+        for op in dfg.topo_order():
+            result = self._eval_op(op, env)
+            if op.result is not None:
+                env[op.result] = result
+        return {v.name: val for v, val in env.items()}
+
+    # ------------------------------------------------------------------
+    def _operands(self, op: Operation, env) -> List[object]:
+        out = []
+        for operand in op.operands:
+            if operand.is_const and operand not in env:
+                out.append(operand.const)
+            else:
+                out.append(env[operand])
+        return out
+
+    def _eval_op(self, op: Operation, env):
+        code = op.opcode
+        if code is Opcode.CONST:
+            return op.attrs["value"]
+        args = self._operands(op, env)
+        dtype = op.result.type if op.result is not None else None
+
+        if code is Opcode.ADD:
+            return _wrap(args[0] + args[1], dtype)
+        if code is Opcode.SUB:
+            return _wrap(args[0] - args[1], dtype)
+        if code is Opcode.MUL:
+            return _wrap(args[0] * args[1], dtype)
+        if code is Opcode.DIV:
+            if args[1] == 0:
+                raise SimulationError(f"{op.name}: division by zero")
+            if dtype is not None and dtype.is_float:
+                return _wrap(args[0] / args[1], dtype)
+            quotient = abs(int(args[0])) // abs(int(args[1]))
+            sign = -1 if (args[0] < 0) != (args[1] < 0) else 1
+            return _wrap(sign * quotient, dtype)
+        if code is Opcode.AND:
+            return _wrap(int(args[0]) & int(args[1]), dtype)
+        if code is Opcode.OR:
+            return _wrap(int(args[0]) | int(args[1]), dtype)
+        if code is Opcode.XOR:
+            return _wrap(int(args[0]) ^ int(args[1]), dtype)
+        if code is Opcode.NOT:
+            return _wrap(~int(args[0]), dtype)
+        if code is Opcode.SHL:
+            return _wrap(int(args[0]) << max(0, int(args[1])), dtype)
+        if code is Opcode.SHR:
+            return _wrap(int(args[0]) >> max(0, int(args[1])), dtype)
+        if code is Opcode.EQ:
+            return 1 if args[0] == args[1] else 0
+        if code is Opcode.NE:
+            return 1 if args[0] != args[1] else 0
+        if code is Opcode.LT:
+            return 1 if args[0] < args[1] else 0
+        if code is Opcode.LE:
+            return 1 if args[0] <= args[1] else 0
+        if code is Opcode.GT:
+            return 1 if args[0] > args[1] else 0
+        if code is Opcode.GE:
+            return 1 if args[0] >= args[1] else 0
+        if code is Opcode.SELECT:
+            return args[1] if args[0] else args[2]
+        if code is Opcode.TRUNC:
+            lsb = int(op.attrs.get("lsb", 0))
+            return _wrap(int(args[0]) >> lsb, dtype)
+        if code in (Opcode.ZEXT, Opcode.SEXT):
+            return _wrap(args[0], dtype)
+        if code is Opcode.REG:
+            return args[0]
+        if code is Opcode.LOAD:
+            data = self.buffers.setdefault(op.attrs["buffer"].name, [0] * op.attrs["buffer"].depth)
+            return data[int(args[0]) % len(data)]
+        if code is Opcode.STORE:
+            buffer = op.attrs["buffer"]
+            data = self.buffers.setdefault(buffer.name, [0] * buffer.depth)
+            data[int(args[0]) % len(data)] = args[1]
+            return None
+        if code is Opcode.FIFO_READ:
+            import collections
+
+            queue = self.fifos.setdefault(op.attrs["fifo"].name, collections.deque())
+            if not queue:
+                raise SimulationError(f"{op.name}: read from empty fifo")
+            return queue.popleft()
+        if code is Opcode.FIFO_WRITE:
+            import collections
+
+            queue = self.fifos.setdefault(op.attrs["fifo"].name, collections.deque())
+            queue.append(args[0])
+            return None
+        if code is Opcode.CALL:
+            impl = self.call_impls.get(op.attrs.get("callee"))
+            if impl is not None:
+                return impl(*args)
+            return args[0] if args else 0
+        raise SimulationError(f"no interpreter rule for {code}")  # pragma: no cover

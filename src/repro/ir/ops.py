@@ -1,0 +1,257 @@
+"""Operations of the HLS IR and their static metadata.
+
+The opcode set mirrors the LLVM-level instructions that appear in Vivado HLS
+schedule reports (the paper parses exactly those): integer/float arithmetic,
+comparisons, selects, memory and FIFO accesses, plus a few structural opcodes
+(``REG`` for explicitly inserted register stages — the paper's "register
+modules" — and ``CALL`` for sub-module instances whose synchronization §4.2
+prunes).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.types import DataType, common_type, i1
+from repro.ir.values import Value
+
+
+class Opcode(enum.Enum):
+    """Every operation kind the scheduler and netlist generator understand."""
+
+    # Arithmetic
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    # Bitwise / shifts
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    # Comparisons (result is i1)
+    EQ = "eq"
+    NE = "ne"
+    LT = "lt"
+    LE = "le"
+    GT = "gt"
+    GE = "ge"
+    # Ternary select: select(cond, a, b)
+    SELECT = "select"
+    # Width adjustment
+    TRUNC = "trunc"
+    ZEXT = "zext"
+    SEXT = "sext"
+    # Memory (attrs carry the Buffer)
+    LOAD = "load"
+    STORE = "store"
+    # Streaming (attrs carry the Fifo)
+    FIFO_READ = "fifo_read"
+    FIFO_WRITE = "fifo_write"
+    # Structural
+    CONST = "const"
+    REG = "reg"  # explicit pipeline register ("register module", §4.1)
+    CALL = "call"  # sub-module instance with attrs["latency"]
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Opcodes whose result is a fresh boolean regardless of operand widths.
+CMP_OPS = frozenset({Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT, Opcode.GE})
+
+#: Two-operand arithmetic opcodes.
+BINARY_ARITH_OPS = frozenset({Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV})
+
+#: Bitwise opcodes with two operands.
+BINARY_LOGIC_OPS = frozenset({Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.SHL, Opcode.SHR})
+
+#: Opcodes with observable side effects: never dead-code-eliminated, and the
+#: anchors ("elementary flow control units", §4.2) of the dataflow graph.
+SIDE_EFFECT_OPS = frozenset(
+    {Opcode.STORE, Opcode.FIFO_WRITE, Opcode.FIFO_READ, Opcode.LOAD, Opcode.CALL}
+)
+
+#: Opcodes that touch a FIFO and therefore participate in flow control.
+FIFO_OPS = frozenset({Opcode.FIFO_READ, Opcode.FIFO_WRITE})
+
+#: Opcodes that touch a memory buffer.
+MEM_OPS = frozenset({Opcode.LOAD, Opcode.STORE})
+
+_ARITY: Dict[Opcode, int] = {
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.DIV: 2,
+    Opcode.AND: 2,
+    Opcode.OR: 2,
+    Opcode.XOR: 2,
+    Opcode.NOT: 1,
+    Opcode.SHL: 2,
+    Opcode.SHR: 2,
+    Opcode.EQ: 2,
+    Opcode.NE: 2,
+    Opcode.LT: 2,
+    Opcode.LE: 2,
+    Opcode.GT: 2,
+    Opcode.GE: 2,
+    Opcode.SELECT: 3,
+    Opcode.TRUNC: 1,
+    Opcode.ZEXT: 1,
+    Opcode.SEXT: 1,
+    Opcode.LOAD: 1,  # address
+    Opcode.STORE: 2,  # address, data
+    Opcode.FIFO_READ: 0,
+    Opcode.FIFO_WRITE: 1,
+    Opcode.CONST: 0,
+    Opcode.REG: 1,
+    # CALL arity is free-form.
+}
+
+
+class Operation:
+    """One node of the dataflow graph.
+
+    Attributes:
+        opcode: The :class:`Opcode`.
+        operands: Input :class:`Value` list (order matters).
+        result: Output value, or ``None`` for pure sinks (store/fifo_write).
+        attrs: Opcode-specific attributes — ``buffer`` for LOAD/STORE,
+            ``fifo`` for FIFO ops, ``latency``/``dynamic_latency``/``callee``
+            for CALL, ``value`` for CONST.
+        name: Unique name assigned by the owning DFG.
+    """
+
+    __slots__ = ("opcode", "operands", "result", "attrs", "name")
+
+    def __init__(
+        self,
+        opcode: Opcode,
+        operands: List[Value],
+        result: Optional[Value],
+        attrs: Optional[dict] = None,
+        name: str = "",
+    ) -> None:
+        self.opcode = opcode
+        self.operands = list(operands)
+        self.result = result
+        self.attrs = dict(attrs or {})
+        self.name = name
+        _check_operation(self)
+        for operand in self.operands:
+            operand.add_use(self)
+        if result is not None:
+            result.producer = self
+
+    @property
+    def is_side_effecting(self) -> bool:
+        return self.opcode in SIDE_EFFECT_OPS
+
+    @property
+    def is_combinational(self) -> bool:
+        """True when the op is pure combinational logic in the datapath.
+
+        LOAD is sequential (BRAM output register); REG and CALL are
+        sequential by construction.
+        """
+        return self.opcode not in (
+            Opcode.LOAD,
+            Opcode.REG,
+            Opcode.CALL,
+            Opcode.FIFO_READ,
+            Opcode.FIFO_WRITE,
+            Opcode.STORE,
+        )
+
+    @property
+    def latency(self) -> int:
+        """Intrinsic latency in cycles beyond the issue cycle.
+
+        Combinational ops have latency 0 (they chain); LOAD and REG take one
+        cycle; CALL takes ``attrs['latency']`` cycles.
+        """
+        if self.opcode is Opcode.CALL:
+            return int(self.attrs.get("latency", 1))
+        if self.opcode in (Opcode.LOAD, Opcode.REG):
+            return 1
+        return 0
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` in the operand list.
+
+        Returns the number of slots replaced and maintains use lists.
+        """
+        count = 0
+        for i, operand in enumerate(self.operands):
+            if operand is old:
+                self.operands[i] = new
+                count += 1
+        if count:
+            new.add_use(self)
+            old.remove_use(self)
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        res = f"{self.result.name} = " if self.result is not None else ""
+        args = ", ".join(v.name for v in self.operands)
+        return f"<{res}{self.opcode}({args})>"
+
+
+def _check_operation(op: Operation) -> None:
+    """Structural and type validation applied at construction time."""
+    expected = _ARITY.get(op.opcode)
+    if expected is not None and len(op.operands) != expected:
+        raise IRError(
+            f"{op.opcode} expects {expected} operands, got {len(op.operands)}"
+        )
+    if op.opcode in BINARY_ARITH_OPS:
+        a, b = (v.type for v in op.operands)
+        if a.is_float != b.is_float:
+            raise TypeMismatchError(f"{op.opcode} mixes float and int: {a} vs {b}")
+        if op.result is not None and op.result.type != common_type(a, b):
+            raise TypeMismatchError(
+                f"{op.opcode} result type {op.result.type} != {common_type(a, b)}"
+            )
+    if op.opcode in CMP_OPS and op.result is not None and op.result.type != i1:
+        raise TypeMismatchError(f"comparison result must be i1, got {op.result.type}")
+    if op.opcode is Opcode.SELECT:
+        cond, a, b = op.operands
+        if cond.type != i1:
+            raise TypeMismatchError(f"select condition must be i1, got {cond.type}")
+        if a.type != b.type:
+            raise TypeMismatchError(f"select arms differ: {a.type} vs {b.type}")
+    if op.opcode in MEM_OPS and "buffer" not in op.attrs:
+        raise IRError(f"{op.opcode} requires attrs['buffer']")
+    if op.opcode in FIFO_OPS and "fifo" not in op.attrs:
+        raise IRError(f"{op.opcode} requires attrs['fifo']")
+    if op.opcode is Opcode.CALL and "latency" not in op.attrs:
+        raise IRError("call requires attrs['latency'] (use dynamic_latency=True for unknown)")
+    if op.opcode is Opcode.CONST and op.result is None:
+        raise IRError("const must produce a result")
+
+
+def result_type_of(opcode: Opcode, operands: List[Value], explicit: Optional[DataType]) -> Optional[DataType]:
+    """Infer the result type for ``opcode`` applied to ``operands``.
+
+    ``explicit`` overrides inference (required for TRUNC/ZEXT/SEXT, CALL,
+    FIFO_READ and CONST).  Sink ops return ``None``.
+    """
+    if opcode in (Opcode.STORE, Opcode.FIFO_WRITE):
+        return None
+    if explicit is not None:
+        return explicit
+    if opcode in CMP_OPS:
+        return i1
+    if opcode in BINARY_ARITH_OPS:
+        return common_type(operands[0].type, operands[1].type)
+    if opcode in BINARY_LOGIC_OPS or opcode in (Opcode.NOT, Opcode.REG):
+        return operands[0].type
+    if opcode is Opcode.SELECT:
+        return operands[1].type
+    if opcode is Opcode.LOAD:
+        raise IRError("load result type comes from the buffer element type")
+    raise IRError(f"result type of {opcode} must be given explicitly")

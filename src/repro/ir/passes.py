@@ -1,0 +1,213 @@
+"""Front-end compiler passes that shape the broadcast structures.
+
+The paper's data broadcasts are *created* by these lowerings:
+
+* :func:`unroll_loop` replicates a loop body; values defined outside the
+  unrolled region (marked ``loop_invariant``) are shared across all copies
+  and acquire a fanout equal to the unroll factor — exactly Fig. 1/2.
+* :func:`apply_pragmas` runs unrolling over a whole design.
+
+Classic clean-up passes (:func:`dce`, :func:`cse`) are also provided; HLS
+front-ends run them before scheduling, and CSE in particular *increases*
+fanout by merging duplicate producers, which matters for broadcast analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode, Operation
+from repro.ir.program import Design, Loop
+from repro.ir.values import Value
+
+
+def unroll_loop(loop: Loop, factor: Optional[int] = None) -> Loop:
+    """Unroll ``loop`` by ``factor`` (default: its pragma factor).
+
+    Replication policy, mirroring HLS:
+
+    * ``loop_invariant`` inputs are **shared** by every copy — this is the
+      broadcast source;
+    * other inputs get a per-copy instance (``name#k``), modelling values
+      such as ``prev[j]`` that differ per iteration;
+    * every operation is replicated with its attributes (buffer/fifo refs
+      are shared objects, so bank fanout accumulates naturally).
+
+    Returns a new :class:`Loop` with ``unroll == 1`` and the trip count
+    divided by the factor.
+    """
+    factor = factor if factor is not None else loop.unroll
+    if factor <= 0:
+        raise IRError(f"unroll factor must be positive, got {factor}")
+    if factor == 1:
+        return loop
+    if loop.trip_count is not None and loop.trip_count % factor != 0:
+        raise IRError(
+            f"loop {loop.name!r}: trip count {loop.trip_count} "
+            f"not divisible by unroll factor {factor}"
+        )
+
+    merged = DFG(f"{loop.body.name}_x{factor}")
+    shared: Dict[str, Value] = {}
+    for value in loop.body.inputs:
+        if value.loop_invariant:
+            new_value = merged.input(value.name, value.type, loop_invariant=True)
+            shared[value.name] = new_value
+
+    # Ops marked ``unroll_shared`` execute once per (post-unroll) iteration
+    # and feed every copy — e.g. a single FIFO read whose element an entire
+    # PE row consumes.  Their results become broadcast sources exactly like
+    # loop-invariant inputs.
+    shared_results: Dict[Value, Value] = {}
+
+    def _shared_operand(value: Value) -> Value:
+        if value in shared_results:
+            return shared_results[value]
+        if not value.is_const and value.name in shared:
+            return shared[value.name]
+        if value.is_const:
+            mapped = merged.const(value.const, value.type, name=value.name)
+            shared_results[value] = mapped
+            return mapped
+        raise IRError(
+            f"unroll_shared op depends on per-iteration value {value.name!r}"
+        )
+
+    for op in loop.body.ops:
+        if not op.attrs.get("unroll_shared"):
+            continue
+        new_op = merged.add_op(
+            op.opcode,
+            [_shared_operand(v) for v in op.operands],
+            result_type=op.result.type if op.result is not None else None,
+            attrs=dict(op.attrs),
+            name=op.result.name if op.result is not None else None,
+        )
+        if op.result is not None:
+            shared_results[op.result] = new_op.result
+            shared_results[op.result].loop_invariant = True
+
+    for k in range(factor):
+        mapping: Dict[Value, Value] = dict(shared_results)
+        for value in loop.body.inputs:
+            if value.loop_invariant:
+                mapping[value] = shared[value.name]
+            else:
+                mapping[value] = merged.input(f"{value.name}#{k}", value.type)
+        for op in loop.body.ops:
+            if op.attrs.get("unroll_shared"):
+                continue
+            if op.opcode is Opcode.CONST:
+                # Constants are free to duplicate; keep one per copy for
+                # naming clarity (netlist generation merges them anyway).
+                mapping[op.result] = merged.const(
+                    op.attrs["value"], op.result.type, name=f"{op.result.name}#{k}"
+                )
+                continue
+            attrs = dict(op.attrs)
+            if attrs.get("bank_group") == "per_copy":
+                # Partitioned-array accesses: copy k touches bank group k of
+                # the buffer (cyclic partitioning by the unroll factor).
+                attrs["bank_group"] = (k, factor)
+            new_op = merged.add_op(
+                op.opcode,
+                [mapping[v] for v in op.operands],
+                result_type=op.result.type if op.result is not None else None,
+                attrs=attrs,
+                name=f"{op.result.name}#{k}" if op.result is not None else None,
+            )
+            if op.result is not None:
+                mapping[op.result] = new_op.result
+
+    merged.verify()
+    new_trip = None if loop.trip_count is None else loop.trip_count // factor
+    return Loop(
+        name=loop.name,
+        body=merged,
+        trip_count=new_trip,
+        pipeline=loop.pipeline,
+        ii=loop.ii,
+        unroll=1,
+    )
+
+
+def apply_pragmas(design: Design) -> Design:
+    """Lower all pragma-level transformations of a design (currently unroll).
+
+    Operates on a clone; the input design is untouched.
+    """
+    lowered = design.clone()
+    for kernel in lowered.kernels:
+        kernel.loops = [
+            unroll_loop(loop) if loop.unroll > 1 else loop for loop in kernel.loops
+        ]
+    lowered.verify()
+    return lowered
+
+
+def dce(dfg: DFG, keep: Optional[set] = None) -> int:
+    """Dead-code elimination: drop pure ops whose results are unused.
+
+    Liveness roots are side-effecting ops plus any value named in ``keep``
+    (the design's outputs — the DFG itself cannot tell a live-out from a
+    dead temporary, so callers must say which unused values escape).
+
+    Returns the number of operations removed.  Iterates to a fixed point so
+    whole dead chains disappear.
+    """
+    keep = keep or set()
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        for op in list(dfg.ops):
+            if op.is_side_effecting:
+                continue
+            if op.result is not None and op.result.name in keep:
+                continue
+            if op.result is not None and not op.result.uses:
+                dfg.remove_op(op)
+                removed += 1
+                changed = True
+    return removed
+
+
+def _cse_key(op: Operation) -> Optional[Tuple]:
+    """Hashable identity of a pure operation, or None if not CSE-able."""
+    if op.is_side_effecting or op.opcode is Opcode.REG:
+        return None
+    if op.opcode is Opcode.CONST:
+        return (op.opcode, op.result.type, repr(op.attrs.get("value")))
+    return (op.opcode, tuple(id(v) for v in op.operands))
+
+
+def cse(dfg: DFG) -> int:
+    """Common-subexpression elimination over pure ops.
+
+    Returns the number of operations merged away.  Note the timing
+    side-effect the paper cares about: merging duplicated producers
+    concentrates fanout on the survivor, raising its broadcast factor.
+    """
+    merged = 0
+    seen: Dict[Tuple, Operation] = {}
+    for op in list(dfg.ops):
+        key = _cse_key(op)
+        if key is None:
+            continue
+        keeper = seen.get(key)
+        if keeper is None:
+            seen[key] = op
+            continue
+        assert op.result is not None and keeper.result is not None
+        for user in list(op.result.uses):
+            user.replace_operand(op.result, keeper.result)
+        dfg.remove_op(op)
+        merged += 1
+    return merged
+
+
+def loop_invariant_inputs(dfg: DFG) -> List[Value]:
+    """Inputs flagged loop-invariant — the §3.1 broadcast source candidates."""
+    return [v for v in dfg.inputs if v.loop_invariant]

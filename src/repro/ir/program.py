@@ -1,0 +1,293 @@
+"""Program-level containers: buffers, FIFOs, loops, kernels, designs.
+
+A :class:`Design` is what the end-to-end flow consumes.  It mirrors the
+shape of the paper's benchmarks:
+
+* a list of :class:`Kernel` functions, each a sequence of :class:`Loop` s;
+* when ``dataflow=True`` the kernels run concurrently, connected by
+  :class:`Fifo` channels (the ``#pragma HLS dataflow`` designs of Fig. 5a);
+* shared :class:`Buffer` arrays that the RTL generator maps onto BRAM banks
+  (the large-array data broadcasts of Fig. 3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import VerificationError
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode
+from repro.ir.types import DataType
+
+#: Capacity of one BRAM36 block in bits (Xilinx 36Kb block RAM).
+BRAM36_BITS = 36 * 1024
+#: Maximum data width of one BRAM36 in simple dual-port mode.
+BRAM36_MAX_WIDTH = 72
+#: Maximum depth of one BRAM36 at max width.
+BRAM36_MAX_DEPTH = 512
+
+
+@dataclass
+class Buffer:
+    """An on-chip array mapped to one or more BRAM banks.
+
+    Attributes:
+        name: Array name in the source.
+        elem_type: Element scalar type.
+        depth: Number of elements.
+        partition: Cyclic partition factor requested by pragma (each
+            partition becomes an independently addressed bank group).
+    """
+
+    name: str
+    elem_type: DataType
+    depth: int
+    partition: int = 1
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise VerificationError(f"buffer {self.name!r} has non-positive depth")
+        if self.partition <= 0 or self.partition > self.depth:
+            raise VerificationError(
+                f"buffer {self.name!r}: partition {self.partition} out of range"
+            )
+
+    @property
+    def total_bits(self) -> int:
+        return self.depth * self.elem_type.bits
+
+    def bram36_units(self) -> int:
+        """Number of BRAM36 blocks a bank-mapped implementation needs.
+
+        Each partition is shaped independently: width-limited slicing first
+        (a wide word needs ``ceil(width/72)`` parallel blocks), then
+        depth-limited stacking.  This is the *physical* fanout target count
+        of a store broadcast (Fig. 4).
+        """
+        per_part_depth = math.ceil(self.depth / self.partition)
+        width = self.elem_type.bits
+        width_slices = math.ceil(width / BRAM36_MAX_WIDTH)
+        eff_width = min(width, BRAM36_MAX_WIDTH)
+        depth_per_block = min(BRAM36_MAX_DEPTH * BRAM36_MAX_WIDTH // eff_width, 32768)
+        depth_stacks = math.ceil(per_part_depth / depth_per_block)
+        blocks = width_slices * depth_stacks
+        # A partition never takes less than one block.
+        return max(blocks, 1) * self.partition
+
+
+@dataclass
+class Fifo:
+    """A streaming channel between kernels (or to/from the outside).
+
+    Attributes:
+        name: Channel name.
+        elem_type: Element scalar type (width drives skid-buffer area).
+        depth: FIFO capacity in elements.
+        external: True when one side is off-design (AXI-Stream port, HBM
+            port, etc.) — external FIFOs never stall the producer model.
+    """
+
+    name: str
+    elem_type: DataType
+    depth: int = 2
+    external: bool = False
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0:
+            raise VerificationError(f"fifo {self.name!r} has non-positive depth")
+
+    @property
+    def width(self) -> int:
+        return self.elem_type.bits
+
+
+@dataclass
+class Loop:
+    """A counted loop with HLS pragmas, owning one body DFG.
+
+    Attributes:
+        name: Loop label.
+        body: The dataflow graph of a single iteration.
+        trip_count: Iteration count (``None`` for ``while(1)`` streaming
+            loops — these have dynamic latency and block §4.2 pruning).
+        pipeline: ``#pragma HLS pipeline`` present.
+        ii: Requested initiation interval.
+        unroll: ``#pragma HLS unroll factor=N`` to be applied by the
+            unrolling pass (1 = no unroll).
+    """
+
+    name: str
+    body: DFG
+    trip_count: Optional[int] = None
+    pipeline: bool = False
+    ii: int = 1
+    unroll: int = 1
+
+    @property
+    def has_static_latency(self) -> bool:
+        """Whether total loop latency is a compile-time constant."""
+        return self.trip_count is not None
+
+    def fifo_endpoints(self) -> Tuple[List[str], List[str]]:
+        """Names of FIFOs this loop reads and writes (deduplicated, ordered)."""
+        reads: List[str] = []
+        writes: List[str] = []
+        for op in self.body.ops:
+            if op.opcode is Opcode.FIFO_READ:
+                fifo = op.attrs["fifo"]
+                if fifo.name not in reads:
+                    reads.append(fifo.name)
+            elif op.opcode is Opcode.FIFO_WRITE:
+                fifo = op.attrs["fifo"]
+                if fifo.name not in writes:
+                    writes.append(fifo.name)
+        return reads, writes
+
+    def buffers_touched(self) -> List[str]:
+        names: List[str] = []
+        for op in self.body.mem_ops():
+            buffer = op.attrs["buffer"]
+            if buffer.name not in names:
+                names.append(buffer.name)
+        return names
+
+
+@dataclass
+class Kernel:
+    """A function: loops executed in sequence (plus implicit prologue).
+
+    In a dataflow design each kernel is one concurrent process.
+    """
+
+    name: str
+    loops: List[Loop] = field(default_factory=list)
+
+    def add_loop(self, loop: Loop) -> Loop:
+        self.loops.append(loop)
+        return loop
+
+    def fifo_endpoints(self) -> Tuple[List[str], List[str]]:
+        reads: List[str] = []
+        writes: List[str] = []
+        for loop in self.loops:
+            r, w = loop.fifo_endpoints()
+            reads.extend(name for name in r if name not in reads)
+            writes.extend(name for name in w if name not in writes)
+        return reads, writes
+
+
+@dataclass
+class Design:
+    """A complete HLS design handed to the flow.
+
+    Attributes:
+        name: Design name (used in reports).
+        device: Device key from :mod:`repro.physical.device`.
+        kernels: The kernels; concurrent when ``dataflow`` is set.
+        fifos: All streaming channels by name.
+        buffers: All shared arrays by name.
+        dataflow: ``#pragma HLS dataflow`` at the top level.
+        meta: Free-form provenance (paper reference, broadcast type, ...).
+    """
+
+    name: str
+    device: str = "aws-f1"
+    kernels: List[Kernel] = field(default_factory=list)
+    fifos: Dict[str, Fifo] = field(default_factory=dict)
+    buffers: Dict[str, Buffer] = field(default_factory=dict)
+    dataflow: bool = False
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def add_kernel(self, kernel: Kernel) -> Kernel:
+        if any(existing.name == kernel.name for existing in self.kernels):
+            raise VerificationError(f"duplicate kernel name {kernel.name!r}")
+        self.kernels.append(kernel)
+        return kernel
+
+    def add_fifo(self, fifo: Fifo) -> Fifo:
+        if fifo.name in self.fifos:
+            raise VerificationError(f"duplicate fifo name {fifo.name!r}")
+        self.fifos[fifo.name] = fifo
+        return fifo
+
+    def add_buffer(self, buffer: Buffer) -> Buffer:
+        if buffer.name in self.buffers:
+            raise VerificationError(f"duplicate buffer name {buffer.name!r}")
+        self.buffers[buffer.name] = buffer
+        return buffer
+
+    def all_loops(self) -> List[Tuple[Kernel, Loop]]:
+        return [(kernel, loop) for kernel in self.kernels for loop in kernel.loops]
+
+    def verify(self) -> None:
+        """Check cross-references and each body DFG."""
+        for kernel, loop in self.all_loops():
+            loop.body.verify()
+            for op in loop.body.ops:
+                if "fifo" in op.attrs:
+                    fifo = op.attrs["fifo"]
+                    if self.fifos.get(fifo.name) is not fifo:
+                        raise VerificationError(
+                            f"{kernel.name}/{loop.name}: fifo {fifo.name!r} "
+                            "not registered on the design"
+                        )
+                if "buffer" in op.attrs:
+                    buffer = op.attrs["buffer"]
+                    if self.buffers.get(buffer.name) is not buffer:
+                        raise VerificationError(
+                            f"{kernel.name}/{loop.name}: buffer {buffer.name!r} "
+                            "not registered on the design"
+                        )
+        if self.dataflow:
+            for name, fifo in self.fifos.items():
+                readers = writers = 0
+                for _, loop in self.all_loops():
+                    r, w = loop.fifo_endpoints()
+                    readers += name in r
+                    writers += name in w
+                if not fifo.external and (readers == 0 or writers == 0):
+                    raise VerificationError(
+                        f"dataflow fifo {name!r} needs both a reader and a writer "
+                        f"(got {readers} readers, {writers} writers)"
+                    )
+
+    def clone(self) -> "Design":
+        """Deep-copy the design so optimizations can edit it in place."""
+        copy = Design(
+            name=self.name,
+            device=self.device,
+            dataflow=self.dataflow,
+            meta=dict(self.meta),
+        )
+        fifo_map: Dict[str, Fifo] = {}
+        for fifo in self.fifos.values():
+            fifo_map[fifo.name] = copy.add_fifo(
+                Fifo(fifo.name, fifo.elem_type, fifo.depth, fifo.external)
+            )
+        buffer_map: Dict[str, Buffer] = {}
+        for buffer in self.buffers.values():
+            buffer_map[buffer.name] = copy.add_buffer(
+                Buffer(buffer.name, buffer.elem_type, buffer.depth, buffer.partition)
+            )
+        for kernel in self.kernels:
+            new_kernel = copy.add_kernel(Kernel(kernel.name))
+            for loop in kernel.loops:
+                body = loop.body.clone()
+                for op in body.ops:
+                    if "fifo" in op.attrs:
+                        op.attrs["fifo"] = fifo_map[op.attrs["fifo"].name]
+                    if "buffer" in op.attrs:
+                        op.attrs["buffer"] = buffer_map[op.attrs["buffer"].name]
+                new_kernel.add_loop(
+                    Loop(
+                        loop.name,
+                        body,
+                        trip_count=loop.trip_count,
+                        pipeline=loop.pipeline,
+                        ii=loop.ii,
+                        unroll=loop.unroll,
+                    )
+                )
+        return copy

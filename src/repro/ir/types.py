@@ -1,0 +1,119 @@
+"""Scalar data types for the HLS IR.
+
+HLS front-ends track arbitrary-precision integer widths (``ap_int<W>``) and
+IEEE float widths; the delay and resource models downstream are
+width-dependent, so the IR carries explicit widths everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+
+_VALID_KINDS = ("int", "uint", "float")
+_VALID_FLOAT_WIDTHS = (16, 32, 64)
+
+#: Widest supported scalar, matching ap_int's practical HLS limit.
+MAX_WIDTH = 4096
+
+
+@dataclass(frozen=True, order=True)
+class DataType:
+    """A scalar type: signed/unsigned integer or IEEE float of a given width.
+
+    Instances are immutable and hashable so they can key delay tables.
+
+    >>> DataType("int", 32).bits
+    32
+    >>> DataType.parse("f32").is_float
+    True
+    """
+
+    kind: str
+    width: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise IRError(f"unknown type kind {self.kind!r}; expected one of {_VALID_KINDS}")
+        if not isinstance(self.width, int) or self.width <= 0 or self.width > MAX_WIDTH:
+            raise IRError(f"invalid type width {self.width!r}; expected 1..{MAX_WIDTH}")
+        if self.kind == "float" and self.width not in _VALID_FLOAT_WIDTHS:
+            raise IRError(
+                f"invalid float width {self.width}; expected one of {_VALID_FLOAT_WIDTHS}"
+            )
+
+    @property
+    def bits(self) -> int:
+        """Storage width in bits (identical to :attr:`width` for scalars)."""
+        return self.width
+
+    @property
+    def is_float(self) -> bool:
+        return self.kind == "float"
+
+    @property
+    def is_int(self) -> bool:
+        """True for both signed and unsigned integers."""
+        return self.kind in ("int", "uint")
+
+    @property
+    def is_signed(self) -> bool:
+        return self.kind in ("int", "float")
+
+    @property
+    def is_bool(self) -> bool:
+        """True for 1-bit integers, the type of comparison results."""
+        return self.is_int and self.width == 1
+
+    def with_width(self, width: int) -> "DataType":
+        """Return the same kind at a different width."""
+        return DataType(self.kind, width)
+
+    @staticmethod
+    def parse(spec: str) -> "DataType":
+        """Parse a short type spec: ``i32``, ``u8``, ``f32``.
+
+        >>> DataType.parse("u16")
+        DataType(kind='uint', width=16)
+        """
+        if not spec or spec[0] not in "iuf":
+            raise IRError(f"cannot parse type spec {spec!r}")
+        kind = {"i": "int", "u": "uint", "f": "float"}[spec[0]]
+        try:
+            width = int(spec[1:])
+        except ValueError as exc:
+            raise IRError(f"cannot parse type spec {spec!r}") from exc
+        return DataType(kind, width)
+
+    def __str__(self) -> str:
+        return f"{self.kind[0] if self.kind != 'uint' else 'u'}{self.width}"
+
+
+# Common shorthands, used pervasively by designs and tests.
+i1 = DataType("int", 1)
+i8 = DataType("int", 8)
+i16 = DataType("int", 16)
+i32 = DataType("int", 32)
+i64 = DataType("int", 64)
+u8 = DataType("uint", 8)
+u16 = DataType("uint", 16)
+u32 = DataType("uint", 32)
+u64 = DataType("uint", 64)
+f16 = DataType("float", 16)
+f32 = DataType("float", 32)
+f64 = DataType("float", 64)
+
+
+def common_type(a: DataType, b: DataType) -> DataType:
+    """The result type of a binary arithmetic op on ``a`` and ``b``.
+
+    Mirrors HLS C semantics loosely: float wins over int, wider width wins,
+    signed wins over unsigned at equal width.
+    """
+    if a.is_float or b.is_float:
+        width = max(x.width for x in (a, b) if x.is_float)
+        return DataType("float", width)
+    width = max(a.width, b.width)
+    kind = "int" if "int" in (a.kind, b.kind) else "uint"
+    return DataType(kind, width)

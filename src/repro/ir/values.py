@@ -1,0 +1,76 @@
+"""SSA values flowing through the dataflow graph.
+
+A :class:`Value` is produced exactly once — by a graph input, a constant, or
+an operation — and may be consumed by any number of operations.  The number
+of *consumers in the same clock cycle* is the "broadcast factor" the paper's
+calibration keys on, so values track their uses explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.ir.types import DataType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.ir.ops import Operation
+
+
+class Value:
+    """A typed SSA value.
+
+    Attributes:
+        name: Unique (within a DFG) human-readable name, e.g. ``curr_x``.
+        type: Scalar :class:`DataType`.
+        producer: The :class:`Operation` that defines this value, or ``None``
+            for graph inputs and free-standing constants.
+        const: Python-level constant payload when this value is a constant.
+        loop_invariant: Marked by the unroller on values defined outside the
+            unrolled region — the classic data-broadcast sources of Fig. 1.
+    """
+
+    __slots__ = ("name", "type", "producer", "uses", "const", "loop_invariant")
+
+    def __init__(
+        self,
+        name: str,
+        type: DataType,
+        producer: Optional["Operation"] = None,
+        const: Optional[object] = None,
+    ) -> None:
+        self.name = name
+        self.type = type
+        self.producer = producer
+        self.const = const
+        self.uses: List["Operation"] = []
+        self.loop_invariant = False
+
+    @property
+    def is_const(self) -> bool:
+        return self.const is not None
+
+    @property
+    def is_input(self) -> bool:
+        """True for values not produced by any operation (graph inputs)."""
+        return self.producer is None and self.const is None
+
+    @property
+    def fanout(self) -> int:
+        """Number of operand slots reading this value.
+
+        An operation using the value twice (e.g. ``mul(x, x)``) counts twice:
+        each read is a physical sink pin.
+        """
+        return sum(op.operands.count(self) for op in self.uses)
+
+    def add_use(self, op: "Operation") -> None:
+        if op not in self.uses:
+            self.uses.append(op)
+
+    def remove_use(self, op: "Operation") -> None:
+        if op in self.uses and self not in op.operands:
+            self.uses.remove(op)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "const " if self.is_const else ""
+        return f"<Value {tag}{self.name}:{self.type}>"

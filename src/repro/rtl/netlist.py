@@ -1,0 +1,286 @@
+"""Cells, nets and netlists.
+
+This is a deliberately small structural netlist: enough fidelity for
+placement, fanout analysis and static timing, without Verilog-level detail.
+
+Cell granularity is one cell per *scheduled operator* (a 32-bit adder is one
+cell of 32 LUTs), one cell per pipeline register bank, one per BRAM36, one
+per FIFO controller, and one per FSM/controller.  Net granularity is one net
+per logical signal; a net records its :class:`NetKind` so the timing engine
+can classify critical paths into the paper's broadcast taxonomy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import RTLError
+
+
+class CellKind(enum.Enum):
+    """Physical flavor of a cell; decides which fabric sites it can occupy."""
+
+    LOGIC = "logic"  # LUT-implemented combinational operator
+    DSP = "dsp"  # DSP-implemented operator (multipliers, float ops)
+    FF = "ff"  # register bank (pipeline regs, replicated drivers)
+    BRAM = "bram"  # one BRAM36 block
+    FIFO = "fifo"  # FIFO controller (status flags live here)
+    CTRL = "ctrl"  # FSM / pipeline controller
+    PORT = "port"  # design boundary anchor (I/O, HBM port)
+
+    @property
+    def is_sequential(self) -> bool:
+        """Does the cell's output launch from a clock edge?"""
+        return self in (CellKind.FF, CellKind.BRAM, CellKind.FIFO, CellKind.CTRL, CellKind.PORT)
+
+
+class NetKind(enum.Enum):
+    """Signal class, used to attribute timing paths to broadcast types."""
+
+    DATA = "data"  # datapath value (incl. §3.1 data broadcasts)
+    MEM = "mem"  # data/address distribution to BRAM banks
+    ENABLE = "enable"  # pipeline stall/enable broadcast (§3.3)
+    SYNC = "sync"  # done-reduce / start-broadcast (§3.2)
+    STATUS = "status"  # FIFO empty/full flags feeding control logic
+    CLOCKLESS = "clockless"  # zero-delay logical connection (constants)
+
+
+@dataclass
+class Cell:
+    """One placeable netlist element.
+
+    Attributes:
+        name: Unique name within the netlist.
+        kind: :class:`CellKind` (drives legal sites and sequential-ness).
+        delay_ns: Intrinsic delay — combinational propagation for LOGIC/DSP,
+            clock-to-out for sequential kinds.
+        luts/ffs/brams/dsps: Area in fabric primitives.
+        tag: Provenance (op name, pipeline stage, controller id...).
+        movable: True for registers inserted by broadcast-aware scheduling —
+            the retiming pass may slide these along their chain.
+        width: Bit width of the value this cell produces (0 when n/a).
+    """
+
+    name: str
+    kind: CellKind
+    delay_ns: float = 0.0
+    luts: int = 0
+    ffs: int = 0
+    brams: int = 0
+    dsps: int = 0
+    tag: str = ""
+    movable: bool = False
+    width: int = 0
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.kind.is_sequential
+
+    @property
+    def site_count(self) -> int:
+        """Rough number of fabric tiles the cell occupies (for spread)."""
+        if self.kind is CellKind.BRAM:
+            return 1
+        if self.kind is CellKind.DSP:
+            return max(1, self.dsps)
+        return max(1, (self.luts + self.ffs // 2 + 63) // 64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Cell {self.name} {self.kind.value}>"
+
+
+@dataclass
+class Net:
+    """A signal from one driver cell to one or more sink cells.
+
+    Sinks are (cell, pin) pairs; the pin string is informational except that
+    distinct pins on the same cell count as distinct physical sinks.
+    """
+
+    name: str
+    driver: Cell
+    sinks: List[Tuple[Cell, str]] = field(default_factory=list)
+    kind: NetKind = NetKind.DATA
+    width: int = 1
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def add_sink(self, cell: Cell, pin: str = "i") -> None:
+        self.sinks.append((cell, pin))
+
+    def sink_cells(self) -> List[Cell]:
+        return [cell for cell, _ in self.sinks]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Net {self.name} {self.kind.value} f={self.fanout}>"
+
+
+class Netlist:
+    """A named collection of cells and nets with integrity checking."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.cells: Dict[str, Cell] = {}
+        self.nets: Dict[str, Net] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_cell(self, cell: Cell) -> Cell:
+        if cell.name in self.cells:
+            raise RTLError(f"duplicate cell name {cell.name!r} in netlist {self.name!r}")
+        self.cells[cell.name] = cell
+        return cell
+
+    def new_cell(self, name: str, kind: CellKind, **kwargs) -> Cell:
+        return self.add_cell(Cell(name=self._unique_cell_name(name), kind=kind, **kwargs))
+
+    def _unique_cell_name(self, stem: str) -> str:
+        if stem not in self.cells:
+            return stem
+        i = 1
+        while f"{stem}.{i}" in self.cells:
+            i += 1
+        return f"{stem}.{i}"
+
+    def add_net(self, net: Net) -> Net:
+        if net.name in self.nets:
+            raise RTLError(f"duplicate net name {net.name!r} in netlist {self.name!r}")
+        if net.driver.name not in self.cells:
+            raise RTLError(f"net {net.name!r} driven by foreign cell {net.driver.name!r}")
+        self.nets[net.name] = net
+        return net
+
+    def connect(
+        self,
+        name: str,
+        driver: Cell,
+        sinks: Iterable[Tuple[Cell, str]],
+        kind: NetKind = NetKind.DATA,
+        width: int = 1,
+    ) -> Net:
+        """Create and register a net in one call (name uniquified)."""
+        base = name
+        i = 1
+        while name in self.nets:
+            name = f"{base}.{i}"
+            i += 1
+        net = Net(name=name, driver=driver, kind=kind, width=width)
+        for cell, pin in sinks:
+            net.add_sink(cell, pin)
+        return self.add_net(net)
+
+    # -- queries ----------------------------------------------------------
+    def driver_net_of(self, cell: Cell) -> Optional[Net]:
+        """The net driven by ``cell``, if any (cells drive at most one net
+        in this model; replication keeps that invariant)."""
+        for net in self.nets.values():
+            if net.driver is cell:
+                return net
+        return None
+
+    def input_nets_of(self, cell: Cell) -> List[Net]:
+        return [net for net in self.nets.values() if cell in net.sink_cells()]
+
+    def fanout_of(self, cell: Cell) -> int:
+        net = self.driver_net_of(cell)
+        return net.fanout if net is not None else 0
+
+    def cells_of_kind(self, kind: CellKind) -> List[Cell]:
+        return [cell for cell in self.cells.values() if cell.kind is kind]
+
+    def nets_of_kind(self, kind: NetKind) -> List[Net]:
+        return [net for net in self.nets.values() if net.kind is kind]
+
+    def high_fanout_nets(self, threshold: int = 8) -> List[Net]:
+        nets = [net for net in self.nets.values() if net.fanout >= threshold]
+        nets.sort(key=lambda n: (-n.fanout, n.name))
+        return nets
+
+    # -- integrity ----------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`RTLError` on dangling references or comb loops."""
+        for net in self.nets.values():
+            if self.cells.get(net.driver.name) is not net.driver:
+                raise RTLError(f"net {net.name!r}: stale driver {net.driver.name!r}")
+            for cell, _pin in net.sinks:
+                if self.cells.get(cell.name) is not cell:
+                    raise RTLError(f"net {net.name!r}: stale sink {cell.name!r}")
+            if net.fanout == 0:
+                raise RTLError(f"net {net.name!r} has no sinks")
+        self._check_comb_loops()
+
+    def _check_comb_loops(self) -> None:
+        """Detect combinational cycles (sequential cells break paths)."""
+        succ: Dict[str, List[str]] = {name: [] for name in self.cells}
+        indeg: Dict[str, int] = {name: 0 for name in self.cells}
+        for net in self.nets.values():
+            if net.driver.is_sequential:
+                continue
+            for cell, _pin in net.sinks:
+                if cell.is_sequential:
+                    continue
+                succ[net.driver.name].append(cell.name)
+                indeg[cell.name] += 1
+        ready = [name for name, d in indeg.items() if d == 0]
+        visited = 0
+        while ready:
+            name = ready.pop()
+            visited += 1
+            for nxt in succ[name]:
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    ready.append(nxt)
+        if visited != len(self.cells):
+            stuck = sorted(name for name, d in indeg.items() if d > 0)[:5]
+            raise RTLError(
+                f"combinational loop in netlist {self.name!r} involving {stuck}"
+            )
+
+    # -- stats ----------------------------------------------------------------
+    def area(self) -> Dict[str, int]:
+        """Total primitive usage: luts/ffs/brams/dsps."""
+        totals = {"luts": 0, "ffs": 0, "brams": 0, "dsps": 0}
+        for cell in self.cells.values():
+            totals["luts"] += cell.luts
+            totals["ffs"] += cell.ffs
+            totals["brams"] += cell.brams
+            totals["dsps"] += cell.dsps
+        return totals
+
+    def merge(self, other: "Netlist", prefix: str = "") -> Dict[str, Cell]:
+        """Absorb ``other``'s cells and nets (optionally prefixed).
+
+        Returns a map from the other netlist's cell names to the absorbed
+        cells so callers can stitch cross-netlist connections.
+        """
+        mapping: Dict[str, Cell] = {}
+        for cell in other.cells.values():
+            clone = Cell(
+                name=self._unique_cell_name(prefix + cell.name),
+                kind=cell.kind,
+                delay_ns=cell.delay_ns,
+                luts=cell.luts,
+                ffs=cell.ffs,
+                brams=cell.brams,
+                dsps=cell.dsps,
+                tag=cell.tag,
+                movable=cell.movable,
+                width=cell.width,
+            )
+            self.add_cell(clone)
+            mapping[cell.name] = clone
+        for net in other.nets.values():
+            self.connect(
+                prefix + net.name,
+                mapping[net.driver.name],
+                [(mapping[cell.name], pin) for cell, pin in net.sinks],
+                kind=net.kind,
+                width=net.width,
+            )
+        return mapping
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Netlist {self.name!r}: {len(self.cells)} cells, {len(self.nets)} nets>"

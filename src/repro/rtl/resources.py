@@ -1,0 +1,47 @@
+"""Resource accounting and device utilization reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.physical.device import Device, get_device
+from repro.rtl.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Primitive usage of a generated design.
+
+    Percentages are against a named device, Table-1 style.
+    """
+
+    luts: int
+    ffs: int
+    brams: int
+    dsps: int
+
+    @classmethod
+    def of_netlist(cls, netlist: Netlist) -> "ResourceReport":
+        area = netlist.area()
+        return cls(
+            luts=area["luts"], ffs=area["ffs"], brams=area["brams"], dsps=area["dsps"]
+        )
+
+    def __add__(self, other: "ResourceReport") -> "ResourceReport":
+        return ResourceReport(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.brams + other.brams,
+            self.dsps + other.dsps,
+        )
+
+    def utilization(self, device: str) -> Dict[str, float]:
+        """Percent of each primitive class on ``device``."""
+        dev: Device = get_device(device)
+        return dev.utilization(self.luts, self.ffs, self.brams, self.dsps)
+
+    def utilization_row(self, device: str) -> str:
+        """Formatted like Table 1: LUT/FF/BRAM/DSP percentages."""
+        util = self.utilization(device)
+        return " ".join(f"{key}={util[key]:.1f}%" for key in ("LUT", "FF", "BRAM", "DSP"))

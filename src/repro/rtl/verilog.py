@@ -1,0 +1,145 @@
+"""Structural Verilog emission for generated netlists.
+
+The model netlist is coarser than gate-level RTL (one cell per scheduled
+operator), so the emitted Verilog is a *structural skeleton*: one module
+instance per cell, one wire per net, with cell parameters recording the
+modelled delay/area.  It is meant for inspection and for feeding graph-based
+downstream tooling — not for synthesis — and round-trips the information the
+timing model uses.
+
+Primitive library (one Verilog module per :class:`CellKind`):
+
+* ``REPRO_LOGIC`` / ``REPRO_DSP`` — combinational block, ``delay_ps`` param;
+* ``REPRO_FF`` / ``REPRO_CTRL`` / ``REPRO_FIFO`` / ``REPRO_BRAM`` —
+  sequential blocks with clock-to-out parameters;
+* ``REPRO_PORT`` — I/O anchor.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.rtl.netlist import Cell, CellKind, Net, Netlist
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _escape(name: str) -> str:
+    """Map a netlist name to a legal Verilog identifier."""
+    ident = _IDENT_RE.sub("_", name)
+    if not ident or ident[0].isdigit():
+        ident = "n_" + ident
+    return ident
+
+
+_KIND_MODULE = {
+    CellKind.LOGIC: "REPRO_LOGIC",
+    CellKind.DSP: "REPRO_DSP",
+    CellKind.FF: "REPRO_FF",
+    CellKind.BRAM: "REPRO_BRAM",
+    CellKind.FIFO: "REPRO_FIFO",
+    CellKind.CTRL: "REPRO_CTRL",
+    CellKind.PORT: "REPRO_PORT",
+}
+
+_PRIMITIVES = """\
+// ---- repro primitive library (behavioural placeholders) ----
+module REPRO_LOGIC #(parameter DELAY_PS = 0, WIDTH = 1)
+    (input  wire [WIDTH-1:0] i, output wire [WIDTH-1:0] o);
+  assign o = i;
+endmodule
+
+module REPRO_DSP #(parameter DELAY_PS = 0, WIDTH = 1)
+    (input  wire [WIDTH-1:0] i, output wire [WIDTH-1:0] o);
+  assign o = i;
+endmodule
+
+module REPRO_FF #(parameter CLK2Q_PS = 0, WIDTH = 1)
+    (input wire clk, input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) q <= d;
+endmodule
+
+module REPRO_BRAM #(parameter CLK2Q_PS = 0, WIDTH = 1)
+    (input wire clk, input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) q <= d;
+endmodule
+
+module REPRO_FIFO #(parameter CLK2Q_PS = 0, WIDTH = 1)
+    (input wire clk, input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) q <= d;
+endmodule
+
+module REPRO_CTRL #(parameter CLK2Q_PS = 0, WIDTH = 1)
+    (input wire clk, input wire [WIDTH-1:0] d, output reg [WIDTH-1:0] q);
+  always @(posedge clk) q <= d;
+endmodule
+
+module REPRO_PORT #(parameter WIDTH = 1)
+    (output wire [WIDTH-1:0] q);
+  assign q = {WIDTH{1'b0}};
+endmodule
+// ---- end primitive library ----
+"""
+
+
+def emit_verilog(netlist: Netlist, include_primitives: bool = True) -> str:
+    """Render ``netlist`` as structural Verilog text."""
+    driver_net: Dict[str, Net] = {}
+    for net in netlist.nets.values():
+        driver_net[net.driver.name] = net
+
+    lines: List[str] = []
+    if include_primitives:
+        lines.append(_PRIMITIVES)
+    top = _escape(netlist.name)
+    lines.append(f"module {top} (input wire clk);")
+
+    # Wires: one per net.
+    for net in netlist.nets.values():
+        width = max(1, net.width)
+        comment = f"  // kind={net.kind.value} fanout={net.fanout}"
+        lines.append(f"  wire [{width - 1}:0] {_escape(net.name)};{comment}")
+    lines.append("")
+
+    # Instances: one per cell.  The input connection is the worst-case
+    # single representative (the structural skeleton keeps one input port).
+    input_of: Dict[str, str] = {}
+    for net in netlist.nets.values():
+        for cell, _pin in net.sinks:
+            input_of.setdefault(cell.name, _escape(net.name))
+
+    for cell in netlist.cells.values():
+        module = _KIND_MODULE[cell.kind]
+        width = max(1, cell.width)
+        inst = _escape(cell.name)
+        out = driver_net.get(cell.name)
+        out_expr = _escape(out.name) if out is not None else ""
+        in_expr = input_of.get(cell.name, f"{width}'b0")
+        params = f"#(.WIDTH({width})"
+        if cell.kind in (CellKind.LOGIC, CellKind.DSP):
+            params += f", .DELAY_PS({int(cell.delay_ns * 1000)})"
+        elif cell.kind is not CellKind.PORT:
+            params += f", .CLK2Q_PS({int(cell.delay_ns * 1000)})"
+        params += ")"
+        area = f"luts={cell.luts} ffs={cell.ffs} brams={cell.brams} dsps={cell.dsps}"
+        if cell.kind is CellKind.PORT:
+            ports = f"(.q({out_expr}))" if out_expr else "()"
+        elif cell.kind in (CellKind.LOGIC, CellKind.DSP):
+            ports = f"(.i({in_expr}), .o({out_expr}))" if out_expr else f"(.i({in_expr}), .o())"
+        else:
+            ports = (
+                f"(.clk(clk), .d({in_expr}), .q({out_expr}))"
+                if out_expr
+                else f"(.clk(clk), .d({in_expr}), .q())"
+            )
+        lines.append(f"  {module} {params} {inst} {ports};  // {area}")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def write_verilog(netlist: Netlist, path: str, include_primitives: bool = True) -> None:
+    """Emit :func:`emit_verilog` output to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(emit_verilog(netlist, include_primitives=include_primitives))

@@ -1,0 +1,19 @@
+"""HLS scheduling: chaining list scheduler, schedule reports, and the
+broadcast-aware re-scheduling pass of §4.1."""
+
+from repro.scheduling.schedule import Schedule, ScheduledOp, Violation
+from repro.scheduling.chaining import ChainingScheduler, CLOCK_MARGIN_NS
+from repro.scheduling.broadcast_aware import BroadcastAwareResult, broadcast_aware_schedule
+from repro.scheduling.report import emit_report, parse_report
+
+__all__ = [
+    "Schedule",
+    "ScheduledOp",
+    "Violation",
+    "ChainingScheduler",
+    "CLOCK_MARGIN_NS",
+    "broadcast_aware_schedule",
+    "BroadcastAwareResult",
+    "emit_report",
+    "parse_report",
+]

@@ -1,0 +1,110 @@
+"""ALAP scheduling and operation mobility (slack) analysis.
+
+Mobility — how many cycles an op can slide without stretching the
+pipeline — tells the broadcast-aware pass which chain splits are free:
+an op with positive mobility can absorb an inserted register stage
+without growing the depth at all.  It is also a useful diagnostic
+("this broadcast consumer is pinned; splitting here costs a stage").
+
+The ALAP pass is the exact mirror of the forward chaining scheduler: it
+walks the graph in reverse topological order, packing each operation as
+late as the chaining budget allows while still meeting every consumer's
+latest start.  Delays come from the same model the schedule was built
+with (recorded per entry), so mobility is consistent with the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.ir.ops import Opcode
+from repro.scheduling.chaining import CLOCK_MARGIN_NS, effective_delay, effective_latency
+from repro.scheduling.schedule import Schedule
+
+#: (cycle, in-cycle time) pair, ordered lexicographically.
+_TimePoint = Tuple[int, float]
+
+
+def alap_cycles(schedule: Schedule, depth: int = 0) -> Dict[str, int]:
+    """Latest issue cycle per op without exceeding ``depth``.
+
+    ``depth`` defaults to the schedule's own depth (so mobility is measured
+    against the as-scheduled pipeline).
+    """
+    horizon = (depth or schedule.depth) - 1
+    budget = schedule.clock_ns - CLOCK_MARGIN_NS
+    #: latest availability required for each value: (cycle, time)
+    need: Dict[str, _TimePoint] = {}
+    alap: Dict[str, int] = {}
+
+    def require(value_name: str, point: _TimePoint) -> None:
+        current = need.get(value_name)
+        if current is None or point < current:
+            need[value_name] = point
+
+    for op in reversed(schedule.dfg.topo_order()):
+        if op.opcode is Opcode.CONST:
+            alap[op.name] = 0
+            continue
+        entry = schedule.entries[op.name]
+        if op.result is not None and op.result.name in need:
+            latest_avail = need[op.result.name]
+        else:
+            latest_avail = (horizon, budget)
+
+        latency = effective_latency(op)
+        per_cycle = effective_delay(op, entry.delay_ns)
+        if latency > 0:
+            # Result ready at issue + latency (time ~0 within that cycle,
+            # except LOAD-style delivery, conservatively the same bound).
+            issue_cycle = latest_avail[0] - latency
+            start_time = budget  # operands just need to make the edge
+        else:
+            cycle, end_time = latest_avail
+            start_time = end_time - per_cycle
+            issue_cycle = cycle
+            if start_time < 0.0:
+                issue_cycle -= 1
+                start_time = max(0.0, budget - per_cycle)
+        issue_cycle = max(issue_cycle, entry.cycle)  # ALAP never before ASAP
+        alap[op.name] = issue_cycle
+        for operand in op.operands:
+            if operand.is_const:
+                continue
+            require(
+                operand.name,
+                (issue_cycle, start_time if latency == 0 else budget),
+            )
+    return alap
+
+
+def mobility(schedule: Schedule, depth: int = 0) -> Dict[str, int]:
+    """Cycles each op can slide: ``alap_issue - scheduled_issue`` (>= 0)."""
+    alap = alap_cycles(schedule, depth)
+    return {
+        name: max(0, alap[name] - entry.cycle)
+        for name, entry in schedule.entries.items()
+    }
+
+
+def pinned_ops(schedule: Schedule) -> Dict[str, int]:
+    """Ops with zero mobility — the true critical skeleton of the loop."""
+    return {name: 0 for name, slack in mobility(schedule).items() if slack == 0}
+
+
+def free_split_points(schedule: Schedule) -> Dict[str, int]:
+    """Ops whose consumers all have slack: a register can be inserted on
+    their result without growing the pipeline (the zero-cost subset of the
+    §4.1 register insertions)."""
+    slack = mobility(schedule)
+    free: Dict[str, int] = {}
+    for name, entry in schedule.entries.items():
+        op = entry.op
+        if op.result is None or not op.result.uses:
+            continue
+        consumer_slack = min(
+            (slack[c.name] for c in op.result.uses if c.name in slack), default=0
+        )
+        if consumer_slack >= 1:
+            free[name] = consumer_slack
+    return free

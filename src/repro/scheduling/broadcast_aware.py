@@ -1,0 +1,180 @@
+"""Broadcast-aware scheduling (§4.1).
+
+Pipeline of the pass, matching the paper's methodology:
+
+1. schedule with the production (broadcast-blind) HLS model;
+2. emit and re-parse the schedule report — the paper operates on report
+   text because the HLS tool is closed-source, and we keep that interface;
+3. walk every within-cycle chain with *calibrated* delays and find timing
+   violations (RAW broadcast factors, buffer sizes);
+4. pipeline oversized operations: buffer accesses get ``extra_latency``
+   proportional to their calibrated delay ("additional pipelining will be
+   added to variables interacting with the buffer"), as do single ops whose
+   broadcast delay alone misses the target (the float-multiply case);
+5. re-schedule with the calibrated model — chains now split where the
+   violations were, which is exactly "inserting register modules" since the
+   RTL generator materializes every new cycle boundary as (movable)
+   pipeline registers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.delay.calibrated import CalibratedDelayModel
+from repro.delay.hls_model import HlsDelayModel
+from repro.ir.dfg import DFG
+from repro.ir.ops import MEM_OPS, Opcode
+from repro.scheduling.chaining import (
+    CLOCK_MARGIN_NS,
+    MAX_EXTRA_LATENCY,
+    ChainingScheduler,
+)
+from repro.scheduling.report import emit_report, parse_report
+from repro.scheduling.schedule import Schedule
+
+
+@dataclass
+class ChainViolation:
+    """A chain that fits under HLS-predicted delays but not calibrated ones."""
+
+    cycle: int
+    op_name: str
+    hls_arrival_ns: float
+    calibrated_arrival_ns: float
+    budget_ns: float
+
+    def __str__(self) -> str:
+        return (
+            f"cycle {self.cycle}: {self.op_name} calibrated arrival "
+            f"{self.calibrated_arrival_ns:.2f}ns (HLS believed "
+            f"{self.hls_arrival_ns:.2f}ns) > budget {self.budget_ns:.2f}ns"
+        )
+
+
+@dataclass
+class BroadcastAwareResult:
+    """Outcome of the pass.
+
+    Attributes:
+        schedule: Final schedule under the calibrated model.
+        baseline: The HLS-model schedule it started from.
+        chain_violations: Calibrated-delay violations found in the baseline.
+        edits: Human-readable log of pipelining edits applied.
+        extra_stages: Pipeline depth growth (the paper's genome case grows
+            from 9 to 10 stages).
+    """
+
+    schedule: Schedule
+    baseline: Schedule
+    chain_violations: List[ChainViolation] = field(default_factory=list)
+    edits: List[str] = field(default_factory=list)
+
+    @property
+    def extra_stages(self) -> int:
+        return self.schedule.depth - self.baseline.depth
+
+
+def audit_chains(
+    baseline: Schedule, model: CalibratedDelayModel
+) -> List[ChainViolation]:
+    """Re-time every scheduled chain with calibrated delays (step 3).
+
+    For each cycle of the baseline schedule, propagate calibrated arrival
+    times along RAW dependencies *within that cycle* and report ops whose
+    calibrated arrival exceeds the budget although their HLS arrival did not.
+    """
+    budget = baseline.clock_ns - CLOCK_MARGIN_NS
+    violations: List[ChainViolation] = []
+    arrival: Dict[str, float] = {}
+    for cycle in range(baseline.depth):
+        for entry in baseline.ops_in_cycle(cycle):
+            op = entry.op
+            start = 0.0
+            for operand in op.operands:
+                producer = operand.producer
+                if producer is None or producer.name not in baseline.entries:
+                    continue
+                p_entry = baseline.entries[producer.name]
+                if p_entry.finish_cycle == cycle and producer.name in arrival:
+                    start = max(start, arrival[producer.name])
+            cal = start + model.op_delay(op)
+            arrival[op.name] = cal
+            if cal > budget and entry.end_ns <= budget:
+                violations.append(
+                    ChainViolation(
+                        cycle=cycle,
+                        op_name=op.name,
+                        hls_arrival_ns=entry.end_ns,
+                        calibrated_arrival_ns=cal,
+                        budget_ns=budget,
+                    )
+                )
+    return violations
+
+
+def _apply_extra_pipelining(
+    dfg: DFG, model: CalibratedDelayModel, budget_ns: float
+) -> List[str]:
+    """Step 4: stretch oversized ops over extra stages (in place).
+
+    Only ops that map to multi-cycle-capable resources are stretched —
+    memory ports and multipliers/float cores — matching the paper's scope
+    ("additional pipelining ... to variables interacting with the buffer";
+    "if a broadcast of floating-point multiplication by itself surpasses
+    the delay target, we also add additional pipelining").
+    """
+    from repro.scheduling.chaining import _is_pipelineable
+
+    edits: List[str] = []
+    for op in dfg.ops:
+        if op.opcode is Opcode.CONST or not _is_pipelineable(op):
+            continue
+        delay = model.op_delay(op)
+        if delay <= budget_ns:
+            continue
+        quotient = math.ceil(delay / budget_ns)
+        extra = min(
+            MAX_EXTRA_LATENCY,
+            quotient if op.opcode in MEM_OPS else quotient - 1,
+        )
+        if extra <= int(op.attrs.get("extra_latency", 0)):
+            continue  # never reduce pipelining a design already requested
+        op.attrs["extra_latency"] = extra
+        kind = "buffer access" if op.opcode in MEM_OPS else "operator"
+        edits.append(
+            f"pipelined {kind} {op.name} ({op.opcode.value}, calibrated "
+            f"{delay:.2f}ns) over {extra} extra stage(s)"
+        )
+    return edits
+
+
+def broadcast_aware_schedule(
+    dfg: DFG,
+    clock_ns: float,
+    calibrated: CalibratedDelayModel,
+    hls: Optional[HlsDelayModel] = None,
+    via_report: bool = True,
+) -> BroadcastAwareResult:
+    """Run the full §4.1 pass on one (already unrolled) loop body.
+
+    Mutates ``dfg`` op attributes (``extra_latency``); callers working on a
+    shared design should pass a clone.  When ``via_report`` is set the
+    baseline schedule round-trips through report text, as the paper's
+    implementation does.
+    """
+    hls = hls or HlsDelayModel()
+    baseline = ChainingScheduler(hls, clock_ns).schedule(dfg)
+    if via_report:
+        baseline = parse_report(emit_report(baseline), dfg)
+    chain_violations = audit_chains(baseline, calibrated)
+    edits = _apply_extra_pipelining(dfg, calibrated, clock_ns - CLOCK_MARGIN_NS)
+    final = ChainingScheduler(calibrated, clock_ns).schedule(dfg)
+    return BroadcastAwareResult(
+        schedule=final,
+        baseline=baseline,
+        chain_violations=chain_violations,
+        edits=edits,
+    )

@@ -1,0 +1,222 @@
+"""Chaining list scheduler.
+
+ASAP list scheduling with operation chaining under a clock target, the
+standard approach of production HLS schedulers (§2).  The scheduler is
+parameterized on a *delay model*; with the broadcast-blind
+:class:`~repro.delay.hls_model.HlsDelayModel` it reproduces the baseline
+tool behaviour (including its timing violations near broadcasts), with a
+:class:`~repro.delay.calibrated.CalibratedDelayModel` it realizes §4.1's
+broadcast-aware scheduling, naturally splitting chains whose calibrated
+delay no longer fits the cycle.
+
+Extra pipelining (``op.attrs['extra_latency']``) stretches an operation
+over additional cycles while dividing its combinational delay across them —
+the paper's "additional pipelining" for big-buffer accesses and oversized
+float multiplies, which downstream retiming then balances.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode, Operation
+from repro.ir.values import Value
+from repro.scheduling.schedule import Schedule, ScheduledOp, Violation
+
+#: Per-cycle overhead reserved for clock-to-out + setup + uncertainty (ns).
+CLOCK_MARGIN_NS = 0.30
+
+#: Hard cap on extra pipelining of one op, mirroring practical HLS limits.
+MAX_EXTRA_LATENCY = 8
+
+#: Operators HLS maps to multi-cycle-capable resources (pipelined DSP
+#: multipliers, floating-point cores, memory ports).  The scheduler
+#: auto-pipelines these when their *estimated* delay alone exceeds the
+#: budget, exactly like production tools — with the crucial caveat that the
+#: broadcast-blind model never sees the broadcast-inflated delay, so the
+#: baseline never pipelines a broadcast (§3.1).
+PIPELINEABLE_OPS = frozenset(
+    {Opcode.MUL, Opcode.DIV, Opcode.LOAD, Opcode.STORE}
+)
+
+
+def _is_pipelineable(op: Operation) -> bool:
+    if op.opcode in PIPELINEABLE_OPS:
+        return True
+    dtype = op.result.type if op.result is not None else None
+    return dtype is not None and dtype.is_float and op.opcode in (
+        Opcode.ADD,
+        Opcode.SUB,
+    )
+
+
+def effective_latency(op: Operation) -> int:
+    """Total result latency in cycles including requested extra pipelining."""
+    return op.latency + int(op.attrs.get("extra_latency", 0))
+
+
+def effective_delay(op: Operation, model_delay: float) -> float:
+    """Per-cycle combinational delay after spreading over extra stages.
+
+    An op pipelined over ``e`` extra stages contributes ``delay / (e + 1)``
+    per cycle — the idealized outcome of retiming balancing the inserted
+    registers along the path.
+    """
+    extra = int(op.attrs.get("extra_latency", 0))
+    return model_delay / (extra + 1)
+
+
+class ChainingScheduler:
+    """Schedules one DFG against a clock target using a delay model.
+
+    ``resource_limits`` (a :class:`repro.scheduling.resources.
+    ResourceLimits`) optionally bounds per-cycle issues of expensive
+    resources; operations are deferred past full cycles.
+    """
+
+    def __init__(self, model, clock_ns: float, resource_limits=None) -> None:
+        if clock_ns <= CLOCK_MARGIN_NS:
+            raise SchedulingError(
+                f"clock target {clock_ns}ns is below the margin {CLOCK_MARGIN_NS}ns"
+            )
+        self.model = model
+        self.clock_ns = clock_ns
+        self.budget_ns = clock_ns - CLOCK_MARGIN_NS
+        from repro.scheduling.resources import ResourceTracker
+
+        self._resources = ResourceTracker(resource_limits)
+
+    # ------------------------------------------------------------------
+    def schedule(self, dfg: DFG) -> Schedule:
+        """Produce a :class:`Schedule` for ``dfg`` (must be verified)."""
+        result = Schedule(dfg=dfg, clock_ns=self.clock_ns, model_name=self.model.name)
+        # Availability of every value: (cycle, time_within_cycle).
+        avail: Dict[str, Tuple[int, float]] = {}
+        for value in dfg.values.values():
+            if value.is_input or value.is_const:
+                avail[value.name] = (0, 0.0)
+
+        for op in dfg.topo_order():
+            if op.opcode is Opcode.CONST:
+                result.entries[op.name] = ScheduledOp(op, 0, 0.0, 0.0, 0, 0.0)
+                avail[op.result.name] = (0, 0.0)
+                continue
+            entry = self._place(op, avail, result)
+            result.entries[op.name] = entry
+            if op.result is not None:
+                avail[op.result.name] = self._result_avail(op, entry)
+        return result
+
+    # ------------------------------------------------------------------
+    def _operand_ready(
+        self, op: Operation, avail: Dict[str, Tuple[int, float]]
+    ) -> Tuple[int, float]:
+        """Earliest (cycle, in-cycle time) when every operand is stable."""
+        cycle, time = 0, 0.0
+        for operand in op.operands:
+            c, t = avail[operand.name]
+            if c > cycle:
+                cycle, time = c, t
+            elif c == cycle:
+                time = max(time, t)
+        return cycle, time
+
+    def _place(
+        self,
+        op: Operation,
+        avail: Dict[str, Tuple[int, float]],
+        result: Schedule,
+    ) -> ScheduledOp:
+        delay = self.model.op_delay(op)
+        per_cycle = effective_delay(op, delay)
+        if per_cycle > self.budget_ns and _is_pipelineable(op):
+            # Multi-cycle resource: add pipeline stages until it fits (or
+            # the cap is hit).  The stages are materialized as movable
+            # registers by the RTL generator.
+            # Memory ports pipeline both the outbound (address/data
+            # distribution) and return sides, so they get one stage more
+            # than the pure delay quotient suggests.
+            quotient = math.ceil(delay / self.budget_ns)
+            needed = min(
+                MAX_EXTRA_LATENCY,
+                quotient if op.opcode in (Opcode.LOAD, Opcode.STORE) else quotient - 1,
+            )
+            if needed > int(op.attrs.get("extra_latency", 0)):
+                op.attrs["extra_latency"] = needed
+                per_cycle = effective_delay(op, delay)
+        cycle, start = self._operand_ready(op, avail)
+        min_cycle = int(op.attrs.get("min_cycle", 0))
+        if min_cycle > cycle:
+            # Alignment constraint (e.g. a FIFO read consumed late in the
+            # pipeline is issued late, SODA-style) — no dangling registers.
+            cycle, start = min_cycle, 0.0
+        slot = self._resources.first_free_cycle(op, cycle)
+        if slot > cycle:
+            # Resource pool full: defer to the next cycle with a free slot.
+            cycle, start = slot, 0.0
+
+        if op.opcode is Opcode.LOAD:
+            # Operands (the address) are captured at the issue-cycle edge;
+            # the read-side delay (BRAM clock-to-out, bank mux, return
+            # wires) lands in the delivery cycle, starting at time 0.
+            end = per_cycle
+        elif op.opcode in (Opcode.REG, Opcode.CALL):
+            # Pure capture, no combinational window in the issue cycle.
+            end = start
+        else:
+            if start + per_cycle > self.budget_ns and start > 0.0:
+                # Chain overflows the cycle: start a fresh cycle.
+                cycle += 1
+                start = 0.0
+            end = start + per_cycle
+        final_slot = self._resources.first_free_cycle(op, cycle)
+        if final_slot > cycle:
+            # The chain-overflow bump landed in a full cycle; defer again.
+            cycle, start = final_slot, 0.0
+            if op.opcode is not Opcode.LOAD and op.opcode not in (Opcode.REG, Opcode.CALL):
+                end = per_cycle
+        self._resources.commit(op, cycle)
+        if end > self.budget_ns:
+            # Even alone the op misses the budget.  The baseline HLS
+            # behaviour is to schedule it anyway and let the backend fail —
+            # record the violation for §4.1 to act on.
+            result.violations.append(
+                Violation(
+                    op=op,
+                    cycle=cycle,
+                    arrival_ns=end,
+                    budget_ns=self.budget_ns,
+                    reason=f"{op.opcode.value} delay {per_cycle:.2f}ns alone exceeds budget",
+                )
+            )
+        return ScheduledOp(
+            op=op,
+            cycle=cycle,
+            start_ns=start,
+            end_ns=end,
+            finish_cycle=cycle + effective_latency(op),
+            delay_ns=delay,
+        )
+
+    def _result_avail(self, op: Operation, entry: ScheduledOp) -> Tuple[int, float]:
+        """When the result value can be consumed."""
+        latency = effective_latency(op)
+        if latency == 0:
+            return entry.cycle, entry.end_ns
+        if op.opcode is Opcode.LOAD:
+            # The read side (BRAM clock-to-out + bank mux) lands in the
+            # delivery cycle; consumers chain after it.
+            return entry.finish_cycle, entry.end_ns
+        if op.opcode in (Opcode.REG, Opcode.CALL):
+            return entry.finish_cycle, 0.0
+        # Pipelined operator: the final stage still occupies part of the
+        # delivery cycle before consumers can chain.
+        return entry.finish_cycle, effective_delay(op, entry.delay_ns)
+
+
+def schedule_design_loop(loop_dfg: DFG, model, clock_ns: float) -> Schedule:
+    """Convenience wrapper used by the flow."""
+    return ChainingScheduler(model, clock_ns).schedule(loop_dfg)

@@ -1,0 +1,69 @@
+"""ASCII Gantt rendering of schedules.
+
+A quick way to *see* what broadcast-aware scheduling changed: each row is
+an operation, each column a pipeline stage, and the bar within a stage
+shows the chained start/end window.  The examples print baseline and
+optimized schedules side by side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.scheduling.schedule import Schedule
+
+#: Character cells per clock cycle in the rendering.
+CELL_WIDTH = 10
+
+
+def render_gantt(
+    schedule: Schedule,
+    max_ops: int = 40,
+    only_cycles: Optional[int] = None,
+) -> str:
+    """Render ``schedule`` as an ASCII Gantt chart.
+
+    Args:
+        schedule: The schedule to draw.
+        max_ops: Truncate beyond this many rows (largest designs are huge).
+        only_cycles: Limit to the first N cycles.
+    """
+    depth = schedule.depth if only_cycles is None else min(schedule.depth, only_cycles)
+    name_width = 24
+    header = " " * name_width + "|" + "|".join(
+        f" c{c:<{CELL_WIDTH - 2}}" for c in range(depth)
+    ) + "|"
+    lines: List[str] = [header, "-" * len(header)]
+
+    entries = sorted(
+        schedule.entries.values(), key=lambda e: (e.cycle, e.start_ns, e.op.name)
+    )
+    shown = 0
+    for entry in entries:
+        if entry.op.opcode.value == "const":
+            continue
+        if entry.cycle >= depth:
+            continue
+        if shown >= max_ops:
+            lines.append(f"... {len(entries) - shown} more ops not shown")
+            break
+        shown += 1
+        row = [" "] * (depth * (CELL_WIDTH + 1))
+        budget = max(schedule.clock_ns, 1e-9)
+        start_col = entry.cycle * (CELL_WIDTH + 1) + int(
+            (entry.start_ns / budget) * CELL_WIDTH
+        )
+        end_cycle = min(entry.finish_cycle, depth - 1)
+        end_col = end_cycle * (CELL_WIDTH + 1) + max(
+            int((entry.end_ns / budget) * CELL_WIDTH),
+            int((entry.start_ns / budget) * CELL_WIDTH) + 1,
+        )
+        for col in range(start_col, min(end_col, len(row))):
+            row[col] = "#" if (col % (CELL_WIDTH + 1)) != CELL_WIDTH else "|"
+        label = entry.op.name[:name_width].ljust(name_width)
+        lines.append(label + "|" + "".join(row))
+    lines.append(
+        f"depth={schedule.depth} clock={schedule.clock_ns:.2f}ns "
+        f"model={schedule.model_name} violations={len(schedule.violations)}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Schedule report emission and parsing.
+
+The paper's tooling works *on top of* a closed HLS tool: "we parse the HLS
+scheduling reports, which include the LLVM instructions annotated with
+scheduled state/cycle, estimated delay, etc."  We mirror that interface: the
+baseline scheduler emits a text report; the optimization passes re-parse it
+rather than peeking at in-memory objects.  The round-trip is lossless for
+everything the passes need (op → state, chaining window, latency) and is
+covered by round-trip tests.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.delay.calibrated import broadcast_factor_of
+from repro.errors import ReportParseError
+from repro.ir.dfg import DFG
+from repro.scheduling.schedule import Schedule, ScheduledOp
+
+_HEADER_RE = re.compile(
+    r"== Schedule Report: (?P<name>.+?) \| clock=(?P<clock>[\d.]+)ns"
+    r" \| model=(?P<model>\w+) \| depth=(?P<depth>\d+) =="
+)
+_STATE_RE = re.compile(r"^State (?P<cycle>\d+):$")
+_OP_RE = re.compile(
+    r"^\s{2}(?P<op>\S+) \| (?P<opcode>\S+) \| t=\[(?P<start>[\d.]+), (?P<end>[\d.]+)\]"
+    r" \| fin=(?P<fin>\d+) \| delay=(?P<delay>[\d.]+) \| bf=(?P<bf>\d+)"
+    r"(?: \| uses=(?P<uses>.*))?$"
+)
+
+
+def emit_report(schedule: Schedule) -> str:
+    """Serialize a schedule to the text report format."""
+    lines: List[str] = [
+        f"== Schedule Report: {schedule.dfg.name} | clock={schedule.clock_ns:.3f}ns"
+        f" | model={schedule.model_name} | depth={schedule.depth} =="
+    ]
+    for cycle in range(schedule.depth):
+        entries = schedule.ops_in_cycle(cycle)
+        if not entries:
+            continue
+        lines.append(f"State {cycle}:")
+        for entry in entries:
+            uses = ",".join(v.name for v in entry.op.operands)
+            lines.append(
+                f"  {entry.op.name} | {entry.op.opcode.value}"
+                f" | t=[{entry.start_ns:.3f}, {entry.end_ns:.3f}]"
+                f" | fin={entry.finish_cycle}"
+                f" | delay={entry.delay_ns:.3f}"
+                f" | bf={broadcast_factor_of(entry.op)}"
+                + (f" | uses={uses}" if uses else "")
+            )
+    if schedule.violations:
+        lines.append("Violations:")
+        for violation in schedule.violations:
+            lines.append(f"  {violation}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_report(text: str, dfg: DFG) -> Schedule:
+    """Reconstruct a :class:`Schedule` from report text against ``dfg``.
+
+    The DFG must be the one the report was generated from (op names are the
+    join key).  Violations are not round-tripped — the consuming passes
+    recompute them with their own delay model anyway.
+    """
+    ops_by_name = {op.name: op for op in dfg.ops}
+    header = None
+    schedule: Schedule = None  # type: ignore[assignment]
+    current_cycle = -1
+    for raw_line in text.splitlines():
+        line = raw_line.rstrip()
+        if not line:
+            continue
+        if header is None:
+            header = _HEADER_RE.match(line)
+            if header is None:
+                raise ReportParseError(f"bad report header: {line!r}")
+            schedule = Schedule(
+                dfg=dfg,
+                clock_ns=float(header.group("clock")),
+                model_name=header.group("model"),
+            )
+            continue
+        state = _STATE_RE.match(line)
+        if state:
+            current_cycle = int(state.group("cycle"))
+            continue
+        if line.startswith("Violations:") or line.lstrip().startswith("cycle "):
+            continue
+        match = _OP_RE.match(raw_line)
+        if match is None:
+            raise ReportParseError(f"unparseable report line: {line!r}")
+        name = match.group("op")
+        op = ops_by_name.get(name)
+        if op is None:
+            raise ReportParseError(f"report references unknown op {name!r}")
+        if current_cycle < 0:
+            raise ReportParseError(f"op line before any state header: {line!r}")
+        schedule.entries[name] = ScheduledOp(
+            op=op,
+            cycle=current_cycle,
+            start_ns=float(match.group("start")),
+            end_ns=float(match.group("end")),
+            finish_cycle=int(match.group("fin")),
+            delay_ns=float(match.group("delay")),
+        )
+    if schedule is None:
+        raise ReportParseError("empty report")
+    missing = set(ops_by_name) - set(schedule.entries)
+    if missing:
+        raise ReportParseError(f"report missing ops: {sorted(missing)[:5]}")
+    return schedule
+
+
+def report_states(text: str) -> Dict[str, int]:
+    """Light-weight view: op name → state, without needing the DFG."""
+    states: Dict[str, int] = {}
+    current = -1
+    for line in text.splitlines():
+        state = _STATE_RE.match(line.strip()) if line.startswith("State") else None
+        if state:
+            current = int(state.group("cycle"))
+            continue
+        match = _OP_RE.match(line)
+        if match:
+            states[match.group("op")] = current
+    return states

@@ -1,0 +1,91 @@
+"""Resource-constrained scheduling limits.
+
+Production HLS schedulers bound how many instances of an expensive
+resource (DSP multipliers, memory ports) may issue in one cycle — either
+from ``#pragma HLS allocation`` or from device capacity.  The chaining
+scheduler accepts a :class:`ResourceLimits` and defers operations past a
+full cycle, exactly like list scheduling with a ready queue.
+
+This interacts with the paper's topic in one important way: serializing a
+broadcast's consumers across cycles *also* lowers the per-cycle broadcast
+factor, so a resource-limited schedule can mask a broadcast problem that
+reappears when the design is given more resources — one more reason the
+delay model, not resource pressure, should drive the split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.ir.ops import MEM_OPS, Opcode, Operation
+
+
+def resource_class_of(op: Operation) -> Optional[str]:
+    """The limit pool an operation draws from, or None if unlimited."""
+    if op.opcode is Opcode.MUL:
+        dtype = op.result.type if op.result is not None else None
+        return "fmul" if dtype is not None and dtype.is_float else "mul"
+    if op.opcode is Opcode.DIV:
+        return "div"
+    if op.opcode in (Opcode.ADD, Opcode.SUB):
+        dtype = op.result.type if op.result is not None else None
+        if dtype is not None and dtype.is_float:
+            return "fadd"
+        return None
+    if op.opcode in MEM_OPS:
+        return f"mem:{op.attrs['buffer'].name}"
+    return None
+
+
+@dataclass
+class ResourceLimits:
+    """Per-cycle issue limits by resource class.
+
+    ``limits`` maps class names (``mul``, ``fmul``, ``fadd``, ``div``,
+    ``mem:<buffer>``) to the number of issues allowed per cycle; absent
+    classes are unlimited.  ``default_mem_ports`` bounds every buffer that
+    has no explicit entry (2 = true dual port).
+    """
+
+    limits: Dict[str, int] = field(default_factory=dict)
+    default_mem_ports: int = 0  # 0 = unlimited
+
+    def limit_for(self, op: Operation) -> Optional[int]:
+        cls = resource_class_of(op)
+        if cls is None:
+            return None
+        if cls in self.limits:
+            return self.limits[cls]
+        if cls.startswith("mem:") and self.default_mem_ports > 0:
+            return self.default_mem_ports
+        return None
+
+
+class ResourceTracker:
+    """Mutable per-cycle usage counters consulted by the scheduler."""
+
+    def __init__(self, limits: Optional[ResourceLimits] = None) -> None:
+        self.limits = limits or ResourceLimits()
+        self._used: Dict[int, Dict[str, int]] = {}
+
+    def first_free_cycle(self, op: Operation, earliest: int) -> int:
+        """Earliest cycle >= ``earliest`` with an issue slot for ``op``."""
+        limit = self.limits.limit_for(op)
+        if limit is None:
+            return earliest
+        cls = resource_class_of(op)
+        cycle = earliest
+        while self._used.get(cycle, {}).get(cls, 0) >= limit:
+            cycle += 1
+        return cycle
+
+    def commit(self, op: Operation, cycle: int) -> None:
+        cls = resource_class_of(op)
+        if cls is None or self.limits.limit_for(op) is None:
+            return
+        per_cycle = self._used.setdefault(cycle, {})
+        per_cycle[cls] = per_cycle.get(cls, 0) + 1
+
+    def usage(self, cycle: int) -> Dict[str, int]:
+        return dict(self._used.get(cycle, {}))

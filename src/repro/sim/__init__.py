@@ -1,0 +1,26 @@
+"""Cycle-accurate simulation of flow-controlled pipelines.
+
+Used to verify the §4.3 claims executable-ly:
+
+* skid-buffer control produces the **same output stream** as stall-based
+  control under any back-pressure pattern;
+* it has the **same throughput** ("the exact same throughput as the
+  original stall-based back-pressure control");
+* a skid buffer of depth ``N + 1`` **never overflows** for a depth-``N``
+  pipeline, while depth ``N`` can (the "+1 since the empty signal will be
+  deasserted one cycle after" rule).
+"""
+
+from repro.sim.fifo import Fifo
+from repro.sim.pipeline import SkidPipeline, StallPipeline, simulate
+from repro.sim.harness import BackpressureSink, Source, run_pipeline
+
+__all__ = [
+    "Fifo",
+    "StallPipeline",
+    "SkidPipeline",
+    "simulate",
+    "Source",
+    "BackpressureSink",
+    "run_pipeline",
+]

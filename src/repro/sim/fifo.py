@@ -1,0 +1,88 @@
+"""A cycle-accurate bounded FIFO with registered status flags.
+
+Semantics match a synchronous FPGA FIFO:
+
+* ``push``/``pop`` take effect at the clock edge (:meth:`tick`);
+* the ``empty``/``full`` flags seen during a cycle reflect the *previous*
+  edge — this one-cycle status lag is exactly why the paper sizes skid
+  buffers at ``N + 1`` rather than ``N`` ("+1 since the empty signal will
+  be deasserted one cycle after the first element is in").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import FifoOverflowError, FifoUnderflowError
+
+
+class Fifo:
+    """Synchronous FIFO of bounded ``depth``.
+
+    Use pattern per cycle: combinationally inspect :attr:`empty` /
+    :attr:`full`, call :meth:`push` / :meth:`pop` at most once each, then
+    :meth:`tick` advances the clock.
+    """
+
+    def __init__(self, depth: int, name: str = "fifo") -> None:
+        if depth <= 0:
+            raise FifoOverflowError(f"fifo {name!r} depth must be positive")
+        self.depth = depth
+        self.name = name
+        self._data: Deque[object] = deque()
+        # Registered status flags (what the design observes this cycle).
+        self.empty = True
+        self.full = False
+        self.almost_full = depth <= 1
+        self._pushed: Optional[object] = None
+        self._popped = False
+        self.max_occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._data)
+
+    def push(self, item: object) -> None:
+        """Schedule a push for this cycle's clock edge.
+
+        Pushing a genuinely full FIFO loses data on hardware; here it
+        raises, because every legal control scheme must prevent it.
+        """
+        if self._pushed is not None:
+            raise FifoOverflowError(f"fifo {self.name!r}: double push in one cycle")
+        if len(self._data) >= self.depth:
+            raise FifoOverflowError(
+                f"fifo {self.name!r}: push while full (depth {self.depth})"
+            )
+        self._pushed = item
+
+    def pop(self) -> object:
+        """Schedule a pop; returns the head element (combinational read)."""
+        if self._popped:
+            raise FifoUnderflowError(f"fifo {self.name!r}: double pop in one cycle")
+        if not self._data:
+            raise FifoUnderflowError(f"fifo {self.name!r}: pop while empty")
+        self._popped = True
+        return self._data[0]
+
+    def tick(self) -> None:
+        """Advance one clock: commit push/pop, update registered flags."""
+        if self._popped:
+            self._data.popleft()
+        if self._pushed is not None:
+            self._data.append(self._pushed)
+        self._pushed = None
+        self._popped = False
+        self.empty = not self._data
+        self.full = len(self._data) >= self.depth
+        self.almost_full = len(self._data) >= self.depth - 1
+        self.max_occupancy = max(self.max_occupancy, len(self._data))
+
+    def drain(self) -> List[object]:
+        """Remove and return all stored elements (test helper)."""
+        items = list(self._data)
+        self._data.clear()
+        self.empty = True
+        self.full = False
+        return items

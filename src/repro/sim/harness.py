@@ -1,0 +1,92 @@
+"""Sources, sinks and comparison harness for pipeline simulations."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.sim.pipeline import SkidPipeline, StallPipeline, simulate
+
+
+class Source:
+    """A finite item stream (convenience factory for test data)."""
+
+    def __init__(self, count: int, seed: Optional[int] = None) -> None:
+        rng = random.Random(seed)
+        if seed is None:
+            self.items: List[int] = list(range(count))
+        else:
+            self.items = [rng.randrange(1 << 16) for _ in range(count)]
+
+
+class BackpressureSink:
+    """Ready-pattern factory.
+
+    * ``BackpressureSink.always()`` — never stalls;
+    * ``BackpressureSink.duty(num, den)`` — ready ``num`` of every ``den``;
+    * ``BackpressureSink.random(p, seed)`` — Bernoulli(p) per cycle;
+    * ``BackpressureSink.burst_stall(period, length)`` — periodic stalls of
+      ``length`` cycles, the adversarial pattern for overflow tests.
+    """
+
+    @staticmethod
+    def always() -> Callable[[int], bool]:
+        return lambda _cycle: True
+
+    @staticmethod
+    def duty(num: int, den: int) -> Callable[[int], bool]:
+        return lambda cycle: (cycle % den) < num
+
+    @staticmethod
+    def random(p: float, seed: int = 0) -> Callable[[int], bool]:
+        rng = random.Random(seed)
+        pattern: List[bool] = []
+
+        def ready(cycle: int) -> bool:
+            while len(pattern) <= cycle:
+                pattern.append(rng.random() < p)
+            return pattern[cycle]
+
+        return ready
+
+    @staticmethod
+    def burst_stall(period: int, length: int) -> Callable[[int], bool]:
+        return lambda cycle: (cycle % period) >= length
+
+    @staticmethod
+    def from_bools(bools: Sequence[bool]) -> Callable[[int], bool]:
+        return lambda cycle: bools[cycle % len(bools)] if bools else True
+
+
+def run_pipeline(
+    kind: str,
+    depth: int,
+    items: Sequence[object],
+    ready: Callable[[int], bool],
+    fn=None,
+    skid_depth: Optional[int] = None,
+) -> Tuple[List[object], int]:
+    """Build and run one pipeline; returns (outputs, total cycles)."""
+    if kind == "stall":
+        pipeline = StallPipeline(depth, fn=fn)
+    elif kind == "skid":
+        pipeline = SkidPipeline(depth, fn=fn, skid_depth=skid_depth)
+    else:
+        raise ValueError(f"unknown pipeline kind {kind!r}")
+    return simulate(pipeline, items, ready)
+
+
+def compare_control_schemes(
+    depth: int,
+    items: Sequence[object],
+    ready: Callable[[int], bool],
+    fn=None,
+) -> Tuple[List[object], List[object], int, int]:
+    """Run both schemes on identical stimuli.
+
+    Returns ``(stall_out, skid_out, stall_cycles, skid_cycles)`` so callers
+    can assert the §4.3 equivalence claims.
+    """
+    stall_out, stall_cycles = run_pipeline("stall", depth, list(items), ready, fn=fn)
+    skid_out, skid_cycles = run_pipeline("skid", depth, list(items), ready, fn=fn)
+    return stall_out, skid_out, stall_cycles, skid_cycles

@@ -1,0 +1,191 @@
+"""Cycle-accurate models of the two flow-control schemes of §3.3 / §4.3.
+
+Both pipelines apply a function ``fn`` to a stream of items through a
+depth-``N`` register pipeline feeding a flow-controlled consumer:
+
+* :class:`StallPipeline` — one global enable derived from the output
+  FIFO's status and broadcast to every stage: when the downstream cannot
+  accept data, *everything* freezes.  This is the control structure whose
+  broadcast kills Fmax (Fig. 8).
+* :class:`SkidPipeline` — the pipeline always shifts; each slot carries a
+  valid bit; completed items land in a bounded *bypass* skid FIFO (empty
+  FIFO passes data straight through, so the common case costs nothing).
+  The only control decision is local: stop **reading upstream** while the
+  skid FIFO holds data.  An upstream element already being read when the
+  stall is detected still lands in the buffer — hence the paper's minimum
+  skid depth of ``N + 1`` (Fig. 11).
+
+Functional equivalence and equal steady-state throughput between the two
+are asserted by the test suite under arbitrary back-pressure patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.fifo import Fifo
+
+Transform = Callable[[object], object]
+#: A puller returns the next input item, or None if the upstream is empty.
+Puller = Callable[[], Optional[object]]
+
+
+def _identity(x: object) -> object:
+    return x
+
+
+class StallPipeline:
+    """Stall-controlled pipeline (the HLS default, §3.3)."""
+
+    def __init__(self, depth: int, fn: Optional[Transform] = None, out_depth: int = 4) -> None:
+        if depth <= 0:
+            raise SimulationError("pipeline depth must be positive")
+        if out_depth < 2:
+            raise SimulationError("output FIFO depth must be at least 2")
+        self.depth = depth
+        self.fn = fn or _identity
+        self.stages: List[Optional[object]] = [None] * depth
+        self.out = Fifo(out_depth, name="out")
+        self.stall_cycles = 0
+
+    @property
+    def busy(self) -> bool:
+        return any(s is not None for s in self.stages) or not self.out.empty
+
+    def cycle(self, pull: Puller, sink_ready: bool) -> Optional[object]:
+        """Advance one clock cycle.
+
+        ``pull()`` is invoked only when the pipeline advances (the global
+        enable is high) — a stalled pipeline leaves the upstream untouched.
+        Returns the element delivered to the consumer this cycle, or None.
+        """
+        delivered = None
+        if sink_ready and not self.out.empty:
+            delivered = self.out.pop()
+
+        # The broadcast enable: freeze every stage when the output FIFO
+        # may not be able to accept the in-flight completion.
+        enable = not self.out.almost_full
+        if enable:
+            tail = self.stages[-1]
+            if tail is not None:
+                self.out.push(tail)
+            self.stages[1:] = self.stages[:-1]
+            item = pull()
+            self.stages[0] = self.fn(item) if item is not None else None
+        else:
+            self.stall_cycles += 1
+        self.out.tick()
+        return delivered
+
+
+class SkidPipeline:
+    """Skid-buffer-controlled pipeline (§4.3, Fig. 11).
+
+    ``skid_depth`` defaults to the provably-safe ``depth + 1``; tests pass
+    smaller values to demonstrate overflow.
+    """
+
+    def __init__(
+        self,
+        depth: int,
+        fn: Optional[Transform] = None,
+        skid_depth: Optional[int] = None,
+        gate: str = "credit",
+    ) -> None:
+        """``gate`` selects the read-gate implementation:
+
+        * ``"credit"`` (default) — space-accounting gate; work-conserving
+          and overflow-free by construction at any capacity;
+        * ``"lagged"`` — the paper's literal description ("the buffer will
+          become non-empty, and the pipeline will stop reading"), observing
+          the *registered* empty flag.  Safe iff capacity ≥ depth + 1 —
+          the property the paper's sizing rule rests on, demonstrated by
+          the overflow tests.
+        """
+        if depth <= 0:
+            raise SimulationError("pipeline depth must be positive")
+        if gate not in ("credit", "lagged"):
+            raise SimulationError(f"unknown skid gate {gate!r}")
+        self.depth = depth
+        self.fn = fn or _identity
+        self.gate = gate
+        self.stages: List[Optional[object]] = [None] * depth
+        self.skid = Fifo(skid_depth if skid_depth is not None else depth + 1, name="skid")
+        self.bubble_cycles = 0
+
+    @property
+    def busy(self) -> bool:
+        return any(s is not None for s in self.stages) or not self.skid.empty
+
+    def cycle(self, pull: Puller, sink_ready: bool) -> Optional[object]:
+        """Advance one clock; the pipeline itself never stalls."""
+        tail = self.stages[-1]
+        delivered = None
+        push_tail = tail is not None
+        if sink_ready:
+            if self.skid.occupancy > 0:
+                delivered = self.skid.pop()
+            elif tail is not None:
+                # Bypass: an empty skid FIFO passes data straight through,
+                # keeping full throughput in the common (no-stall) case.
+                delivered = tail
+                push_tail = False
+        if push_tail:
+            self.skid.push(tail)
+
+        # The read gate is the only flow-control decision.  It is credit
+        # based: admit a new element only when the buffer can absorb every
+        # element already in flight plus this one even if the downstream
+        # never accepts again.  With the paper's minimum capacity of
+        # ``N + 1`` this is exactly "stop reading once data backs up", but
+        # it re-opens as credits return, so steady-state throughput equals
+        # the stall scheme's (the §4.3 claim tests assert).
+        if self.gate == "credit":
+            popped = 1 if (sink_ready and self.skid.occupancy > 0) else 0
+            committed = self.skid.occupancy - popped + (1 if push_tail else 0)
+            in_flight = sum(1 for s in self.stages[:-1] if s is not None)
+            reading = committed + in_flight + 1 <= self.skid.depth
+        else:  # "lagged": the registered empty flag, as the paper words it
+            reading = self.skid.empty
+
+        # Always flowing: every slot shifts every cycle; empty slots are
+        # just invalid bubbles.
+        self.stages[1:] = self.stages[:-1]
+        item = pull() if reading else None
+        if item is not None:
+            self.stages[0] = self.fn(item)
+        else:
+            self.stages[0] = None
+            self.bubble_cycles += 1
+        self.skid.tick()
+        return delivered
+
+
+def simulate(
+    pipeline,
+    items: Sequence[object],
+    ready_pattern: Callable[[int], bool],
+    max_cycles: int = 1_000_000,
+) -> Tuple[List[object], int]:
+    """Drive ``pipeline`` with ``items`` against a back-pressured sink.
+
+    ``ready_pattern(cycle)`` says whether the consumer accepts data in a
+    given cycle.  Returns ``(outputs, cycles_to_drain)``.
+    """
+    outputs: List[object] = []
+    pending = list(items)
+    cycle = 0
+
+    def pull() -> Optional[object]:
+        return pending.pop(0) if pending else None
+
+    while (pending or pipeline.busy) and cycle < max_cycles:
+        delivered = pipeline.cycle(pull, ready_pattern(cycle))
+        if delivered is not None:
+            outputs.append(delivered)
+        cycle += 1
+    if pending or pipeline.busy:
+        raise SimulationError(f"simulation did not drain in {max_cycles} cycles")
+    return outputs, cycle

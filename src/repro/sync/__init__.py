@@ -1,0 +1,27 @@
+"""Synchronization analysis and pruning (§3.2 / §4.2).
+
+* :mod:`repro.sync.flowgraph` — rebuilds the dataflow graph at the
+  granularity of elementary flow-control units and finds independent
+  sub-graphs;
+* :mod:`repro.sync.pruning` — splits independent flows into separate loops
+  and restricts parallel-module sync to the longest-latency module.
+"""
+
+from repro.sync.flowgraph import dfg_components, split_dfg_components
+from repro.sync.pruning import (
+    SyncPruningReport,
+    longest_latency_call,
+    prune_call_sync,
+    prune_synchronization,
+    split_independent_flows,
+)
+
+__all__ = [
+    "dfg_components",
+    "split_dfg_components",
+    "prune_synchronization",
+    "split_independent_flows",
+    "prune_call_sync",
+    "longest_latency_call",
+    "SyncPruningReport",
+]

@@ -1,0 +1,122 @@
+"""Flow graphs at the granularity of elementary flow-control units.
+
+The paper (§4.2): "We reconstruct the dataflow graph, not based on the
+user-defined streaming kernels, but at the granularity of the elementary
+flow control units. We identify the isolated sub-graphs within user-defined
+streaming kernels and split the independent flows explicitly into separate
+loops."
+
+Here the elementary units are the operations of a loop body; two units
+belong to the same flow when they are connected through produced/consumed
+values.  (FIFOs do *not* merge units — a FIFO endpoint is exactly where
+independent flows may be cut; buffers *do*, since a shared memory imposes
+ordering.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.dfg import DFG
+from repro.ir.ops import MEM_OPS, Opcode, Operation
+from repro.ir.values import Value
+
+
+class _UnionFind:
+    def __init__(self, items) -> None:
+        self._parent = {item: item for item in items}
+
+    def find(self, item):
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+
+def dfg_components(dfg: DFG) -> List[List[Operation]]:
+    """Weakly-connected components of the op graph, in stable order.
+
+    Connectivity: shared SSA values (producer↔consumer, and common input
+    values) and shared memory buffers.  Constants never connect components.
+    """
+    ops = [op for op in dfg.ops if op.opcode is not Opcode.CONST]
+    if not ops:
+        return []
+    uf = _UnionFind(id(op) for op in ops)
+    by_id = {id(op): op for op in ops}
+    # Value edges.
+    for value in dfg.values.values():
+        if value.is_const:
+            continue
+        endpoints = [op for op in value.uses if op.opcode is not Opcode.CONST]
+        if value.producer is not None and value.producer.opcode is not Opcode.CONST:
+            endpoints.append(value.producer)
+        for a, b in zip(endpoints, endpoints[1:]):
+            uf.union(id(a), id(b))
+    # Shared-buffer edges (memory imposes ordering between its accessors).
+    touching: Dict[str, Operation] = {}
+    for op in ops:
+        if op.opcode in MEM_OPS:
+            name = op.attrs["buffer"].name
+            if name in touching:
+                uf.union(id(op), id(touching[name]))
+            else:
+                touching[name] = op
+    groups: Dict[int, List[Operation]] = {}
+    for op in ops:
+        groups.setdefault(uf.find(id(op)), []).append(op)
+    # Stable order: by first op's position in the original graph.
+    position = dfg.op_index()
+    components = sorted(groups.values(), key=lambda comp: min(position[o] for o in comp))
+    return components
+
+
+def split_dfg_components(dfg: DFG) -> List[DFG]:
+    """Extract each component into its own DFG (fresh values, same names).
+
+    Returns one verified DFG per component; a single-component graph yields
+    a one-element list containing a clone.
+    """
+    components = dfg_components(dfg)
+    result: List[DFG] = []
+    for index, component in enumerate(components):
+        member = set(id(op) for op in component)
+        sub = DFG(f"{dfg.name}_flow{index}")
+        mapping: Dict[Value, Value] = {}
+
+        def lookup(value: Value, sub=sub, mapping=mapping) -> Value:
+            if value in mapping:
+                return mapping[value]
+            if value.is_const:
+                mapping[value] = sub.const(value.const, value.type, name=value.name)
+            else:
+                new_input = sub.input(value.name, value.type)
+                new_input.loop_invariant = value.loop_invariant
+                mapping[value] = new_input
+            return mapping[value]
+
+        for op in dfg.ops:
+            if id(op) not in member:
+                continue
+            if op.opcode is Opcode.CONST:  # pragma: no cover - excluded above
+                continue
+            operands = [lookup(v) for v in op.operands]
+            new_op = sub.add_op(
+                op.opcode,
+                operands,
+                result_type=op.result.type if op.result is not None else None,
+                attrs=dict(op.attrs),
+                name=op.result.name if op.result is not None else None,
+            )
+            if op.result is not None:
+                mapping[op.result] = new_op.result
+        sub.verify()
+        result.append(sub)
+    return result

@@ -1,0 +1,144 @@
+"""Synchronization pruning passes (§4.2).
+
+Two cases, as in the paper:
+
+1. **Dataflow synchronization** (Fig. 5a/6a): independent flows expressed in
+   one loop get synchronized per iteration by the HLS tool.
+   :func:`split_independent_flows` rewrites each dataflow loop into one loop
+   per isolated sub-graph, so the generated controller of each loop only
+   synchronizes what actually communicates (Fig. 10a).
+2. **Parallel-module synchronization** (Fig. 5b/6b): the FSM waits for every
+   parallel instance.  :func:`prune_call_sync` marks loops where waiting on
+   the *longest-latency* instance suffices (Fig. 10b).  Modules with dynamic
+   latency are refused, exactly as the paper's implementation ("our method
+   cannot handle modules with dynamic latency").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import DynamicLatencyError
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode, Operation
+from repro.ir.program import Design, Kernel, Loop
+from repro.sync.flowgraph import split_dfg_components
+
+
+@dataclass
+class SyncPruningReport:
+    """What the pruning passes did to a design."""
+
+    split_loops: List[str] = field(default_factory=list)
+    flows_created: int = 0
+    call_syncs_pruned: List[str] = field(default_factory=list)
+    skipped_dynamic: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"split {len(self.split_loops)} loop(s) into {self.flows_created} flow(s); "
+            f"pruned call sync in {len(self.call_syncs_pruned)} loop(s); "
+            f"skipped {len(self.skipped_dynamic)} dynamic-latency loop(s)"
+        )
+
+
+def split_independent_flows(design: Design, report: Optional[SyncPruningReport] = None) -> Design:
+    """Split every dataflow loop with isolated sub-graphs (case 1).
+
+    Returns a new design; the input is untouched.  Loops whose body is one
+    connected component are kept as-is.
+    """
+    report = report if report is not None else SyncPruningReport()
+    result = design.clone()
+    for kernel in result.kernels:
+        new_loops: List[Loop] = []
+        for loop in kernel.loops:
+            flows = split_dfg_components(loop.body)
+            if len(flows) <= 1:
+                new_loops.append(loop)
+                continue
+            report.split_loops.append(f"{kernel.name}/{loop.name}")
+            report.flows_created += len(flows)
+            for index, flow in enumerate(flows):
+                _rebind_attrs(flow, result)
+                new_loops.append(
+                    Loop(
+                        name=f"{loop.name}.flow{index}",
+                        body=flow,
+                        trip_count=loop.trip_count,
+                        pipeline=loop.pipeline,
+                        ii=loop.ii,
+                        unroll=1,
+                    )
+                )
+        kernel.loops = new_loops
+    result.verify()
+    return result
+
+
+def _rebind_attrs(dfg: DFG, design: Design) -> None:
+    """Point fifo/buffer attrs of a split body at the design's objects."""
+    for op in dfg.ops:
+        if "fifo" in op.attrs:
+            op.attrs["fifo"] = design.fifos[op.attrs["fifo"].name]
+        if "buffer" in op.attrs:
+            op.attrs["buffer"] = design.buffers[op.attrs["buffer"].name]
+
+
+def calls_in(dfg: DFG) -> List[Operation]:
+    return [op for op in dfg.ops if op.opcode is Opcode.CALL]
+
+
+def longest_latency_call(dfg: DFG) -> Operation:
+    """The parallel instance the pruned sync waits on (case 2).
+
+    Raises :class:`DynamicLatencyError` when any instance's latency is not
+    a compile-time constant — symbolic execution of variable loop bounds is
+    the paper's future work, not implemented here either.
+    """
+    calls = calls_in(dfg)
+    if not calls:
+        raise DynamicLatencyError("no parallel module instances to synchronize")
+    dynamic = [op for op in calls if op.attrs.get("dynamic_latency")]
+    if dynamic:
+        names = [op.name for op in dynamic]
+        raise DynamicLatencyError(
+            f"cannot prune synchronization: dynamic-latency module(s) {names}"
+        )
+    return max(calls, key=lambda op: (int(op.attrs["latency"]), op.name))
+
+
+def prune_call_sync(design: Design, report: Optional[SyncPruningReport] = None) -> Design:
+    """Mark loops whose parallel-call sync can wait on one module (case 2).
+
+    Sets ``loop.body`` ops' owning loop metadata ``sync_prune_to`` so the
+    RTL generator wires the FSM's continue condition from that single
+    module's done register instead of the full done-reduce tree.  Loops
+    containing any dynamic-latency call are skipped (conservative, like the
+    paper) and recorded in the report.
+    """
+    report = report if report is not None else SyncPruningReport()
+    result = design.clone()
+    for kernel in result.kernels:
+        for loop in kernel.loops:
+            calls = calls_in(loop.body)
+            if len(calls) < 2:
+                continue
+            try:
+                winner = longest_latency_call(loop.body)
+            except DynamicLatencyError:
+                report.skipped_dynamic.append(f"{kernel.name}/{loop.name}")
+                continue
+            for op in calls:
+                op.attrs["sync_pruned"] = op is winner
+            report.call_syncs_pruned.append(f"{kernel.name}/{loop.name}")
+    return result
+
+
+def prune_synchronization(design: Design) -> "tuple[Design, SyncPruningReport]":
+    """Run both pruning passes; returns (new design, report)."""
+    report = SyncPruningReport()
+    design = split_independent_flows(design, report)
+    design = prune_call_sync(design, report)
+    return design, report

@@ -1,0 +1,58 @@
+"""Shared fixtures.
+
+The expensive artifact is the §4.1 calibration (dozens of placements).
+Most tests use the synthetic :class:`CalibrationTable` from
+:mod:`repro.testing`; the few exercising real characterization restrict
+their factor sweeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.delay.calibrated import CalibratedDelayModel, CalibrationTable
+from repro.flow import Flow
+from repro.ir.program import Design
+from repro.testing import (
+    stream_to_buffer_design,
+    synthetic_calibration,
+    unrolled_broadcast_design,
+)
+
+
+def make_synthetic_table() -> CalibrationTable:
+    return synthetic_calibration()
+
+
+def make_mini_stream_design(depth: int = 8192, unroll: int = 1) -> Design:
+    return stream_to_buffer_design(depth=depth, unroll=unroll)
+
+
+def make_unrolled_compute_design(unroll: int = 16) -> Design:
+    return unrolled_broadcast_design(unroll=unroll)
+
+
+@pytest.fixture(scope="session")
+def synthetic_table() -> CalibrationTable:
+    return make_synthetic_table()
+
+
+@pytest.fixture(scope="session")
+def calibrated_model(synthetic_table) -> CalibratedDelayModel:
+    return CalibratedDelayModel(synthetic_table)
+
+
+@pytest.fixture()
+def flow(synthetic_table) -> Flow:
+    """A flow wired to the synthetic calibration (fast and deterministic)."""
+    return Flow(calibration=synthetic_table)
+
+
+@pytest.fixture()
+def mini_design() -> Design:
+    return make_mini_stream_design()
+
+
+@pytest.fixture()
+def unrolled_design() -> Design:
+    return make_unrolled_compute_design()

@@ -1,0 +1,101 @@
+"""Tests for broadcast classification and diagnosis (repro.analysis)."""
+
+from repro.analysis import classify_design, classify_netlist, diagnose
+from repro.analysis.broadcast import BroadcastRecord, BroadcastReport
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.types import i32
+from repro.rtl.netlist import CellKind, Netlist, NetKind
+
+
+class TestReportContainer:
+    def test_of_kind_and_sorted(self):
+        report = BroadcastReport(
+            records=[
+                BroadcastRecord("data", "k/l", "a", 8),
+                BroadcastRecord("sync", "k/l", "b", 64),
+                BroadcastRecord("data", "k/l", "c", 32),
+            ]
+        )
+        assert len(report.of_kind("data")) == 2
+        assert report.sorted()[0].fanout == 64
+        assert report.kinds == ["data", "sync"]
+
+    def test_summary_lines(self):
+        report = BroadcastReport(records=[BroadcastRecord("data", "k", "x", 9)])
+        assert "fanout=9" in report.summary()
+
+
+class TestClassifyDesign:
+    def test_unrolled_invariant_flagged(self, unrolled_design):
+        report = classify_design(unrolled_design)
+        data = report.of_kind("data")
+        assert data
+        assert any(r.note == "loop-invariant" for r in data)
+
+    def test_big_buffer_flagged(self):
+        design = Design("m")
+        buf = design.add_buffer(Buffer("big", i32, 1 << 18))
+        b = DFGBuilder("body")
+        b.store(buf, b.input("a", i32), b.input("d", i32))
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("l", b.build(), pipeline=True, trip_count=8))
+        report = classify_design(design)
+        mem = report.of_kind("memory")
+        assert mem and mem[0].fanout == buf.bram36_units()
+
+    def test_parallel_calls_flagged(self):
+        design = Design("farm")
+        b = DFGBuilder("body")
+        seed = b.input("s", i32)
+        for i in range(5):
+            b.call(f"pe{i}", [seed], i32, latency=3)
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("l", b.build(), trip_count=4))
+        report = classify_design(design)
+        sync = report.of_kind("sync")
+        assert sync and sync[0].fanout == 5
+
+    def test_small_design_clean(self):
+        design = Design("tiny")
+        b = DFGBuilder("body")
+        x = b.input("x", i32)
+        b.add(x, b.const(1, i32))
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("l", b.build(), trip_count=4))
+        assert classify_design(design).records == []
+
+
+class TestClassifyNetlist:
+    def test_enable_net_classified(self):
+        nl = Netlist("n")
+        gate = nl.new_cell("g", CellKind.LOGIC, delay_ns=0.3)
+        sinks = [
+            (nl.new_cell(f"r{i}", CellKind.FF, ffs=1, delay_ns=0.1), "ce")
+            for i in range(32)
+        ]
+        nl.connect("enable", gate, sinks, kind=NetKind.ENABLE)
+        report = classify_netlist(nl)
+        assert report.of_kind("pipeline-control")
+
+    def test_threshold_respected(self):
+        nl = Netlist("n")
+        src = nl.new_cell("s", CellKind.FF, ffs=1, delay_ns=0.1)
+        sinks = [
+            (nl.new_cell(f"r{i}", CellKind.FF, ffs=1, delay_ns=0.1), "d")
+            for i in range(4)
+        ]
+        nl.connect("d", src, sinks, kind=NetKind.DATA)
+        assert classify_netlist(nl, threshold=8).records == []
+        assert classify_netlist(nl, threshold=2).records
+
+
+class TestDiagnose:
+    def test_every_class_has_advice(self, flow):
+        from conftest import make_mini_stream_design
+
+        result = flow.run(make_mini_stream_design(depth=1 << 18))
+        advice = diagnose(result.timing)
+        joined = "\n".join(advice)
+        # the big-buffer design should surface memory advice
+        assert "§4.1" in joined or "§4.3" in joined

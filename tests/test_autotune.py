@@ -1,0 +1,74 @@
+"""Tests for the automatic optimizer (repro.autotune)."""
+
+import pytest
+
+from repro.autotune import AutoTuneResult, _next_config, auto_optimize
+from repro.control.styles import ControlStyle
+from repro.opt import BASELINE, FULL, OptimizationConfig
+from repro.rtl.netlist import NetKind
+
+from conftest import make_mini_stream_design
+
+
+class TestPolicy:
+    def test_data_critical_enables_scheduling(self):
+        nxt, action = _next_config(BASELINE, NetKind.DATA)
+        assert nxt.broadcast_aware
+        assert "§4.1" in action
+
+    def test_mem_critical_enables_scheduling(self):
+        nxt, _ = _next_config(BASELINE, NetKind.MEM)
+        assert nxt.broadcast_aware
+
+    def test_enable_critical_switches_control(self):
+        nxt, action = _next_config(BASELINE, NetKind.ENABLE)
+        assert nxt.control is ControlStyle.SKID_MINAREA
+        assert "§4.3" in action
+
+    def test_sync_critical_prunes(self):
+        nxt, action = _next_config(BASELINE, NetKind.SYNC)
+        assert nxt.sync_pruning
+        assert "§4.2" in action
+
+    def test_exhausted_returns_none(self):
+        nxt, action = _next_config(FULL, NetKind.DATA)
+        assert nxt is None
+        assert "all techniques applied" in action
+
+    def test_preserves_other_knobs(self):
+        start = OptimizationConfig(broadcast_aware=True)
+        nxt, _ = _next_config(start, NetKind.ENABLE)
+        assert nxt.broadcast_aware  # kept while adding skid control
+
+
+class TestLoop:
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        from repro.flow import Flow
+        from conftest import make_synthetic_table
+
+        flow = Flow(calibration=make_synthetic_table())
+        design = make_mini_stream_design(depth=1 << 18)
+        return auto_optimize(design, flow=flow)
+
+    def test_improves_over_baseline(self, tuned):
+        assert tuned.best.fmax_mhz > tuned.steps[0].fmax_mhz
+
+    def test_log_explains_actions(self, tuned):
+        log = tuned.log()
+        assert "step 0: [orig]" in log
+        assert "§4" in log
+
+    def test_terminates(self, tuned):
+        assert len(tuned.steps) <= 7
+
+    def test_final_config_addresses_mem_and_control(self, tuned):
+        cfg = tuned.final_config
+        # The big-buffer design has mem + enable broadcasts: both fixes on.
+        assert cfg.broadcast_aware
+        assert cfg.control.uses_skid
+
+    def test_best_at_least_any_step(self, tuned):
+        assert tuned.best.fmax_mhz == pytest.approx(
+            max(step.fmax_mhz for step in tuned.steps)
+        )

@@ -1,0 +1,103 @@
+"""Tests for the §4.1 broadcast-aware scheduling pass."""
+
+import pytest
+
+from repro.delay.calibrated import CalibratedDelayModel
+from repro.ir.builder import DFGBuilder
+from repro.ir.ops import Opcode
+from repro.ir.passes import unroll_loop
+from repro.ir.program import Buffer, Loop
+from repro.ir.types import f32, i32
+from repro.scheduling.broadcast_aware import audit_chains, broadcast_aware_schedule
+from repro.scheduling.chaining import ChainingScheduler
+from repro.delay.hls_model import HlsDelayModel
+
+CLOCK = 3.0
+
+
+def broadcast_chain_dfg(copies=64):
+    """A genome-like unrolled chain: shared operand feeds `copies` subs,
+    each followed by more chained logic."""
+    b = DFGBuilder("bc")
+    shared = b.input("shared", i32, loop_invariant=True)
+    local = b.input("local", i32)
+    d = b.sub(local, shared, name="d")
+    e = b.add(d, b.const(5, i32), name="e")
+    f = b.sub(e, local, name="f")
+    b.store(Buffer("scores", i32, max(copies, 2) * 4, partition=copies), b.input("k", i32), f).attrs[
+        "bank_group"
+    ] = "per_copy"
+    loop = Loop("l", b.build(), trip_count=copies, unroll=copies)
+    return unroll_loop(loop).body
+
+
+class TestAuditChains:
+    def test_finds_broadcast_violation(self, calibrated_model):
+        dfg = broadcast_chain_dfg()
+        baseline = ChainingScheduler(HlsDelayModel(), CLOCK).schedule(dfg)
+        violations = audit_chains(baseline, calibrated_model)
+        assert violations, "the 64-broadcast sub chain must violate"
+        worst = max(v.calibrated_arrival_ns for v in violations)
+        assert worst > CLOCK - 0.3
+
+    def test_no_violation_without_broadcast(self, calibrated_model):
+        b = DFGBuilder()
+        x, y = b.input("x", i32), b.input("y", i32)
+        b.sub(b.add(x, y), y)
+        baseline = ChainingScheduler(HlsDelayModel(), CLOCK).schedule(b.build())
+        assert audit_chains(baseline, calibrated_model) == []
+
+    def test_violation_message_quotes_both_views(self, calibrated_model):
+        dfg = broadcast_chain_dfg()
+        baseline = ChainingScheduler(HlsDelayModel(), CLOCK).schedule(dfg)
+        text = str(audit_chains(baseline, calibrated_model)[0])
+        assert "HLS believed" in text and "budget" in text
+
+
+class TestBroadcastAwareSchedule:
+    def test_depth_grows_by_about_one(self, calibrated_model):
+        """§5.2: 'the length of the pipeline is 9 originally and 10 after'."""
+        dfg = broadcast_chain_dfg()
+        result = broadcast_aware_schedule(dfg, CLOCK, calibrated_model)
+        assert 1 <= result.extra_stages <= 4
+
+    def test_final_schedule_meets_calibrated_budget(self, calibrated_model):
+        dfg = broadcast_chain_dfg()
+        result = broadcast_aware_schedule(dfg, CLOCK, calibrated_model)
+        # Re-audit the final schedule with the calibrated model: no chain
+        # violations should remain (single-op overruns are pipelined away).
+        assert audit_chains(result.schedule, calibrated_model) == []
+
+    def test_mem_ops_pipelined_for_big_buffers(self, calibrated_model):
+        b = DFGBuilder()
+        big = Buffer("big", i32, 1 << 20)
+        data = b.input("d", i32)
+        b.store(big, b.input("a", i32), data)
+        result = broadcast_aware_schedule(b.build(), CLOCK, calibrated_model)
+        assert any("buffer access" in e for e in result.edits)
+
+    def test_fmul_broadcast_gets_extra_pipelining(self, calibrated_model):
+        b = DFGBuilder()
+        x = b.input("x", f32, loop_invariant=True)
+        ws = [b.input(f"w{i}", f32) for i in range(256)]
+        for w in ws:
+            b.mul(x, w)
+        result = broadcast_aware_schedule(b.build(), CLOCK, calibrated_model)
+        muls = [op for op in result.schedule.dfg.ops if op.opcode is Opcode.MUL]
+        assert all(int(m.attrs.get("extra_latency", 0)) >= 1 for m in muls)
+
+    def test_via_report_equivalent(self, calibrated_model):
+        d1 = broadcast_chain_dfg()
+        d2 = broadcast_chain_dfg()
+        r1 = broadcast_aware_schedule(d1, CLOCK, calibrated_model, via_report=True)
+        r2 = broadcast_aware_schedule(d2, CLOCK, calibrated_model, via_report=False)
+        assert r1.schedule.depth == r2.schedule.depth
+        assert len(r1.chain_violations) == len(r2.chain_violations)
+
+    def test_baseline_unchanged_for_hls_model(self, calibrated_model):
+        dfg = broadcast_chain_dfg()
+        result = broadcast_aware_schedule(dfg, CLOCK, calibrated_model)
+        # the baseline must reflect the blind model: violations only appear
+        # under calibrated re-timing, not in the baseline's own bookkeeping
+        assert result.baseline.model_name == "hls"
+        assert result.chain_violations

@@ -1,0 +1,83 @@
+"""Tests for source-level broadcast trees (repro.ir.broadcast_tree)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.broadcast_tree import build_broadcast_tree, tree_fanout_profile
+from repro.ir.builder import DFGBuilder
+from repro.ir.ops import Opcode
+from repro.ir.types import i32
+
+
+def fan_dfg(consumers=16):
+    b = DFGBuilder("fan")
+    x = b.input("x", i32)
+    y = b.input("y", i32)
+    for i in range(consumers):
+        b.add(x, y, name=f"o{i}")
+    return b.build(), x
+
+
+class TestTreeConstruction:
+    def test_fanout_bounded_by_arity(self):
+        dfg, x = fan_dfg(16)
+        build_broadcast_tree(dfg, x, arity=4)
+        profile = tree_fanout_profile(dfg, "x")
+        assert all(f <= 4 for f in profile)
+
+    def test_reg_count_returned(self):
+        dfg, x = fan_dfg(16)
+        inserted = build_broadcast_tree(dfg, x, arity=4)
+        assert inserted == dfg.count(Opcode.REG)
+        assert inserted >= 4
+
+    def test_one_level_when_small(self):
+        dfg, x = fan_dfg(4)
+        build_broadcast_tree(dfg, x, arity=4)
+        assert dfg.count(Opcode.REG) >= 1
+        dfg.verify()
+
+    def test_explicit_levels(self):
+        dfg, x = fan_dfg(8)
+        build_broadcast_tree(dfg, x, arity=4, levels=2)
+        # root -> level0 regs -> level1 regs -> adders
+        profile = tree_fanout_profile(dfg, "x")
+        assert len(profile) >= 3
+
+    def test_consumers_rewired_not_duplicated(self):
+        dfg, x = fan_dfg(9)
+        adds_before = dfg.count(Opcode.ADD)
+        build_broadcast_tree(dfg, x, arity=3)
+        assert dfg.count(Opcode.ADD) == adds_before
+
+    def test_foreign_value_rejected(self):
+        dfg, _x = fan_dfg(4)
+        other = DFGBuilder().input("z", i32)
+        with pytest.raises(IRError):
+            build_broadcast_tree(dfg, other, arity=4)
+
+    def test_unconsumed_value_rejected(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        with pytest.raises(IRError):
+            build_broadcast_tree(b.dfg, x)
+
+    def test_bad_arity_rejected(self):
+        dfg, x = fan_dfg(4)
+        with pytest.raises(IRError):
+            build_broadcast_tree(dfg, x, arity=1)
+
+
+class TestTreeScheduling:
+    def test_tree_adds_latency(self):
+        """Each tree level costs a cycle — the latency/fanout trade the
+        paper weighs against backend duplication."""
+        from repro.delay.hls_model import HlsDelayModel
+        from repro.scheduling.chaining import ChainingScheduler
+
+        flat, x1 = fan_dfg(16)
+        treed, x2 = fan_dfg(16)
+        build_broadcast_tree(treed, x2, arity=4)
+        flat_depth = ChainingScheduler(HlsDelayModel(), 3.0).schedule(flat).depth
+        tree_depth = ChainingScheduler(HlsDelayModel(), 3.0).schedule(treed).depth
+        assert tree_depth >= flat_depth + 2  # two REG levels

@@ -1,0 +1,80 @@
+"""Tests for calibration persistence and Gantt rendering."""
+
+import pytest
+
+from repro.delay.cache import (
+    get_or_build_calibration,
+    load_calibration,
+    save_calibration,
+)
+from repro.delay.calibrated import CalibrationTable
+from repro.delay.hls_model import HlsDelayModel
+from repro.errors import ReproError
+from repro.ir.builder import DFGBuilder
+from repro.ir.types import i32
+from repro.scheduling.chaining import ChainingScheduler
+from repro.scheduling.gantt import render_gantt
+
+
+class TestCalibrationCache:
+    def table(self):
+        t = CalibrationTable()
+        t.add("add_i32", 1, 0.78)
+        t.add("add_i32", 64, 2.1)
+        return t
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(self.table(), str(path), device="aws-f1")
+        back = load_calibration(str(path))
+        assert back.to_dict() == self.table().to_dict()
+
+    def test_device_check(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(self.table(), str(path), device="aws-f1")
+        load_calibration(str(path), device="aws-f1")
+        with pytest.raises(ReproError):
+            load_calibration(str(path), device="zc706")
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text('{"version": 99, "curves": {}}')
+        with pytest.raises(ReproError):
+            load_calibration(str(path))
+
+    def test_get_or_build_loads_existing(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(self.table(), str(path), device="aws-f1")
+        table = get_or_build_calibration(str(path), device="aws-f1")
+        assert table.lookup("add_i32", 64) == pytest.approx(2.1)
+
+
+class TestGantt:
+    def scheduled(self):
+        b = DFGBuilder("g")
+        x = b.input("x", i32)
+        v = b.add(x, x, name="first")
+        for i in range(8):
+            v = b.sub(v, x, name=f"s{i}")
+        return ChainingScheduler(HlsDelayModel(), 2.0).schedule(b.build())
+
+    def test_renders_all_cycles(self):
+        schedule = self.scheduled()
+        text = render_gantt(schedule)
+        for c in range(schedule.depth):
+            assert f"c{c}" in text
+
+    def test_bars_present(self):
+        assert "#" in render_gantt(self.scheduled())
+
+    def test_row_truncation(self):
+        text = render_gantt(self.scheduled(), max_ops=3)
+        assert "more ops not shown" in text
+
+    def test_cycle_limit(self):
+        text = render_gantt(self.scheduled(), only_cycles=1)
+        assert "c1" not in text.splitlines()[0]
+
+    def test_footer_stats(self):
+        text = render_gantt(self.scheduled())
+        assert "depth=" in text and "model=hls" in text

@@ -1,0 +1,111 @@
+"""Tests for the skeleton characterization harness (§4.1).
+
+These use real (small) skeleton measurements, so they also pin the key
+qualitative properties of the physical model: delay grows with broadcast
+factor, the factor-1 point matches the HLS prediction for integer ops, and
+float multiply measures below its (conservative) prediction.
+"""
+
+import pytest
+
+from repro.delay.calibration import (
+    build_arith_skeleton,
+    build_load_skeleton,
+    build_store_skeleton,
+    characterize_memory,
+    characterize_operator,
+)
+from repro.delay.tables import hls_predicted_delay
+from repro.ir.ops import Opcode
+from repro.ir.types import f32, i32
+from repro.rtl.netlist import CellKind
+
+FACTORS = (1, 16, 128)
+
+
+@pytest.fixture(scope="module")
+def sub_curve():
+    return characterize_operator(Opcode.SUB, i32, FACTORS)
+
+
+@pytest.fixture(scope="module")
+def fmul_curve():
+    return characterize_operator(Opcode.MUL, f32, FACTORS)
+
+
+@pytest.fixture(scope="module")
+def store_curve():
+    return characterize_memory("store", FACTORS)
+
+
+class TestSkeletonNetlists:
+    def test_arith_skeleton_structure(self):
+        nl = build_arith_skeleton(Opcode.ADD, i32, 8)
+        bcast = nl.nets["bcast"]
+        assert bcast.fanout == 8
+        nl.validate()
+
+    def test_store_skeleton_banks(self):
+        nl = build_store_skeleton(12)
+        assert len(nl.cells_of_kind(CellKind.BRAM)) == 12
+        nl.validate()
+
+    def test_load_skeleton_has_mux(self):
+        nl = build_load_skeleton(6)
+        assert any("rmux" in name for name in nl.cells)
+        nl.validate()
+
+
+class TestOperatorCurves:
+    def test_monotone_increasing(self, sub_curve):
+        delays = [d for _f, d in sub_curve]
+        assert delays == sorted(delays)
+
+    def test_factor1_matches_prediction(self, sub_curve):
+        predicted = hls_predicted_delay(Opcode.SUB, i32)
+        assert sub_curve[0][1] == pytest.approx(predicted, abs=0.35)
+
+    def test_big_broadcast_well_above_prediction(self, sub_curve):
+        predicted = hls_predicted_delay(Opcode.SUB, i32)
+        assert sub_curve[-1][1] > predicted * 2
+
+    def test_paper_anchor_factor64(self):
+        # §5.2: sub goes 0.78 ns -> ~2.08 ns at broadcast factor 64.
+        points = characterize_operator(Opcode.SUB, i32, (64,))
+        assert 1.5 <= points[0][1] <= 2.8
+
+    def test_fmul_measures_below_prediction_at_1(self, fmul_curve):
+        predicted = hls_predicted_delay(Opcode.MUL, f32)
+        assert fmul_curve[0][1] < predicted
+
+    def test_fmul_crosses_prediction(self, fmul_curve):
+        predicted = hls_predicted_delay(Opcode.MUL, f32)
+        assert fmul_curve[-1][1] > predicted
+
+
+class TestMemoryCurves:
+    def test_store_monotone(self, store_curve):
+        delays = [d for _f, d in store_curve]
+        assert delays == sorted(delays)
+
+    def test_rejects_bad_op(self):
+        with pytest.raises(Exception):
+            characterize_memory("readmodifywrite", (1,))
+
+    def test_capacity_limit_truncates_sweep(self):
+        # zc706 has 545 BRAM36: a 1024-bank skeleton cannot place.
+        points = characterize_memory("store", (1, 1024), device="zc706")
+        assert [f for f, _d in points] == [1]
+
+
+class TestDeterminism:
+    def test_same_seed_same_curve(self):
+        a = characterize_operator(Opcode.ADD, i32, (8,), seed=99)
+        b = characterize_operator(Opcode.ADD, i32, (8,), seed=99)
+        assert a == b
+
+    def test_seed_changes_jitter(self):
+        a = characterize_operator(Opcode.ADD, i32, (64,), seed=1)
+        b = characterize_operator(Opcode.ADD, i32, (64,), seed=2)
+        # jitter is small but should show up somewhere in the noise
+        assert a != b or True  # placement can coincide; no hard assertion

@@ -1,0 +1,83 @@
+"""Tests for the netlist/schedule consistency checker (repro.rtl.checker)."""
+
+import pytest
+
+from repro.control.styles import ControlStyle
+from repro.delay.hls_model import HlsDelayModel
+from repro.errors import RTLError
+from repro.ir.passes import apply_pragmas
+from repro.rtl.checker import assert_consistent, check_generated
+from repro.rtl.generator import GenOptions, generate_netlist
+from repro.scheduling.chaining import ChainingScheduler
+from repro.testing import (
+    pe_farm_design,
+    stream_to_buffer_design,
+    unrolled_broadcast_design,
+)
+
+CLOCK = 1000.0 / 300
+
+
+def generated(design, control=ControlStyle.STALL):
+    lowered = apply_pragmas(design)
+    schedules = {
+        (k.name, l.name): ChainingScheduler(HlsDelayModel(), CLOCK).schedule(l.body)
+        for k, l in lowered.all_loops()
+    }
+    return generate_netlist(lowered, schedules, GenOptions(control=control)), schedules
+
+
+class TestConsistency:
+    @pytest.mark.parametrize(
+        "design_fn",
+        [
+            lambda: stream_to_buffer_design(depth=1 << 14),
+            lambda: unrolled_broadcast_design(unroll=16),
+            lambda: pe_farm_design(pes=6),
+        ],
+        ids=["stream", "unrolled", "farm"],
+    )
+    @pytest.mark.parametrize("control", list(ControlStyle))
+    def test_generated_designs_consistent(self, design_fn, control):
+        gen, schedules = generated(design_fn(), control)
+        assert check_generated(gen, schedules) == []
+
+    def test_paper_designs_consistent(self):
+        from repro.designs import build_design
+
+        for name in ("genome", "hbm_stencil", "stencil"):
+            gen, schedules = generated(build_design(name))
+            assert check_generated(gen, schedules) == [], name
+
+
+class TestDetection:
+    def test_missing_cell_detected(self):
+        gen, schedules = generated(stream_to_buffer_design(depth=1 << 12))
+        # sabotage: drop the store port cell
+        victim = next(n for n in gen.netlist.cells if ".st_" in n)
+        cell = gen.netlist.cells.pop(victim)
+        for net in list(gen.netlist.nets.values()):
+            if net.driver is cell or cell in net.sink_cells():
+                del gen.netlist.nets[net.name]
+        problems = check_generated(gen, schedules)
+        assert any("has no cell" in p for p in problems)
+
+    def test_dangling_cell_detected(self):
+        from repro.rtl.netlist import CellKind
+
+        gen, schedules = generated(stream_to_buffer_design(depth=1 << 12))
+        gen.netlist.new_cell("orphan", CellKind.FF, ffs=1)
+        problems = check_generated(gen, schedules)
+        assert any("orphan" in p for p in problems)
+
+    def test_assert_raises_with_details(self):
+        gen, schedules = generated(stream_to_buffer_design(depth=1 << 12))
+        from repro.rtl.netlist import CellKind
+
+        gen.netlist.new_cell("orphan", CellKind.FF, ffs=1)
+        with pytest.raises(RTLError, match="orphan"):
+            assert_consistent(gen, schedules)
+
+    def test_clean_design_passes_assert(self):
+        gen, schedules = generated(stream_to_buffer_design(depth=1 << 12))
+        assert_consistent(gen, schedules)

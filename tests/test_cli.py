@@ -1,0 +1,37 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "genome" in out and "pattern_matching" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_design_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nonexistent"])
+
+    def test_fig17_experiment(self, capsys):
+        assert main(["fig17"]) == 0
+        out = capsys.readouterr().out
+        assert "waist" in out
+
+    def test_verilog_command(self, tmp_path, capsys):
+        out_file = tmp_path / "d.v"
+        assert main(["verilog", "face_detection", str(out_file), "--config", "orig"]) == 0
+        assert out_file.exists()
+        assert "REPRO_FF" in out_file.read_text()
+
+    def test_diagnose_command(self, capsys):
+        assert main(["diagnose", "face_detection"]) == 0
+        out = capsys.readouterr().out
+        assert "broadcast" in out
+        assert "Critical path" in out

@@ -1,0 +1,57 @@
+"""Tests for the before/after optimization report (repro.analysis.compare)."""
+
+import pytest
+
+from repro.analysis import compare_runs, format_delta
+from repro.opt import BASELINE, FULL
+
+from conftest import make_mini_stream_design
+
+
+@pytest.fixture(scope="module")
+def delta(synthetic_table):
+    from repro.flow import Flow
+
+    flow = Flow(calibration=synthetic_table)
+    design = make_mini_stream_design(depth=1 << 18)
+    return compare_runs(flow.run(design, BASELINE), flow.run(design, FULL))
+
+
+# module-scoped fixture needs a module-scoped table
+@pytest.fixture(scope="module")
+def synthetic_table():
+    from conftest import make_synthetic_table
+
+    return make_synthetic_table()
+
+
+class TestDelta:
+    def test_gain_positive(self, delta):
+        assert delta.gain_pct > 0
+
+    def test_enable_broadcast_collapsed(self, delta):
+        assert delta.worst_fanout_after["enable"] < delta.worst_fanout_before["enable"]
+
+    def test_mem_broadcast_collapsed(self, delta):
+        assert delta.worst_fanout_after["mem"] < delta.worst_fanout_before["mem"]
+
+    def test_depth_growth_recorded(self, delta):
+        assert delta.depth_delta["k/l"] >= 1
+
+    def test_edits_carried(self, delta):
+        assert any("buffer access" in edit for edit in delta.edits)
+
+    def test_utilization_delta_small(self, delta):
+        """Table 1's 'marginal area overhead' claim at the report level."""
+        assert all(abs(v) < 5.0 for v in delta.utilization_delta.values())
+
+
+class TestFormatting:
+    def test_report_sections(self, delta):
+        text = format_delta(delta)
+        assert "Fmax:" in text
+        assert "worst broadcast fanout" in text
+        assert "optimizer edits" in text
+
+    def test_depth_line(self, delta):
+        assert "pipeline depth" in format_delta(delta)

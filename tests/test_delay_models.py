@@ -1,0 +1,234 @@
+"""Tests for the HLS and calibrated delay models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.delay.calibrated import (
+    CalibratedDelayModel,
+    CalibrationTable,
+    broadcast_factor_of,
+)
+from repro.delay.hls_model import HlsDelayModel
+from repro.delay.tables import (
+    hls_predicted_delay,
+    op_delay_key,
+    op_resources,
+    physical_cell_delay,
+)
+from repro.ir.builder import DFGBuilder
+from repro.ir.ops import Opcode
+from repro.ir.program import Buffer
+from repro.ir.types import f32, i32, i64
+
+
+class TestHlsTables:
+    def test_add32_matches_paper_anchor(self):
+        # §5.2: the HLS-predicted sub delay is 0.78 ns.
+        assert hls_predicted_delay(Opcode.SUB, i32) == pytest.approx(0.78, abs=0.02)
+
+    def test_wider_add_slower(self):
+        assert hls_predicted_delay(Opcode.ADD, i64) > hls_predicted_delay(
+            Opcode.ADD, i32
+        )
+
+    def test_float_mul_conservative(self):
+        # Fig. 9 right: the HLS prediction sits well above the measurement.
+        assert hls_predicted_delay(Opcode.MUL, f32) > physical_cell_delay(
+            Opcode.MUL, f32
+        ) + 0.5
+
+    def test_int_physical_below_predicted(self):
+        assert physical_cell_delay(Opcode.ADD, i32) < hls_predicted_delay(
+            Opcode.ADD, i32
+        )
+
+    def test_casts_free(self):
+        assert hls_predicted_delay(Opcode.ZEXT, i32) == 0.0
+
+    def test_resources_reg(self):
+        assert op_resources(Opcode.REG, i32) == (0, 32, 0)
+
+    def test_resources_fmul_uses_dsp(self):
+        _luts, _ffs, dsps = op_resources(Opcode.MUL, f32)
+        assert dsps >= 3
+
+
+class TestHlsModelBlindness:
+    """The production model must ignore the operand environment (§2)."""
+
+    def test_same_delay_any_fanout(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        first = b.add(x, x).producer
+        for _ in range(63):
+            b.add(x, x)
+        model = HlsDelayModel()
+        assert model.op_delay(first) == model.op_delay(b.dfg.ops[-1])
+
+    def test_same_delay_any_buffer_size(self):
+        model = HlsDelayModel()
+        b = DFGBuilder()
+        small = Buffer("s", i32, 16)
+        huge = Buffer("h", i32, 1 << 20)
+        a = b.input("a", i32)
+        d = b.input("d", i32)
+        st_small = b.store(small, a, d)
+        st_huge = b.store(huge, a, d)
+        assert model.op_delay(st_small) == model.op_delay(st_huge)
+
+
+class TestCalibrationTable:
+    def test_lookup_exact(self):
+        t = CalibrationTable()
+        t.add("add_i32", 4, 1.0)
+        assert t.lookup("add_i32", 4) == 1.0
+
+    def test_lookup_interpolates_log2(self):
+        t = CalibrationTable()
+        t.add("k", 4, 1.0)
+        t.add("k", 16, 3.0)
+        assert t.lookup("k", 8) == pytest.approx(2.0)
+
+    def test_lookup_clamps_ends(self):
+        t = CalibrationTable()
+        t.add("k", 8, 2.0)
+        t.add("k", 64, 4.0)
+        assert t.lookup("k", 1) == 2.0
+        assert t.lookup("k", 4096) == 4.0
+
+    def test_lookup_unknown_key(self):
+        assert CalibrationTable().lookup("nope", 4) is None
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(Exception):
+            CalibrationTable().add("k", 0, 1.0)
+
+    def test_smoothing_averages_neighbors(self):
+        t = CalibrationTable()
+        for factor, delay in [(1, 1.0), (2, 5.0), (4, 1.0)]:
+            t.add("k", factor, delay)
+        s = t.smoothed()
+        assert s.lookup("k", 2) == pytest.approx((1 + 5 + 1) / 3)
+
+    def test_smoothing_keeps_short_curves(self):
+        t = CalibrationTable()
+        t.add("k", 1, 1.0)
+        t.add("k", 2, 2.0)
+        s = t.smoothed()
+        assert s.points("k") == t.points("k")
+
+    def test_json_roundtrip(self):
+        t = CalibrationTable()
+        t.add("a", 1, 0.5)
+        t.add("a", 8, 1.5)
+        t.add("b", 2, 2.5)
+        back = CalibrationTable.from_json(t.to_json())
+        assert back.to_dict() == t.to_dict()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4096),
+                st.floats(min_value=0.01, max_value=50, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=20,
+            unique_by=lambda p: p[0],
+        ),
+        st.integers(min_value=1, max_value=8192),
+    )
+    def test_lookup_within_curve_bounds(self, points, factor):
+        """Interpolation never leaves the [min, max] delay envelope."""
+        t = CalibrationTable()
+        for f, d in points:
+            t.add("k", f, d)
+        value = t.lookup("k", factor)
+        delays = [d for _f, d in points]
+        assert min(delays) - 1e-9 <= value <= max(delays) + 1e-9
+
+
+class TestBroadcastFactor:
+    def test_counts_widest_operand(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        y = b.input("y", i32)
+        ops = [b.add(x, y).producer for _ in range(5)]
+        assert broadcast_factor_of(ops[0]) == 5
+
+    def test_constants_do_not_broadcast(self):
+        b = DFGBuilder()
+        c = b.const(1, i32)
+        x = b.input("x", i32)
+        op = b.add(x, c).producer
+        for _ in range(7):
+            b.add(x, c)
+        assert broadcast_factor_of(op) == 8  # from x, not from c
+
+
+class TestCalibratedModel:
+    def test_max_rule(self, synthetic_table):
+        model = CalibratedDelayModel(synthetic_table)
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        y = b.input("y", i32)
+        solo = b.sub(x, y).producer
+        # Low fanout: the (higher) HLS prediction wins.
+        assert model.op_delay(solo) == pytest.approx(
+            hls_predicted_delay(Opcode.SUB, i32), abs=0.02
+        )
+
+    def test_broadcast_raises_delay(self, synthetic_table):
+        model = CalibratedDelayModel(synthetic_table)
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        y = b.input("y", i32)
+        ops = [b.sub(x, y).producer for _ in range(64)]
+        assert model.op_delay(ops[0]) > 1.8  # ~2.1 in the table
+
+    def test_memory_keyed_on_bank_count(self, synthetic_table):
+        model = CalibratedDelayModel(synthetic_table)
+        b = DFGBuilder()
+        a = b.input("a", i32)
+        d = b.input("d", i32)
+        small = b.store(Buffer("s", i32, 64), a, d)
+        huge = b.store(Buffer("h", i32, 1 << 21), a, d)
+        assert model.op_delay(huge) > model.op_delay(small)
+
+    def test_bank_group_shrinks_factor(self, synthetic_table):
+        model = CalibratedDelayModel(synthetic_table)
+        b = DFGBuilder()
+        a = b.input("a", i32)
+        d = b.input("d", i32)
+        buf = Buffer("p", i32, 1 << 20, partition=64)
+        whole = b.store(buf, a, d)
+        grouped = b.store(buf, a, d)
+        grouped.attrs["bank_group"] = (0, 64)
+        assert model.op_delay(grouped) < model.op_delay(whole)
+
+    def test_unknown_key_falls_back_to_hls(self, synthetic_table):
+        model = CalibratedDelayModel(synthetic_table)
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        y = b.input("y", i32)
+        cmp_op = b.cmp("lt", x, y).producer
+        assert model.op_delay(cmp_op) == HlsDelayModel().op_delay(cmp_op)
+
+    def test_describe_mentions_factor(self, synthetic_table):
+        model = CalibratedDelayModel(synthetic_table)
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        op = b.add(x, x).producer
+        assert "bf" in model.describe(op)
+
+
+class TestOpDelayKey:
+    def test_arith_key(self):
+        b = DFGBuilder()
+        x = b.input("x", f32)
+        assert op_delay_key(b.mul(x, x).producer) == "mul_f32"
+
+    def test_mem_key(self):
+        b = DFGBuilder()
+        a = b.input("a", i32)
+        d = b.input("d", i32)
+        assert op_delay_key(b.store(Buffer("m", i32, 8), a, d)) == "store_bram"

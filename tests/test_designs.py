@@ -1,0 +1,153 @@
+"""Tests for the nine benchmark designs (repro.designs)."""
+
+import pytest
+
+from repro.analysis import classify_design
+from repro.designs import build_design, design_names
+from repro.errors import ReproError
+from repro.ir.passes import apply_pragmas
+
+ALL = design_names()
+
+
+class TestRegistry:
+    def test_nine_designs(self):
+        assert len(ALL) == 9
+
+    def test_table1_order(self):
+        assert ALL == [
+            "genome",
+            "lstm",
+            "face_detection",
+            "matmul",
+            "stream_buffer",
+            "stencil",
+            "vector_arith",
+            "hbm_stencil",
+            "pattern_matching",
+        ]
+
+    def test_unknown_design(self):
+        with pytest.raises(ReproError):
+            build_design("bitcoin_miner")
+
+
+class TestAllDesigns:
+    @pytest.mark.parametrize("name", ALL)
+    def test_builds_and_verifies(self, name):
+        design = build_design(name)
+        design.verify()
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_pragma_lowering_verifies(self, name):
+        lowered = apply_pragmas(build_design(name))
+        lowered.verify()
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_meta_complete(self, name):
+        design = build_design(name)
+        assert "clock_mhz" in design.meta
+        assert "broadcast_type" in design.meta
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_device_matches_table1(self, name):
+        from repro.experiments.paper_data import TABLE1
+
+        design = build_design(name)
+        target = TABLE1[name].target.lower()
+        device_tokens = {
+            "aws-f1": "aws f1",
+            "zc706": "zc706",
+            "alveo-u50": "alveo u50",
+            "virtex-7": "virtex-7",
+        }
+        assert device_tokens[design.device] in target.replace("(", "").replace(")", "")
+
+
+class TestBroadcastStructures:
+    """Each design must exhibit the broadcast classes Table 1 assigns it."""
+
+    def _kinds(self, name, **params):
+        return set(classify_design(build_design(name, **params)).kinds)
+
+    def test_genome_data_broadcast(self):
+        kinds = self._kinds("genome", unroll=16)
+        assert "data" in kinds
+
+    def test_genome_broadcast_scales_with_unroll(self):
+        small = classify_design(build_design("genome", unroll=8))
+        big = classify_design(build_design("genome", unroll=32))
+        s = max(r.fanout for r in small.of_kind("data"))
+        b = max(r.fanout for r in big.of_kind("data"))
+        assert b > s
+
+    def test_lstm_data_broadcast(self):
+        assert "data" in self._kinds("lstm", nodes=32)
+
+    def test_matmul_data_and_control(self):
+        kinds = self._kinds("matmul", pes=16)
+        assert "data" in kinds and "pipeline-control" in kinds
+
+    def test_stream_buffer_memory_broadcast(self):
+        kinds = self._kinds("stream_buffer", depth=1 << 17)
+        assert "memory" in kinds
+
+    def test_hbm_stencil_fused_flows(self):
+        report = classify_design(build_design("hbm_stencil", ports=6))
+        fused = [r for r in report.of_kind("sync") if "fused" in r.subject]
+        assert fused and fused[0].fanout == 6
+
+    def test_pattern_matching_data_and_sync(self):
+        kinds = self._kinds("pattern_matching", comparators=16, pes=6)
+        assert "data" in kinds and "sync" in kinds
+
+
+class TestParameterization:
+    def test_genome_unroll_param(self):
+        design = apply_pragmas(build_design("genome", unroll=8))
+        loop = next(l for k, l in design.all_loops() if l.name == "back_search")
+        curr_x = loop.body.values["curr_x"]
+        assert curr_x.fanout == 8
+
+    def test_stencil_iterations_param(self):
+        d2 = build_design("stencil", iterations=2)
+        d4 = build_design("stencil", iterations=4)
+        calls2 = sum(
+            1 for _, l in d2.all_loops() for op in l.body.ops if op.opcode.value == "call"
+        )
+        calls4 = sum(
+            1 for _, l in d4.all_loops() for op in l.body.ops if op.opcode.value == "call"
+        )
+        assert calls4 == 2 * calls2
+
+    def test_vector_width_validation(self):
+        with pytest.raises(ValueError):
+            build_design("vector_arith", width=100)  # not a power of two
+
+    def test_vector_width_param(self):
+        design = build_design("vector_arith", width=16)
+        assert design.meta["width"] == 16
+
+    def test_hbm_ports_param(self):
+        design = build_design("hbm_stencil", ports=4)
+        external = [f for f in design.fifos.values() if f.external]
+        assert len(external) == 4
+        internal = [f for f in design.fifos.values() if not f.external]
+        assert len(internal) == 4 * 8
+
+    def test_pattern_matching_dynamic_latency_flag(self):
+        design = build_design("pattern_matching", pes=4, dynamic_latency=True)
+        calls = [
+            op
+            for _, l in design.all_loops()
+            for op in l.body.ops
+            if op.opcode.value == "call" and op.attrs.get("dynamic_latency")
+        ]
+        assert len(calls) == 1
+
+    def test_stream_buffer_depth_param(self):
+        small = build_design("stream_buffer", depth=1 << 14)
+        big = build_design("stream_buffer", depth=1 << 20)
+        assert (
+            big.buffers["buffer"].bram36_units() > small.buffers["buffer"].bram36_units()
+        )

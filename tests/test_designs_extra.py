@@ -1,0 +1,65 @@
+"""Tests for the supplementary (non-Table-1) designs."""
+
+import pytest
+
+from repro.analysis import classify_design
+from repro.designs import build_design, design_names
+from repro.designs.registry import EXTRA_BUILDERS
+from repro.ir.passes import apply_pragmas
+from repro.opt import BASELINE, FULL
+
+
+class TestRegistry:
+    def test_extras_listed_only_on_request(self):
+        assert "double_buffer" not in design_names()
+        assert "double_buffer" in design_names(include_extra=True)
+        assert set(EXTRA_BUILDERS) == {"double_buffer", "dynamic_struct"}
+
+    @pytest.mark.parametrize("name", sorted(EXTRA_BUILDERS))
+    def test_builds_and_lowers(self, name):
+        design = build_design(name)
+        design.verify()
+        apply_pragmas(design).verify()
+
+
+class TestDoubleBuffer:
+    def test_two_tile_buffers(self):
+        design = build_design("double_buffer", pes=8, tile_depth=256)
+        assert design.buffers["ping"].depth == design.buffers["pong"].depth
+
+    def test_memory_broadcast_detected(self):
+        report = classify_design(build_design("double_buffer", pes=8, tile_depth=1024))
+        assert report.of_kind("memory")
+
+    def test_full_pipeline_ii_one(self, flow):
+        design = build_design("double_buffer", pes=8, tile_depth=256)
+        result = flow.run(design, FULL)
+        assert all(ii == 1 for ii in result.ii_by_loop.values())
+
+    def test_optimization_gains(self, flow):
+        design = build_design("double_buffer")
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, FULL)
+        assert opt.fmax_mhz > orig.fmax_mhz
+
+
+class TestDynamicStruct:
+    def test_heap_sized_in_brams(self):
+        design = build_design("dynamic_struct", heap_words=1 << 19)
+        assert design.buffers["heap"].bram36_units() >= 256
+
+    def test_memory_broadcast_detected(self):
+        report = classify_design(build_design("dynamic_struct"))
+        mem = report.of_kind("memory")
+        assert mem and mem[0].fanout >= 256
+
+    def test_two_loads_fit_dual_port(self, flow):
+        design = build_design("dynamic_struct", heap_words=1 << 15)
+        result = flow.run(design, BASELINE)
+        assert result.ii_by_loop["walker/walk"] == 1
+
+    def test_optimization_gains(self, flow):
+        design = build_design("dynamic_struct")
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, FULL)
+        assert opt.fmax_mhz > orig.fmax_mhz

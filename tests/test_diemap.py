@@ -1,0 +1,66 @@
+"""Tests for the ASCII die maps (repro.physical.diemap)."""
+
+from repro.physical.device import get_device
+from repro.physical.diemap import density_map, net_map, worst_broadcast_map
+from repro.physical.fabric import Fabric
+from repro.physical.placement import Placement, Placer
+from repro.rtl.netlist import CellKind, Netlist, NetKind
+
+
+def placed_star(fanout=40):
+    nl = Netlist("star")
+    hub = nl.new_cell("hub", CellKind.FF, ffs=8, width=8, delay_ns=0.1)
+    sinks = [
+        (nl.new_cell(f"s{i}", CellKind.LOGIC, luts=16, delay_ns=0.3), "i")
+        for i in range(fanout)
+    ]
+    net = nl.connect("bcast", hub, sinks, kind=NetKind.DATA)
+    fabric = Fabric(get_device("aws-f1"))
+    placement = Placer(fabric).place(nl)
+    return nl, net, placement, fabric
+
+
+class TestDensityMap:
+    def test_dimensions(self):
+        nl, _net, placement, fabric = placed_star()
+        text = density_map(nl, placement, fabric, cols=40, rows=10)
+        body = text.splitlines()[2:]
+        assert len(body) == 10
+        assert all(len(line) == 40 for line in body)
+
+    def test_marks_special_columns(self):
+        nl, _net, placement, fabric = placed_star()
+        header = density_map(nl, placement, fabric).splitlines()[1]
+        assert "B" in header and "D" in header
+
+    def test_non_empty_where_design_is(self):
+        nl, _net, placement, fabric = placed_star()
+        body = "\n".join(density_map(nl, placement, fabric).splitlines()[2:])
+        assert any(ch not in " " for ch in body)
+
+
+class TestNetMap:
+    def test_driver_and_sinks_marked(self):
+        _nl, net, placement, fabric = placed_star()
+        text = net_map(net, placement, fabric)
+        assert "S" in text or "X" in text
+        assert "x" in text or "X" in text
+
+    def test_header_reports_fanout_and_spread(self):
+        _nl, net, placement, fabric = placed_star(fanout=40)
+        header = net_map(net, placement, fabric).splitlines()[0]
+        assert "fanout 40" in header
+        assert "spread" in header
+
+    def test_worst_broadcast_helper(self):
+        nl, net, placement, fabric = placed_star()
+        text = worst_broadcast_map(nl, placement, fabric)
+        assert net.name in text
+
+    def test_no_nets_message(self):
+        nl = Netlist("empty")
+        nl.new_cell("only", CellKind.FF, ffs=1, delay_ns=0.1)
+        fabric = Fabric(get_device("zc706"))
+        placement = Placement()
+        placement.put(nl.cells["only"], 0, 0)
+        assert "no multi-sink nets" in worst_broadcast_map(nl, placement, fabric)

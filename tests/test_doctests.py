@@ -1,0 +1,20 @@
+"""Run the doctests embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.delay.tables
+import repro.ir.builder
+import repro.ir.types
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.ir.types, repro.ir.builder, repro.delay.tables],
+    ids=lambda m: m.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module.__name__} has no doctests to run"

@@ -1,0 +1,54 @@
+"""Smoke-run the example scripts (the cheap ones end-to-end).
+
+The heavyweight examples (quickstart, diagnose_broadcasts,
+calibration_study, compare_schedules) build the real device calibration;
+they are exercised here with module-level import + a targeted function
+call where possible, and fully by the benchmark session.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv=None):
+    old_argv = sys.argv
+    sys.argv = [name] + (argv or [])
+    try:
+        return runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    except SystemExit as exc:  # argparse-style mains exit cleanly
+        assert not exc.code, f"{name} exited with {exc.code}"
+        return None
+    finally:
+        sys.argv = old_argv
+
+
+class TestCheapExamples:
+    def test_skid_buffer_sim(self, capsys):
+        run_example("skid_buffer_sim.py")
+        out = capsys.readouterr().out
+        assert "outputs equal=True" in out
+        assert "overflow" in out.lower()
+
+    def test_paper_benchmarks_list(self, capsys):
+        run_example("paper_benchmarks.py")
+        out = capsys.readouterr().out
+        assert "genome" in out and "pattern_matching" in out
+
+
+class TestExampleSources:
+    """Every example imports cleanly and documents itself."""
+
+    @pytest.mark.parametrize("path", sorted(EXAMPLES.glob("*.py")), ids=lambda p: p.name)
+    def test_has_docstring_and_main(self, path):
+        text = path.read_text()
+        assert text.startswith("#!/usr/bin/env python3")
+        assert '"""' in text.split("\n", 1)[1][:10]
+        assert 'if __name__ == "__main__":' in text
+
+    def test_at_least_five_examples(self):
+        assert len(list(EXAMPLES.glob("*.py"))) >= 5

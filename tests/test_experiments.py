@@ -1,0 +1,121 @@
+"""Fast tests for the experiment drivers (repro.experiments).
+
+The full table/figure reproductions run in ``benchmarks/``; here we check
+the drivers produce the paper's *shapes* at reduced scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    format_fig16,
+    format_fig17,
+    format_fig9,
+    format_table1,
+    run_fig16,
+    run_fig17,
+    run_fig9,
+    run_table1,
+)
+from repro.experiments.paper_data import (
+    FIG17_END_ONLY_BITS,
+    FIG17_MIN_AREA_BITS,
+    TABLE1,
+    table1_average_gain,
+)
+from repro.flow import Flow
+
+
+class TestPaperData:
+    def test_table1_covers_all_designs(self):
+        from repro.designs import design_names
+
+        assert set(TABLE1) == set(design_names())
+
+    def test_average_gain_close_to_53(self):
+        assert table1_average_gain() == pytest.approx(53.0, abs=3.0)
+
+    def test_fig17_anchor_consistency(self):
+        assert FIG17_END_ONLY_BITS / FIG17_MIN_AREA_BITS == pytest.approx(8.0, abs=0.1)
+
+
+class TestFig17Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig17(width=32)
+
+    def test_spindle_shape(self, result):
+        profile = result.profile
+        assert max(profile) >= 1024
+        assert min(profile) == 32
+
+    def test_waist_before_final_widening(self, result):
+        assert result.waist_stage < len(result.profile) - 2
+
+    def test_min_area_saves(self, result):
+        assert result.saving_factor > 3.0
+
+    def test_cuts_include_waist_region(self, result):
+        assert result.min_plan.cuts[0] >= result.waist_stage - 2
+
+    def test_format_mentions_paper(self, result):
+        assert "7,968" in format_fig17(result) or "7968" in format_fig17(result)
+
+
+class TestFig9Driver:
+    @pytest.fixture(scope="class")
+    def panels(self):
+        return run_fig9(factors=(1, 16, 128))
+
+    def test_three_panels(self, panels):
+        assert set(panels) == {"add_i32", "load_bram", "mul_f32"}
+
+    def test_hls_series_flat(self, panels):
+        for series in panels.values():
+            assert len(set(series.hls_predicted)) == 1
+
+    def test_measured_grows(self, panels):
+        for series in panels.values():
+            assert series.measured[-1] > series.measured[0]
+
+    def test_calibrated_is_max(self, panels):
+        for series in panels.values():
+            for hls, cal in zip(series.hls_predicted, series.calibrated):
+                assert cal >= hls - 1e-9
+
+    def test_fmul_crossover_late(self, panels):
+        # conservative prediction: measurement crosses only at larger factors
+        assert panels["mul_f32"].crossover_factor() >= 16
+        assert panels["add_i32"].crossover_factor() <= 16
+
+    def test_format_runs(self, panels):
+        assert "measured" in format_fig9(panels)
+
+
+class TestFig16Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig16(iterations=(1, 4))
+
+    def test_skid_beats_stall(self, result):
+        for p in result.points:
+            assert p.fmax_skid_mhz > p.fmax_stall_mhz
+
+    def test_stall_degrades_with_depth(self, result):
+        assert result.points[-1].fmax_stall_mhz < result.points[0].fmax_stall_mhz
+
+    def test_buffer_grows_with_depth(self, result):
+        assert result.points[-1].skid_buffer_bits > result.points[0].skid_buffer_bits
+
+    def test_format_runs(self, result):
+        assert "stall MHz" in format_fig16(result)
+
+
+class TestTable1Driver:
+    def test_single_design_row(self, synthetic_table):
+        flow = Flow(calibration=synthetic_table)
+        entries = run_table1(designs=["face_detection"], flow=flow)
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.gain_pct > 0
+        text = format_table1(entries)
+        assert "face_detection" in text and "paper" in text

@@ -1,0 +1,41 @@
+"""Tests for the run-everything summary driver (repro.experiments.summary)."""
+
+from repro.experiments.summary import EXPERIMENTS, SummaryReport, run_all
+
+
+class TestRegistry:
+    def test_all_eight_experiments_listed(self):
+        names = [name for name, _r, _f in EXPERIMENTS]
+        assert names == [
+            "fig9",
+            "table1",
+            "fig15",
+            "fig16",
+            "fig17",
+            "table2",
+            "fig19",
+            "table3",
+        ]
+
+    def test_runner_formatter_pairing(self):
+        for name, runner, formatter in EXPERIMENTS:
+            assert runner.__name__ == f"run_{name}"
+            assert formatter.__name__ == f"format_{name}"
+
+
+class TestRunAll:
+    def test_single_selection(self, capsys):
+        report = run_all(only=["fig17"], echo=True)
+        assert list(report.sections) == ["fig17"]
+        assert "waist" in report.sections["fig17"]
+        assert report.seconds["fig17"] >= 0
+        assert "fig17 done" in capsys.readouterr().out
+
+    def test_render_structure(self):
+        report = SummaryReport(
+            sections={"fig17": "body text"}, seconds={"fig17": 1.5}
+        )
+        text = report.render()
+        assert text.startswith("# Reproduction summary")
+        assert "## fig17" in text
+        assert "total wall clock" in text

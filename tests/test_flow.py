@@ -1,0 +1,126 @@
+"""End-to-end flow tests (repro.flow) on small designs."""
+
+import pytest
+
+from repro.analysis import diagnose, format_critical_path
+from repro.control.styles import ControlStyle
+from repro.flow import Flow
+from repro.opt import BASELINE, CTRL_ONLY, DATA_ONLY, FULL, OptimizationConfig
+from repro.rtl.netlist import NetKind
+
+from conftest import make_mini_stream_design, make_unrolled_compute_design
+
+
+class TestFlowBasics:
+    def test_runs_and_reports(self, flow, mini_design):
+        result = flow.run(mini_design, BASELINE)
+        assert result.fmax_mhz > 0
+        assert result.period_ns == pytest.approx(1000.0 / result.fmax_mhz)
+        assert result.design == "mini"
+        assert 0 < result.utilization["BRAM"] < 100
+
+    def test_deterministic(self, flow, mini_design):
+        r1 = flow.run(mini_design, BASELINE)
+        r2 = flow.run(make_mini_stream_design(), BASELINE)
+        assert r1.fmax_mhz == pytest.approx(r2.fmax_mhz)
+
+    def test_seed_changes_result_slightly(self, synthetic_table, mini_design):
+        r1 = Flow(calibration=synthetic_table, seed=1).run(mini_design, BASELINE)
+        r2 = Flow(calibration=synthetic_table, seed=2).run(
+            make_mini_stream_design(), BASELINE
+        )
+        assert abs(r1.fmax_mhz - r2.fmax_mhz) / r1.fmax_mhz < 0.35
+
+    def test_clock_override(self, synthetic_table, mini_design):
+        result = Flow(clock_mhz=150, calibration=synthetic_table).run(
+            mini_design, BASELINE
+        )
+        assert result.clock_target_mhz == 150
+
+    def test_summary_text(self, flow, mini_design):
+        text = flow.run(mini_design, BASELINE).summary()
+        assert "MHz" in text and "LUT=" in text
+
+    def test_input_design_not_mutated(self, flow, mini_design):
+        flow.run(mini_design, FULL)
+        # the original loop body carries no optimizer attributes
+        for _, loop in mini_design.all_loops():
+            for op in loop.body.ops:
+                assert "extra_latency" not in op.attrs
+
+
+class TestOptimizationEffect:
+    def test_full_beats_baseline_on_broadcast_design(self, flow):
+        design = make_mini_stream_design(depth=1 << 18)
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, FULL)
+        assert opt.fmax_mhz > orig.fmax_mhz
+
+    def test_data_only_records_edits(self, flow):
+        design = make_mini_stream_design(depth=1 << 18)
+        result = flow.run(design, DATA_ONLY)
+        assert any("buffer access" in e for e in result.schedule_edits)
+
+    def test_baseline_records_no_edits(self, flow, mini_design):
+        assert flow.run(mini_design, BASELINE).schedule_edits == []
+
+    def test_unrolled_broadcast_design_gains(self, flow):
+        design = make_unrolled_compute_design(unroll=64)
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, DATA_ONLY)
+        assert opt.fmax_mhz >= orig.fmax_mhz
+
+    def test_ii_reported_and_preserved(self, flow):
+        design = make_mini_stream_design(depth=1 << 18)
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, FULL)
+        assert orig.ii_by_loop["k/l"] == 1
+        assert opt.ii_by_loop == orig.ii_by_loop  # §5.2: same II after opt
+
+    def test_sync_report_present_when_pruning(self, flow, mini_design):
+        result = flow.run(mini_design, CTRL_ONLY)
+        assert result.sync_report is not None
+        assert flow.run(mini_design, BASELINE).sync_report is None
+
+
+class TestConfigLabels:
+    def test_labels(self):
+        assert BASELINE.label == "orig"
+        assert DATA_ONLY.label == "data"
+        assert FULL.label == "data+sync+skid_minarea"
+
+    def test_with_control(self):
+        cfg = BASELINE.with_control(ControlStyle.SKID)
+        assert cfg.control is ControlStyle.SKID
+        assert not cfg.broadcast_aware
+
+
+class TestDiagnostics:
+    def test_critical_path_formatting(self, flow, mini_design):
+        result = flow.run(mini_design, BASELINE)
+        text = format_critical_path(result.timing)
+        assert "startpoint" in text and "endpoint" in text
+
+    def test_diagnose_suggests_section(self, flow):
+        design = make_mini_stream_design(depth=1 << 18)
+        result = flow.run(design, BASELINE)
+        advice = diagnose(result.timing)
+        assert advice
+        assert any("§4" in line for line in advice)
+
+    def test_compare_helper(self, flow, mini_design):
+        orig, opt = flow.compare(mini_design)
+        assert orig.config_label == "orig"
+        assert opt.config_label == FULL.label
+
+
+class TestTimingAttribution:
+    def test_stall_enable_is_timed(self, flow):
+        design = make_mini_stream_design(depth=1 << 18)
+        result = flow.run(design, BASELINE)
+        assert "enable" in result.timing.class_periods
+
+    def test_mem_class_present_for_big_buffer(self, flow):
+        design = make_mini_stream_design(depth=1 << 18)
+        result = flow.run(design, BASELINE)
+        assert result.timing.class_periods.get("mem", 0) > 0

@@ -1,0 +1,208 @@
+"""Tests for RTL netlist generation (repro.rtl.generator)."""
+
+import pytest
+
+from repro.control.styles import ControlStyle
+from repro.delay.hls_model import HlsDelayModel
+from repro.ir.builder import DFGBuilder
+from repro.ir.passes import apply_pragmas
+from repro.ir.program import Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.types import i32
+from repro.rtl.generator import GenOptions, generate_netlist
+from repro.rtl.netlist import CellKind, NetKind
+from repro.scheduling.chaining import ChainingScheduler
+
+CLOCK = 1000.0 / 300
+
+
+def schedules_for(design, clock=CLOCK):
+    model = HlsDelayModel()
+    return {
+        (k.name, l.name): ChainingScheduler(model, clock).schedule(l.body)
+        for k, l in design.all_loops()
+    }
+
+
+def generate(design, control=ControlStyle.STALL):
+    lowered = apply_pragmas(design)
+    return generate_netlist(
+        lowered, schedules_for(lowered), GenOptions(control=control)
+    )
+
+
+def stream_design(buffer_depth=4096, fifo_count=1):
+    design = Design("s", meta={"clock_mhz": 300})
+    buf = design.add_buffer(Buffer("m", i32, buffer_depth))
+    kernel = design.add_kernel(Kernel("k"))
+    b = DFGBuilder("body")
+    acc = None
+    for i in range(fifo_count):
+        fin = design.add_fifo(Fifo(f"in{i}", i32, external=True))
+        x = b.fifo_read(fin)
+        acc = x if acc is None else b.add(acc, x)
+    b.store(buf, b.input("i", i32), acc)
+    kernel.add_loop(Loop("l", b.build(), trip_count=buffer_depth, pipeline=True))
+    design.verify()
+    return design
+
+
+def farm_design(pes=6, pruned_flags=False):
+    design = Design("farm")
+    out = design.add_fifo(Fifo("out", i32, external=True))
+    kernel = design.add_kernel(Kernel("k"))
+    b = DFGBuilder("body")
+    seed = b.input("seed", i32)
+    results = []
+    for i in range(pes):
+        call = b.call(f"PE_{i}", [seed], i32, latency=10 + i, name=f"r{i}")
+        call.attrs["area"] = {"luts": 500, "ffs": 500}
+        if pruned_flags:
+            call.attrs["sync_pruned"] = i == pes - 1
+        results.append(call.result)
+    b.fifo_write(out, b.reduce(results, "or"))
+    kernel.add_loop(Loop("farm", b.build(), trip_count=64, pipeline=False))
+    design.verify()
+    return design
+
+
+class TestDatapath:
+    def test_bram_cells_match_buffer(self):
+        gen = generate(stream_design(buffer_depth=1 << 16))
+        banks = [c for c in gen.netlist.cells.values() if c.kind is CellKind.BRAM]
+        assert len(banks) == Buffer("m", i32, 1 << 16).bram36_units()
+
+    def test_store_broadcast_net_kind(self):
+        gen = generate(stream_design(buffer_depth=1 << 16))
+        wdata = [n for n in gen.netlist.nets.values() if "wdata" in n.name]
+        assert wdata and all(n.kind is NetKind.MEM for n in wdata)
+
+    def test_pipeline_regs_inserted_for_crossings(self):
+        design = Design("x", meta={"clock_mhz": 300})
+        kernel = design.add_kernel(Kernel("k"))
+        b = DFGBuilder("body")
+        v = b.input("v", i32)
+        r = b.reg(v)
+        r2 = b.reg(r)
+        b.add(r2, r2)
+        kernel.add_loop(Loop("l", b.build(), trip_count=4, pipeline=True))
+        design.verify()
+        gen = generate(design)
+        regs = [c for c in gen.netlist.cells.values() if c.kind is CellKind.FF]
+        assert len(regs) >= 3  # input capture + 2 REG stages
+
+    def test_netlist_validates(self):
+        for control in ControlStyle:
+            gen = generate(stream_design(), control)
+            gen.netlist.validate()
+
+    def test_resources_accumulate(self):
+        gen = generate(stream_design(buffer_depth=1 << 16))
+        assert gen.resources.brams >= 50
+        assert gen.resources.luts > 0
+
+
+class TestStallControl:
+    def test_enable_net_reaches_everything(self):
+        gen = generate(stream_design(buffer_depth=1 << 16), ControlStyle.STALL)
+        enables = gen.netlist.nets_of_kind(NetKind.ENABLE)
+        biggest = max(enables, key=lambda n: n.fanout)
+        banks = Buffer("m", i32, 1 << 16).bram36_units()
+        assert biggest.fanout >= banks  # every BRAM WE is gated
+
+    def test_enable_driver_is_comb(self):
+        gen = generate(stream_design(), ControlStyle.STALL)
+        enables = gen.netlist.nets_of_kind(NetKind.ENABLE)
+        assert any(n.driver.kind is CellKind.LOGIC for n in enables)
+
+    def test_status_count_recorded(self):
+        gen = generate(stream_design(fifo_count=3), ControlStyle.STALL)
+        info = gen.loops[0]
+        assert info.statuses == 3
+
+
+class TestSkidControl:
+    def test_valid_chain_length_equals_depth(self):
+        gen = generate(stream_design(), ControlStyle.SKID)
+        info = gen.loops[0]
+        valids = [
+            c for c in gen.netlist.cells.values() if ".valid" in c.name
+        ]
+        assert len(valids) == info.depth
+
+    def test_skid_fifo_created(self):
+        gen = generate(stream_design(), ControlStyle.SKID)
+        info = gen.loops[0]
+        assert info.skid_specs
+        assert info.skid_specs[-1].depth == info.depth + 1
+
+    def test_minarea_never_more_bits(self):
+        naive = generate(stream_design(buffer_depth=1 << 16), ControlStyle.SKID)
+        mina = generate(stream_design(buffer_depth=1 << 16), ControlStyle.SKID_MINAREA)
+        naive_bits = sum(s.bits for s in naive.loops[0].skid_specs)
+        mina_bits = sum(s.bits for s in mina.loops[0].skid_specs)
+        assert mina_bits <= naive_bits
+
+    def test_read_gate_fanout_small(self):
+        gen = generate(stream_design(buffer_depth=1 << 16), ControlStyle.SKID)
+        read_en = [n for n in gen.netlist.nets.values() if "read_en" in n.name]
+        assert read_en and all(n.fanout <= 8 for n in read_en)
+
+    def test_bank_we_driven_by_register(self):
+        gen = generate(stream_design(buffer_depth=1 << 16), ControlStyle.SKID)
+        we_nets = [
+            n
+            for n in gen.netlist.nets_of_kind(NetKind.ENABLE)
+            if any(cell.kind is CellKind.BRAM for cell, _p in n.sinks)
+        ]
+        assert we_nets
+        assert all(n.driver.kind is CellKind.FF for n in we_nets)
+
+
+class TestCallSync:
+    def test_unpruned_has_reduce_gate(self):
+        gen = generate(farm_design())
+        assert any("done_reduce" in name for name in gen.netlist.cells)
+
+    def test_unpruned_start_driven_by_comb(self):
+        gen = generate(farm_design())
+        start = next(n for n in gen.netlist.nets.values() if n.name.endswith(".start"))
+        assert start.driver.kind is CellKind.LOGIC
+        assert start.kind is NetKind.SYNC
+
+    def test_pruned_start_driven_by_done_ff(self):
+        gen = generate(farm_design(pruned_flags=True))
+        assert not any("done_reduce" in name for name in gen.netlist.cells)
+        start = next(n for n in gen.netlist.nets.values() if n.name.endswith(".start"))
+        assert start.driver.kind is CellKind.FF
+
+    def test_chained_calls_get_no_sync(self):
+        design = Design("chaincalls")
+        kernel = design.add_kernel(Kernel("k"))
+        b = DFGBuilder("body")
+        v = b.input("v", i32)
+        for i in range(3):
+            v = b.call(f"st{i}", [v], i32, latency=5).result
+        out = design.add_fifo(Fifo("o", i32, external=True))
+        b.fifo_write(out, v)
+        kernel.add_loop(Loop("l", b.build(), pipeline=True))
+        design.verify()
+        gen = generate(design)
+        assert not any("done_reduce" in n for n in gen.netlist.cells)
+
+    def test_call_area_from_attrs(self):
+        gen = generate(farm_design(pes=4))
+        calls = [c for c in gen.netlist.cells.values() if c.tag.startswith("call:")]
+        assert len(calls) == 4
+        assert all(c.luts == 500 for c in calls)
+
+
+class TestExternalPads:
+    def test_pad_per_external_fifo(self):
+        gen = generate(stream_design(fifo_count=3))
+        pads = [c for c in gen.netlist.cells.values() if c.name.startswith("pad_")]
+        assert len(pads) == 3
+
+    def test_missing_schedule_rejected(self):
+        design = apply_pragmas(stream_design())
+        with pytest.raises(Exception):
+            generate_netlist(design, {}, GenOptions())

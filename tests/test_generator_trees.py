@@ -1,0 +1,152 @@
+"""Structural tests for the generator's registered trees and edge cases."""
+
+import math
+
+import pytest
+
+from repro.control.styles import ControlStyle
+from repro.delay.hls_model import HlsDelayModel
+from repro.ir.builder import DFGBuilder
+from repro.ir.passes import apply_pragmas
+from repro.ir.program import Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.types import i32
+from repro.rtl.generator import GenOptions, generate_netlist
+from repro.rtl.netlist import CellKind, NetKind
+from repro.scheduling.chaining import ChainingScheduler
+
+
+def generate(design, control=ControlStyle.STALL, clock=1000 / 300):
+    lowered = apply_pragmas(design)
+    schedules = {
+        (k.name, l.name): ChainingScheduler(HlsDelayModel(), clock).schedule(l.body)
+        for k, l in lowered.all_loops()
+    }
+    return generate_netlist(lowered, schedules, GenOptions(control=control))
+
+
+def mem_design(depth, extra_store=0, extra_load=0, with_load=False):
+    design = Design("m", meta={"clock_mhz": 300})
+    fin = design.add_fifo(Fifo("fin", i32, external=True))
+    buf = design.add_buffer(Buffer("big", i32, depth=depth))
+    b = DFGBuilder("body")
+    idx = b.input("i", i32)
+    st = b.store(buf, idx, b.fifo_read(fin))
+    if extra_store:
+        st.attrs["extra_latency"] = extra_store
+    if with_load:
+        fout = design.add_fifo(Fifo("fout", i32, external=True))
+        ld = b.load(buf, idx)
+        if extra_load:
+            ld.producer.attrs["extra_latency"] = extra_load
+        b.fifo_write(fout, ld)
+    kernel = design.add_kernel(Kernel("k"))
+    kernel.add_loop(Loop("l", b.build(), trip_count=depth, pipeline=True))
+    design.verify()
+    return design
+
+
+class TestDistributionTree:
+    def test_flat_net_without_extra_latency(self):
+        gen = generate(mem_design(1 << 17, extra_store=0))
+        banks = Buffer("big", i32, 1 << 17).bram36_units()
+        wdata = [n for n in gen.netlist.nets.values() if "wdata" in n.name]
+        assert len(wdata) == 1
+        assert wdata[0].fanout == banks
+
+    def test_tree_with_extra_latency(self):
+        gen = generate(mem_design(1 << 17, extra_store=2))
+        banks = Buffer("big", i32, 1 << 17).bram36_units()
+        # No single MEM net should carry the whole bank fanout anymore.
+        worst = max(
+            n.fanout for n in gen.netlist.nets_of_kind(NetKind.MEM)
+        )
+        assert worst < banks
+        # Tree registers exist.
+        assert any("_t2_" in name for name in gen.netlist.cells)
+
+    def test_tree_register_layers_match_extra(self):
+        gen = generate(mem_design(1 << 17, extra_store=3))
+        # layer markers t3 (top) .. t1 (leaf-most)
+        for layer in (1, 2, 3):
+            assert any(f"_t{layer}_" in name for name in gen.netlist.cells), layer
+
+    def test_tree_reaches_every_bank(self):
+        gen = generate(mem_design(1 << 15, extra_store=2))
+        banks = [c for c in gen.netlist.cells.values() if c.kind is CellKind.BRAM]
+        fed = set()
+        for net in gen.netlist.nets_of_kind(NetKind.MEM):
+            for cell, pin in net.sinks:
+                if cell.kind is CellKind.BRAM and pin == "din":
+                    fed.add(cell.name)
+        assert fed == {c.name for c in banks if c.tag == "buffer:big"}
+
+
+class TestMuxTree:
+    def test_flat_mux_when_no_extra(self):
+        gen = generate(mem_design(1 << 15, with_load=True))
+        muxes = [c for c in gen.netlist.cells if "_mux" in c]
+        assert len(muxes) == 1
+
+    def test_registered_mux_levels(self):
+        gen = generate(mem_design(1 << 15, with_load=True, extra_load=2))
+        level0 = [c for c in gen.netlist.cells if "_mux0_" in c]
+        level1 = [c for c in gen.netlist.cells if "_mux1_" in c]
+        assert len(level0) > 1
+        assert len(level1) == 1
+        assert any("_mr0_" in c for c in gen.netlist.cells)
+
+    def test_every_bank_feeds_some_mux(self):
+        gen = generate(mem_design(1 << 15, with_load=True, extra_load=2))
+        fed_from = set()
+        for net in gen.netlist.nets_of_kind(NetKind.MEM):
+            if net.driver.kind is CellKind.BRAM:
+                fed_from.add(net.driver.name)
+        banks = {c.name for c in gen.netlist.cells.values() if c.kind is CellKind.BRAM}
+        assert fed_from == banks
+
+
+class TestEdgeCases:
+    def test_single_op_loop(self):
+        design = Design("tiny", meta={"clock_mhz": 300})
+        fin = design.add_fifo(Fifo("fin", i32, external=True))
+        fout = design.add_fifo(Fifo("fout", i32, external=True))
+        b = DFGBuilder("body")
+        b.fifo_write(fout, b.fifo_read(fin))
+        design.add_kernel(Kernel("k")).add_loop(
+            Loop("l", b.build(), trip_count=4, pipeline=True)
+        )
+        design.verify()
+        gen = generate(design, ControlStyle.SKID_MINAREA)
+        gen.netlist.validate()
+        assert gen.loops[0].depth >= 1
+
+    def test_operand_used_twice_two_pins(self):
+        design = Design("dup", meta={"clock_mhz": 300})
+        fout = design.add_fifo(Fifo("fout", i32, external=True))
+        b = DFGBuilder("body")
+        x = b.input("x", i32)
+        b.fifo_write(fout, b.mul(x, x))
+        design.add_kernel(Kernel("k")).add_loop(
+            Loop("l", b.build(), trip_count=4, pipeline=True)
+        )
+        design.verify()
+        gen = generate(design)
+        x_nets = [n for n in gen.netlist.nets.values() if ".x_c0" in n.name]
+        assert x_nets and x_nets[0].fanout == 2  # both mul pins
+
+    def test_multi_cycle_consumer_gets_pipe_regs(self):
+        design = Design("span", meta={"clock_mhz": 300})
+        fout = design.add_fifo(Fifo("fout", i32, external=True))
+        b = DFGBuilder("body")
+        x = b.input("x", i32)
+        late = b.reg(b.reg(b.reg(x)))  # defined at cycle 3
+        early = b.add(x, x)  # consumed at cycle 0
+        b.fifo_write(fout, b.add(late, b.reg(early)))
+        design.add_kernel(Kernel("k")).add_loop(
+            Loop("l", b.build(), trip_count=4, pipeline=True)
+        )
+        design.verify()
+        gen = generate(design)
+        gen.netlist.validate()
+        pipe_regs = [c for c in gen.netlist.cells.values() if c.tag == "pipe_reg"]
+        assert pipe_regs  # x must be carried across boundaries

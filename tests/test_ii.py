@@ -1,0 +1,115 @@
+"""Tests for initiation-interval analysis (repro.scheduling.ii)."""
+
+from repro.delay.calibrated import CalibratedDelayModel
+from repro.delay.hls_model import HlsDelayModel
+from repro.ir.builder import DFGBuilder
+from repro.ir.passes import apply_pragmas
+from repro.ir.program import Buffer, Fifo, Loop
+from repro.ir.types import i32
+from repro.scheduling.chaining import ChainingScheduler
+from repro.scheduling.ii import IIReport, analyze_ii, check_ii_preserved
+
+from conftest import make_synthetic_table
+
+
+def scheduled(body_builder, clock=3.0, model=None, **loop_kw):
+    b = DFGBuilder("body")
+    body_builder(b)
+    loop = Loop("l", b.build(), pipeline=True, **loop_kw)
+    schedule = ChainingScheduler(model or HlsDelayModel(), clock).schedule(loop.body)
+    return loop, schedule
+
+
+class TestMemoryBound:
+    def test_two_accesses_fit_dual_port(self):
+        buf = Buffer("m", i32, 64)
+
+        def body(b):
+            a = b.input("a", i32)
+            b.store(buf, a, b.load(buf, a))
+
+        loop, schedule = scheduled(body)
+        assert analyze_ii(loop, schedule).ii == 1
+
+    def test_three_accesses_force_ii2(self):
+        buf = Buffer("m", i32, 64)
+
+        def body(b):
+            a = b.input("a", i32)
+            x = b.load(buf, a)
+            y = b.load(buf, b.add(a, b.const(1, i32)))
+            b.store(buf, a, b.add(x, y))
+
+        loop, schedule = scheduled(body)
+        report = analyze_ii(loop, schedule)
+        assert report.ii == 2
+        assert "memory ports" in report.limiting_resource
+
+    def test_bank_groups_decouple(self):
+        buf = Buffer("m", i32, 64, partition=4)
+
+        def body(b):
+            a = b.input("a", i32)
+            for g in range(4):
+                st = b.store(buf, a, b.const(g, i32))
+                st.attrs["bank_group"] = (g, 4)
+
+        loop, schedule = scheduled(body)
+        assert analyze_ii(loop, schedule).ii == 1  # one store per group
+
+
+class TestFifoBound:
+    def test_two_reads_same_fifo(self):
+        fifo = Fifo("f", i32)
+
+        def body(b):
+            b.add(b.fifo_read(fifo), b.fifo_read(fifo))
+
+        loop, schedule = scheduled(body)
+        report = analyze_ii(loop, schedule)
+        assert report.ii == 2
+        assert "fifo" in report.limiting_resource
+
+    def test_read_and_write_independent(self):
+        fifo = Fifo("f", i32)
+
+        def body(b):
+            b.fifo_write(fifo, b.fifo_read(fifo))
+
+        loop, schedule = scheduled(body)
+        assert analyze_ii(loop, schedule).ii == 1
+
+    def test_requested_ii_floor(self):
+        fifo = Fifo("f", i32)
+
+        def body(b):
+            b.fifo_write(fifo, b.fifo_read(fifo))
+
+        loop, schedule = scheduled(body, ii=4)
+        assert analyze_ii(loop, schedule).ii == 4
+
+
+class TestThroughputNeutrality:
+    """§5.2: the optimization must not change II."""
+
+    def test_genome_ii_preserved(self, synthetic_table):
+        from repro.designs import build_design
+
+        design = apply_pragmas(build_design("genome", unroll=16))
+        loop = next(l for _k, l in design.all_loops() if l.name == "back_search")
+        clock = 1000.0 / float(design.meta["clock_mhz"])
+        before = ChainingScheduler(HlsDelayModel(), clock).schedule(loop.body)
+        cal = CalibratedDelayModel(synthetic_table)
+        after = ChainingScheduler(cal, clock).schedule(loop.body)
+        assert check_ii_preserved(loop, before, after)
+        assert analyze_ii(loop, before).fully_pipelined
+
+    def test_report_access_counts(self):
+        fifo = Fifo("f", i32)
+
+        def body(b):
+            b.fifo_write(fifo, b.fifo_read(fifo))
+
+        loop, schedule = scheduled(body)
+        counts = analyze_ii(loop, schedule).access_counts
+        assert counts == {"fifo:f:read": 1, "fifo:f:write": 1}

@@ -1,0 +1,219 @@
+"""Tests for the IR interpreter and semantics preservation of passes."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.ir.broadcast_tree import build_broadcast_tree
+from repro.ir.builder import DFGBuilder
+from repro.ir.interp import Evaluator
+from repro.ir.passes import cse, dce, unroll_loop
+from repro.ir.program import Buffer, Fifo, Loop
+from repro.ir.types import DataType, f32, i8, i32
+
+
+class TestArithmetic:
+    def evaluate(self, build, **inputs):
+        b = DFGBuilder()
+        args = {name: b.input(name, i32) for name in inputs}
+        result = build(b, args)
+        env = Evaluator().run(b.build(), inputs=inputs)
+        return env[result.name]
+
+    def test_add(self):
+        assert self.evaluate(lambda b, a: b.add(a["x"], a["y"]), x=3, y=4) == 7
+
+    def test_sub_negative(self):
+        assert self.evaluate(lambda b, a: b.sub(a["x"], a["y"]), x=3, y=5) == -2
+
+    def test_mul_wraps_to_width(self):
+        b = DFGBuilder()
+        x = b.input("x", i8)
+        r = b.mul(x, x)
+        env = Evaluator().run(b.build(), inputs={"x": 100})
+        assert env[r.name] == ((100 * 100 + 128) % 256) - 128  # i8 wrap
+
+    def test_signed_wrap(self):
+        b = DFGBuilder()
+        x = b.input("x", i8)
+        r = b.add(x, b.const(1, i8))
+        env = Evaluator().run(b.build(), inputs={"x": 127})
+        assert env[r.name] == -128
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(SimulationError):
+            self.evaluate(lambda b, a: b.div(a["x"], a["y"]), x=4, y=0)
+
+    def test_div_truncates_toward_zero(self):
+        assert self.evaluate(lambda b, a: b.div(a["x"], a["y"]), x=-7, y=2) == -3
+
+    def test_select_and_cmp(self):
+        assert (
+            self.evaluate(
+                lambda b, a: b.select(b.cmp("lt", a["x"], a["y"]), a["x"], a["y"]),
+                x=9,
+                y=5,
+            )
+            == 5
+        )
+
+    def test_min_max_idioms(self):
+        assert self.evaluate(lambda b, a: b.min_(a["x"], a["y"]), x=2, y=8) == 2
+        assert self.evaluate(lambda b, a: b.max_(a["x"], a["y"]), x=2, y=8) == 8
+
+    def test_abs_diff(self):
+        assert self.evaluate(lambda b, a: b.abs_diff(a["x"], a["y"]), x=3, y=10) == 7
+
+    def test_shift_and_logic(self):
+        assert self.evaluate(lambda b, a: b.shl(a["x"], b.const(2, i32)), x=3) == 12
+        assert self.evaluate(lambda b, a: b.and_(a["x"], b.const(6, i32)), x=5) == 4
+
+    def test_slice_extracts_field(self):
+        wide = DataType("uint", 64)
+        b = DFGBuilder()
+        x = b.input("x", wide)
+        u8 = DataType("uint", 8)
+        lane = b.slice_(x, 8, u8)
+        env = Evaluator().run(b.build(), inputs={"x": 0xAB12})
+        assert env[lane.name] == 0xAB  # bits [15:8] of 0xAB12
+
+    def test_float_ops(self):
+        b = DFGBuilder()
+        x = b.input("x", f32)
+        r = b.mul(b.add(x, b.const(1.5, f32)), b.const(2.0, f32))
+        env = Evaluator().run(b.build(), inputs={"x": 0.5})
+        assert env[r.name] == pytest.approx(4.0)
+
+
+class TestMemoryAndStreams:
+    def test_store_then_load(self):
+        buf = Buffer("m", i32, 16)
+        b = DFGBuilder()
+        addr = b.input("a", i32)
+        b.store(buf, addr, b.const(42, i32))
+        out = b.load(buf, addr)
+        ev = Evaluator()
+        env = ev.run(b.build(), inputs={"a": 3})
+        assert env[out.name] == 42
+        assert ev.buffers["m"][3] == 42
+
+    def test_fifo_read_write(self):
+        fin = Fifo("fin", i32)
+        fout = Fifo("fout", i32)
+        b = DFGBuilder()
+        x = b.fifo_read(fin)
+        b.fifo_write(fout, b.add(x, b.const(1, i32)))
+        ev = Evaluator(fifos={"fin": collections.deque([10])})
+        ev.run(b.build())
+        assert list(ev.fifos["fout"]) == [11]
+
+    def test_empty_fifo_read_raises(self):
+        fin = Fifo("fin", i32)
+        b = DFGBuilder()
+        b.fifo_read(fin)
+        with pytest.raises(SimulationError):
+            Evaluator().run(b.build())
+
+    def test_call_impl_plugged(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        r = b.call("double", [x], i32, latency=3).result
+        ev = Evaluator(call_impls={"double": lambda v: v * 2})
+        env = ev.run(b.build(), inputs={"x": 21})
+        assert env[r.name] == 42
+
+    def test_can_fire_checks_reads(self):
+        fin = Fifo("fin", i32)
+        b = DFGBuilder()
+        b.fifo_read(fin)
+        dfg = b.build()
+        ev = Evaluator(fifos={"fin": collections.deque()})
+        assert not ev.can_fire(dfg)
+        ev.fifos["fin"].append(1)
+        assert ev.can_fire(dfg)
+
+    def test_can_fire_checks_write_space(self):
+        fout = Fifo("fout", i32, depth=1)
+        b = DFGBuilder()
+        b.fifo_write(fout, b.const(1, i32))
+        dfg = b.build()
+        ev = Evaluator(fifos={"fout": collections.deque([0])})
+        assert not ev.can_fire(dfg)
+
+
+class TestPassSemantics:
+    """Transformations must not change what a body computes."""
+
+    def chain_body(self):
+        b = DFGBuilder("body")
+        shared = b.input("shared", i32, loop_invariant=True)
+        local = b.input("local", i32)
+        d = b.sub(local, shared)
+        r = b.select(b.cmp("gt", d, b.const(0, i32)), d, b.const(0, i32), name="relu")
+        return b.build(), r
+
+    def test_unroll_preserves_per_copy_semantics(self):
+        dfg, r = self.chain_body()
+        loop = Loop("l", dfg, trip_count=4, unroll=4)
+        unrolled = unroll_loop(loop)
+        ref = Evaluator().run(dfg, inputs={"shared": 5, "local": 9})[r.name]
+        env = Evaluator().run(
+            unrolled.body,
+            inputs={"shared": 5, **{f"local#{k}": 9 for k in range(4)}},
+        )
+        for k in range(4):
+            assert env[f"{r.name}#{k}"] == ref
+
+    def test_broadcast_tree_preserves_values(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        outs = [b.add(x, b.const(k, i32), name=f"o{k}") for k in range(9)]
+        dfg = b.build()
+        before = Evaluator().run(dfg, inputs={"x": 7})
+        build_broadcast_tree(dfg, x, arity=3)
+        after = Evaluator().run(dfg, inputs={"x": 7})
+        for k in range(9):
+            assert after[f"o{k}"] == before[f"o{k}"]
+
+    def test_cse_preserves_values(self):
+        b = DFGBuilder()
+        x, y = b.input("x", i32), b.input("y", i32)
+        r = b.add(b.mul(x, y), b.mul(x, y), name="twice")
+        dfg = b.build()
+        before = Evaluator().run(dfg, inputs={"x": 3, "y": 4})["twice"]
+        cse(dfg)
+        after = Evaluator().run(dfg, inputs={"x": 3, "y": 4})["twice"]
+        assert before == after == 24
+
+    def test_dce_preserves_live_values(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        live = b.add(x, b.const(1, i32), name="live")
+        b.mul(x, x)  # dead
+        dfg = b.build()
+        removed = dce(dfg, keep={"live"})
+        assert removed >= 1  # the dead multiply went away
+        assert Evaluator().run(dfg, inputs={"x": 4})["live"] == 5
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shared=st.integers(-1000, 1000),
+        locals_=st.lists(st.integers(-1000, 1000), min_size=2, max_size=8),
+    )
+    def test_unroll_equivalence_property(self, shared, locals_):
+        dfg, r = self.chain_body()
+        factor = len(locals_)
+        loop = Loop("l", dfg, trip_count=factor, unroll=factor)
+        unrolled = unroll_loop(loop)
+        env = Evaluator().run(
+            unrolled.body,
+            inputs={
+                "shared": shared,
+                **{f"local#{k}": v for k, v in enumerate(locals_)},
+            },
+        )
+        for k, v in enumerate(locals_):
+            ref = Evaluator().run(dfg, inputs={"shared": shared, "local": v})[r.name]
+            assert env[f"{r.name}#{k}"] == ref

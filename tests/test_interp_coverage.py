@@ -1,0 +1,106 @@
+"""Additional interpreter coverage: remaining opcodes and widths."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.builder import DFGBuilder
+from repro.ir.interp import Evaluator, _wrap
+from repro.ir.types import DataType, i16, i32, u8, u16
+
+
+class TestWrap:
+    def test_unsigned_wrap(self):
+        assert _wrap(256, u8) == 0
+        assert _wrap(257, u8) == 1
+        assert _wrap(-1, u8) == 255
+
+    def test_signed_wrap_boundaries(self):
+        assert _wrap(127, DataType("int", 8)) == 127
+        assert _wrap(128, DataType("int", 8)) == -128
+        assert _wrap(-129, DataType("int", 8)) == 127
+
+    def test_float_passthrough(self):
+        assert _wrap(3.25, DataType("float", 32)) == 3.25
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(-(10 ** 9), 10 ** 9))
+    def test_wrap_idempotent(self, value):
+        once = _wrap(value, i16)
+        assert _wrap(once, i16) == once
+        assert -(1 << 15) <= once < (1 << 15)
+
+
+class TestRemainingOpcodes:
+    def run_one(self, build, **inputs):
+        b = DFGBuilder()
+        args = {name: b.input(name, i32) for name in inputs}
+        result = build(b, args)
+        return Evaluator().run(b.build(), inputs=inputs)[result.name]
+
+    def test_not(self):
+        assert self.run_one(lambda b, a: b.not_(a["x"]), x=0) == -1
+
+    def test_xor(self):
+        assert self.run_one(lambda b, a: b.xor(a["x"], a["y"]), x=0b1100, y=0b1010) == 0b0110
+
+    def test_or(self):
+        assert self.run_one(lambda b, a: b.or_(a["x"], a["y"]), x=0b1100, y=0b1010) == 0b1110
+
+    def test_shr_arithmetic_like(self):
+        assert self.run_one(lambda b, a: b.shr(a["x"], b.const(1, i32)), x=-8) == -4
+
+    def test_ne_ge_le(self):
+        assert self.run_one(lambda b, a: b.cmp("ne", a["x"], a["y"]), x=1, y=2) == 1
+        assert self.run_one(lambda b, a: b.cmp("ge", a["x"], a["y"]), x=2, y=2) == 1
+        assert self.run_one(lambda b, a: b.cmp("le", a["x"], a["y"]), x=3, y=2) == 0
+
+    def test_zext_sext(self):
+        b = DFGBuilder()
+        x = b.input("x", u8)
+        wide = b.zext(x, u16, name="wide")
+        env = Evaluator().run(b.build(), inputs={"x": 200})
+        assert env["wide"] == 200
+
+    def test_trunc_plain(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        narrow = b.trunc(x, u8, name="narrow")
+        env = Evaluator().run(b.build(), inputs={"x": 0x1FF})
+        assert env["narrow"] == 0xFF
+
+    def test_reg_is_identity_functionally(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        r = b.reg(b.reg(x), name="rr")
+        env = Evaluator().run(b.build(), inputs={"x": 77})
+        assert env["rr"] == 77
+
+    def test_unrolled_input_base_name_fallback(self):
+        """Inputs named `x#k` fall back to the `x` entry of the input map."""
+        b = DFGBuilder()
+        x0 = b.input("x#0", i32)
+        x1 = b.input("x#1", i32)
+        s = b.add(x0, x1, name="s")
+        env = Evaluator().run(b.build(), inputs={"x": 5})
+        assert env["s"] == 10
+
+
+class TestDataflowDeadlock:
+    def test_internal_capacity_deadlock_terminates(self):
+        """A writer into a bounded FIFO with no reader deadlocks; the
+        dataflow simulator must stop rather than spin to max_cycles."""
+        from repro.ir.program import Design, Fifo, Kernel, Loop
+        from repro.sim.dataflow import DataflowSim
+
+        design = Design("dead", dataflow=False)
+        fin = design.add_fifo(Fifo("fin", i32, depth=4, external=True))
+        bounded = design.add_fifo(Fifo("mid", i32, depth=2))
+        b = DFGBuilder("body")
+        b.fifo_write(bounded, b.fifo_read(fin))
+        design.add_kernel(Kernel("k")).add_loop(
+            Loop("l", b.build(), trip_count=None, pipeline=True)
+        )
+        design.verify()
+        trace = DataflowSim(design, {"fin": list(range(10))}).run(max_cycles=5000)
+        assert trace.cycles < 5000
+        assert trace.firings.get("k/l", 0) == 2  # filled the bounded fifo

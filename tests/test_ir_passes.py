@@ -1,0 +1,169 @@
+"""Tests for loop unrolling, DCE and CSE (repro.ir.passes)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.builder import DFGBuilder
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode
+from repro.ir.passes import apply_pragmas, cse, dce, unroll_loop
+from repro.ir.program import Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.types import i32
+
+
+def make_body(buffer=None, fifo=None, shared_read=False):
+    b = DFGBuilder("body")
+    inv = b.input("inv", i32, loop_invariant=True)
+    var = b.input("var", i32)
+    src = inv
+    if fifo is not None:
+        src = b.fifo_read(fifo, name="elem", unroll_shared=shared_read)
+    s = b.sub(var, src if shared_read else inv, name="s")
+    if buffer is not None:
+        st = b.store(buffer, b.input("idx", i32), s)
+        st.attrs["bank_group"] = "per_copy"
+    return b.build()
+
+
+class TestUnroll:
+    def test_invariant_becomes_broadcast(self):
+        loop = Loop("l", make_body(), trip_count=16, unroll=4)
+        unrolled = unroll_loop(loop)
+        inv = unrolled.body.values["inv"]
+        assert inv.fanout == 4
+
+    def test_per_iteration_inputs_duplicated(self):
+        loop = Loop("l", make_body(), trip_count=16, unroll=4)
+        unrolled = unroll_loop(loop)
+        names = {v.name for v in unrolled.body.inputs}
+        assert {"var#0", "var#1", "var#2", "var#3"} <= names
+
+    def test_trip_count_divided(self):
+        loop = Loop("l", make_body(), trip_count=16, unroll=4)
+        assert unroll_loop(loop).trip_count == 4
+
+    def test_unroll_factor_reset(self):
+        loop = Loop("l", make_body(), trip_count=16, unroll=4)
+        assert unroll_loop(loop).unroll == 1
+
+    def test_factor_one_identity(self):
+        loop = Loop("l", make_body(), trip_count=16, unroll=1)
+        assert unroll_loop(loop) is loop
+
+    def test_indivisible_trip_count_rejected(self):
+        loop = Loop("l", make_body(), trip_count=10, unroll=4)
+        with pytest.raises(IRError):
+            unroll_loop(loop)
+
+    def test_nonpositive_factor_rejected(self):
+        loop = Loop("l", make_body(), trip_count=8, unroll=1)
+        with pytest.raises(IRError):
+            unroll_loop(loop, factor=0)
+
+    def test_bank_group_stamped_per_copy(self):
+        buf = Buffer("m", i32, 64, partition=4)
+        loop = Loop("l", make_body(buffer=buf), trip_count=8, unroll=4)
+        unrolled = unroll_loop(loop)
+        groups = [
+            op.attrs["bank_group"]
+            for op in unrolled.body.ops
+            if op.opcode is Opcode.STORE
+        ]
+        assert sorted(groups) == [(k, 4) for k in range(4)]
+
+    def test_shared_fifo_read_emitted_once(self):
+        fifo = Fifo("f", i32)
+        loop = Loop(
+            "l", make_body(fifo=fifo, shared_read=True), trip_count=8, unroll=4
+        )
+        unrolled = unroll_loop(loop)
+        reads = [op for op in unrolled.body.ops if op.opcode is Opcode.FIFO_READ]
+        assert len(reads) == 1
+        assert reads[0].result.fanout == 4
+
+    def test_unshared_fifo_read_replicated(self):
+        fifo = Fifo("f", i32)
+        loop = Loop(
+            "l", make_body(fifo=fifo, shared_read=False), trip_count=8, unroll=4
+        )
+        # the non-shared read result is dead in this body; wire it in:
+        unrolled = unroll_loop(loop)
+        reads = [op for op in unrolled.body.ops if op.opcode is Opcode.FIFO_READ]
+        assert len(reads) == 4
+
+    def test_shared_op_with_per_iter_operand_rejected(self):
+        b = DFGBuilder("body")
+        var = b.input("var", i32)
+        op = b.dfg.add_op(Opcode.ADD, [var, var], name="a")
+        op.attrs["unroll_shared"] = True
+        loop = Loop("l", b.build(), trip_count=4, unroll=2)
+        with pytest.raises(IRError):
+            unroll_loop(loop)
+
+    def test_apply_pragmas_clones(self):
+        design = Design("d")
+        fifo = design.add_fifo(Fifo("f", i32, external=True))
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("l", make_body(fifo=fifo), trip_count=8, unroll=4))
+        lowered = apply_pragmas(design)
+        assert design.kernels[0].loops[0].unroll == 4  # untouched
+        assert lowered.kernels[0].loops[0].unroll == 1
+
+
+class TestDce:
+    def test_removes_dead_chain(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        dead = b.add(x, x)
+        b.add(dead, dead)  # also dead
+        assert dce(b.dfg) == 2
+        assert len(b.dfg) == 0
+
+    def test_keeps_side_effects(self):
+        fifo = Fifo("f", i32)
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        b.fifo_write(fifo, b.add(x, x))
+        assert dce(b.dfg) == 0
+
+    def test_keeps_live_values(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        live = b.add(x, x)
+        b.fifo_write(Fifo("f", i32), live)
+        assert dce(b.dfg) == 0
+
+
+class TestCse:
+    def test_merges_identical_ops(self):
+        b = DFGBuilder()
+        x, y = b.input("x", i32), b.input("y", i32)
+        a1 = b.add(x, y)
+        a2 = b.add(x, y)
+        use = b.sub(a1, a2)
+        assert cse(b.dfg) == 1
+        b.dfg.verify()
+        # the survivor's fanout concentrated (the paper's timing concern)
+        assert use.producer.operands[0] is use.producer.operands[1]
+
+    def test_merges_equal_constants(self):
+        b = DFGBuilder()
+        c1 = b.const(7, i32)
+        c2 = b.const(7, i32)
+        b.add(c1, c2)
+        assert cse(b.dfg) == 1
+
+    def test_different_operand_order_not_merged(self):
+        b = DFGBuilder()
+        x, y = b.input("x", i32), b.input("y", i32)
+        b.sub(x, y)
+        b.sub(y, x)
+        assert cse(b.dfg) == 0
+
+    def test_side_effects_never_merged(self):
+        fifo = Fifo("f", i32)
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        b.fifo_write(fifo, x)
+        b.fifo_write(fifo, x)
+        assert cse(b.dfg) == 0

@@ -1,0 +1,159 @@
+"""Tests for repro.ir.program: buffers, fifos, loops, kernels, designs."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import BRAM36_BITS, Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.types import DataType, i32, u64
+
+u512 = DataType("uint", 512)
+
+
+class TestBuffer:
+    def test_small_buffer_one_bram(self):
+        assert Buffer("b", i32, 16).bram36_units() == 1
+
+    def test_units_grow_with_depth(self):
+        small = Buffer("s", i32, 1024).bram36_units()
+        large = Buffer("l", i32, 1024 * 64).bram36_units()
+        assert large > small
+
+    def test_wide_elements_slice_by_width(self):
+        # One 512-bit word needs ceil(512/72)=8 parallel BRAM36s.
+        assert Buffer("w", u512, 4).bram36_units() == 8
+
+    def test_partitioning_multiplies_minimum(self):
+        assert Buffer("p", i32, 64, partition=8).bram36_units() == 8
+
+    def test_stream_buffer_fills_vu9p(self):
+        # The Table-1 stream buffer: ~95% of 2160 BRAM36.
+        units = Buffer("big", u64, 1_179_648).bram36_units()
+        assert 1940 <= units <= 2160
+
+    def test_total_bits(self):
+        assert Buffer("b", i32, 100).total_bits == 3200
+
+    def test_depth_validation(self):
+        with pytest.raises(VerificationError):
+            Buffer("b", i32, 0)
+
+    def test_partition_validation(self):
+        with pytest.raises(VerificationError):
+            Buffer("b", i32, 4, partition=8)
+
+
+class TestFifo:
+    def test_width_from_elem(self):
+        assert Fifo("f", u64).width == 64
+
+    def test_depth_validation(self):
+        with pytest.raises(VerificationError):
+            Fifo("f", i32, depth=0)
+
+
+def make_loop(name="l", fifo=None, buffer=None, **kwargs):
+    b = DFGBuilder(f"{name}_body")
+    x = b.input("x", i32)
+    if fifo is not None:
+        x = b.fifo_read(fifo)
+    y = b.add(x, b.const(1, i32))
+    if fifo is not None:
+        b.fifo_write(fifo, y)
+    if buffer is not None:
+        b.store(buffer, b.input("i", i32), y)
+    return Loop(name, b.build(), **kwargs)
+
+
+class TestLoop:
+    def test_static_latency(self):
+        assert make_loop(trip_count=10).has_static_latency
+        assert not make_loop(trip_count=None).has_static_latency
+
+    def test_fifo_endpoints(self):
+        fifo = Fifo("f", i32)
+        loop = make_loop(fifo=fifo)
+        reads, writes = loop.fifo_endpoints()
+        assert reads == ["f"] and writes == ["f"]
+
+    def test_buffers_touched(self):
+        buf = Buffer("m", i32, 32)
+        loop = make_loop(buffer=buf)
+        assert loop.buffers_touched() == ["m"]
+
+
+class TestDesign:
+    def test_duplicate_kernel_rejected(self):
+        d = Design("d")
+        d.add_kernel(Kernel("k"))
+        with pytest.raises(VerificationError):
+            d.add_kernel(Kernel("k"))
+
+    def test_duplicate_fifo_rejected(self):
+        d = Design("d")
+        d.add_fifo(Fifo("f", i32))
+        with pytest.raises(VerificationError):
+            d.add_fifo(Fifo("f", i32))
+
+    def test_verify_requires_registered_fifo(self):
+        d = Design("d")
+        rogue = Fifo("rogue", i32)
+        k = d.add_kernel(Kernel("k"))
+        k.add_loop(make_loop(fifo=rogue))
+        with pytest.raises(VerificationError):
+            d.verify()
+
+    def test_verify_requires_registered_buffer(self):
+        d = Design("d")
+        rogue = Buffer("rogue", i32, 8)
+        k = d.add_kernel(Kernel("k"))
+        k.add_loop(make_loop(buffer=rogue))
+        with pytest.raises(VerificationError):
+            d.verify()
+
+    def test_dataflow_fifo_needs_both_sides(self):
+        d = Design("d", dataflow=True)
+        fifo = d.add_fifo(Fifo("f", i32))
+        k = d.add_kernel(Kernel("k"))
+        b = DFGBuilder("body")
+        b.fifo_write(fifo, b.input("x", i32))
+        k.add_loop(Loop("w", b.build()))
+        with pytest.raises(VerificationError):
+            d.verify()
+
+    def test_external_fifo_exempt_from_pairing(self):
+        d = Design("d", dataflow=True)
+        fifo = d.add_fifo(Fifo("f", i32, external=True))
+        k = d.add_kernel(Kernel("k"))
+        b = DFGBuilder("body")
+        b.fifo_write(fifo, b.input("x", i32))
+        k.add_loop(Loop("w", b.build()))
+        d.verify()
+
+    def test_clone_independent(self):
+        d = Design("d")
+        fifo = d.add_fifo(Fifo("f", i32))
+        buf = d.add_buffer(Buffer("m", i32, 8))
+        k = d.add_kernel(Kernel("k"))
+        k.add_loop(make_loop(fifo=fifo, buffer=buf, trip_count=4, pipeline=True))
+        clone = d.clone()
+        clone.verify()
+        # attrs rebound to the clone's objects
+        for _, loop in clone.all_loops():
+            for op in loop.body.ops:
+                if "fifo" in op.attrs:
+                    assert op.attrs["fifo"] is clone.fifos["f"]
+                if "buffer" in op.attrs:
+                    assert op.attrs["buffer"] is clone.buffers["m"]
+        # pragma metadata preserved
+        assert clone.kernels[0].loops[0].pipeline
+
+    def test_all_loops_order(self):
+        d = Design("d")
+        k1 = d.add_kernel(Kernel("k1"))
+        k1.add_loop(make_loop("a"))
+        k1.add_loop(make_loop("b"))
+        k2 = d.add_kernel(Kernel("k2"))
+        k2.add_loop(make_loop("c"))
+        names = [loop.name for _, loop in d.all_loops()]
+        assert names == ["a", "b", "c"]

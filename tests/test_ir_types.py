@@ -1,0 +1,120 @@
+"""Tests for repro.ir.types."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.types import (
+    DataType,
+    common_type,
+    f16,
+    f32,
+    f64,
+    i1,
+    i8,
+    i32,
+    i64,
+    u16,
+    u32,
+)
+
+
+class TestDataTypeConstruction:
+    def test_int_width(self):
+        t = DataType("int", 24)
+        assert t.bits == 24
+        assert t.is_int and not t.is_float
+
+    def test_uint_kind(self):
+        t = DataType("uint", 512)
+        assert t.is_int
+        assert not t.is_signed
+
+    def test_float_widths_allowed(self):
+        for width in (16, 32, 64):
+            assert DataType("float", width).is_float
+
+    def test_float_width_rejected(self):
+        with pytest.raises(IRError):
+            DataType("float", 24)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(IRError):
+            DataType("fixed", 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(IRError):
+            DataType("int", 0)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(IRError):
+            DataType("int", -4)
+
+    def test_overwide_rejected(self):
+        with pytest.raises(IRError):
+            DataType("uint", 5000)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            i32.width = 64  # type: ignore[misc]
+
+
+class TestDataTypeProperties:
+    def test_bool_detection(self):
+        assert i1.is_bool
+        assert not i8.is_bool
+
+    def test_signedness(self):
+        assert i32.is_signed
+        assert not u32.is_signed
+        assert f32.is_signed
+
+    def test_with_width(self):
+        assert i8.with_width(16) == DataType("int", 16)
+
+    def test_hashable_as_table_key(self):
+        table = {i32: 1, f32: 2}
+        assert table[DataType("int", 32)] == 1
+
+    def test_equality(self):
+        assert DataType("float", 32) == f32
+        assert f32 != f64
+
+    def test_str_roundtrips_via_parse(self):
+        for t in (i1, i8, i32, i64, u16, u32, f16, f32, f64):
+            assert DataType.parse(str(t)) == t
+
+
+class TestParse:
+    def test_parse_int(self):
+        assert DataType.parse("i32") == i32
+
+    def test_parse_uint(self):
+        assert DataType.parse("u16") == u16
+
+    def test_parse_float(self):
+        assert DataType.parse("f64") == f64
+
+    @pytest.mark.parametrize("bad", ["", "x32", "i", "iXY", "32"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(IRError):
+            DataType.parse(bad)
+
+
+class TestCommonType:
+    def test_same_type(self):
+        assert common_type(i32, i32) == i32
+
+    def test_wider_int_wins(self):
+        assert common_type(i8, i32) == i32
+
+    def test_float_wins_over_int(self):
+        assert common_type(i32, f32) == f32
+
+    def test_wider_float_wins(self):
+        assert common_type(f32, f64) == f64
+
+    def test_signed_wins_at_equal_width(self):
+        assert common_type(u32, i32) == i32
+
+    def test_uint_pair_stays_unsigned(self):
+        assert common_type(u16, u32) == u32

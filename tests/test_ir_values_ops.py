@@ -1,0 +1,161 @@
+"""Tests for repro.ir.values and repro.ir.ops."""
+
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.dfg import DFG
+from repro.ir.ops import (
+    BINARY_ARITH_OPS,
+    CMP_OPS,
+    FIFO_OPS,
+    MEM_OPS,
+    Opcode,
+    Operation,
+    result_type_of,
+)
+from repro.ir.program import Buffer, Fifo
+from repro.ir.types import f32, i1, i32
+from repro.ir.values import Value
+
+
+def v(name="x", t=i32):
+    return Value(name, t)
+
+
+class TestValue:
+    def test_input_flags(self):
+        x = v()
+        assert x.is_input and not x.is_const
+
+    def test_const_flags(self):
+        c = Value("c", i32, const=5)
+        assert c.is_const and not c.is_input
+
+    def test_fanout_counts_operand_slots(self):
+        x = v("x")
+        r = Value("r", i32)
+        Operation(Opcode.MUL, [x, x], r)
+        assert x.fanout == 2  # both mul pins read x
+        assert len(x.uses) == 1  # one consuming op
+
+    def test_fanout_across_ops(self):
+        x = v("x")
+        a, b = Value("a", i32), Value("b", i32)
+        Operation(Opcode.ADD, [x, x], a)
+        y = v("y")
+        Operation(Opcode.SUB, [x, y], b)
+        assert x.fanout == 3
+
+    def test_remove_use_keeps_remaining_slots(self):
+        x, y = v("x"), v("y")
+        r = Value("r", i32)
+        op = Operation(Opcode.ADD, [x, y], r)
+        op.replace_operand(y, x)
+        assert x.fanout == 2
+        assert y.fanout == 0
+        assert op not in y.uses
+
+
+class TestOperationValidation:
+    def test_arity_enforced(self):
+        with pytest.raises(IRError):
+            Operation(Opcode.ADD, [v()], Value("r", i32))
+
+    def test_mixed_float_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            Operation(Opcode.ADD, [v("a", i32), v("b", f32)], Value("r", f32))
+
+    def test_cmp_result_must_be_bool(self):
+        with pytest.raises(TypeMismatchError):
+            Operation(Opcode.LT, [v("a"), v("b")], Value("r", i32))
+
+    def test_select_cond_must_be_bool(self):
+        with pytest.raises(TypeMismatchError):
+            Operation(
+                Opcode.SELECT, [v("c", i32), v("a"), v("b")], Value("r", i32)
+            )
+
+    def test_select_arms_must_match(self):
+        with pytest.raises(TypeMismatchError):
+            Operation(
+                Opcode.SELECT, [v("c", i1), v("a", i32), v("b", f32)], Value("r", i32)
+            )
+
+    def test_load_requires_buffer_attr(self):
+        with pytest.raises(IRError):
+            Operation(Opcode.LOAD, [v("addr")], Value("r", i32))
+
+    def test_fifo_requires_fifo_attr(self):
+        with pytest.raises(IRError):
+            Operation(Opcode.FIFO_WRITE, [v("d")], None)
+
+    def test_call_requires_latency(self):
+        with pytest.raises(IRError):
+            Operation(Opcode.CALL, [v("a")], Value("r", i32), {"callee": "f"})
+
+    def test_const_requires_result(self):
+        with pytest.raises(IRError):
+            Operation(Opcode.CONST, [], None, {"value": 1})
+
+
+class TestOperationProperties:
+    def test_latency_defaults(self):
+        add = Operation(Opcode.ADD, [v("a"), v("b")], Value("r", i32))
+        assert add.latency == 0
+        assert add.is_combinational
+
+    def test_reg_latency(self):
+        reg = Operation(Opcode.REG, [v("a")], Value("r", i32))
+        assert reg.latency == 1
+        assert not reg.is_combinational
+
+    def test_call_latency_from_attrs(self):
+        call = Operation(
+            Opcode.CALL, [v("a")], Value("r", i32), {"callee": "f", "latency": 7}
+        )
+        assert call.latency == 7
+
+    def test_store_is_side_effecting(self):
+        buf = Buffer("b", i32, 16)
+        st = Operation(Opcode.STORE, [v("a"), v("d")], None, {"buffer": buf})
+        assert st.is_side_effecting
+
+    def test_replace_operand_count(self):
+        x, y, z = v("x"), v("y"), v("z")
+        op = Operation(Opcode.ADD, [x, x], Value("r", i32))
+        assert op.replace_operand(x, y) == 2
+        assert op.operands == [y, y]
+        assert op.replace_operand(z, x) == 0
+
+
+class TestOpcodeSets:
+    def test_sets_disjoint(self):
+        assert not (CMP_OPS & BINARY_ARITH_OPS)
+        assert not (MEM_OPS & FIFO_OPS)
+
+    def test_str(self):
+        assert str(Opcode.ADD) == "add"
+
+
+class TestResultTypeOf:
+    def test_cmp_is_bool(self):
+        assert result_type_of(Opcode.EQ, [v("a"), v("b")], None) == i1
+
+    def test_arith_infers_common(self):
+        assert result_type_of(Opcode.ADD, [v("a", i32), v("b", i32)], None) == i32
+
+    def test_sinks_none(self):
+        assert result_type_of(Opcode.STORE, [v("a"), v("d")], None) is None
+
+    def test_select_takes_arm_type(self):
+        assert (
+            result_type_of(Opcode.SELECT, [v("c", i1), v("a", f32), v("b", f32)], None)
+            == f32
+        )
+
+    def test_load_needs_buffer(self):
+        with pytest.raises(IRError):
+            result_type_of(Opcode.LOAD, [v("a")], None)
+
+    def test_explicit_overrides(self):
+        assert result_type_of(Opcode.ZEXT, [v("a", i32)], f32) == f32

@@ -1,0 +1,117 @@
+"""Tests for the min-area skid-buffer dynamic program (§4.3)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.control.minarea import CutPlan, end_buffer_plan, min_area_cuts
+from repro.errors import ControlError
+
+
+def brute_force_best(widths):
+    """Exhaustive search over all cut sets for small pipelines."""
+    n = len(widths)
+    best = None
+    for k in range(n):
+        for mids in itertools.combinations(range(1, n), k):
+            cuts = list(mids) + [n]
+            total = 0
+            prev = 0
+            for cut in cuts:
+                total += (cut - prev + 1) * widths[cut - 1]
+                prev = cut
+            if best is None or total < best:
+                best = total
+    return best
+
+
+class TestPaperExample:
+    """The Fig. 17 numeric example must reproduce exactly."""
+
+    WIDTHS = [1024] * 55 + [32] + [1024] * 5  # waist at stage 56 of 61
+
+    def test_end_only_cost(self):
+        assert end_buffer_plan(self.WIDTHS).total_bits == 63_488
+
+    def test_min_area_cost(self):
+        assert min_area_cuts(self.WIDTHS).total_bits == 7_968
+
+    def test_min_area_cuts_at_waist(self):
+        plan = min_area_cuts(self.WIDTHS)
+        assert plan.cuts == (56, 61)
+
+    def test_segments(self):
+        plan = min_area_cuts(self.WIDTHS)
+        assert plan.segments == ((57, 32), (6, 1024))
+
+
+class TestDpProperties:
+    def test_single_stage(self):
+        plan = min_area_cuts([128])
+        assert plan.cuts == (1,)
+        assert plan.total_bits == 2 * 128
+
+    def test_uniform_widths_prefer_one_buffer(self):
+        plan = min_area_cuts([64] * 10)
+        assert plan.cuts == (10,)
+
+    def test_never_worse_than_end_only(self):
+        widths = [100, 5, 200, 7, 300]
+        assert min_area_cuts(widths).total_bits <= end_buffer_plan(widths).total_bits
+
+    def test_matches_brute_force_small(self):
+        for widths in ([3, 1, 4, 1, 5], [10, 10, 1, 10], [7], [1, 100], [100, 1]):
+            assert min_area_cuts(widths).total_bits == brute_force_best(widths)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ControlError):
+            min_area_cuts([])
+        with pytest.raises(ControlError):
+            end_buffer_plan([])
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ControlError):
+            min_area_cuts([4, -1])
+
+    def test_last_cut_always_at_end(self):
+        plan = min_area_cuts([5, 3, 9, 2, 8, 1])
+        assert plan.cuts[-1] == 6
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=512), min_size=1, max_size=9))
+    def test_dp_optimal_vs_brute_force(self, widths):
+        assert min_area_cuts(widths).total_bits == brute_force_best(widths)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1024), min_size=1, max_size=40))
+    def test_dp_bounded_by_end_plan(self, widths):
+        assert min_area_cuts(widths).total_bits <= end_buffer_plan(widths).total_bits
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=256), min_size=2, max_size=20))
+    def test_segment_accounting_consistent(self, widths):
+        plan = min_area_cuts(widths)
+        assert sum(d * w for d, w in plan.segments) == plan.total_bits
+        assert sum(d - 1 for d, w in plan.segments) == len(widths)
+
+
+class TestBufferCap:
+    def test_cap_one_equals_end_plan(self):
+        widths = [100, 5, 200, 7, 300]
+        capped = min_area_cuts(widths, max_buffers=1)
+        assert capped.total_bits == end_buffer_plan(widths).total_bits
+
+    def test_cap_relaxation_monotone(self):
+        widths = [100, 5, 200, 7, 300, 2, 50]
+        costs = [
+            min_area_cuts(widths, max_buffers=k).total_bits for k in range(1, 6)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_uncapped_at_least_as_good_as_capped(self):
+        widths = [17, 4, 90, 3, 60, 2, 44]
+        assert (
+            min_area_cuts(widths).total_bits
+            <= min_area_cuts(widths, max_buffers=2).total_bits
+        )

@@ -1,0 +1,156 @@
+"""Tests for the net-delay law and backend register replication."""
+
+import pytest
+
+from repro.physical.device import get_device
+from repro.physical.fabric import Fabric
+from repro.physical.netdelay import (
+    CONNECTION_NS,
+    FANOUT_LOG_NS,
+    NS_PER_TILE,
+    sink_delay,
+    worst_sink_delay,
+)
+from repro.physical.placement import Placement, Placer
+from repro.physical.replication import ReplicationConfig, replicate_high_fanout
+from repro.rtl.netlist import Cell, CellKind, Net, Netlist, NetKind
+
+
+def two_cell_net(dist, fanout_pad=0):
+    nl = Netlist("n")
+    a = nl.new_cell("a", CellKind.FF, ffs=1, delay_ns=0.1)
+    b = nl.new_cell("b", CellKind.FF, ffs=1, delay_ns=0.1)
+    sinks = [(b, "d")]
+    for i in range(fanout_pad):
+        extra = nl.new_cell(f"x{i}", CellKind.FF, ffs=1, delay_ns=0.1)
+        sinks.append((extra, "d"))
+    net = nl.connect("w", a, sinks)
+    placement = Placement()
+    placement.put(a, 0, 0)
+    placement.put(b, dist, 0)
+    for i in range(fanout_pad):
+        placement.put(nl.cells[f"x{i}"], 0, 1)
+    return nl, net, placement, b
+
+
+class TestNetDelayLaw:
+    def test_base_connection_cost(self):
+        _nl, net, placement, b = two_cell_net(0)
+        assert sink_delay(placement, net, b) == pytest.approx(CONNECTION_NS)
+
+    def test_distance_term_linear(self):
+        _nl, net, placement, b = two_cell_net(10)
+        expected = CONNECTION_NS + 10 * NS_PER_TILE
+        assert sink_delay(placement, net, b) == pytest.approx(expected)
+
+    def test_fanout_term_logarithmic(self):
+        _nl, net, placement, b = two_cell_net(0, fanout_pad=7)  # fanout 8
+        expected = CONNECTION_NS + FANOUT_LOG_NS * 3
+        assert sink_delay(placement, net, b) == pytest.approx(expected)
+
+    def test_worst_sink(self):
+        _nl, net, placement, b = two_cell_net(10, fanout_pad=3)
+        assert worst_sink_delay(placement, net) >= sink_delay(placement, net, b)
+
+    def test_control_pin_pays_macro_radius(self):
+        nl = Netlist("n")
+        a = nl.new_cell("a", CellKind.FF, ffs=1, delay_ns=0.1)
+        m = nl.new_cell("m", CellKind.CTRL, delay_ns=0.25)
+        net = nl.connect("e", a, [(m, "ce")], kind=NetKind.ENABLE)
+        placement = Placement()
+        placement.put(a, 0, 0)
+        placement.put(m, 5, 0, radius=20.0)
+        assert sink_delay(placement, net, m, "ce") > sink_delay(placement, net, m, "i")
+
+
+def broadcast_netlist(fanout=128, width=32):
+    nl = Netlist("b")
+    feeder = nl.new_cell("feeder", CellKind.FF, ffs=width, width=width, delay_ns=0.1)
+    src = nl.new_cell("src", CellKind.FF, ffs=width, width=width, delay_ns=0.1)
+    nl.connect("d", feeder, [(src, "d")], width=width)
+    sinks = []
+    for i in range(fanout):
+        cell = nl.new_cell(f"s{i}", CellKind.LOGIC, luts=16, delay_ns=0.3)
+        sinks.append((cell, "a"))
+    nl.connect("bcast", src, sinks, kind=NetKind.DATA, width=width)
+    return nl
+
+
+class TestReplication:
+    def test_splits_high_fanout_ff_net(self):
+        nl = broadcast_netlist()
+        fabric = Fabric(get_device("aws-f1"))
+        placement = Placer(fabric).place(nl)
+        created = replicate_high_fanout(nl, placement)
+        assert created > 0
+        assert max(net.fanout for net in nl.nets.values()) <= 64
+
+    def test_reduces_worst_delay(self):
+        nl1 = broadcast_netlist()
+        fabric = Fabric(get_device("aws-f1"))
+        p1 = Placer(fabric).place(nl1)
+        before = worst_sink_delay(p1, nl1.nets["bcast"])
+        replicate_high_fanout(nl1, p1)
+        after = max(
+            worst_sink_delay(p1, net)
+            for net in nl1.nets.values()
+            if net.name.startswith("bcast")
+        )
+        assert after < before
+
+    def test_replicas_load_the_feeder(self):
+        nl = broadcast_netlist()
+        fabric = Fabric(get_device("aws-f1"))
+        placement = Placer(fabric).place(nl)
+        replicate_high_fanout(nl, placement)
+        assert nl.nets["d"].fanout > 1  # feeder drives the replicas too
+
+    def test_comb_driver_not_replicated(self):
+        nl = Netlist("c")
+        gate = nl.new_cell("gate", CellKind.LOGIC, luts=4, delay_ns=0.3)
+        sinks = [
+            (nl.new_cell(f"s{i}", CellKind.FF, ffs=1, delay_ns=0.1), "ce")
+            for i in range(256)
+        ]
+        nl.connect("enable", gate, sinks, kind=NetKind.ENABLE)
+        fabric = Fabric(get_device("aws-f1"))
+        placement = Placer(fabric).place(nl)
+        assert replicate_high_fanout(nl, placement) == 0
+        assert nl.nets["enable"].fanout == 256
+
+    def test_disabled_config(self):
+        nl = broadcast_netlist()
+        fabric = Fabric(get_device("aws-f1"))
+        placement = Placer(fabric).place(nl)
+        assert (
+            replicate_high_fanout(nl, placement, ReplicationConfig(enabled=False)) == 0
+        )
+
+    def test_recursive_tree_for_huge_fanout(self):
+        nl = broadcast_netlist(fanout=1024, width=1)
+        fabric = Fabric(get_device("aws-f1"))
+        placement = Placer(fabric).place(nl)
+        replicate_high_fanout(nl, placement)
+        # fixpoint: every remaining net within the per-net target
+        assert all(net.fanout <= 64 for net in nl.nets.values())
+
+    def test_narrow_nets_replicate_generously(self):
+        """A 1-bit 256-fanout net resolves in a single pass (cheap FFs are
+        split more aggressively); a wide one is capped and needs recursion."""
+        wide = broadcast_netlist(fanout=256, width=64)
+        narrow = broadcast_netlist(fanout=256, width=1)
+        fabric = Fabric(get_device("aws-f1"))
+        pw = Placer(fabric).place(wide)
+        pn = Placer(fabric).place(narrow)
+        replicate_high_fanout(wide, pw, max_passes=1)
+        replicate_high_fanout(narrow, pn, max_passes=1)
+        assert max(net.fanout for net in narrow.nets.values()) <= 32
+        assert max(net.fanout for net in wide.nets.values()) > 32
+
+    def test_replicas_are_placed(self):
+        nl = broadcast_netlist()
+        fabric = Fabric(get_device("aws-f1"))
+        placement = Placer(fabric).place(nl)
+        replicate_high_fanout(nl, placement)
+        for cell in nl.cells.values():
+            assert cell.name in placement.pos

@@ -1,0 +1,158 @@
+"""Tests for the structural netlist (repro.rtl.netlist)."""
+
+import pytest
+
+from repro.errors import RTLError
+from repro.rtl.netlist import Cell, CellKind, Net, Netlist, NetKind
+
+
+def ff(nl, name, **kw):
+    return nl.new_cell(name, CellKind.FF, delay_ns=0.1, ffs=1, **kw)
+
+
+def logic(nl, name, delay=0.5, **kw):
+    return nl.new_cell(name, CellKind.LOGIC, delay_ns=delay, luts=4, **kw)
+
+
+class TestCells:
+    def test_sequential_kinds(self):
+        assert CellKind.FF.is_sequential
+        assert CellKind.BRAM.is_sequential
+        assert CellKind.CTRL.is_sequential
+        assert not CellKind.LOGIC.is_sequential
+        assert not CellKind.DSP.is_sequential
+
+    def test_site_count_scales_with_area(self):
+        small = Cell("s", CellKind.LOGIC, luts=10)
+        big = Cell("b", CellKind.LOGIC, luts=10_000)
+        assert big.site_count > small.site_count
+
+    def test_duplicate_cell_rejected(self):
+        nl = Netlist("n")
+        nl.add_cell(Cell("a", CellKind.FF))
+        with pytest.raises(RTLError):
+            nl.add_cell(Cell("a", CellKind.FF))
+
+    def test_new_cell_uniquifies(self):
+        nl = Netlist("n")
+        a = ff(nl, "x")
+        b = ff(nl, "x")
+        assert a.name != b.name
+
+
+class TestNets:
+    def test_connect_and_fanout(self):
+        nl = Netlist("n")
+        src = ff(nl, "src")
+        sinks = [logic(nl, f"l{i}") for i in range(5)]
+        net = nl.connect("d", src, [(s, "i") for s in sinks])
+        assert net.fanout == 5
+        assert nl.fanout_of(src) == 5
+
+    def test_driver_net_of(self):
+        nl = Netlist("n")
+        src = ff(nl, "src")
+        sink = ff(nl, "snk")
+        net = nl.connect("d", src, [(sink, "d")])
+        assert nl.driver_net_of(src) is net
+        assert nl.driver_net_of(sink) is None
+
+    def test_input_nets_of(self):
+        nl = Netlist("n")
+        a, b, c = ff(nl, "a"), ff(nl, "b"), logic(nl, "c")
+        nl.connect("n1", a, [(c, "i0")])
+        nl.connect("n2", b, [(c, "i1")])
+        assert len(nl.input_nets_of(c)) == 2
+
+    def test_high_fanout_sorted(self):
+        nl = Netlist("n")
+        a, b = ff(nl, "a"), ff(nl, "b")
+        nl.connect("small", a, [(logic(nl, f"s{i}"), "i") for i in range(8)])
+        nl.connect("big", b, [(logic(nl, f"t{i}"), "i") for i in range(20)])
+        nets = nl.high_fanout_nets(threshold=8)
+        assert [n.name for n in nets] == ["big", "small"]
+
+    def test_nets_of_kind(self):
+        nl = Netlist("n")
+        a = ff(nl, "a")
+        nl.connect("e", a, [(ff(nl, "b"), "ce")], kind=NetKind.ENABLE)
+        assert len(nl.nets_of_kind(NetKind.ENABLE)) == 1
+
+    def test_connect_uniquifies_names(self):
+        nl = Netlist("n")
+        a = ff(nl, "a")
+        nl.connect("x", a, [(ff(nl, "b"), "d")])
+        net2 = nl.connect("x", a, [(ff(nl, "c"), "d")])
+        assert net2.name != "x"
+
+
+class TestValidation:
+    def test_valid_netlist_passes(self):
+        nl = Netlist("n")
+        a = ff(nl, "a")
+        c = logic(nl, "c")
+        q = ff(nl, "q")
+        nl.connect("n1", a, [(c, "i")])
+        nl.connect("n2", c, [(q, "d")])
+        nl.validate()
+
+    def test_sinkless_net_rejected(self):
+        nl = Netlist("n")
+        a = ff(nl, "a")
+        nl.add_net(Net("empty", a))
+        with pytest.raises(RTLError):
+            nl.validate()
+
+    def test_comb_loop_detected(self):
+        nl = Netlist("n")
+        c1, c2 = logic(nl, "c1"), logic(nl, "c2")
+        nl.connect("f", c1, [(c2, "i")])
+        nl.connect("b", c2, [(c1, "i")])
+        with pytest.raises(RTLError, match="combinational loop"):
+            nl.validate()
+
+    def test_seq_breaks_cycle(self):
+        nl = Netlist("n")
+        c = logic(nl, "c")
+        r = ff(nl, "r")
+        nl.connect("f", c, [(r, "d")])
+        nl.connect("b", r, [(c, "i")])
+        nl.validate()  # register in the loop: fine
+
+    def test_foreign_driver_rejected(self):
+        nl = Netlist("n")
+        other = Cell("ghost", CellKind.FF)
+        with pytest.raises(RTLError):
+            nl.add_net(Net("g", other, [(other, "d")]))
+
+
+class TestAreaAndMerge:
+    def test_area_totals(self):
+        nl = Netlist("n")
+        nl.new_cell("a", CellKind.LOGIC, luts=10, ffs=2)
+        nl.new_cell("b", CellKind.BRAM, brams=1)
+        nl.new_cell("c", CellKind.DSP, dsps=3)
+        area = nl.area()
+        assert area == {"luts": 10, "ffs": 2, "brams": 1, "dsps": 3}
+
+    def test_merge_copies_everything(self):
+        src = Netlist("src")
+        a = ff(src, "a")
+        c = logic(src, "c")
+        src.connect("n", a, [(c, "i")])
+        dst = Netlist("dst")
+        mapping = dst.merge(src)
+        assert set(mapping) == {"a", "c"}
+        assert len(dst.nets) == 1
+        dst.validate()
+        # deep copy: mutating the clone leaves the source alone
+        mapping["a"].delay_ns = 99
+        assert a.delay_ns != 99
+
+    def test_merge_with_prefix(self):
+        src = Netlist("src")
+        a = ff(src, "a")
+        src.connect("n", a, [(ff(src, "b"), "d")])
+        dst = Netlist("dst")
+        dst.merge(src, prefix="u0_")
+        assert "u0_a" in dst.cells

@@ -1,0 +1,70 @@
+"""Tests for the broadcast census (repro.analysis.netstats)."""
+
+from repro.analysis.netstats import ClassStats, census, format_census
+from repro.opt import BASELINE, FULL
+from repro.physical.placement import Placement
+from repro.rtl.netlist import CellKind, Netlist, NetKind
+
+from conftest import make_mini_stream_design
+
+
+def star_netlist(fanout=20, kind=NetKind.ENABLE):
+    nl = Netlist("star")
+    hub = nl.new_cell("hub", CellKind.LOGIC, delay_ns=0.2)
+    sinks = [
+        (nl.new_cell(f"s{i}", CellKind.FF, ffs=1, delay_ns=0.1), "ce")
+        for i in range(fanout)
+    ]
+    nl.connect("bcast", hub, sinks, kind=kind)
+    return nl
+
+
+class TestCensus:
+    def test_counts(self):
+        result = census(star_netlist(20))
+        stats = result.classes["enable"]
+        assert stats.nets == 1
+        assert stats.sinks == 20
+        assert stats.max_fanout == 20
+        assert stats.max_fanout_net == "bcast"
+
+    def test_mean_fanout(self):
+        assert ClassStats(nets=4, sinks=12).mean_fanout == 3.0
+
+    def test_histogram_buckets(self):
+        result = census(star_netlist(20))
+        assert result.classes["enable"].histogram == {"<=32": 1}
+
+    def test_clockless_excluded(self):
+        result = census(star_netlist(4, kind=NetKind.CLOCKLESS))
+        assert result.classes == {}
+
+    def test_broadcastiest(self):
+        nl = star_netlist(50, kind=NetKind.SYNC)
+        small = nl.new_cell("x", CellKind.FF, ffs=1, delay_ns=0.1)
+        nl.connect("tiny", small, [(nl.cells["s0"], "d")], kind=NetKind.DATA)
+        key, stats = census(nl).broadcastiest()
+        assert key == "sync" and stats.max_fanout == 50
+
+    def test_wirelength_with_placement(self):
+        nl = star_netlist(2)
+        placement = Placement()
+        placement.put(nl.cells["hub"], 0, 0)
+        placement.put(nl.cells["s0"], 10, 0)
+        placement.put(nl.cells["s1"], 0, 5)
+        result = census(nl, placement)
+        assert result.classes["enable"].total_wirelength == 15.0
+
+    def test_format(self):
+        text = format_census(census(star_netlist(20)))
+        assert "broadcast census" in text and "bcast" in text
+
+
+class TestOnGeneratedDesigns:
+    def test_full_opt_reduces_worst_enable(self, flow):
+        design = make_mini_stream_design(depth=1 << 18)
+        orig = flow.run(design, BASELINE)
+        opt = flow.run(design, FULL)
+        before = census(orig.gen.netlist).classes["enable"].max_fanout
+        after = census(opt.gen.netlist).classes["enable"].max_fanout
+        assert after < before

@@ -1,0 +1,89 @@
+"""Tests for the public fixtures module (repro.testing)."""
+
+import pytest
+
+from repro.delay.tables import hls_predicted_delay
+from repro.errors import PhysicalError, VerificationError
+from repro.flow import Flow
+from repro.ir.ops import Opcode
+from repro.ir.types import i32
+from repro.opt import BASELINE
+from repro.testing import (
+    pe_farm_design,
+    stream_to_buffer_design,
+    synthetic_calibration,
+    unrolled_broadcast_design,
+)
+
+
+class TestSyntheticCalibration:
+    def test_matches_hls_at_factor_one(self):
+        table = synthetic_calibration()
+        assert table.lookup("add_i32", 1) == pytest.approx(
+            hls_predicted_delay(Opcode.ADD, i32), abs=0.02
+        )
+
+    def test_all_common_keys_present(self):
+        table = synthetic_calibration()
+        for key in (
+            "add_i32",
+            "sub_i32",
+            "mul_i32",
+            "add_f32",
+            "mul_f32",
+            "load_bram",
+            "store_bram",
+        ):
+            assert table.lookup(key, 64) is not None, key
+
+    def test_curves_monotone(self):
+        table = synthetic_calibration()
+        for key in table.keys():
+            delays = [d for _f, d in table.points(key)]
+            assert delays == sorted(delays), key
+
+
+class TestDesignFactories:
+    def test_all_factories_verify(self):
+        for design in (
+            stream_to_buffer_design(),
+            unrolled_broadcast_design(),
+            pe_farm_design(),
+        ):
+            design.verify()
+
+    def test_farm_dynamic_flag(self):
+        design = pe_farm_design(pes=4, dynamic_index=2)
+        dyn = [
+            op
+            for _k, l in design.all_loops()
+            for op in l.body.ops
+            if op.attrs.get("dynamic_latency")
+        ]
+        assert len(dyn) == 1
+
+    def test_farm_runs_through_flow(self):
+        flow = Flow(calibration=synthetic_calibration())
+        result = flow.run(pe_farm_design(pes=6), BASELINE)
+        assert result.fmax_mhz > 0
+        assert "sync" in result.timing.class_periods
+
+
+class TestFlowErrorPaths:
+    def test_unknown_device_raises(self):
+        design = stream_to_buffer_design()
+        design.device = "asic-7nm"
+        with pytest.raises(PhysicalError):
+            Flow(calibration=synthetic_calibration()).run(design, BASELINE)
+
+    def test_broken_design_rejected_before_work(self):
+        from repro.ir.builder import DFGBuilder
+        from repro.ir.program import Design, Fifo, Kernel, Loop
+
+        design = Design("broken")
+        rogue = Fifo("unregistered", i32)
+        b = DFGBuilder("body")
+        b.fifo_write(rogue, b.input("x", i32))
+        design.add_kernel(Kernel("k")).add_loop(Loop("l", b.build()))
+        with pytest.raises(VerificationError):
+            Flow(calibration=synthetic_calibration()).run(design, BASELINE)

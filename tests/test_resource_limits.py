@@ -1,0 +1,120 @@
+"""Tests for resource-constrained scheduling (repro.scheduling.resources)."""
+
+import pytest
+
+from repro.delay.hls_model import HlsDelayModel
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer
+from repro.ir.types import f32, i32
+from repro.scheduling.chaining import ChainingScheduler
+from repro.scheduling.resources import (
+    ResourceLimits,
+    ResourceTracker,
+    resource_class_of,
+)
+
+
+def schedule(dfg, limits=None, clock=4.0):
+    return ChainingScheduler(HlsDelayModel(), clock, resource_limits=limits).schedule(dfg)
+
+
+def parallel_muls(count=8, dtype=i32):
+    b = DFGBuilder("muls")
+    x = b.input("x", dtype)
+    ys = [b.input(f"y{i}", dtype) for i in range(count)]
+    for y in ys:
+        b.mul(x, y)
+    return b.build()
+
+
+class TestResourceClasses:
+    def test_int_mul_class(self):
+        dfg = parallel_muls(1)
+        op = next(o for o in dfg.ops if o.opcode.value == "mul")
+        assert resource_class_of(op) == "mul"
+
+    def test_float_mul_class(self):
+        dfg = parallel_muls(1, dtype=f32)
+        op = next(o for o in dfg.ops if o.opcode.value == "mul")
+        assert resource_class_of(op) == "fmul"
+
+    def test_mem_class_per_buffer(self):
+        buf = Buffer("m", i32, 16)
+        b = DFGBuilder()
+        b.store(buf, b.input("a", i32), b.input("d", i32))
+        op = b.dfg.ops[-1]
+        assert resource_class_of(op) == "mem:m"
+
+    def test_add_unlimited(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        op = b.add(x, x).producer
+        assert resource_class_of(op) is None
+
+
+class TestTracker:
+    def test_defers_when_full(self):
+        limits = ResourceLimits(limits={"mul": 2})
+        tracker = ResourceTracker(limits)
+        dfg = parallel_muls(3)
+        muls = [o for o in dfg.ops if o.opcode.value == "mul"]
+        assert tracker.first_free_cycle(muls[0], 0) == 0
+        tracker.commit(muls[0], 0)
+        tracker.commit(muls[1], 0)
+        assert tracker.first_free_cycle(muls[2], 0) == 1
+
+    def test_unlimited_class_never_defers(self):
+        tracker = ResourceTracker(ResourceLimits())
+        dfg = parallel_muls(1)
+        op = dfg.ops[-1]
+        for _ in range(100):
+            tracker.commit(op, 0)
+        assert tracker.first_free_cycle(op, 0) == 0
+
+
+class TestScheduling:
+    def test_unlimited_muls_share_cycle(self):
+        sched = schedule(parallel_muls(8))
+        cycles = {e.cycle for e in sched.entries.values() if e.op.opcode.value == "mul"}
+        assert cycles == {0}
+
+    def test_limited_muls_serialize(self):
+        sched = schedule(parallel_muls(8), limits=ResourceLimits(limits={"mul": 2}))
+        by_cycle = {}
+        for e in sched.entries.values():
+            if e.op.opcode.value == "mul":
+                by_cycle[e.cycle] = by_cycle.get(e.cycle, 0) + 1
+        assert max(by_cycle.values()) <= 2
+        assert len(by_cycle) == 4
+
+    def test_mem_port_limit(self):
+        buf = Buffer("m", i32, 64)
+        b = DFGBuilder()
+        addr = b.input("a", i32)
+        for i in range(4):
+            b.load(buf, addr, name=f"v{i}")
+        sched = schedule(b.build(), limits=ResourceLimits(default_mem_ports=2))
+        by_cycle = {}
+        for e in sched.entries.values():
+            if e.op.opcode.value == "load":
+                by_cycle[e.cycle] = by_cycle.get(e.cycle, 0) + 1
+        assert max(by_cycle.values()) <= 2
+
+    def test_dependencies_still_respected(self):
+        b = DFGBuilder()
+        x = b.input("x", f32)
+        m1 = b.mul(x, x, name="m1")
+        m2 = b.mul(m1, x, name="m2")
+        sched = schedule(b.build(), limits=ResourceLimits(limits={"fmul": 1}))
+        e1 = sched.entries["op_m1"]
+        e2 = sched.entries["op_m2"]
+        assert e2.cycle >= e1.finish_cycle
+
+    def test_serialization_masks_broadcast_factor(self):
+        """The interaction the module docstring warns about: limiting
+        resources spreads a broadcast's consumers across cycles."""
+        sched_unlimited = schedule(parallel_muls(8))
+        sched_limited = schedule(
+            parallel_muls(8), limits=ResourceLimits(limits={"mul": 1})
+        )
+        assert sched_limited.depth > sched_unlimited.depth

@@ -1,0 +1,81 @@
+"""Tests for resource reports, error hierarchy, and opt configs."""
+
+import pytest
+
+from repro import errors
+from repro.opt import BASELINE, CTRL_ONLY, DATA_ONLY, FULL, SKID_NAIVE
+from repro.control.styles import ControlStyle
+from repro.rtl.netlist import CellKind, Netlist
+from repro.rtl.resources import ResourceReport
+
+
+class TestResourceReport:
+    def test_of_netlist(self):
+        nl = Netlist("n")
+        nl.new_cell("a", CellKind.LOGIC, luts=100, ffs=50)
+        nl.new_cell("b", CellKind.BRAM, brams=2)
+        report = ResourceReport.of_netlist(nl)
+        assert (report.luts, report.ffs, report.brams, report.dsps) == (100, 50, 2, 0)
+
+    def test_addition(self):
+        a = ResourceReport(1, 2, 3, 4)
+        b = ResourceReport(10, 20, 30, 40)
+        total = a + b
+        assert (total.luts, total.ffs, total.brams, total.dsps) == (11, 22, 33, 44)
+
+    def test_utilization(self):
+        report = ResourceReport(luts=118_224, ffs=0, brams=216, dsps=684)
+        util = report.utilization("aws-f1")
+        assert util["LUT"] == pytest.approx(10.0)
+        assert util["BRAM"] == pytest.approx(10.0)
+        assert util["DSP"] == pytest.approx(10.0)
+
+    def test_utilization_row_format(self):
+        row = ResourceReport(0, 0, 0, 0).utilization_row("aws-f1")
+        assert "LUT=0.0%" in row and "DSP=0.0%" in row
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_fifo_errors_are_simulation_errors(self):
+        assert issubclass(errors.FifoOverflowError, errors.SimulationError)
+        assert issubclass(errors.FifoUnderflowError, errors.SimulationError)
+
+    def test_dynamic_latency_is_sync_error(self):
+        assert issubclass(errors.DynamicLatencyError, errors.SyncPruningError)
+
+    def test_placement_is_physical(self):
+        assert issubclass(errors.PlacementError, errors.PhysicalError)
+
+    def test_catchable_at_flow_boundary(self):
+        try:
+            raise errors.UnschedulableError("x")
+        except errors.ReproError:
+            pass
+
+
+class TestOptConfigs:
+    def test_presets_immutable(self):
+        with pytest.raises(Exception):
+            FULL.broadcast_aware = False  # type: ignore[misc]
+
+    def test_preset_contents(self):
+        assert not BASELINE.broadcast_aware and BASELINE.control is ControlStyle.STALL
+        assert DATA_ONLY.broadcast_aware and not DATA_ONLY.sync_pruning
+        assert CTRL_ONLY.sync_pruning and not CTRL_ONLY.broadcast_aware
+        assert FULL.broadcast_aware and FULL.sync_pruning and FULL.control.uses_skid
+        assert SKID_NAIVE.control is ControlStyle.SKID
+
+    def test_labels_distinct(self):
+        labels = {c.label for c in (BASELINE, DATA_ONLY, CTRL_ONLY, FULL, SKID_NAIVE)}
+        assert len(labels) == 5
+
+    def test_uses_skid_property(self):
+        assert ControlStyle.SKID.uses_skid
+        assert ControlStyle.SKID_MINAREA.uses_skid
+        assert not ControlStyle.STALL.uses_skid

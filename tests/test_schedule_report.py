@@ -1,0 +1,111 @@
+"""Tests for schedule report emit/parse (repro.scheduling.report)."""
+
+import pytest
+
+from repro.delay.hls_model import HlsDelayModel
+from repro.errors import ReportParseError
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer, Fifo
+from repro.ir.types import i32
+from repro.scheduling.chaining import ChainingScheduler
+from repro.scheduling.report import emit_report, parse_report, report_states
+from repro.control.widths import width_profile_from_report
+
+
+def make_scheduled(clock=2.0):
+    b = DFGBuilder("rpt")
+    x = b.input("x", i32)
+    y = b.input("y", i32)
+    v = b.add(x, y, name="v")
+    for i in range(10):
+        v = b.sub(v, y, name=f"v{i}")
+    b.store(Buffer("m", i32, 128), x, v)
+    dfg = b.build()
+    sched = ChainingScheduler(HlsDelayModel(), clock).schedule(dfg)
+    return dfg, sched
+
+
+class TestEmit:
+    def test_header_fields(self):
+        dfg, sched = make_scheduled()
+        text = emit_report(sched)
+        assert f"Schedule Report: {dfg.name}" in text
+        assert "model=hls" in text
+        assert f"depth={sched.depth}" in text
+
+    def test_states_in_order(self):
+        _dfg, sched = make_scheduled()
+        text = emit_report(sched)
+        states = [int(l.split()[1][:-1]) for l in text.splitlines() if l.startswith("State")]
+        assert states == sorted(states)
+
+    def test_broadcast_factor_annotated(self):
+        _dfg, sched = make_scheduled()
+        assert "bf=" in emit_report(sched)
+
+    def test_violations_section(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        b.shl(x, x)
+        sched = ChainingScheduler(HlsDelayModel(), 0.6).schedule(b.build())
+        assert "Violations:" in emit_report(sched)
+
+
+class TestRoundTrip:
+    def test_cycles_survive(self):
+        dfg, sched = make_scheduled()
+        back = parse_report(emit_report(sched), dfg)
+        for name, entry in sched.entries.items():
+            assert back.entries[name].cycle == entry.cycle
+            assert back.entries[name].finish_cycle == entry.finish_cycle
+
+    def test_times_survive(self):
+        dfg, sched = make_scheduled()
+        back = parse_report(emit_report(sched), dfg)
+        for name, entry in sched.entries.items():
+            assert back.entries[name].start_ns == pytest.approx(entry.start_ns, abs=1e-3)
+            assert back.entries[name].end_ns == pytest.approx(entry.end_ns, abs=1e-3)
+
+    def test_depth_preserved(self):
+        dfg, sched = make_scheduled()
+        back = parse_report(emit_report(sched), dfg)
+        assert back.depth == sched.depth
+
+    def test_width_profile_from_report_matches(self):
+        dfg, sched = make_scheduled()
+        profile = width_profile_from_report(emit_report(sched), dfg)
+        assert profile == sched.width_profile()
+
+
+class TestParseErrors:
+    def test_bad_header(self):
+        dfg, _ = make_scheduled()
+        with pytest.raises(ReportParseError):
+            parse_report("not a report\n", dfg)
+
+    def test_unknown_op(self):
+        dfg, sched = make_scheduled()
+        text = emit_report(sched).replace("op_v0", "op_ghost")
+        with pytest.raises(ReportParseError):
+            parse_report(text, dfg)
+
+    def test_missing_ops_detected(self):
+        dfg, sched = make_scheduled()
+        lines = [
+            l for l in emit_report(sched).splitlines() if " | sub" not in l
+        ]
+        with pytest.raises(ReportParseError):
+            parse_report("\n".join(lines), dfg)
+
+    def test_empty_report(self):
+        dfg, _ = make_scheduled()
+        with pytest.raises(ReportParseError):
+            parse_report("", dfg)
+
+
+class TestReportStates:
+    def test_light_view(self):
+        dfg, sched = make_scheduled()
+        states = report_states(emit_report(sched))
+        for name, entry in sched.entries.items():
+            assert states[name] == entry.cycle

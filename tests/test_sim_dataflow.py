@@ -1,0 +1,125 @@
+"""Functional dataflow simulation: the behavioural face of §3.2/§4.2.
+
+A fused loop synchronizes independent flows per iteration; splitting
+(§4.2) must preserve every output stream exactly, and under a stalled
+port the split design keeps unaffected lanes moving while the fused one
+stalls everything.
+"""
+
+import pytest
+
+from repro.designs import build_design
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Design, Fifo, Kernel, Loop
+from repro.ir.types import DataType, i32, u64
+from repro.sim.dataflow import DataflowSim, compare_designs
+from repro.sync.pruning import split_independent_flows
+
+
+def fused_scatter(flows=3):
+    """`flows` independent add-one paths fused into one loop (Fig. 5a)."""
+    design = Design("fused", dataflow=True)
+    b = DFGBuilder("body")
+    for i in range(flows):
+        fin = design.add_fifo(Fifo(f"in{i}", i32, depth=4, external=True))
+        fout = design.add_fifo(Fifo(f"out{i}", i32, depth=4, external=True))
+        x = b.fifo_read(fin)
+        b.fifo_write(fout, b.add(x, b.const(i, i32)))
+    kernel = design.add_kernel(Kernel("k"))
+    kernel.add_loop(Loop("fused", b.build(), trip_count=None, pipeline=True))
+    design.verify()
+    return design
+
+
+STIMULI = {f"in{i}": list(range(20)) for i in range(3)}
+
+
+class TestBasics:
+    def test_fused_design_computes(self):
+        trace = DataflowSim(fused_scatter(), dict(STIMULI)).run()
+        for i in range(3):
+            assert trace.lane(f"out{i}") == [v + i for v in range(20)]
+
+    def test_split_design_computes_identically(self):
+        fused = fused_scatter()
+        split = split_independent_flows(fused)
+        t_fused, t_split = compare_designs(fused, split, STIMULI)
+        for i in range(3):
+            assert t_fused.lane(f"out{i}") == t_split.lane(f"out{i}")
+
+    def test_firing_counts(self):
+        trace = DataflowSim(fused_scatter(), dict(STIMULI)).run()
+        assert trace.firings["k/fused"] == 20
+
+    def test_trip_count_limits_firings(self):
+        design = Design("tc")
+        fin = design.add_fifo(Fifo("fin", i32, depth=4, external=True))
+        fout = design.add_fifo(Fifo("fout", i32, depth=4, external=True))
+        b = DFGBuilder("body")
+        b.fifo_write(fout, b.fifo_read(fin))
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("l", b.build(), trip_count=5, pipeline=True))
+        trace = DataflowSim(design, {"fin": list(range(9))}).run()
+        assert len(trace.lane("fout")) == 5
+
+
+class TestSyncBroadcastBehaviour:
+    """Why the fused synchronization is 'excessive' (§3.2): one stalled
+    port freezes every flow in the fused design but not in the split one."""
+
+    @staticmethod
+    def _stall_port0(name, cycle):
+        # Port 0 delivers only every 4th cycle; others stream freely.
+        return name == "in0" and cycle % 4 != 0
+
+    def test_fused_throughput_gated_by_slowest_port(self):
+        trace = DataflowSim(
+            fused_scatter(), dict(STIMULI), stall_inputs=self._stall_port0
+        ).run()
+        # All lanes complete, but only as fast as port 0 allows.
+        assert trace.cycles >= 20 * 4 - 4
+
+    def test_split_lanes_uncoupled(self):
+        fused = fused_scatter()
+        split = split_independent_flows(fused)
+        t_fused, t_split = compare_designs(
+            fused, split, STIMULI, stall_inputs=self._stall_port0
+        )
+        # outputs identical...
+        for i in range(3):
+            assert t_fused.lane(f"out{i}") == t_split.lane(f"out{i}")
+        # ...but the split design finishes the healthy lanes early; measure
+        # via total cycles-to-drain: split <= fused.
+        assert t_split.cycles <= t_fused.cycles
+
+    def test_split_never_slower_unstalled(self):
+        fused = fused_scatter()
+        split = split_independent_flows(fused)
+        t_fused, t_split = compare_designs(fused, split, STIMULI)
+        assert t_split.cycles <= t_fused.cycles + 1
+
+
+class TestHbmStencilFunctional:
+    """The §5.3 design end to end: split output streams bit-match fused."""
+
+    def test_split_preserves_lane_values(self):
+        design = build_design("hbm_stencil", ports=4)
+        # Keep the context kernel out of the functional run: dataflow sim
+        # fires only fifo-coupled loops; the context has no fifos but its
+        # CALL would fire unboundedly, so drop it for the comparison.
+        design.kernels = [k for k in design.kernels if k.name == "hbm_scatter"]
+        split = split_independent_flows(design)
+        words = [(i << 8) | (2 * i + 1) for i in range(10)]
+        stimuli = {f"hbm{p}": list(words) for p in range(4)}
+        sim_a = DataflowSim(design, {k: list(v) for k, v in stimuli.items()})
+        sim_b = DataflowSim(split, {k: list(v) for k, v in stimuli.items()})
+        # lane fifos are internal; expose them by reading evaluator state
+        trace_a = sim_a.run()
+        trace_b = sim_b.run()
+        for p in range(4):
+            for s in range(8):
+                lane = f"lane{p}_{s}"
+                assert list(sim_a.evaluator.fifos.get(lane, [])) == list(
+                    sim_b.evaluator.fifos.get(lane, [])
+                )
+        assert trace_a.firings and trace_b.firings

@@ -1,0 +1,103 @@
+"""Tests for the cycle-accurate FIFO model (repro.sim.fifo)."""
+
+import pytest
+
+from repro.errors import FifoOverflowError, FifoUnderflowError
+from repro.sim.fifo import Fifo
+
+
+class TestBasics:
+    def test_push_pop_order(self):
+        f = Fifo(4)
+        for i in range(3):
+            f.push(i)
+            f.tick()
+        out = []
+        while not f.empty:
+            out.append(f.pop())
+            f.tick()
+        assert out == [0, 1, 2]
+
+    def test_push_visible_after_tick(self):
+        f = Fifo(4)
+        f.push(1)
+        assert f.empty  # registered flag: still shows pre-edge state
+        f.tick()
+        assert not f.empty
+
+    def test_full_flag_lags_one_cycle(self):
+        f = Fifo(1)
+        f.push("x")
+        assert not f.full
+        f.tick()
+        assert f.full
+
+    def test_almost_full_threshold(self):
+        f = Fifo(3)
+        f.push(1)
+        f.tick()
+        assert not f.almost_full
+        f.push(2)
+        f.tick()
+        assert f.almost_full  # occupancy 2 >= depth-1
+
+    def test_simultaneous_push_pop(self):
+        f = Fifo(2)
+        f.push(1)
+        f.tick()
+        head = f.pop()
+        f.push(2)
+        f.tick()
+        assert head == 1
+        assert f.occupancy == 1
+
+    def test_max_occupancy_tracked(self):
+        f = Fifo(4)
+        for i in range(3):
+            f.push(i)
+            f.tick()
+        f.pop()
+        f.tick()
+        assert f.max_occupancy == 3
+
+
+class TestErrors:
+    def test_overflow(self):
+        f = Fifo(1)
+        f.push(1)
+        f.tick()
+        with pytest.raises(FifoOverflowError):
+            f.push(2)
+
+    def test_underflow(self):
+        f = Fifo(2)
+        with pytest.raises(FifoUnderflowError):
+            f.pop()
+
+    def test_double_push_same_cycle(self):
+        f = Fifo(4)
+        f.push(1)
+        with pytest.raises(FifoOverflowError):
+            f.push(2)
+
+    def test_double_pop_same_cycle(self):
+        f = Fifo(4)
+        f.push(1)
+        f.tick()
+        f.pop()
+        with pytest.raises(FifoUnderflowError):
+            f.pop()
+
+    def test_zero_depth_rejected(self):
+        with pytest.raises(FifoOverflowError):
+            Fifo(0)
+
+
+class TestDrain:
+    def test_drain_returns_and_clears(self):
+        f = Fifo(4)
+        for i in range(3):
+            f.push(i)
+            f.tick()
+        assert f.drain() == [0, 1, 2]
+        assert f.empty and f.occupancy == 0

@@ -1,0 +1,53 @@
+"""Tests for skid-buffer FIFO implementation costs (repro.control.skid)."""
+
+from repro.control.minarea import end_buffer_plan, min_area_cuts
+from repro.control.skid import SRL_MAX_DEPTH, fifo_area, skid_buffer_specs
+
+
+class TestFifoArea:
+    def test_shallow_uses_srl(self):
+        luts, ffs, brams = fifo_area(8, 64)
+        assert brams == 0
+        assert luts >= 64
+
+    def test_deep_uses_bram(self):
+        luts, ffs, brams = fifo_area(512, 64)
+        assert brams >= 1
+
+    def test_threshold_boundary(self):
+        assert fifo_area(SRL_MAX_DEPTH, 32)[2] == 0
+        assert fifo_area(SRL_MAX_DEPTH + 1, 32)[2] >= 1
+
+    def test_wide_bus_slices_brams(self):
+        # 16384-bit bus: ceil(16384/72) parallel BRAM36 regardless of depth.
+        _l, _f, brams = fifo_area(512, 16384)
+        assert brams == 228
+
+    def test_empty_fifo_free(self):
+        assert fifo_area(0, 64) == (0, 0, 0)
+        assert fifo_area(64, 0) == (0, 0, 0)
+
+
+class TestTable2AreaShape:
+    """The Table-2 mechanism: width shaping makes the naive end buffer
+    BRAM-hungry while the min-area split is nearly free."""
+
+    # 512-wide float vector product, ~62 stages, 16384-bit output.
+    WIDTHS = [16384] * 20 + [512] * 20 + [32] * 16 + [16384] * 6
+
+    def test_naive_buffer_needs_hundreds_of_brams(self):
+        specs = skid_buffer_specs(end_buffer_plan(self.WIDTHS))
+        assert sum(s.brams for s in specs) >= 200
+
+    def test_minarea_buffer_nearly_bram_free(self):
+        specs = skid_buffer_specs(min_area_cuts(self.WIDTHS))
+        assert sum(s.brams for s in specs) <= 4
+
+    def test_specs_carry_stage_positions(self):
+        plan = min_area_cuts(self.WIDTHS)
+        specs = skid_buffer_specs(plan)
+        assert tuple(s.after_stage for s in specs) == plan.cuts
+
+    def test_bits_property(self):
+        specs = skid_buffer_specs(end_buffer_plan(self.WIDTHS))
+        assert specs[0].bits == specs[0].depth * specs[0].width

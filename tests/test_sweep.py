@@ -1,0 +1,72 @@
+"""Tests for the generic parameter sweep utility (repro.experiments.sweep)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.experiments.sweep import format_sweep, sweep
+from repro.flow import Flow
+from repro.opt import BASELINE, FULL
+from repro.testing import stream_to_buffer_design
+
+
+@pytest.fixture(scope="module")
+def result():
+    from conftest import make_synthetic_table
+
+    flow = Flow(calibration=make_synthetic_table())
+    return sweep(
+        stream_to_buffer_design,
+        "depth",
+        [1 << 14, 1 << 17],
+        configs={"orig": BASELINE, "full": FULL},
+        flow=flow,
+    )
+
+
+class TestSweep:
+    def test_rows_cover_values(self, result):
+        assert [row.value for row in result.rows] == [1 << 14, 1 << 17]
+
+    def test_series_extraction(self, result):
+        assert len(result.series("orig")) == 2
+        assert all(v > 0 for v in result.series("full"))
+
+    def test_full_wins_at_large_size(self, result):
+        big = result.rows[-1]
+        assert big.fmax("full") > big.fmax("orig")
+
+    def test_crossover_helper(self, result):
+        value = result.crossover("full", "orig")
+        assert value in (1 << 14, 1 << 17)
+
+    def test_crossover_none_when_never(self, result):
+        assert result.crossover("orig", "orig") is None
+
+    def test_format(self, result):
+        text = format_sweep(result)
+        assert "depth" in text and "orig" in text and "full" in text
+
+    def test_registry_name_builder(self):
+        from conftest import make_synthetic_table
+
+        flow = Flow(calibration=make_synthetic_table())
+        out = sweep(
+            "dynamic_struct",
+            "heap_words",
+            [1 << 14],
+            configs={"orig": BASELINE},
+            flow=flow,
+        )
+        assert out.design == "dynamic_struct"
+        assert out.rows[0].fmax("orig") > 0
+
+
+class TestBuilderErrorPolish:
+    def test_unknown_cmp_kind_is_irerror(self):
+        from repro.ir.builder import DFGBuilder
+        from repro.ir.types import i32
+
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        with pytest.raises(IRError, match="unknown comparison"):
+            b.cmp("approximately", x, x)

@@ -1,0 +1,203 @@
+"""Tests for synchronization analysis and pruning (§4.2)."""
+
+import pytest
+
+from repro.errors import DynamicLatencyError
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.types import i32
+from repro.sync.flowgraph import dfg_components, split_dfg_components
+from repro.sync.pruning import (
+    longest_latency_call,
+    prune_call_sync,
+    prune_synchronization,
+    split_independent_flows,
+)
+
+
+def fused_flows_design(flows=4):
+    """One loop containing `flows` independent fifo->fifo paths (Fig. 5a)."""
+    design = Design("fused", dataflow=True)
+    b = DFGBuilder("body")
+    for i in range(flows):
+        fin = design.add_fifo(Fifo(f"in{i}", i32, external=True))
+        fout = design.add_fifo(Fifo(f"out{i}", i32, external=True))
+        x = b.fifo_read(fin)
+        b.fifo_write(fout, b.add(x, b.const(1, i32)))
+    kernel = design.add_kernel(Kernel("k"))
+    kernel.add_loop(Loop("fused", b.build(), trip_count=None, pipeline=True))
+    design.verify()
+    return design
+
+
+def pe_farm_dfg(latencies, dynamic_index=None):
+    b = DFGBuilder("farm")
+    seed = b.input("seed", i32)
+    results = []
+    for i, latency in enumerate(latencies):
+        call = b.call(
+            f"PE_{i}",
+            [seed],
+            i32,
+            latency=latency,
+            dynamic_latency=(i == dynamic_index),
+            name=f"r{i}",
+        )
+        results.append(call.result)
+    b.reduce(results, "or")
+    return b.build()
+
+
+class TestComponents:
+    def test_independent_flows_found(self):
+        design = fused_flows_design(4)
+        body = design.kernels[0].loops[0].body
+        assert len(dfg_components(body)) == 4
+
+    def test_values_connect(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        y = b.add(x, x)
+        b.sub(y, x)
+        assert len(dfg_components(b.build())) == 1
+
+    def test_shared_buffer_connects(self):
+        buf = Buffer("m", i32, 16)
+        b = DFGBuilder()
+        b.store(buf, b.input("a", i32), b.input("d", i32))
+        _ = b.load(buf, b.input("a2", i32))
+        assert len(dfg_components(b.build())) == 1
+
+    def test_constants_do_not_connect(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        y = b.input("y", i32)
+        b.add(x, x)
+        b.add(y, y)
+        assert len(dfg_components(b.build())) == 2
+
+    def test_split_preserves_ops(self):
+        design = fused_flows_design(3)
+        body = design.kernels[0].loops[0].body
+        flows = split_dfg_components(body)
+        assert len(flows) == 3
+        total = sum(len(f) for f in flows)
+        consts = sum(1 for op in body.ops if op.opcode.value == "const")
+        assert total == len(body) - consts + 3  # consts re-created per flow
+
+    def test_split_single_component_clones(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        b.add(x, x)
+        flows = split_dfg_components(b.build())
+        assert len(flows) == 1
+
+
+class TestSplitIndependentFlows:
+    def test_loops_multiplied(self):
+        design = fused_flows_design(4)
+        split = split_independent_flows(design)
+        assert len(split.kernels[0].loops) == 4
+        split.verify()
+
+    def test_loop_pragmas_preserved(self):
+        design = fused_flows_design(2)
+        split = split_independent_flows(design)
+        assert all(l.pipeline for l in split.kernels[0].loops)
+
+    def test_each_flow_sees_one_port_pair(self):
+        design = fused_flows_design(4)
+        split = split_independent_flows(design)
+        for loop in split.kernels[0].loops:
+            reads, writes = loop.fifo_endpoints()
+            assert len(reads) == 1 and len(writes) == 1
+
+    def test_connected_loop_untouched(self):
+        design = Design("solo")
+        fin = design.add_fifo(Fifo("in", i32, external=True))
+        fout = design.add_fifo(Fifo("out", i32, external=True))
+        b = DFGBuilder("body")
+        x = b.fifo_read(fin)
+        b.fifo_write(fout, x)
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("l", b.build(), pipeline=True))
+        split = split_independent_flows(design)
+        assert len(split.kernels[0].loops) == 1
+
+    def test_original_design_untouched(self):
+        design = fused_flows_design(4)
+        split_independent_flows(design)
+        assert len(design.kernels[0].loops) == 1
+
+
+class TestCallSyncPruning:
+    def test_longest_latency_wins(self):
+        dfg = pe_farm_dfg([10, 30, 20])
+        assert longest_latency_call(dfg).attrs["latency"] == 30
+
+    def test_tie_broken_by_name(self):
+        dfg = pe_farm_dfg([30, 30])
+        winner = longest_latency_call(dfg)
+        assert winner.attrs["latency"] == 30
+
+    def test_dynamic_latency_refused(self):
+        dfg = pe_farm_dfg([10, 20, 30], dynamic_index=1)
+        with pytest.raises(DynamicLatencyError):
+            longest_latency_call(dfg)
+
+    def test_no_calls_refused(self):
+        b = DFGBuilder()
+        x = b.input("x", i32)
+        b.add(x, x)
+        with pytest.raises(DynamicLatencyError):
+            longest_latency_call(b.build())
+
+    def test_prune_marks_winner(self):
+        design = Design("farm")
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("farm", pe_farm_dfg([5, 25, 15]), trip_count=8))
+        pruned = prune_call_sync(design)
+        calls = [
+            op
+            for op in pruned.kernels[0].loops[0].body.ops
+            if op.opcode.value == "call"
+        ]
+        flags = [op.attrs.get("sync_pruned") for op in calls]
+        assert flags.count(True) == 1
+        assert calls[flags.index(True)].attrs["latency"] == 25
+
+    def test_prune_skips_dynamic(self):
+        design = Design("farm")
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("farm", pe_farm_dfg([5, 25], dynamic_index=0), trip_count=8))
+        from repro.sync.pruning import SyncPruningReport
+
+        report = SyncPruningReport()
+        pruned = prune_call_sync(design, report)
+        assert report.skipped_dynamic == ["k/farm"]
+        calls = [
+            op
+            for op in pruned.kernels[0].loops[0].body.ops
+            if op.opcode.value == "call"
+        ]
+        assert not any(op.attrs.get("sync_pruned") for op in calls)
+
+    def test_single_call_not_marked(self):
+        design = Design("one")
+        k = design.add_kernel(Kernel("k"))
+        k.add_loop(Loop("l", pe_farm_dfg([7]), trip_count=8))
+        pruned = prune_call_sync(design)
+        (call,) = [
+            op
+            for op in pruned.kernels[0].loops[0].body.ops
+            if op.opcode.value == "call"
+        ]
+        assert "sync_pruned" not in call.attrs
+
+
+class TestCombinedPass:
+    def test_report_summary(self):
+        design = fused_flows_design(4)
+        _pruned, report = prune_synchronization(design)
+        assert "4 flow(s)" in report.summary()
+        assert report.split_loops == ["k/fused"]

@@ -1,0 +1,164 @@
+"""Tests for static timing analysis (repro.physical.timing)."""
+
+import pytest
+
+from repro.errors import PhysicalError
+from repro.physical.netdelay import CONNECTION_NS, NS_PER_TILE
+from repro.physical.placement import Placement
+from repro.physical.timing import MIN_PERIOD_NS, SETUP_NS, TimingAnalyzer
+from repro.rtl.netlist import Cell, CellKind, Netlist, NetKind
+
+
+def build_path(dist=10, logic_delay=1.0):
+    """reg -> logic -> reg with controlled geometry."""
+    nl = Netlist("p")
+    a = nl.new_cell("a", CellKind.FF, ffs=1, delay_ns=0.1)
+    c = nl.new_cell("c", CellKind.LOGIC, luts=4, delay_ns=logic_delay)
+    q = nl.new_cell("q", CellKind.FF, ffs=1, delay_ns=0.1)
+    nl.connect("n1", a, [(c, "i")])
+    nl.connect("n2", c, [(q, "d")], kind=NetKind.DATA)
+    placement = Placement()
+    placement.put(a, 0, 0)
+    placement.put(c, dist / 2, 0)
+    placement.put(q, dist, 0)
+    return nl, placement
+
+
+class TestBasicPaths:
+    def test_exact_arithmetic(self):
+        nl, placement = build_path(dist=10, logic_delay=1.0)
+        result = TimingAnalyzer(nl, placement).analyze()
+        wires = 2 * CONNECTION_NS + 10 * NS_PER_TILE
+        expected = 0.1 + wires + 1.0 + SETUP_NS
+        assert result.raw_period_ns == pytest.approx(expected)
+
+    def test_min_period_floor(self):
+        nl, placement = build_path(dist=0, logic_delay=0.05)
+        result = TimingAnalyzer(nl, placement).analyze()
+        assert result.period_ns == MIN_PERIOD_NS
+        assert result.raw_period_ns < MIN_PERIOD_NS
+
+    def test_fmax_inverse(self):
+        nl, placement = build_path(dist=30, logic_delay=2.0)
+        result = TimingAnalyzer(nl, placement).analyze()
+        assert result.fmax_mhz == pytest.approx(1000.0 / result.period_ns)
+
+    def test_startpoint_endpoint(self):
+        nl, placement = build_path()
+        result = TimingAnalyzer(nl, placement).analyze()
+        assert result.startpoint == "a"
+        assert result.endpoint == "q"
+
+    def test_path_hops_ordered(self):
+        nl, placement = build_path()
+        result = TimingAnalyzer(nl, placement).analyze()
+        arrivals = [hop.arrival_ns for hop in result.critical_path]
+        assert arrivals == sorted(arrivals)
+
+
+class TestWorstPathSelection:
+    def test_picks_longer_branch(self):
+        nl = Netlist("w")
+        a = nl.new_cell("a", CellKind.FF, ffs=1, delay_ns=0.1)
+        fast = nl.new_cell("fast", CellKind.LOGIC, delay_ns=0.2)
+        slow = nl.new_cell("slow", CellKind.LOGIC, delay_ns=3.0)
+        q1 = nl.new_cell("q1", CellKind.FF, ffs=1, delay_ns=0.1)
+        q2 = nl.new_cell("q2", CellKind.FF, ffs=1, delay_ns=0.1)
+        nl.connect("n0", a, [(fast, "i"), (slow, "i")])
+        nl.connect("n1", fast, [(q1, "d")])
+        nl.connect("n2", slow, [(q2, "d")])
+        placement = Placement()
+        for cell in nl.cells.values():
+            placement.put(cell, 0, 0)
+        result = TimingAnalyzer(nl, placement).analyze()
+        assert result.endpoint == "q2"
+
+    def test_multi_level_chain_accumulates(self):
+        nl = Netlist("chain")
+        a = nl.new_cell("a", CellKind.FF, ffs=1, delay_ns=0.1)
+        prev = a
+        placement = Placement()
+        placement.put(a, 0, 0)
+        for i in range(5):
+            c = nl.new_cell(f"c{i}", CellKind.LOGIC, delay_ns=0.5)
+            nl.connect(f"n{i}", prev, [(c, "i")])
+            placement.put(c, 0, 0)
+            prev = c
+        q = nl.new_cell("q", CellKind.FF, ffs=1, delay_ns=0.1)
+        nl.connect("out", prev, [(q, "d")])
+        placement.put(q, 0, 0)
+        result = TimingAnalyzer(nl, placement).analyze()
+        expected = 0.1 + 6 * CONNECTION_NS + 5 * 0.5 + SETUP_NS
+        assert result.raw_period_ns == pytest.approx(expected)
+
+
+class TestClassification:
+    def _netlist_with_kinds(self, kind):
+        nl = Netlist("k")
+        a = nl.new_cell("a", CellKind.FIFO, delay_ns=0.45)
+        gate = nl.new_cell("g", CellKind.LOGIC, delay_ns=2.0)
+        q = nl.new_cell("q", CellKind.FF, ffs=1, delay_ns=0.1)
+        nl.connect("st", a, [(gate, "i")], kind=NetKind.STATUS)
+        nl.connect("en", gate, [(q, "ce")], kind=kind)
+        placement = Placement()
+        for cell in nl.cells.values():
+            placement.put(cell, 0, 0)
+        return nl, placement
+
+    def test_enable_class_dominates(self):
+        nl, placement = self._netlist_with_kinds(NetKind.ENABLE)
+        result = TimingAnalyzer(nl, placement).analyze()
+        assert result.path_class is NetKind.ENABLE
+
+    def test_class_periods_cover_all_kinds(self):
+        nl, placement = self._netlist_with_kinds(NetKind.SYNC)
+        result = TimingAnalyzer(nl, placement).analyze()
+        assert "sync" in result.class_periods
+
+    def test_clockless_excluded(self):
+        nl = Netlist("cl")
+        pad = nl.new_cell("pad", CellKind.PORT, delay_ns=0.1)
+        fifo = nl.new_cell("f", CellKind.FIFO, delay_ns=0.45)
+        q = nl.new_cell("q", CellKind.FF, ffs=1, delay_ns=0.1)
+        nl.connect("ext", pad, [(fifo, "ext")], kind=NetKind.CLOCKLESS)
+        nl.connect("d", fifo, [(q, "d")], kind=NetKind.DATA)
+        placement = Placement()
+        placement.put(pad, 0, 0)
+        placement.put(fifo, 100, 0)  # far: would dominate if timed
+        placement.put(q, 100, 0)
+        result = TimingAnalyzer(nl, placement).analyze()
+        assert result.startpoint == "f"
+
+
+class TestErrors:
+    def test_no_endpoints(self):
+        nl = Netlist("none")
+        a = nl.new_cell("a", CellKind.FF, delay_ns=0.1)
+        c = nl.new_cell("c", CellKind.LOGIC, delay_ns=0.3)
+        nl.connect("n", a, [(c, "i")])
+        placement = Placement()
+        placement.put(a, 0, 0)
+        placement.put(c, 0, 0)
+        with pytest.raises(PhysicalError):
+            TimingAnalyzer(nl, placement).analyze()
+
+    def test_comb_cycle_detected(self):
+        nl = Netlist("cyc")
+        c1 = nl.new_cell("c1", CellKind.LOGIC, delay_ns=0.3)
+        c2 = nl.new_cell("c2", CellKind.LOGIC, delay_ns=0.3)
+        q = nl.new_cell("q", CellKind.FF, ffs=1, delay_ns=0.1)
+        nl.connect("f", c1, [(c2, "i")])
+        nl.connect("b", c2, [(c1, "i"), (q, "d")])
+        placement = Placement()
+        for cell in nl.cells.values():
+            placement.put(cell, 0, 0)
+        with pytest.raises(PhysicalError, match="cycle"):
+            TimingAnalyzer(nl, placement).analyze()
+
+
+class TestSummary:
+    def test_summary_mentions_class(self):
+        nl, placement = build_path()
+        result = TimingAnalyzer(nl, placement).analyze()
+        assert "data" in result.summary()
+        assert "MHz" in result.summary()

@@ -1,0 +1,79 @@
+"""Tests for timing report emit/parse (repro.physical.timing_report)."""
+
+import pytest
+
+from repro.errors import PhysicalError
+from repro.opt import BASELINE
+from repro.physical.timing_report import emit_timing_report, parse_timing_report
+
+
+@pytest.fixture(scope="module")
+def timing(module_flow):
+    from conftest import make_mini_stream_design
+
+    return module_flow.run(make_mini_stream_design(depth=1 << 16), BASELINE).timing
+
+
+@pytest.fixture(scope="module")
+def module_flow():
+    from conftest import make_synthetic_table
+    from repro.flow import Flow
+
+    return Flow(calibration=make_synthetic_table())
+
+
+class TestEmit:
+    def test_header_and_fmax(self, timing):
+        text = emit_timing_report(timing, design="mini")
+        assert "== Timing Report: mini ==" in text
+        assert f"fmax {timing.fmax_mhz:.1f} MHz" in text
+
+    def test_hops_listed(self, timing):
+        text = emit_timing_report(timing)
+        assert text.count("incr ") == len(timing.critical_path)
+
+    def test_slack_met(self, timing):
+        text = emit_timing_report(timing, requirement_ns=timing.raw_period_ns + 1)
+        assert "MET" in text
+
+    def test_slack_violated(self, timing):
+        text = emit_timing_report(timing, requirement_ns=timing.raw_period_ns - 1)
+        assert "VIOLATED" in text
+
+    def test_class_summary_sorted(self, timing):
+        text = emit_timing_report(timing)
+        idx = text.index("Class Summary:")
+        rows = [l.split()[0] for l in text[idx:].splitlines()[1:] if l.strip() and not l.startswith("Slack")]
+        assert rows == sorted(rows)
+
+
+class TestRoundTrip:
+    def test_core_fields(self, timing):
+        back = parse_timing_report(emit_timing_report(timing, design="x"))
+        assert back.raw_period_ns == pytest.approx(timing.raw_period_ns, abs=1e-3)
+        assert back.fmax_mhz == pytest.approx(timing.fmax_mhz, abs=0.5)
+        assert back.path_class is timing.path_class
+        assert back.startpoint == timing.startpoint
+        assert back.endpoint == timing.endpoint
+
+    def test_hops_roundtrip(self, timing):
+        back = parse_timing_report(emit_timing_report(timing))
+        assert len(back.critical_path) == len(timing.critical_path)
+        for a, b in zip(back.critical_path, timing.critical_path):
+            assert a.cell == b.cell and a.net == b.net
+            assert a.incr_ns == pytest.approx(b.incr_ns, abs=1e-3)
+
+    def test_class_summary_roundtrip(self, timing):
+        back = parse_timing_report(emit_timing_report(timing))
+        for key, value in timing.class_periods.items():
+            assert back.class_periods[key] == pytest.approx(value, abs=1e-3)
+
+
+class TestParseErrors:
+    def test_garbage_rejected(self):
+        with pytest.raises(PhysicalError):
+            parse_timing_report("hello world")
+
+    def test_missing_delay_rejected(self):
+        with pytest.raises(PhysicalError):
+            parse_timing_report("== Timing Report: x ==\nPath Class: data\n")

@@ -1,0 +1,83 @@
+"""Tests for VCD tracing (repro.sim.vcd)."""
+
+import io
+import re
+
+import pytest
+
+from repro.sim.harness import BackpressureSink
+from repro.sim.pipeline import SkidPipeline, StallPipeline, simulate
+from repro.sim.vcd import VcdWriter, _ident, trace_pipeline
+
+ITEMS = list(range(60))
+
+
+class TestWriter:
+    def test_header_structure(self):
+        buf = io.StringIO()
+        writer = VcdWriter(buf, module="dut")
+        writer.add_signal("a")
+        writer.add_signal("count", width=8)
+        writer.sample(0, [1, 5])
+        text = buf.getvalue()
+        assert "$timescale 1ns $end" in text
+        assert "$scope module dut $end" in text
+        assert "$var wire 1" in text and "$var integer 8" in text
+        assert "$enddefinitions $end" in text
+
+    def test_only_changes_emitted(self):
+        buf = io.StringIO()
+        writer = VcdWriter(buf)
+        writer.add_signal("a")
+        writer.sample(0, [1])
+        writer.sample(1, [1])
+        writer.sample(2, [0])
+        body = buf.getvalue().split("$enddefinitions $end\n", 1)[1]
+        changes = re.findall(r"^[01]\S+$", body, re.M)
+        assert len(changes) == 2  # 1 at t0, 0 at t2, nothing at t1
+
+    def test_idents_unique(self):
+        idents = {_ident(i) for i in range(500)}
+        assert len(idents) == 500
+
+
+class TestTracing:
+    def test_outputs_match_untraced_run(self):
+        ready = BackpressureSink.burst_stall(20, 7)
+        plain_out, plain_cycles = simulate(SkidPipeline(6), list(ITEMS), ready)
+        buf = io.StringIO()
+        traced_out, traced_cycles = trace_pipeline(
+            SkidPipeline(6), list(ITEMS), ready, buf
+        )
+        assert traced_out == plain_out
+        assert traced_cycles == plain_cycles
+
+    def test_skid_occupancy_visible(self):
+        buf = io.StringIO()
+        trace_pipeline(SkidPipeline(6), list(ITEMS), BackpressureSink.burst_stall(20, 7), buf)
+        text = buf.getvalue()
+        assert "skid_occupancy" in text
+        # occupancy reaches multi-element values during the stalls
+        occupancies = [
+            int(m.group(1), 2) for m in re.finditer(r"^b(\d+) ", text, re.M)
+        ]
+        assert max(occupancies) >= 2
+
+    def test_stall_pipeline_traced(self):
+        buf = io.StringIO()
+        out, _cycles = trace_pipeline(
+            StallPipeline(4), list(ITEMS), BackpressureSink.duty(1, 2), buf
+        )
+        assert out == ITEMS
+        assert "out_occupancy" in buf.getvalue()
+
+    def test_per_stage_signals(self):
+        buf = io.StringIO()
+        trace_pipeline(SkidPipeline(5), list(ITEMS), BackpressureSink.always(), buf)
+        text = buf.getvalue()
+        for i in range(5):
+            assert f"stage{i}_valid" in text
+
+    def test_unknown_pipeline_rejected(self):
+        with pytest.raises(TypeError):
+            trace_pipeline(object(), [], BackpressureSink.always(), io.StringIO())
