@@ -12,8 +12,9 @@ from repro.experiments.table1 import average_gain, format_table1, run_table1
 
 
 @pytest.fixture(scope="module")
-def entries(record):
-    result = run_table1()
+def entries(record, trace_flows):
+    with trace_flows("table1"):
+        result = run_table1()
     record("table1_designs", format_table1(result))
     return result
 

@@ -3,15 +3,28 @@
 Each benchmark reproduces one table or figure of the paper, prints it next
 to the paper's reported numbers, and writes the rendering to
 ``benchmarks/results/<name>.txt`` so results survive output capturing.
+
+Benchmarks that execute full flows can additionally run them under a
+:class:`repro.obs.Tracer` via the :func:`trace_flows` fixture; every traced
+flow run (design, config, Fmax, per-stage durations, counters) is collected
+and written to ``benchmarks/results/BENCH_flow.json`` at session end, so
+the perf trajectory is machine-trackable across PRs.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+from contextlib import contextmanager
 
 import pytest
 
+from repro import obs
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Schema tag of the BENCH_flow.json document.
+BENCH_FLOW_SCHEMA = "repro-bench-flow/1"
 
 
 @pytest.fixture(scope="session")
@@ -30,3 +43,41 @@ def record(results_dir):
         print(f"\n=== {name} ===\n{text}\n(written to {path})")
 
     return _record
+
+
+@pytest.fixture(scope="session")
+def flow_records(results_dir):
+    """Session-wide collector of traced flow-run records.
+
+    Teardown writes ``BENCH_flow.json`` next to the text results whenever
+    at least one benchmark traced its flows.
+    """
+    records: list = []
+    yield records
+    if records:
+        path = results_dir / "BENCH_flow.json"
+        payload = {"schema": BENCH_FLOW_SCHEMA, "runs": records}
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nwrote {len(records)} traced flow run(s) to {path}")
+
+
+@pytest.fixture(scope="session")
+def trace_flows(flow_records):
+    """``with trace_flows("table1"):`` — trace every flow run in the body.
+
+    All runs executed inside the context are captured (design, config,
+    Fmax, per-stage durations, counters) and tagged with the given bench
+    label in the session's ``BENCH_flow.json``.
+    """
+
+    @contextmanager
+    def _trace(bench: str):
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            yield tracer
+        report = obs.run_report(tracer)
+        for run in report["runs"]:
+            run["bench"] = bench
+        flow_records.extend(report["runs"])
+
+    return _trace

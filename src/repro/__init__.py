@@ -11,8 +11,12 @@ Public API tour:
   (:data:`BASELINE`, :data:`FULL`, :data:`DATA_ONLY`, ...).
 * Inspect broadcasts with :mod:`repro.analysis` and regenerate every table
   and figure of the paper from :mod:`repro.experiments`.
+* Capture per-stage traces and metrics of any run with :mod:`repro.obs`
+  (``obs.Tracer`` + ``obs.activate``), and export them as Chrome traces or
+  machine-readable run reports.
 """
 
+from repro import obs
 from repro.autotune import AutoTuneResult, auto_optimize
 from repro.flow import Flow, FlowResult
 from repro.opt import (
@@ -48,6 +52,7 @@ from repro.errors import ReproError
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "Flow",
     "auto_optimize",
     "AutoTuneResult",

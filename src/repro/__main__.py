@@ -3,22 +3,27 @@
 Commands:
 
 * ``list``                         — list the nine benchmark designs;
-* ``run <design> [--config C]``    — run the flow on one design;
+* ``run <design> [--config C]``    — run the flow on one design
+  (``--json`` for a machine-readable report, ``--trace-out t.json`` for a
+  Chrome ``trace_event`` file, ``--verbose`` for the span tree);
+* ``trace <design> [--out t.json]`` — run the flow and export the trace;
 * ``tune <design>``                — auto-apply techniques until converged;
 * ``diagnose <design>``            — broadcast classification + advice;
 * ``diemap <design>``              — ASCII die map + worst broadcast net;
 * ``table1 | table2 | table3``     — reproduce a table;
 * ``fig9 | fig15 | fig16 | fig17 | fig19`` — reproduce a figure;
-* ``all [--out report.md]``        — run every experiment, one report;
+* ``all [--out report.md]``        — run every experiment, one report
+  (``--json report.json`` / ``--trace-out t.json`` for structured output);
 * ``verilog <design> <out.v>``     — emit the generated netlist as Verilog.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro import Flow
+from repro import Flow, obs
 from repro.analysis import classify_design, diagnose, format_critical_path
 from repro.control.styles import ControlStyle
 from repro.designs import build_design, design_names
@@ -46,11 +51,39 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     design = build_design(args.design)
     flow = Flow(seed=args.seed)
-    for label in args.config.split(","):
-        result = flow.run(design, CONFIGS[label.strip()])
-        print(result.summary())
-        if args.verbose:
-            print(format_critical_path(result.timing))
+    tracer = obs.Tracer()
+    results = []
+    with obs.activate(tracer):
+        for label in args.config.split(","):
+            result = flow.run(design, CONFIGS[label.strip()])
+            results.append(result)
+            if not args.json:
+                print(result.summary())
+                if args.verbose:
+                    print(format_critical_path(result.timing))
+    if args.verbose and not args.json:
+        print()
+        print(obs.render_console(tracer))
+    if args.json:
+        print(json.dumps(obs.run_report(tracer, results), indent=2))
+    if args.trace_out:
+        obs.write_chrome_trace(args.trace_out, tracer)
+        print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    design = build_design(args.design)
+    flow = Flow(seed=args.seed)
+    tracer = obs.Tracer()
+    with obs.activate(tracer):
+        for label in args.config.split(","):
+            flow.run(design, CONFIGS[label.strip()])
+    print(obs.render_console(tracer))
+    out = args.out or f"{args.design}_trace.json"
+    obs.write_chrome_trace(out, tracer)
+    print(f"\nwrote Chrome trace to {out} "
+          f"(open in chrome://tracing or https://ui.perfetto.dev)")
     return 0
 
 
@@ -123,7 +156,26 @@ def main(argv=None) -> int:
     p_run.add_argument("design", choices=design_names())
     p_run.add_argument("--config", default="orig,full")
     p_run.add_argument("--verbose", action="store_true")
+    p_run.add_argument(
+        "--json", action="store_true",
+        help="print a machine-readable run report instead of summaries",
+    )
+    p_run.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON of the run(s) to PATH",
+    )
     p_run.set_defaults(fn=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="run the flow and export a Chrome trace"
+    )
+    p_trace.add_argument("design", choices=design_names())
+    p_trace.add_argument("--config", default="orig,full")
+    p_trace.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="trace output path (default <design>_trace.json)",
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_diag = sub.add_parser("diagnose", help="broadcast classification + advice")
     p_diag.add_argument("design", choices=design_names())
@@ -151,16 +203,34 @@ def main(argv=None) -> int:
 
     p_all = sub.add_parser("all", help="run every experiment, print one report")
     p_all.add_argument("--out", default=None, help="also write the report here")
+    p_all.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write a machine-readable report of every flow run to PATH",
+    )
+    p_all.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON of every flow run to PATH",
+    )
 
     def _cmd_all(args) -> int:
         from repro.experiments.summary import run_all
 
-        report = run_all()
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            report = run_all()
         text = report.render()
         print(text)
         if args.out:
             with open(args.out, "w") as handle:
                 handle.write(text + "\n")
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(obs.run_report(tracer), handle, indent=2)
+                handle.write("\n")
+            print(f"wrote flow-run report to {args.json}")
+        if args.trace_out:
+            obs.write_chrome_trace(args.trace_out, tracer)
+            print(f"wrote Chrome trace to {args.trace_out}")
         return 0
 
     p_all.set_defaults(fn=_cmd_all)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.delay.calibrated import CalibratedDelayModel, CalibrationTable
 from repro.delay.calibration import build_default_calibration
 from repro.delay.hls_model import HlsDelayModel
@@ -61,20 +62,26 @@ class FlowResult:
     ii_by_loop: Dict[str, int] = field(default_factory=dict)
     #: Final placement (after replication/retiming); cells keyed by name.
     placement: Optional[Placement] = None
+    #: Root span of this run when a tracer was active (see :mod:`repro.obs`).
+    trace: Optional[obs.Span] = None
 
     @property
     def depth_by_loop(self) -> Dict[str, int]:
         return {f"{k}/{l}": s.depth for (k, l), s in self.schedules.items()}
 
     def summary(self) -> str:
+        # Partial resource reports (e.g. a device with no DSP column) may
+        # omit keys; treat missing kinds as unused rather than raising.
         util = self.utilization
+        lut, ff = util.get("LUT", 0.0), util.get("FF", 0.0)
+        bram, dsp = util.get("BRAM", 0.0), util.get("DSP", 0.0)
         return (
             f"{self.design} [{self.config_label}] "
             f"Fmax={self.fmax_mhz:.0f}MHz "
             f"(target {self.clock_target_mhz:.0f}MHz, "
             f"critical: {self.timing.path_class.value}) "
-            f"LUT={util['LUT']:.0f}% FF={util['FF']:.0f}% "
-            f"BRAM={util['BRAM']:.0f}% DSP={util['DSP']:.0f}%"
+            f"LUT={lut:.0f}% FF={ff:.0f}% "
+            f"BRAM={bram:.0f}% DSP={dsp:.0f}%"
         )
 
 
@@ -107,58 +114,132 @@ class Flow:
 
     # ------------------------------------------------------------------
     def run(self, design: Design, config: OptimizationConfig = BASELINE) -> FlowResult:
-        """Run the full flow on ``design`` under ``config``."""
+        """Run the full flow on ``design`` under ``config``.
+
+        When a :class:`repro.obs.Tracer` is activated (``obs.activate``),
+        the run reports into it: one ``flow`` root span with a child span
+        per stage (``pragmas``, ``sync-pruning``, ``scheduling``,
+        ``ii-analysis``, ``rtl-gen``, ``placement``, ``spreading``,
+        ``replication``, ``retiming``, ``timing``), plus counters such as
+        ``scheduling.registers_inserted`` and ``physical.nets_replicated``.
+        The root span is attached to :attr:`FlowResult.trace`.
+        """
         design.verify()
         clock_mhz = float(
             self.clock_mhz or design.meta.get("clock_mhz", DEFAULT_CLOCK_MHZ)
         )
         clock_ns = 1000.0 / clock_mhz
 
-        lowered = apply_pragmas(design)
-        sync_report = None
-        if config.sync_pruning:
-            lowered, sync_report = prune_synchronization(lowered)
+        tracer = obs.current_tracer()
+        with tracer.span(
+            obs.FLOW_SPAN,
+            design=design.name,
+            config=config.label,
+            clock_target_mhz=clock_mhz,
+            seed=self.seed,
+        ) as root:
+            with tracer.span("pragmas") as sp:
+                lowered = apply_pragmas(design)
+                sp.set("kernels", len(lowered.kernels))
+                sp.set("loops", sum(1 for _ in lowered.all_loops()))
+                sp.set("ops", sum(len(l.body.ops) for _, l in lowered.all_loops()))
 
-        schedules: Dict[Tuple[str, str], Schedule] = {}
-        edits: List[str] = []
-        cal_model: Optional[CalibratedDelayModel] = None
-        if config.broadcast_aware:
-            table = self.calibration or build_default_calibration(lowered.device)
-            cal_model = CalibratedDelayModel(table)
-        hls_model = HlsDelayModel()
-        for kernel, loop in lowered.all_loops():
-            if cal_model is not None:
-                result = broadcast_aware_schedule(loop.body, clock_ns, cal_model)
-                schedules[(kernel.name, loop.name)] = result.schedule
-                edits.extend(
-                    f"{kernel.name}/{loop.name}: {edit}" for edit in result.edits
+            # The span is opened even when pruning is disabled so every
+            # trace has the same stage skeleton (attr `enabled` tells which).
+            with tracer.span("sync-pruning", enabled=bool(config.sync_pruning)) as sp:
+                sync_report = None
+                if config.sync_pruning:
+                    lowered, sync_report = prune_synchronization(lowered)
+                    sp.set("split_loops", len(sync_report.split_loops))
+                    sp.set("flows_created", sync_report.flows_created)
+                    sp.set("call_syncs_pruned", len(sync_report.call_syncs_pruned))
+
+            with tracer.span(
+                "scheduling", broadcast_aware=bool(config.broadcast_aware)
+            ) as sp:
+                schedules: Dict[Tuple[str, str], Schedule] = {}
+                edits: List[str] = []
+                cal_model: Optional[CalibratedDelayModel] = None
+                if config.broadcast_aware:
+                    # The characterization itself runs placements; give it
+                    # its own span so its cost isn't blamed on scheduling.
+                    with tracer.span(
+                        "calibration", cached=self.calibration is not None
+                    ):
+                        table = self.calibration or build_default_calibration(
+                            lowered.device
+                        )
+                    cal_model = CalibratedDelayModel(table)
+                hls_model = HlsDelayModel()
+                for kernel, loop in lowered.all_loops():
+                    if cal_model is not None:
+                        result = broadcast_aware_schedule(
+                            loop.body, clock_ns, cal_model
+                        )
+                        schedules[(kernel.name, loop.name)] = result.schedule
+                        edits.extend(
+                            f"{kernel.name}/{loop.name}: {edit}"
+                            for edit in result.edits
+                        )
+                    else:
+                        schedules[(kernel.name, loop.name)] = ChainingScheduler(
+                            hls_model, clock_ns
+                        ).schedule(loop.body)
+                sp.set("loops", len(schedules))
+                sp.set("edits", len(edits))
+                sp.set("max_depth", max((s.depth for s in schedules.values()), default=0))
+
+            with tracer.span("ii-analysis") as sp:
+                ii_by_loop = {
+                    f"{kernel.name}/{loop.name}": analyze_ii(
+                        loop, schedules[(kernel.name, loop.name)]
+                    ).ii
+                    for kernel, loop in lowered.all_loops()
+                }
+                sp.set("worst_ii", max(ii_by_loop.values(), default=1))
+
+            with tracer.span("rtl-gen", control=config.control.value) as sp:
+                gen = generate_netlist(
+                    lowered, schedules, GenOptions(control=config.control)
                 )
-            else:
-                schedules[(kernel.name, loop.name)] = ChainingScheduler(
-                    hls_model, clock_ns
-                ).schedule(loop.body)
+                sp.set("cells", len(gen.netlist.cells))
+                sp.set("nets", len(gen.netlist.nets))
 
-        ii_by_loop = {
-            f"{kernel.name}/{loop.name}": analyze_ii(
-                loop, schedules[(kernel.name, loop.name)]
-            ).ii
-            for kernel, loop in lowered.all_loops()
-        }
+            with tracer.span("placement", cells=len(gen.netlist.cells)):
+                fabric = Fabric(get_device(lowered.device))
+                placement = Placer(fabric, seed=self.seed).place(
+                    gen.netlist, anchor=gen.anchor
+                )
 
-        gen = generate_netlist(lowered, schedules, GenOptions(control=config.control))
+            with tracer.span("spreading") as sp:
+                moved = spread_movable_chains(gen.netlist, placement)
+                sp.set("registers_moved", moved)
 
-        fabric = Fabric(get_device(lowered.device))
-        placement = Placer(fabric, seed=self.seed).place(gen.netlist, anchor=gen.anchor)
-        spread_movable_chains(gen.netlist, placement)
-        replicate_high_fanout(gen.netlist, placement, self.replication)
-        netlist = gen.netlist
-        if self.retime:
-            netlist, placement, _moves = retime_movable(netlist, placement)
-        timing = TimingAnalyzer(netlist, placement).analyze()
-        # The retimed netlist is the final article; expose it in gen so
-        # downstream analysis (census, verilog) sees what was timed.
-        gen.netlist = netlist
-        resources = ResourceReport.of_netlist(netlist)
+            with tracer.span("replication") as sp:
+                replicas = replicate_high_fanout(
+                    gen.netlist, placement, self.replication
+                )
+                sp.set("replicas_created", replicas)
+
+            netlist = gen.netlist
+            with tracer.span("retiming", enabled=self.retime) as sp:
+                if self.retime:
+                    netlist, placement, moves = retime_movable(netlist, placement)
+                    sp.set("moves", moves)
+
+            with tracer.span("timing") as sp:
+                timing = TimingAnalyzer(netlist, placement).analyze()
+                sp.set("fmax_mhz", round(timing.fmax_mhz, 3))
+                sp.set("period_ns", round(timing.period_ns, 4))
+                sp.set("critical_path_class", timing.path_class.value)
+
+            # The retimed netlist is the final article; expose it in gen so
+            # downstream analysis (census, verilog) sees what was timed.
+            gen.netlist = netlist
+            resources = ResourceReport.of_netlist(netlist)
+            root.set("fmax_mhz", round(timing.fmax_mhz, 3))
+            root.set("critical_path_class", timing.path_class.value)
+            tracer.set_gauge("flow.fmax_mhz", round(timing.fmax_mhz, 3))
         return FlowResult(
             design=design.name,
             config_label=config.label,
@@ -174,6 +255,7 @@ class Flow:
             sync_report=sync_report,
             ii_by_loop=ii_by_loop,
             placement=placement,
+            trace=root if isinstance(root, obs.Span) else None,
         )
 
     def compare(

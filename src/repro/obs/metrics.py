@@ -1,0 +1,138 @@
+"""Metric primitives for the observability layer.
+
+Three classic instrument kinds, all zero-dependency and cheap enough to
+leave enabled in the hot flow paths:
+
+* :class:`Counter` — monotonically increasing totals ("registers inserted",
+  "nets replicated");
+* :class:`Gauge` — last-written value ("fmax_mhz" of the run);
+* :class:`Histogram` — raw sample list with summary statistics ("fanout of
+  every net the replication pass split").
+
+A :class:`MetricsRegistry` owns one namespace of named instruments.  Every
+:class:`~repro.obs.tracer.Span` carries its own registry, so metrics are
+scoped to the span subtree that produced them; :meth:`MetricsRegistry.merge`
+folds child registries into aggregate views for reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Union
+
+Number = Union[int, float]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    value: Number = 0
+
+    def add(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (got {amount})")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins measurement."""
+
+    value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """A bag of samples with summary statistics."""
+
+    samples: List[Number] = field(default_factory=list)
+
+    def observe(self, value: Number) -> None:
+        self.samples.append(value)
+
+    def percentile(self, q: float) -> Number:
+        """Nearest-rank percentile; ``q`` in [0, 100]."""
+        if not self.samples:
+            return 0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[min(rank, len(ordered)) - 1]
+
+    def summary(self) -> Dict[str, Number]:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": len(self.samples),
+            "sum": sum(self.samples),
+            "min": min(self.samples),
+            "max": max(self.samples),
+            "mean": sum(self.samples) / len(self.samples),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+        }
+
+
+class MetricsRegistry:
+    """One namespace of counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- write side ------------------------------------------------------
+    def add(self, name: str, amount: Number = 1) -> None:
+        self.counters.setdefault(name, Counter()).add(amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self.gauges.setdefault(name, Gauge()).set(value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self.histograms.setdefault(name, Histogram()).observe(value)
+
+    # -- read side -------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+    def counter(self, name: str) -> Number:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        entry = self.counters.get(name)
+        return entry.value if entry is not None else 0
+
+    def merge(self, others: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """Fold ``others`` into this registry (in place); returns self.
+
+        Counters sum, histogram samples concatenate, gauges keep the value
+        written *last* in iteration order (parents first, then children —
+        so a child's more specific reading wins).
+        """
+        for other in others:
+            for name, counter in other.counters.items():
+                self.add(name, counter.value)
+            for name, gauge in other.gauges.items():
+                self.set_gauge(name, gauge.value)
+            for name, hist in other.histograms.items():
+                for sample in hist.samples:
+                    self.observe(name, sample)
+        return self
+
+    @classmethod
+    def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """A fresh registry holding the fold of ``registries``."""
+        return cls().merge(registries)
+
+    def to_dict(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready view: plain numbers for counters/gauges, summaries
+        for histograms."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }

@@ -1,0 +1,183 @@
+"""Exporters: structured run reports, Chrome traces, console trees.
+
+Three views over one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`run_report` — flat, machine-readable JSON document (one record per
+  ``flow`` span: per-stage durations, counters, gauges, histograms).  This
+  is the substrate perf PRs measure themselves against; its schema is
+  versioned via the ``schema`` key.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — Chrome ``trace_event``
+  JSON loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+* :func:`render_console` — indented human tree for ``--verbose`` output.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Union
+
+from repro.obs.tracer import NullTracer, Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flow imports obs)
+    from repro.flow import FlowResult
+
+#: Version tag of the run-report document layout.
+RUN_REPORT_SCHEMA = "repro-run-report/1"
+#: Name of the span the flow driver opens around one complete run.
+FLOW_SPAN = "flow"
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce attribute values to JSON-representable types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def _safe_attrs(span: Span) -> Dict[str, Any]:
+    return {key: _json_safe(val) for key, val in span.attrs.items()}
+
+
+# ---------------------------------------------------------------------------
+# Run report
+# ---------------------------------------------------------------------------
+def stage_record(span: Span) -> Dict[str, Any]:
+    """One stage's record: duration, annotations, subtree metrics."""
+    metrics = span.aggregate_metrics()
+    record: Dict[str, Any] = {
+        "name": span.name,
+        "duration_ms": round(span.duration_ms, 3),
+        "attrs": _safe_attrs(span),
+    }
+    if metrics:
+        record["metrics"] = metrics.to_dict()
+    return record
+
+
+def flow_record(
+    span: Span, result: Optional["FlowResult"] = None
+) -> Dict[str, Any]:
+    """The report record of one ``flow`` span (optionally enriched with the
+    :class:`~repro.flow.FlowResult` the run returned)."""
+    metrics = span.aggregate_metrics()
+    record: Dict[str, Any] = {
+        "design": span.attrs.get("design"),
+        "config": span.attrs.get("config"),
+        "duration_ms": round(span.duration_ms, 3),
+        "fmax_mhz": _json_safe(span.attrs.get("fmax_mhz")),
+        "clock_target_mhz": _json_safe(span.attrs.get("clock_target_mhz")),
+        "critical_path_class": _json_safe(span.attrs.get("critical_path_class")),
+        "stages": [stage_record(child) for child in span.children],
+    }
+    metric_view = metrics.to_dict()
+    record["counters"] = metric_view["counters"]
+    record["gauges"] = metric_view["gauges"]
+    record["histograms"] = metric_view["histograms"]
+    if result is not None:
+        record["period_ns"] = round(result.period_ns, 4)
+        record["utilization"] = {
+            kind: round(pct, 2) for kind, pct in sorted(result.utilization.items())
+        }
+        record["ii_by_loop"] = dict(result.ii_by_loop)
+        record["schedule_edits"] = list(result.schedule_edits)
+    return record
+
+
+def run_report(
+    tracer: Union[Tracer, NullTracer],
+    results: Iterable["FlowResult"] = (),
+) -> Dict[str, Any]:
+    """Assemble the machine-readable report for every flow run a tracer saw.
+
+    ``results`` may supply the :class:`~repro.flow.FlowResult` objects the
+    runs returned; they are matched to spans through their ``trace`` field,
+    so passing any subset (or none, e.g. when reporting on ``repro all``)
+    is fine.
+    """
+    by_span = {id(r.trace): r for r in results if r.trace is not None}
+    runs: List[Dict[str, Any]] = []
+    for root in tracer.roots:
+        for span in root.walk():
+            if span.name == FLOW_SPAN:
+                runs.append(flow_record(span, by_span.get(id(span))))
+    return {"schema": RUN_REPORT_SCHEMA, "runs": runs}
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event export
+# ---------------------------------------------------------------------------
+def chrome_trace_events(tracer: Union[Tracer, NullTracer]) -> List[Dict[str, Any]]:
+    """All spans as Chrome "complete" (``ph: X``) events, µs timestamps."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": "repro flow"},
+        }
+    ]
+    for span in tracer.all_spans():
+        args = _safe_attrs(span)
+        metrics = span.metrics
+        if metrics:
+            args["metrics"] = metrics.to_dict()
+        events.append(
+            {
+                "name": span.name,
+                "cat": "flow",
+                "ph": "X",
+                "ts": round(span.start_s * 1e6, 3),
+                "dur": round(span.duration_ms * 1e3, 3),
+                "pid": 1,
+                "tid": 1,
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_trace(tracer: Union[Tracer, NullTracer]) -> Dict[str, Any]:
+    """The full Chrome ``trace_event`` document (JSON-object flavour)."""
+    return {
+        "traceEvents": chrome_trace_events(tracer),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "schema": "trace_event"},
+    }
+
+
+def write_chrome_trace(path: str, tracer: Union[Tracer, NullTracer]) -> None:
+    """Serialize :func:`chrome_trace` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(tracer), handle, indent=1)
+        handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Console rendering
+# ---------------------------------------------------------------------------
+def _render_span(span: Span, depth: int, lines: List[str]) -> None:
+    attrs = ", ".join(
+        f"{k}={_json_safe(v)}" for k, v in span.attrs.items()
+    )
+    suffix = f"  [{attrs}]" if attrs else ""
+    lines.append(f"{'  ' * depth}{span.name:<24s} {span.duration_ms:9.2f} ms{suffix}")
+    counters = span.metrics.counters
+    if counters:
+        joined = ", ".join(f"{n}={c.value}" for n, c in sorted(counters.items()))
+        lines.append(f"{'  ' * (depth + 1)}· {joined}")
+    for child in span.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_console(source: Union[Tracer, NullTracer, Span]) -> str:
+    """Human-readable span tree with durations and per-span counters."""
+    lines: List[str] = []
+    roots = [source] if isinstance(source, Span) else source.roots
+    for root in roots:
+        _render_span(root, 0, lines)
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Nestable-span tracer — the core of the observability layer.
+
+Design goals, in order:
+
+1. **Always-on instrumentation, zero-cost when idle.**  Flow code calls the
+   module-level helpers (:func:`span`, :func:`add`, :func:`observe`,
+   :func:`set_gauge`) unconditionally; when no tracer is active they hit
+   the :data:`NULL_TRACER` singleton and do nothing.  No caller threads a
+   tracer handle through ten layers of APIs.
+2. **Zero dependencies.**  Pure stdlib (``time.perf_counter``), matching
+   the repository's no-runtime-deps rule.
+3. **Structured, not textual.**  A completed trace is a forest of
+   :class:`Span` objects carrying wall-clock, free-form attributes, and a
+   per-span :class:`~repro.obs.metrics.MetricsRegistry`; exporters in
+   :mod:`repro.obs.report` turn it into Chrome ``trace_event`` JSON, a flat
+   run report, or a console tree.
+
+The ambient-tracer stack is a plain module global: the flow is
+single-threaded (like the HLS tools it models), and keeping activation a
+list push/pop makes nested activations (a benchmark tracing a flow that
+itself activates nothing) behave sanely.
+
+Usage::
+
+    tracer = Tracer()
+    with activate(tracer):
+        with span("placement", cells=1234) as sp:
+            ...
+            sp.set("refine_moves", moved)
+        add("physical.nets_replicated", 3)
+    tracer.roots[0].duration_ms
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry, Number
+
+
+@dataclass
+class Span:
+    """One timed, attributed region of the flow.
+
+    Attributes:
+        name: Stage name (``"placement"``, ``"flow"``, ...).
+        attrs: Free-form key/value annotations (input sizes, outcomes).
+        start_s: Start time, seconds since the owning tracer's epoch.
+        end_s: End time, or ``None`` while the span is open.
+        children: Sub-spans, in start order.
+        metrics: Counters/gauges/histograms recorded *while this span was
+            the innermost active one*.
+    """
+
+    name: str
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    parent: Optional["Span"] = None
+    children: List["Span"] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def duration_ms(self) -> float:
+        end = self.end_s if self.end_s is not None else self.start_s
+        return (end - self.start_s) * 1e3
+
+    def set(self, key: str, value: Any) -> None:
+        """Annotate the span (chainable shorthand for ``attrs[key] = v``)."""
+        self.attrs[key] = value
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order iteration over this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First span named ``name`` in this subtree (pre-order), or None."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [node for node in self.walk() if node.name == name]
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        """Metrics of this span's whole subtree, folded into one registry."""
+        return MetricsRegistry.merged(node.metrics for node in self.walk())
+
+
+class _NullSpan:
+    """Inert stand-in yielded by :class:`NullTracer` — accepts everything."""
+
+    name = ""
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    duration_ms = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def walk(self):
+        return iter(())
+
+    def find(self, name: str) -> None:
+        return None
+
+    def find_all(self, name: str) -> List[Span]:
+        return []
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        return MetricsRegistry()
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans plus out-of-span metrics.
+
+    All times are relative to the tracer's construction (its *epoch*), in
+    seconds; exporters convert as needed.
+    """
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        #: Metrics recorded while no span was open.
+        self.metrics = MetricsRegistry()
+        self._stack: List[Span] = []
+
+    # -- clock -----------------------------------------------------------
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    # -- span lifecycle --------------------------------------------------
+    @property
+    def active_span(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span; nests under the currently active one."""
+        node = Span(name=name, attrs=dict(attrs), start_s=self._now())
+        parent = self.active_span
+        if parent is not None:
+            node.parent = parent
+            parent.children.append(node)
+        else:
+            self.roots.append(node)
+        self._stack.append(node)
+        try:
+            yield node
+        finally:
+            node.end_s = self._now()
+            self._stack.pop()
+
+    # -- metrics routed to the innermost span ----------------------------
+    def _sink(self) -> MetricsRegistry:
+        active = self.active_span
+        return active.metrics if active is not None else self.metrics
+
+    def add(self, name: str, amount: Number = 1) -> None:
+        self._sink().add(name, amount)
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self._sink().set_gauge(name, value)
+
+    def observe(self, name: str, value: Number) -> None:
+        self._sink().observe(name, value)
+
+    # -- aggregate views -------------------------------------------------
+    def all_spans(self) -> List[Span]:
+        return [node for root in self.roots for node in root.walk()]
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        registries = [self.metrics]
+        registries.extend(node.metrics for node in self.all_spans())
+        return MetricsRegistry.merged(registries)
+
+
+class NullTracer:
+    """The inert tracer returned when nothing is activated."""
+
+    roots: List[Span] = []
+    metrics = MetricsRegistry()
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[_NullSpan]:
+        yield NULL_SPAN
+
+    def add(self, name: str, amount: Number = 1) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        pass
+
+    def observe(self, name: str, value: Number) -> None:
+        pass
+
+    def all_spans(self) -> List[Span]:
+        return []
+
+    def aggregate_metrics(self) -> MetricsRegistry:
+        return MetricsRegistry()
+
+
+NULL_TRACER = NullTracer()
+
+#: Activation stack; the flow reads the top via :func:`current_tracer`.
+_ACTIVE: List[Tracer] = []
+
+AnyTracer = Union[Tracer, NullTracer]
+
+
+def current_tracer() -> AnyTracer:
+    """The innermost activated tracer, or :data:`NULL_TRACER`."""
+    return _ACTIVE[-1] if _ACTIVE else NULL_TRACER
+
+
+@contextmanager
+def activate(tracer: Tracer) -> Iterator[Tracer]:
+    """Make ``tracer`` the ambient tracer within the ``with`` body."""
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()
+
+
+# -- module-level conveniences (forward to the ambient tracer) -----------
+def span(name: str, **attrs: Any):
+    """``with span("stage", k=v) as sp:`` on whatever tracer is active."""
+    return current_tracer().span(name, **attrs)
+
+
+def add(name: str, amount: Number = 1) -> None:
+    current_tracer().add(name, amount)
+
+
+def set_gauge(name: str, value: Number) -> None:
+    current_tracer().set_gauge(name, value)
+
+
+def observe(name: str, value: Number) -> None:
+    current_tracer().observe(name, value)

@@ -16,6 +16,7 @@ import random
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import PlacementError
 from repro.rtl.netlist import Cell, CellKind, Netlist
 from repro.physical.fabric import BRAM_COL, CLB, DSP_COL, Fabric, Occupancy
@@ -140,7 +141,7 @@ class Placer:
         # first, column-major, so bank k and bank k+1 are vertical
         # neighbors and index-contiguous bank groups are physically local.
         brams = [c for c in netlist.cells.values() if c.kind is CellKind.BRAM]
-        if brams:
+        with obs.span("memory-floorplan", brams=len(brams)):
             bram_cols = [
                 x
                 for x in range(self.fabric.cols)
@@ -176,26 +177,37 @@ class Placer:
                 px = sum(x * u for x, _y, u in chunks) / total
                 py = sum(y * u for _x, y, u in chunks) / total
                 placement.put(cell, px, py, 0.0)
+            obs.add("placement.cells_placed", len(brams))
 
         # Phase 2: greedy DFS.  I/O pads go after the core logic (they pin
         # to the die edge and must not drag the datapath there), macros go
         # last (they fill space around the packed fine-grained logic).
-        order = self._bfs_order(netlist, neighbors, anchor)
-        order = [c for c in order if c.kind is not CellKind.BRAM]
-        small = [
-            c
-            for c in order
-            if _demand_of(c) <= self.BIG_CELL_TILES * 64 and c.kind is not CellKind.PORT
-        ]
-        ports = [c for c in order if c.kind is CellKind.PORT]
-        big = [c for c in order if _demand_of(c) > self.BIG_CELL_TILES * 64]
-        for cell in small + ports + big:
-            desired = self._desired_position(cell, neighbors, placement, rng, (cx, cy))
-            self._allocate_and_put(cell, desired, occupancy, placement)
+        with obs.span("greedy-place") as sp:
+            order = self._bfs_order(netlist, neighbors, anchor)
+            order = [c for c in order if c.kind is not CellKind.BRAM]
+            small = [
+                c
+                for c in order
+                if _demand_of(c) <= self.BIG_CELL_TILES * 64
+                and c.kind is not CellKind.PORT
+            ]
+            ports = [c for c in order if c.kind is CellKind.PORT]
+            big = [c for c in order if _demand_of(c) > self.BIG_CELL_TILES * 64]
+            for cell in small + ports + big:
+                desired = self._desired_position(
+                    cell, neighbors, placement, rng, (cx, cy)
+                )
+                self._allocate_and_put(cell, desired, occupancy, placement)
+            sp.set("cells", len(order))
+            obs.add("placement.cells_placed", len(order))
 
         # Phase 3: refinement.
-        for _ in range(max(0, refine_passes)):
-            self._refine(small, neighbors, occupancy, placement)
+        with obs.span("refine", passes=max(0, refine_passes)) as sp:
+            moved = 0
+            for _ in range(max(0, refine_passes)):
+                moved += self._refine(small, neighbors, occupancy, placement)
+            sp.set("moves", moved)
+            obs.add("placement.refine_moves", moved)
         return placement
 
     def _refine(

@@ -28,6 +28,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.physical.placement import Placement
 from repro.rtl.netlist import Cell, CellKind, Net, Netlist, NetKind
 
@@ -109,11 +110,14 @@ def replicate_high_fanout(
     if not config.enabled:
         return 0
     created = 0
-    for _ in range(max_passes):
-        pass_created = _replicate_pass(netlist, placement, config)
+    for index in range(max_passes):
+        with obs.span("replication-pass", index=index) as sp:
+            pass_created = _replicate_pass(netlist, placement, config)
+            sp.set("replicas", pass_created)
         created += pass_created
         if pass_created == 0:
             break
+    obs.add("physical.replicas_created", created)
     return created
 
 
@@ -136,6 +140,8 @@ def _replicate_pass(
         groups = min(math.ceil(net.fanout / config.max_fanout), max_replicas + 1)
         if groups <= 1:
             continue
+        obs.add("physical.nets_replicated", 1)
+        obs.observe("replication.fanout", net.fanout)
         clusters = _cluster_sinks(placement, net.sinks, groups)
         feeder = _input_net_of(netlist, net.driver)
         # Cluster 0 stays on the original driver/net.

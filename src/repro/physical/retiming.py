@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.physical.placement import Placement
 from repro.physical.timing import MIN_PERIOD_NS, TimingAnalyzer
 from repro.rtl.netlist import Cell, CellKind, Net, Netlist
@@ -115,6 +116,7 @@ def retime_movable(
         end = current_nl.cells.get(result.endpoint)
         if end is None or not end.movable:
             break
+        obs.add("physical.retiming_trials", 1)
         trial_nl = clone_netlist(current_nl)
         trial_pl = clone_placement(current_pl)
         if not _backward_move(trial_nl, trial_pl, trial_nl.cells[end.name]):
@@ -125,4 +127,5 @@ def retime_movable(
             moves += 1
         else:
             break
+    obs.add("physical.retiming_moves", moves)
     return current_nl, current_pl, moves

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.physical.placement import Placement
 from repro.rtl.netlist import Cell, CellKind, Net, Netlist
 
@@ -91,8 +92,10 @@ def spread_movable_chains(netlist: Netlist, placement: Placement) -> int:
         tys = [placement.pos[c.name][1] for c, _p in tail_net.sinks]
         tx, ty = sum(txs) / len(txs), sum(tys) / len(tys)
         n = len(chain)
+        obs.observe("spreading.chain_length", n)
         for i, reg in enumerate(chain, start=1):
             frac = i / (n + 1)
             placement.put(reg, sx + frac * (tx - sx), sy + frac * (ty - sy), 0.0)
             moved += 1
+    obs.add("physical.registers_spread", moved)
     return moved

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.control.minarea import CutPlan, end_buffer_plan, min_area_cuts
 from repro.control.skid import SkidBufferSpec, fifo_area, skid_buffer_specs
 from repro.control.styles import ControlStyle
@@ -171,7 +172,15 @@ def generate_netlist(
                 netlist, design, kernel, loop, schedule, options,
                 buffer_cells, fifo_cells,
             )
-            info = emitter.emit()
+            with obs.span(
+                "emit-loop", kernel=kernel.name, loop=loop.name
+            ) as loop_span:
+                cells_before = len(netlist.cells)
+                info = emitter.emit()
+                loop_span.set("depth", info.depth)
+                loop_span.set("cells", len(netlist.cells) - cells_before)
+                loop_span.set("enable_fanout", info.enable_fanout)
+            obs.add("rtl.loops_emitted", 1)
             loop_infos.append(info)
             # Each loop gets its own small controller (HLS emits one FSM
             # per process/loop nest) talking only to that loop's flow gate.
@@ -643,6 +652,7 @@ class _LoopEmitter:
                     movable=True,
                     tag="pipe_reg",
                 )
+                obs.add("rtl.pipeline_registers", 1)
                 sinks.append((reg, "d"))
             if sinks:
                 self.netlist.connect(
@@ -694,6 +704,7 @@ class _LoopEmitter:
             targets.append((self.fifo_cells[name], "en"))
         if targets:
             self.info.enable_fanout = len(targets)
+            obs.observe("rtl.enable_fanout", len(targets))
             self.netlist.connect(
                 f"{self.prefix}.enable", agg, targets, kind=NetKind.ENABLE
             )
@@ -810,6 +821,7 @@ class _LoopEmitter:
             if cell.name.find(".rd_") >= 0:
                 capture.append((cell, "ce"))
         self.info.enable_fanout = len(targets) + len(capture)
+        obs.observe("rtl.enable_fanout", self.info.enable_fanout)
         if capture:
             self.netlist.connect(
                 f"{self.prefix}.capture_en", valids[0], capture, kind=NetKind.ENABLE

@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.delay.calibrated import CalibratedDelayModel
 from repro.delay.hls_model import HlsDelayModel
 from repro.ir.dfg import DFG
@@ -140,9 +141,14 @@ def _apply_extra_pipelining(
             MAX_EXTRA_LATENCY,
             quotient if op.opcode in MEM_OPS else quotient - 1,
         )
-        if extra <= int(op.attrs.get("extra_latency", 0)):
+        already = int(op.attrs.get("extra_latency", 0))
+        if extra <= already:
             continue  # never reduce pipelining a design already requested
         op.attrs["extra_latency"] = extra
+        # Each extra stage materializes as a (movable) register module in
+        # the generated RTL — the quantity the paper's §4.1 argues about.
+        obs.add("scheduling.registers_inserted", extra - already)
+        obs.add("scheduling.pipelining_edits", 1)
         kind = "buffer access" if op.opcode in MEM_OPS else "operator"
         edits.append(
             f"pipelined {kind} {op.name} ({op.opcode.value}, calibrated "
@@ -166,12 +172,21 @@ def broadcast_aware_schedule(
     implementation does.
     """
     hls = hls or HlsDelayModel()
-    baseline = ChainingScheduler(hls, clock_ns).schedule(dfg)
-    if via_report:
-        baseline = parse_report(emit_report(baseline), dfg)
-    chain_violations = audit_chains(baseline, calibrated)
+    with obs.span("baseline-schedule", via_report=via_report) as sp:
+        baseline = ChainingScheduler(hls, clock_ns).schedule(dfg)
+        if via_report:
+            baseline = parse_report(emit_report(baseline), dfg)
+        sp.set("depth", baseline.depth)
+    with obs.span("chain-audit") as sp:
+        chain_violations = audit_chains(baseline, calibrated)
+        sp.set("violations", len(chain_violations))
+        obs.add("scheduling.chain_rechecks", 1)
+        obs.add("scheduling.chain_violations", len(chain_violations))
     edits = _apply_extra_pipelining(dfg, calibrated, clock_ns - CLOCK_MARGIN_NS)
-    final = ChainingScheduler(calibrated, clock_ns).schedule(dfg)
+    with obs.span("reschedule") as sp:
+        final = ChainingScheduler(calibrated, clock_ns).schedule(dfg)
+        sp.set("depth", final.depth)
+        sp.set("extra_stages", final.depth - baseline.depth)
     return BroadcastAwareResult(
         schedule=final,
         baseline=baseline,

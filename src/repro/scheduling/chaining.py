@@ -20,6 +20,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Optional, Tuple
 
+from repro import obs
 from repro.errors import SchedulingError
 from repro.ir.dfg import DFG
 from repro.ir.ops import Opcode, Operation
@@ -144,9 +145,12 @@ class ChainingScheduler:
                 MAX_EXTRA_LATENCY,
                 quotient if op.opcode in (Opcode.LOAD, Opcode.STORE) else quotient - 1,
             )
-            if needed > int(op.attrs.get("extra_latency", 0)):
+            already = int(op.attrs.get("extra_latency", 0))
+            if needed > already:
                 op.attrs["extra_latency"] = needed
                 per_cycle = effective_delay(op, delay)
+                obs.add("scheduling.registers_inserted", needed - already)
+                obs.add("scheduling.auto_pipelined_ops", 1)
         cycle, start = self._operand_ready(op, avail)
         min_cycle = int(op.attrs.get("min_cycle", 0))
         if min_cycle > cycle:
@@ -183,6 +187,7 @@ class ChainingScheduler:
             # Even alone the op misses the budget.  The baseline HLS
             # behaviour is to schedule it anyway and let the backend fail —
             # record the violation for §4.1 to act on.
+            obs.add("scheduling.budget_violations", 1)
             result.violations.append(
                 Violation(
                     op=op,

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro import obs
 from repro.errors import DynamicLatencyError
 from repro.ir.dfg import DFG
 from repro.ir.ops import Opcode, Operation
@@ -139,6 +140,16 @@ def prune_call_sync(design: Design, report: Optional[SyncPruningReport] = None) 
 def prune_synchronization(design: Design) -> "tuple[Design, SyncPruningReport]":
     """Run both pruning passes; returns (new design, report)."""
     report = SyncPruningReport()
-    design = split_independent_flows(design, report)
-    design = prune_call_sync(design, report)
+    with obs.span("dataflow-split") as sp:
+        design = split_independent_flows(design, report)
+        sp.set("split_loops", len(report.split_loops))
+        sp.set("flows_created", report.flows_created)
+    with obs.span("call-sync-prune") as sp:
+        design = prune_call_sync(design, report)
+        sp.set("pruned", len(report.call_syncs_pruned))
+        sp.set("skipped_dynamic", len(report.skipped_dynamic))
+    obs.add("sync.loops_split", len(report.split_loops))
+    obs.add("sync.flows_created", report.flows_created)
+    obs.add("sync.call_syncs_pruned", len(report.call_syncs_pruned))
+    obs.add("sync.skipped_dynamic", len(report.skipped_dynamic))
     return design, report

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -35,3 +37,20 @@ class TestCli:
         out = capsys.readouterr().out
         assert "broadcast" in out
         assert "Critical path" in out
+
+    def test_run_verbose_prints_span_tree(self, capsys):
+        assert main(["run", "vector_arith", "--config", "orig", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "Fmax=" in out
+        # the --verbose view appends the observability span tree
+        assert "placement" in out and "rtl-gen" in out
+
+    def test_run_json_and_trace_out_compose(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        assert main(
+            ["run", "vector_arith", "--config", "orig",
+             "--json", "--trace-out", str(trace_path)]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["runs"][0]["counters"]
+        assert trace_path.exists()

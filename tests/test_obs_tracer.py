@@ -1,0 +1,170 @@
+"""Unit tests for the tracing + metrics core (repro.obs)."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+class TestSpanNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("mid") as mid:
+                with tracer.span("inner") as inner:
+                    pass
+            with tracer.span("mid2"):
+                pass
+        assert tracer.roots == [outer]
+        assert [c.name for c in outer.children] == ["mid", "mid2"]
+        assert mid.children == [inner]
+        assert inner.parent is mid and mid.parent is outer
+
+    def test_durations_are_monotone(self):
+        tracer = obs.Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                sum(range(1000))
+        assert outer.end_s is not None and inner.end_s is not None
+        assert outer.duration_ms >= inner.duration_ms >= 0.0
+        assert outer.start_s <= inner.start_s
+
+    def test_stack_restored_on_exception(self):
+        tracer = obs.Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        assert tracer.active_span is None
+        # Both spans were still closed.
+        assert all(s.end_s is not None for s in tracer.all_spans())
+
+    def test_sequential_roots(self):
+        tracer = obs.Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_walk_and_find(self):
+        tracer = obs.Tracer()
+        with tracer.span("root"):
+            with tracer.span("x"):
+                with tracer.span("y"):
+                    pass
+            with tracer.span("y"):
+                pass
+        root = tracer.roots[0]
+        assert [s.name for s in root.walk()] == ["root", "x", "y", "y"]
+        assert root.find("y").parent.name == "x"  # pre-order: deepest first
+        assert len(root.find_all("y")) == 2
+        assert root.find("missing") is None
+
+    def test_attrs_via_kwargs_and_set(self):
+        tracer = obs.Tracer()
+        with tracer.span("s", cells=10) as sp:
+            sp.set("nets", 20)
+        assert sp.attrs == {"cells": 10, "nets": 20}
+
+
+class TestAmbientTracer:
+    def test_helpers_are_noops_without_activation(self):
+        # Must not raise, must not record anywhere.
+        with obs.span("orphan") as sp:
+            sp.set("k", 1)
+            obs.add("c", 5)
+            obs.observe("h", 1.0)
+            obs.set_gauge("g", 2)
+        assert obs.current_tracer() is obs.NULL_TRACER
+        assert not obs.NULL_TRACER.aggregate_metrics()
+
+    def test_activation_routes_helpers(self):
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            assert obs.current_tracer() is tracer
+            with obs.span("stage"):
+                obs.add("n", 2)
+        assert obs.current_tracer() is obs.NULL_TRACER
+        assert tracer.roots[0].metrics.counter("n") == 2
+
+    def test_nested_activation_innermost_wins(self):
+        outer, inner = obs.Tracer(), obs.Tracer()
+        with obs.activate(outer):
+            with obs.activate(inner):
+                with obs.span("s"):
+                    pass
+            assert obs.current_tracer() is outer
+        assert [r.name for r in inner.roots] == ["s"]
+        assert outer.roots == []
+
+    def test_metrics_outside_any_span_land_on_tracer(self):
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            obs.add("loose", 3)
+        assert tracer.metrics.counter("loose") == 3
+        assert tracer.aggregate_metrics().counter("loose") == 3
+
+
+class TestCounterAggregation:
+    def test_subtree_counters_sum(self):
+        tracer = obs.Tracer()
+        with tracer.span("root"):
+            tracer.add("k", 1)
+            with tracer.span("child"):
+                tracer.add("k", 2)
+                with tracer.span("grand"):
+                    tracer.add("k", 4)
+            with tracer.span("child2"):
+                tracer.add("k", 8)
+        root = tracer.roots[0]
+        assert root.metrics.counter("k") == 1
+        assert root.aggregate_metrics().counter("k") == 15
+        child = root.find("child")
+        assert child.aggregate_metrics().counter("k") == 6
+
+    def test_counters_reject_negative(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.add("k", -1)
+
+    def test_gauges_child_overrides_parent(self):
+        tracer = obs.Tracer()
+        with tracer.span("root"):
+            tracer.set_gauge("fmax", 100)
+            with tracer.span("child"):
+                tracer.set_gauge("fmax", 250)
+        merged = tracer.roots[0].aggregate_metrics()
+        assert merged.gauges["fmax"].value == 250
+
+    def test_histogram_merge_and_summary(self):
+        tracer = obs.Tracer()
+        with tracer.span("root"):
+            tracer.observe("fanout", 10)
+            with tracer.span("child"):
+                tracer.observe("fanout", 30)
+                tracer.observe("fanout", 20)
+        summary = tracer.roots[0].aggregate_metrics().to_dict()["histograms"]["fanout"]
+        assert summary["count"] == 3
+        assert summary["min"] == 10 and summary["max"] == 30
+        assert summary["mean"] == pytest.approx(20.0)
+        assert summary["p50"] == 20
+
+    def test_histogram_percentiles(self):
+        hist = Histogram()
+        for v in range(1, 101):
+            hist.observe(v)
+        assert hist.percentile(50) == 50
+        assert hist.percentile(90) == 90
+        assert hist.percentile(100) == 100
+        assert Histogram().summary() == {"count": 0}
+
+    def test_to_dict_shape(self):
+        registry = MetricsRegistry()
+        registry.add("c", 2)
+        registry.set_gauge("g", 1.5)
+        registry.observe("h", 7)
+        view = registry.to_dict()
+        assert view["counters"] == {"c": 2}
+        assert view["gauges"] == {"g": 1.5}
+        assert view["histograms"]["h"]["count"] == 1
