@@ -6,8 +6,8 @@ from repro.experiments.fig15 import format_fig15, run_fig15
 
 
 @pytest.fixture(scope="module")
-def result(record):
-    out = run_fig15(unrolls=(8, 16, 32, 64, 128))
+def result(record, engine):
+    out = run_fig15(unrolls=(8, 16, 32, 64, 128), engine=engine)
     record("fig15_genome", format_fig15(out))
     return out
 

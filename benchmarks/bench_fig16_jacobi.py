@@ -7,8 +7,8 @@ from repro.experiments.paper_data import FIG16_SKID_BUFFER_KB
 
 
 @pytest.fixture(scope="module")
-def result(record):
-    out = run_fig16(iterations=(1, 2, 4, 8))
+def result(record, engine):
+    out = run_fig16(iterations=(1, 2, 4, 8), engine=engine)
     record("fig16_jacobi", format_fig16(out))
     return out
 

@@ -6,8 +6,8 @@ from repro.experiments.fig19 import format_fig19, run_fig19
 
 
 @pytest.fixture(scope="module")
-def result(record):
-    out = run_fig19()
+def result(record, engine):
+    out = run_fig19(engine=engine)
     record("fig19_streambuf", format_fig19(out))
     return out
 

@@ -12,9 +12,9 @@ from repro.experiments.table1 import average_gain, format_table1, run_table1
 
 
 @pytest.fixture(scope="module")
-def entries(record, trace_flows):
+def entries(record, trace_flows, engine):
     with trace_flows("table1"):
-        result = run_table1()
+        result = run_table1(engine=engine)
     record("table1_designs", format_table1(result))
     return result
 

@@ -6,8 +6,8 @@ from repro.experiments.table2 import format_table2, run_table2
 
 
 @pytest.fixture(scope="module")
-def result(record):
-    out = run_table2(width=512)
+def result(record, engine):
+    out = run_table2(width=512, engine=engine)
     record("table2_vecprod", format_table2(out))
     return out
 

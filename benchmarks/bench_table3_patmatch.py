@@ -6,8 +6,8 @@ from repro.experiments.table3 import format_table3, run_table3
 
 
 @pytest.fixture(scope="module")
-def result(record):
-    out = run_table3()
+def result(record, engine):
+    out = run_table3(engine=engine)
     record("table3_patmatch", format_table3(out))
     return out
 

@@ -14,17 +14,26 @@ the perf trajectory is machine-trackable across PRs.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from contextlib import contextmanager
 
 import pytest
 
 from repro import obs
+from repro.engine import Engine
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: Schema tag of the BENCH_flow.json document.
-BENCH_FLOW_SCHEMA = "repro-bench-flow/1"
+BENCH_FLOW_SCHEMA = "repro-bench-flow/2"
+
+#: Environment knob: worker processes for the benchmark engine fixture.
+BENCH_JOBS_ENV = "REPRO_BENCH_JOBS"
+
+
+def bench_jobs() -> int:
+    return int(os.environ.get(BENCH_JOBS_ENV, "1") or "1")
 
 
 @pytest.fixture(scope="session")
@@ -46,19 +55,54 @@ def record(results_dir):
 
 
 @pytest.fixture(scope="session")
-def flow_records(results_dir):
-    """Session-wide collector of traced flow-run records.
+def engine():
+    """The experiment engine benchmarks run their flows through.
 
-    Teardown writes ``BENCH_flow.json`` next to the text results whenever
-    at least one benchmark traced its flows.
+    Sequential by default (the legacy behavior); export
+    ``REPRO_BENCH_JOBS=N`` to fan the design×config runs of each benchmark
+    over N worker processes.
     """
-    records: list = []
-    yield records
-    if records:
+    return Engine(jobs=bench_jobs())
+
+
+@pytest.fixture(scope="session")
+def _bench_flow_doc(results_dir):
+    """The one ``BENCH_flow.json`` document of the session.
+
+    Owns the teardown write, so the file appears whether benchmarks traced
+    flow runs, recorded extra sections, or both — regardless of which of
+    the collector fixtures below was actually instantiated.
+    """
+    doc: dict = {"runs": [], "extras": {}}
+    yield doc
+    if doc["runs"] or doc["extras"]:
         path = results_dir / "BENCH_flow.json"
-        payload = {"schema": BENCH_FLOW_SCHEMA, "runs": records}
+        payload = {
+            "schema": BENCH_FLOW_SCHEMA,
+            "jobs": bench_jobs(),
+            "runs": doc["runs"],
+        }
+        payload.update(doc["extras"])
         path.write_text(json.dumps(payload, indent=2) + "\n")
-        print(f"\nwrote {len(records)} traced flow run(s) to {path}")
+        print(f"\nwrote {len(doc['runs'])} traced flow run(s) to {path}")
+
+
+@pytest.fixture(scope="session")
+def bench_extras(_bench_flow_doc):
+    """Extra top-level sections merged into ``BENCH_flow.json``.
+
+    ``bench_engine_speedup`` records its cold-vs-warm calibration and
+    sequential-vs-parallel wall-clock measurements here, so the perf
+    trajectory of the engine itself is machine-trackable alongside the
+    per-flow records.
+    """
+    return _bench_flow_doc["extras"]
+
+
+@pytest.fixture(scope="session")
+def flow_records(_bench_flow_doc):
+    """Session-wide collector of traced flow-run records."""
+    return _bench_flow_doc["runs"]
 
 
 @pytest.fixture(scope="session")

@@ -5,16 +5,24 @@ Commands:
 * ``list``                         — list the nine benchmark designs;
 * ``run <design> [--config C]``    — run the flow on one design
   (``--json`` for a machine-readable report, ``--trace-out t.json`` for a
-  Chrome ``trace_event`` file, ``--verbose`` for the span tree);
+  Chrome ``trace_event`` file, ``--verbose`` for the span tree,
+  ``--jobs N`` to fan multiple configs over worker processes);
 * ``trace <design> [--out t.json]`` — run the flow and export the trace;
 * ``tune <design>``                — auto-apply techniques until converged;
 * ``diagnose <design>``            — broadcast classification + advice;
 * ``diemap <design>``              — ASCII die map + worst broadcast net;
-* ``table1 | table2 | table3``     — reproduce a table;
-* ``fig9 | fig15 | fig16 | fig17 | fig19`` — reproduce a figure;
+* ``table1 | table2 | table3``     — reproduce a table (``--jobs N``);
+* ``fig9 | fig15 | fig16 | fig17 | fig19`` — reproduce a figure (``--jobs N``);
 * ``all [--out report.md]``        — run every experiment, one report
-  (``--json report.json`` / ``--trace-out t.json`` for structured output);
+  (``--json report.json`` / ``--trace-out t.json`` for structured output,
+  ``--jobs N`` for a parallel run);
 * ``verilog <design> <out.v>``     — emit the generated netlist as Verilog.
+
+Flow-running commands accept ``--calibration PATH`` to pin the §4.1
+characterization to an explicit file (built there on first use); without
+it the persistent cache under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``) is used, so only the first cold run ever pays the
+~14 s characterization cost.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ from repro import Flow, obs
 from repro.analysis import classify_design, diagnose, format_critical_path
 from repro.control.styles import ControlStyle
 from repro.designs import build_design, design_names
+from repro.engine import Engine, FlowJob
+from repro.errors import ReproError
 from repro.opt import BASELINE, CTRL_ONLY, DATA_ONLY, FULL, OptimizationConfig
 
 CONFIGS = {
@@ -39,6 +49,62 @@ CONFIGS = {
 }
 
 
+class CliUsageError(ReproError):
+    """Bad command-line input; :func:`main` prints it and exits with 2."""
+
+
+def _configs_for(spec: str):
+    """Parse a ``--config a,b,c`` list, or fail with the valid choices."""
+    labels = [label.strip() for label in spec.split(",") if label.strip()]
+    if not labels:
+        raise CliUsageError(
+            f"--config needs at least one label; valid configs: "
+            f"{', '.join(sorted(CONFIGS))}"
+        )
+    unknown = [label for label in labels if label not in CONFIGS]
+    if unknown:
+        raise CliUsageError(
+            f"unknown config {', '.join(repr(u) for u in unknown)}; "
+            f"valid configs: {', '.join(sorted(CONFIGS))}"
+        )
+    return [(label, CONFIGS[label]) for label in labels]
+
+
+def _check_design(name: str, include_extra: bool = False) -> str:
+    if name not in design_names(include_extra=include_extra):
+        raise CliUsageError(
+            f"unknown design {name!r}; valid designs: "
+            f"{', '.join(design_names(include_extra=include_extra))}"
+        )
+    return name
+
+
+def _build_design(name: str, include_extra: bool = False):
+    return build_design(_check_design(name, include_extra=include_extra))
+
+
+def _flow_for(args) -> Flow:
+    return Flow(seed=args.seed, calibration_path=getattr(args, "calibration", None))
+
+
+def _engine_for(args) -> Engine:
+    return Engine(jobs=getattr(args, "jobs", 1), flow=_flow_for(args))
+
+
+def _add_flow_options(parser, jobs: bool = True) -> None:
+    parser.add_argument(
+        "--calibration", default=None, metavar="PATH",
+        help="calibration table file (built there on first use; its stored "
+             "device/seed provenance must match the run)",
+    )
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for independent flow runs "
+                 "(1 = in-process, 0 = one per CPU)",
+        )
+
+
 def _cmd_list(_args) -> int:
     from repro.experiments.paper_data import TABLE1
 
@@ -49,18 +115,19 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    design = build_design(args.design)
-    flow = Flow(seed=args.seed)
+    configs = _configs_for(args.config)
+    _check_design(args.design)
+    engine = _engine_for(args)
     tracer = obs.Tracer()
-    results = []
     with obs.activate(tracer):
-        for label in args.config.split(","):
-            result = flow.run(design, CONFIGS[label.strip()])
-            results.append(result)
-            if not args.json:
-                print(result.summary())
-                if args.verbose:
-                    print(format_critical_path(result.timing))
+        results = engine.run_flows(
+            [FlowJob.make(args.design, config, tag=label) for label, config in configs]
+        )
+    if not args.json:
+        for result in results:
+            print(result.summary())
+            if args.verbose:
+                print(format_critical_path(result.timing))
     if args.verbose and not args.json:
         print()
         print(obs.render_console(tracer))
@@ -73,12 +140,14 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    design = build_design(args.design)
-    flow = Flow(seed=args.seed)
+    configs = _configs_for(args.config)
+    _check_design(args.design)
+    engine = _engine_for(args)
     tracer = obs.Tracer()
     with obs.activate(tracer):
-        for label in args.config.split(","):
-            flow.run(design, CONFIGS[label.strip()])
+        engine.run_flows(
+            [FlowJob.make(args.design, config, tag=label) for label, config in configs]
+        )
     print(obs.render_console(tracer))
     out = args.out or f"{args.design}_trace.json"
     obs.write_chrome_trace(out, tracer)
@@ -88,9 +157,9 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_diagnose(args) -> int:
-    design = build_design(args.design)
+    design = _build_design(args.design)
     print(classify_design(design).summary())
-    result = Flow(seed=args.seed).run(design, BASELINE)
+    result = _flow_for(args).run(design, BASELINE)
     print()
     print(format_critical_path(result.timing))
     print()
@@ -102,8 +171,8 @@ def _cmd_diagnose(args) -> int:
 def _cmd_tune(args) -> int:
     from repro.autotune import auto_optimize
 
-    design = build_design(args.design)
-    result = auto_optimize(design, flow=Flow(seed=args.seed))
+    design = _build_design(args.design, include_extra=True)
+    result = auto_optimize(design, flow=_flow_for(args))
     print(result.log())
     print(result.best.summary())
     return 0
@@ -114,8 +183,8 @@ def _cmd_diemap(args) -> int:
     from repro.physical.diemap import density_map, worst_broadcast_map
     from repro.physical.fabric import Fabric
 
-    design = build_design(args.design)
-    result = Flow(seed=args.seed).run(design, CONFIGS[args.config])
+    design = _build_design(args.design, include_extra=True)
+    result = _flow_for(args).run(design, CONFIGS[args.config])
     fabric = Fabric(get_device(design.device))
     print(density_map(result.gen.netlist, result.placement, fabric))
     print()
@@ -126,20 +195,20 @@ def _cmd_diemap(args) -> int:
 def _cmd_verilog(args) -> int:
     from repro.rtl.verilog import write_verilog
 
-    design = build_design(args.design)
-    result = Flow(seed=args.seed).run(design, CONFIGS[args.config])
+    design = _build_design(args.design)
+    result = _flow_for(args).run(design, CONFIGS[args.config])
     write_verilog(result.gen.netlist, args.output)
     print(f"wrote {len(result.gen.netlist.cells)} cells to {args.output}")
     return 0
 
 
 def _experiment_command(name: str):
-    def run(_args) -> int:
+    def run(args) -> int:
         import repro.experiments as exp
 
         runner = getattr(exp, f"run_{name}")
         formatter = getattr(exp, f"format_{name}")
-        print(formatter(runner()))
+        print(formatter(runner(engine=_engine_for(args))))
         return 0
 
     return run
@@ -164,6 +233,7 @@ def main(argv=None) -> int:
         "--trace-out", default=None, metavar="PATH",
         help="write a Chrome trace_event JSON of the run(s) to PATH",
     )
+    _add_flow_options(p_run)
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser(
@@ -175,31 +245,36 @@ def main(argv=None) -> int:
         "--out", default=None, metavar="PATH",
         help="trace output path (default <design>_trace.json)",
     )
+    _add_flow_options(p_trace)
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_diag = sub.add_parser("diagnose", help="broadcast classification + advice")
     p_diag.add_argument("design", choices=design_names())
+    _add_flow_options(p_diag, jobs=False)
     p_diag.set_defaults(fn=_cmd_diagnose)
 
     p_tune = sub.add_parser("tune", help="auto-apply the paper's techniques")
     p_tune.add_argument("design", choices=design_names(include_extra=True))
+    _add_flow_options(p_tune, jobs=False)
     p_tune.set_defaults(fn=_cmd_tune)
 
     p_map = sub.add_parser("diemap", help="ASCII die map + worst broadcast")
     p_map.add_argument("design", choices=design_names(include_extra=True))
     p_map.add_argument("--config", default="orig", choices=sorted(CONFIGS))
+    _add_flow_options(p_map, jobs=False)
     p_map.set_defaults(fn=_cmd_diemap)
 
     p_v = sub.add_parser("verilog", help="emit generated netlist as Verilog")
     p_v.add_argument("design", choices=design_names())
     p_v.add_argument("output")
     p_v.add_argument("--config", default="full", choices=sorted(CONFIGS))
+    _add_flow_options(p_v, jobs=False)
     p_v.set_defaults(fn=_cmd_verilog)
 
     for exp_name in ("table1", "table2", "table3", "fig9", "fig15", "fig16", "fig17", "fig19"):
-        sub.add_parser(exp_name, help=f"reproduce {exp_name}").set_defaults(
-            fn=_experiment_command(exp_name)
-        )
+        p_exp = sub.add_parser(exp_name, help=f"reproduce {exp_name}")
+        _add_flow_options(p_exp)
+        p_exp.set_defaults(fn=_experiment_command(exp_name))
 
     p_all = sub.add_parser("all", help="run every experiment, print one report")
     p_all.add_argument("--out", default=None, help="also write the report here")
@@ -211,13 +286,14 @@ def main(argv=None) -> int:
         "--trace-out", default=None, metavar="PATH",
         help="write a Chrome trace_event JSON of every flow run to PATH",
     )
+    _add_flow_options(p_all)
 
     def _cmd_all(args) -> int:
         from repro.experiments.summary import run_all
 
         tracer = obs.Tracer()
         with obs.activate(tracer):
-            report = run_all()
+            report = run_all(engine=_engine_for(args))
         text = report.render()
         print(text)
         if args.out:
@@ -236,7 +312,14 @@ def main(argv=None) -> int:
     p_all.set_defaults(fn=_cmd_all)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CliUsageError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

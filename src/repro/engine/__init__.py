@@ -1,0 +1,32 @@
+"""repro.engine — the parallel experiment engine.
+
+Fans independent ``design × config`` flow runs out over a
+``multiprocessing`` pool with deterministic result ordering, merged
+observability, and a shared on-disk calibration cache::
+
+    from repro.engine import Engine, FlowJob
+    from repro.opt import BASELINE, FULL
+
+    engine = Engine(jobs=4)
+    results = engine.run_flows([
+        FlowJob.make("matmul", BASELINE),
+        FlowJob.make("matmul", FULL),
+        FlowJob.make("stencil", BASELINE, iterations=4),
+    ])  # results[i] corresponds to jobs[i], always
+
+Every experiment driver in :mod:`repro.experiments` accepts an
+``engine=`` argument, and the CLI exposes it as ``--jobs N`` on ``run``,
+``all`` and the table/figure commands.
+"""
+
+from repro.engine.jobs import FlowJob, run_flow_job
+from repro.engine.merge import graft_trace
+from repro.engine.pool import Engine, default_jobs
+
+__all__ = [
+    "Engine",
+    "FlowJob",
+    "run_flow_job",
+    "graft_trace",
+    "default_jobs",
+]

@@ -1,0 +1,74 @@
+"""Job descriptions for the parallel experiment engine.
+
+A :class:`FlowJob` names everything a worker process needs to reproduce
+one ``design × config`` flow run: the registry name of the design, the
+builder parameters, and the :class:`~repro.opt.OptimizationConfig`.  Jobs
+are small, immutable, and picklable — the *results* travel back from the
+workers, the inputs travel out as these specs.
+
+Keeping the design as a (name, params) pair rather than a built
+:class:`~repro.ir.program.Design` is deliberate: designs can be large, and
+every builder in :mod:`repro.designs` is deterministic, so rebuilding in
+the worker is cheaper than shipping the IR across the process boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
+
+from repro.designs import build_design
+from repro.opt import OptimizationConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.flow import Flow, FlowResult
+
+
+@dataclass(frozen=True)
+class FlowJob:
+    """One ``design × config`` unit of work.
+
+    Attributes:
+        design: Registry name (see :func:`repro.designs.build_design`).
+        config: The optimization techniques to apply.
+        params: Design-builder keyword arguments, as a sorted tuple of
+            ``(name, value)`` pairs so the job is hashable.
+        tag: Free-form caller label (experiments use it to map results
+            back to table rows / figure points).
+    """
+
+    design: str
+    config: OptimizationConfig
+    params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    tag: Optional[str] = None
+
+    @classmethod
+    def make(
+        cls,
+        design: str,
+        config: OptimizationConfig,
+        tag: Optional[str] = None,
+        **params: Any,
+    ) -> "FlowJob":
+        return cls(
+            design=design,
+            config=config,
+            params=tuple(sorted(params.items())),
+            tag=tag,
+        )
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def describe(self) -> str:
+        extra = ", ".join(f"{k}={v}" for k, v in self.params)
+        suffix = f" ({extra})" if extra else ""
+        return f"{self.design}[{self.config.label}]{suffix}"
+
+
+def run_flow_job(flow: "Flow", job: FlowJob) -> "FlowResult":
+    """Execute one job with ``flow`` — the same code path sequential and
+    parallel execution share, so ``--jobs N`` cannot change results."""
+    design = build_design(job.design, **job.param_dict)
+    return flow.run(design, job.config)

@@ -1,0 +1,56 @@
+"""Merging worker-process traces into the parent's tracer.
+
+Each engine worker runs its jobs under a private
+:class:`~repro.obs.tracer.Tracer` (the ambient-tracer stack is per
+process).  When results come home, the worker's span forest is grafted
+into the parent tracer so ``--json`` run reports and ``--trace-out``
+Chrome traces look exactly like a sequential run's — one tracer, every
+flow span present, deterministic order.
+
+Two adjustments happen during the graft:
+
+* **Time rebasing** — each tracer's span times are relative to its own
+  construction epoch (``time.perf_counter()``).  On the platforms we care
+  about ``perf_counter`` is a system-wide monotonic clock, so the child
+  epoch minus the parent epoch is the real offset between the two
+  timelines; shifting the child spans by it makes the merged Chrome trace
+  show true wall-clock overlap of the workers.
+* **Worker tagging** — every grafted root gains a ``worker`` attribute
+  (the worker's PID).  The Chrome exporter maps it to the ``tid`` lane, so
+  parallel runs render as stacked per-worker swimlanes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.tracer import NullTracer, Tracer
+
+
+def graft_trace(
+    parent: Tracer,
+    child: Tracer,
+    worker: Optional[int] = None,
+) -> None:
+    """Move ``child``'s span forest and metrics into ``parent``.
+
+    No-op when ``parent`` is the inert :class:`NullTracer` (nothing is
+    observing, so nothing is kept — same contract as the rest of
+    :mod:`repro.obs`).
+    """
+    if isinstance(parent, NullTracer):
+        return
+    # Rebase child times onto the parent's epoch.  A negative delta means
+    # the clocks are not comparable (exotic platform); clamp to zero so
+    # spans stay well-formed rather than travelling back in time.
+    delta = max(0.0, child._epoch - parent._epoch)
+    for root in child.roots:
+        for node in root.walk():
+            node.start_s += delta
+            if node.end_s is not None:
+                node.end_s += delta
+        if worker is not None:
+            root.attrs.setdefault("worker", worker)
+        parent.roots.append(root)
+    parent.metrics.merge([child.metrics])
+    child.roots = []

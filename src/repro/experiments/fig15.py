@@ -15,9 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+from repro.delay.cache import resolve_calibration
 from repro.delay.calibrated import CalibratedDelayModel
-from repro.delay.calibration import build_default_calibration
-from repro.designs import build_design
+from repro.engine import Engine, FlowJob
 from repro.flow import Flow
 from repro.opt import BASELINE, DATA_ONLY
 
@@ -42,16 +42,21 @@ class Fig15Result:
 def run_fig15(
     unrolls: Sequence[int] = (8, 16, 32, 64, 128),
     flow: Optional[Flow] = None,
+    engine: Optional[Engine] = None,
 ) -> Fig15Result:
     """Sweep the genome design's back-search count."""
-    flow = flow or Flow()
-    table = build_default_calibration("aws-f1")
+    engine = engine or Engine(flow=flow)
+    table, _source = resolve_calibration("aws-f1", seed=engine.flow.seed)
     cal = CalibratedDelayModel(table)
+    jobs = [
+        FlowJob.make("genome", config, tag=str(unroll), unroll=unroll)
+        for unroll in unrolls
+        for config in (BASELINE, DATA_ONLY)
+    ]
+    runs = engine.run_flows(jobs)
     result = Fig15Result()
-    for unroll in unrolls:
-        design = build_design("genome", unroll=unroll)
-        orig = flow.run(design, BASELINE)
-        opt = flow.run(design, DATA_ONLY)
+    for i, unroll in enumerate(unrolls):
+        orig, opt = runs[2 * i], runs[2 * i + 1]
         # Estimates for the broadcast sub chain: the scheduler's believed
         # worst in-cycle arrival vs the post-placement reality.
         (_, loop0), = [

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.control.styles import ControlStyle
-from repro.designs import build_design
+from repro.engine import Engine, FlowJob
 from repro.flow import Flow
 from repro.opt import BASELINE, OptimizationConfig
 
@@ -34,14 +34,19 @@ class Fig16Result:
 def run_fig16(
     iterations: Sequence[int] = (1, 2, 4, 8),
     flow: Optional[Flow] = None,
+    engine: Optional[Engine] = None,
 ) -> Fig16Result:
-    flow = flow or Flow()
+    engine = engine or Engine(flow=flow)
     skid_cfg = OptimizationConfig(control=ControlStyle.SKID_MINAREA)
+    jobs = [
+        FlowJob.make("stencil", config, tag=str(iters), iterations=iters)
+        for iters in iterations
+        for config in (BASELINE, skid_cfg)
+    ]
+    runs = engine.run_flows(jobs)
     result = Fig16Result()
-    for iters in iterations:
-        design = build_design("stencil", iterations=iters)
-        stall = flow.run(design, BASELINE)
-        skid = flow.run(design, skid_cfg)
+    for i, iters in enumerate(iterations):
+        stall, skid = runs[2 * i], runs[2 * i + 1]
         loop_info = skid.gen.loops[0]
         bits = sum(spec.bits for spec in loop_info.skid_specs)
         result.points.append(

@@ -37,11 +37,13 @@ class Fig17Result:
         return min(range(len(self.profile)), key=lambda i: (self.profile[i], i)) + 1
 
 
-def run_fig17(width: int = 32, clock_mhz: float = 300.0) -> Fig17Result:
+def run_fig17(width: int = 32, clock_mhz: float = 300.0, engine=None) -> Fig17Result:
     """Schedule the vector product and extract its width profile.
 
     Mirrors the paper's methodology: the profile is recovered from the
-    schedule *report text*, not from scheduler internals.
+    schedule *report text*, not from scheduler internals.  (``engine`` is
+    accepted for driver uniformity; this experiment runs no flows, so
+    there is nothing to fan out.)
     """
     design = apply_pragmas(build_design("vector_arith", width=width))
     loop = next(l for k, l in design.all_loops() if k.name == "vecprod")

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.designs import build_design
+from repro.engine import Engine, FlowJob
 from repro.flow import Flow
 from repro.ir.program import Buffer
 from repro.opt import BASELINE, DATA_ONLY, FULL
@@ -39,16 +39,21 @@ DEFAULT_DEPTHS = (18_432, 73_728, 294_912, 589_824, 1_179_648)
 def run_fig19(
     depths: Sequence[int] = DEFAULT_DEPTHS,
     flow: Optional[Flow] = None,
+    engine: Optional[Engine] = None,
 ) -> Fig19Result:
-    flow = flow or Flow()
+    engine = engine or Engine(flow=flow)
     result = Fig19Result()
     from repro.ir.types import u64
 
-    for depth in depths:
+    jobs = [
+        FlowJob.make("stream_buffer", config, tag=str(depth), depth=depth)
+        for depth in depths
+        for config in (BASELINE, DATA_ONLY, FULL)
+    ]
+    runs = engine.run_flows(jobs)
+    for i, depth in enumerate(depths):
         units = Buffer("probe", u64, depth).bram36_units()
-        orig = flow.run(build_design("stream_buffer", depth=depth), BASELINE)
-        data = flow.run(build_design("stream_buffer", depth=depth), DATA_ONLY)
-        full = flow.run(build_design("stream_buffer", depth=depth), FULL)
+        orig, data, full = runs[3 * i], runs[3 * i + 1], runs[3 * i + 2]
         result.points.append(
             Fig19Point(
                 depth=depth,

@@ -9,7 +9,7 @@ skeleton measurement, and the calibrated curve
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.delay.calibrated import CalibrationTable
 from repro.delay.calibration import (
@@ -18,6 +18,7 @@ from repro.delay.calibration import (
     characterize_operator,
 )
 from repro.delay.tables import HLS_LOAD_NS, hls_predicted_delay
+from repro.engine import Engine
 from repro.ir.ops import Opcode
 from repro.ir.types import f32, i32
 
@@ -61,24 +62,38 @@ def _panel(
     return series
 
 
+def _characterize_panel(spec) -> Fig9Series:
+    """Worker-side sweep of one panel (module-level so it pickles)."""
+    label, key, kind, op, factors, device, seed = spec
+    if kind == "memory":
+        points = characterize_memory(op, factors, device=device, seed=seed)
+        predicted = HLS_LOAD_NS
+    else:
+        opcode, dtype = op
+        points = characterize_operator(opcode, dtype, factors, device=device, seed=seed)
+        predicted = hls_predicted_delay(opcode, dtype)
+    return _panel(label, key, points, predicted)
+
+
 def run_fig9(
     factors: Sequence[int] = DEFAULT_FACTORS,
     device: str = "aws-f1",
     seed: int = 2020,
+    engine: Optional[Engine] = None,
 ) -> Dict[str, Fig9Series]:
-    """Reproduce the three Fig. 9 panels."""
-    panels: Dict[str, Fig9Series] = {}
-    add_points = characterize_operator(Opcode.ADD, i32, factors, device=device, seed=seed)
-    panels["add_i32"] = _panel(
-        "int32 add", "add_i32", add_points, hls_predicted_delay(Opcode.ADD, i32)
-    )
-    mem_points = characterize_memory("load", factors, device=device, seed=seed)
-    panels["load_bram"] = _panel("BRAM load", "load_bram", mem_points, HLS_LOAD_NS)
-    mul_points = characterize_operator(Opcode.MUL, f32, factors, device=device, seed=seed)
-    panels["mul_f32"] = _panel(
-        "float32 mul", "mul_f32", mul_points, hls_predicted_delay(Opcode.MUL, f32)
-    )
-    return panels
+    """Reproduce the three Fig. 9 panels.
+
+    The three skeleton sweeps are independent; with a parallel ``engine``
+    each panel characterizes in its own worker.
+    """
+    engine = engine or Engine()
+    specs = [
+        ("int32 add", "add_i32", "operator", (Opcode.ADD, i32), tuple(factors), device, seed),
+        ("BRAM load", "load_bram", "memory", "load", tuple(factors), device, seed),
+        ("float32 mul", "mul_f32", "operator", (Opcode.MUL, f32), tuple(factors), device, seed),
+    ]
+    series = engine.map(_characterize_panel, specs)
+    return {spec[1]: panel for spec, panel in zip(specs, series)}
 
 
 def format_fig9(panels: Dict[str, Fig9Series]) -> str:

@@ -12,6 +12,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.engine import Engine
 from repro.experiments import (
     format_fig15,
     format_fig16,
@@ -69,14 +70,24 @@ class SummaryReport:
 def run_all(
     only: Optional[Sequence[str]] = None,
     echo: bool = True,
+    jobs: int = 1,
+    engine: Optional[Engine] = None,
 ) -> SummaryReport:
-    """Run all (or ``only`` the named) experiments."""
+    """Run all (or ``only`` the named) experiments.
+
+    One :class:`~repro.engine.Engine` is shared by every experiment, so
+    ``jobs > 1`` fans each experiment's design×config runs over the same
+    worker pool (and one warm calibration cache) end to end.  The rendered
+    sections are identical at any ``jobs`` value — the engine guarantees
+    result order — only the wall clock changes.
+    """
+    engine = engine or Engine(jobs=jobs)
     report = SummaryReport()
     for name, runner, formatter in EXPERIMENTS:
         if only is not None and name not in only:
             continue
         start = time.time()
-        result = runner()
+        result = runner(engine=engine)
         report.sections[name] = formatter(result)
         report.seconds[name] = time.time() - start
         if echo:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.designs import build_design
+from repro.engine import Engine, FlowJob
 from repro.flow import Flow, FlowResult
 from repro.ir.program import Design
 from repro.opt import BASELINE, FULL, OptimizationConfig
@@ -58,23 +58,41 @@ def sweep(
     values: Sequence[object],
     configs: Optional[Dict[str, OptimizationConfig]] = None,
     flow: Optional[Flow] = None,
+    engine: Optional[Engine] = None,
     **fixed_params,
 ) -> SweepResult:
     """Run every (value, config) combination.
 
     ``builder`` is a registry name or a callable returning a
-    :class:`Design`; ``param`` is passed as a keyword to it.
+    :class:`Design`; ``param`` is passed as a keyword to it.  Registry-name
+    sweeps fan out over a parallel ``engine``'s workers; callable builders
+    run inline (arbitrary closures are not shipped to worker processes).
     """
     configs = configs or DEFAULT_CONFIGS
-    flow = flow or Flow()
-    make = (lambda **kw: build_design(builder, **kw)) if isinstance(builder, str) else builder
+    engine = engine or Engine(flow=flow)
     name = builder if isinstance(builder, str) else getattr(builder, "__name__", "design")
     result = SweepResult(design=str(name), param=param)
+    if isinstance(builder, str):
+        jobs = [
+            FlowJob.make(
+                builder, config, tag=label, **{param: value}, **fixed_params
+            )
+            for value in values
+            for label, config in configs.items()
+        ]
+        flat = engine.run_flows(jobs)
+        per_row = len(configs)
+        for i, value in enumerate(values):
+            row = SweepRow(value=value)
+            for j, label in enumerate(configs):
+                row.results[label] = flat[per_row * i + j]
+            result.rows.append(row)
+        return result
     for value in values:
         row = SweepRow(value=value)
         for label, config in configs.items():
-            design = make(**{param: value}, **fixed_params)
-            row.results[label] = flow.run(design, config)
+            design = builder(**{param: value}, **fixed_params)
+            row.results[label] = engine.flow.run(design, config)
         result.rows.append(row)
     return result
 

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.designs import build_design, design_names
+from repro.engine import Engine, FlowJob
 from repro.experiments import paper_data
 from repro.flow import Flow, FlowResult
 from repro.opt import BASELINE, FULL
@@ -29,21 +30,31 @@ class Table1Entry:
 def run_table1(
     designs: Optional[Sequence[str]] = None,
     flow: Optional[Flow] = None,
+    engine: Optional[Engine] = None,
 ) -> List[Table1Entry]:
-    """Run Orig (BASELINE) and Opt (FULL) flows over the benchmark suite."""
-    flow = flow or Flow()
+    """Run Orig (BASELINE) and Opt (FULL) flows over the benchmark suite.
+
+    With a parallel ``engine`` the 2×N flow runs fan out over its worker
+    pool; entries always come back in suite order.
+    """
+    engine = engine or Engine(flow=flow)
+    names = list(designs if designs is not None else design_names())
+    jobs = [
+        FlowJob.make(name, config, tag=name)
+        for name in names
+        for config in (BASELINE, FULL)
+    ]
+    results = engine.run_flows(jobs)
     entries: List[Table1Entry] = []
-    for name in designs if designs is not None else design_names():
-        design = build_design(name)
-        orig = flow.run(design, BASELINE)
-        opt = flow.run(design, FULL)
+    for i, name in enumerate(names):
+        design = build_design(name)  # cheap IR build, for row metadata only
         entries.append(
             Table1Entry(
                 design=name,
                 broadcast_type=str(design.meta.get("broadcast_type", "?")),
                 device=design.device,
-                orig=orig,
-                opt=opt,
+                orig=results[2 * i],
+                opt=results[2 * i + 1],
             )
         )
     return entries

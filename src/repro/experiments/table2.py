@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.control.styles import ControlStyle
-from repro.designs import build_design
+from repro.engine import Engine, FlowJob
 from repro.experiments import paper_data
 from repro.flow import Flow, FlowResult
 from repro.opt import OptimizationConfig
@@ -23,13 +23,17 @@ class Table2Result:
         )
 
 
-def run_table2(width: int = 512, flow: Optional[Flow] = None) -> Table2Result:
+def run_table2(
+    width: int = 512,
+    flow: Optional[Flow] = None,
+    engine: Optional[Engine] = None,
+) -> Table2Result:
     """Stall vs naive skid vs min-area skid on the wide vector product.
 
     All three runs keep §4.1/§4.2 on so the comparison isolates the
     pipeline-control scheme, as Table 2 does.
     """
-    flow = flow or Flow()
+    engine = engine or Engine(flow=flow)
     configs = {
         "stall": OptimizationConfig(
             broadcast_aware=True, sync_pruning=True, control=ControlStyle.STALL
@@ -41,11 +45,12 @@ def run_table2(width: int = 512, flow: Optional[Flow] = None) -> Table2Result:
             broadcast_aware=True, sync_pruning=True, control=ControlStyle.SKID_MINAREA
         ),
     }
-    rows = {}
-    for key, config in configs.items():
-        design = build_design("vector_arith", width=width)
-        rows[key] = flow.run(design, config)
-    return Table2Result(rows=rows)
+    jobs = [
+        FlowJob.make("vector_arith", config, tag=key, width=width)
+        for key, config in configs.items()
+    ]
+    results = engine.run_flows(jobs)
+    return Table2Result(rows=dict(zip(configs, results)))
 
 
 def format_table2(result: Table2Result) -> str:

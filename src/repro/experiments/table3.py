@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.designs import build_design
+from repro.engine import Engine, FlowJob
 from repro.experiments import paper_data
 from repro.flow import Flow, FlowResult
 from repro.opt import BASELINE, DATA_ONLY, FULL
@@ -16,14 +16,16 @@ class Table3Result:
     rows: Dict[str, FlowResult]
 
 
-def run_table3(flow: Optional[Flow] = None) -> Table3Result:
-    flow = flow or Flow()
-    rows = {
-        "orig": flow.run(build_design("pattern_matching"), BASELINE),
-        "opt_data": flow.run(build_design("pattern_matching"), DATA_ONLY),
-        "opt_data_ctrl": flow.run(build_design("pattern_matching"), FULL),
-    }
-    return Table3Result(rows=rows)
+def run_table3(
+    flow: Optional[Flow] = None,
+    engine: Optional[Engine] = None,
+) -> Table3Result:
+    engine = engine or Engine(flow=flow)
+    configs = {"orig": BASELINE, "opt_data": DATA_ONLY, "opt_data_ctrl": FULL}
+    results = engine.run_flows(
+        [FlowJob.make("pattern_matching", cfg, tag=key) for key, cfg in configs.items()]
+    )
+    return Table3Result(rows=dict(zip(configs, results)))
 
 
 def format_table3(result: Table3Result) -> str:

@@ -18,8 +18,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro import obs
+from repro.delay.cache import resolve_calibration
 from repro.delay.calibrated import CalibratedDelayModel, CalibrationTable
-from repro.delay.calibration import build_default_calibration
 from repro.delay.hls_model import HlsDelayModel
 from repro.ir.passes import apply_pragmas
 from repro.ir.program import Design
@@ -91,12 +91,22 @@ class Flow:
     Args:
         clock_mhz: Override the design's HLS clock target.
         seed: Placement seed (experiments keep it fixed for determinism).
-        calibration: Calibration table for §4.1; defaults to the cached
-            device-wide characterization.
+            Also the seed of the §4.1 characterization when no table is
+            injected, so a seeded flow is seeded end to end.
+        calibration: Calibration table for §4.1; when omitted the flow
+            resolves one through the persistent on-disk cache (see
+            :mod:`repro.delay.cache`) — built once per (device, seed,
+            smoothing), loaded everywhere else.
+        calibration_path: Explicit calibration file (the CLI's
+            ``--calibration PATH``); its stored provenance must match this
+            flow's device/seed or the run fails loudly.
         replication: Backend fanout-optimization knobs (the paper runs with
             it enabled; the ablation bench disables it).
         retime: Run movable-register retiming after replication.
     """
+
+    #: Smoothing passes requested from the §4.1 characterization.
+    SMOOTH_PASSES = 1
 
     def __init__(
         self,
@@ -105,10 +115,12 @@ class Flow:
         calibration: Optional[CalibrationTable] = None,
         replication: Optional[ReplicationConfig] = None,
         retime: bool = True,
+        calibration_path: Optional[str] = None,
     ) -> None:
         self.clock_mhz = clock_mhz
         self.seed = seed
         self.calibration = calibration
+        self.calibration_path = calibration_path
         self.replication = replication or ReplicationConfig()
         self.retime = retime
 
@@ -163,12 +175,18 @@ class Flow:
                 if config.broadcast_aware:
                     # The characterization itself runs placements; give it
                     # its own span so its cost isn't blamed on scheduling.
-                    with tracer.span(
-                        "calibration", cached=self.calibration is not None
-                    ):
-                        table = self.calibration or build_default_calibration(
-                            lowered.device
-                        )
+                    with tracer.span("calibration") as cal_span:
+                        if self.calibration is not None:
+                            table, source = self.calibration, "injected"
+                        else:
+                            table, source = resolve_calibration(
+                                lowered.device,
+                                seed=self.seed,
+                                smooth_passes=self.SMOOTH_PASSES,
+                                path=self.calibration_path,
+                            )
+                        cal_span.set("source", source)
+                        cal_span.set("cached", source != "built")
                     cal_model = CalibratedDelayModel(table)
                 hls_model = HlsDelayModel()
                 for kernel, loop in lowered.all_loops():

@@ -46,13 +46,20 @@ def _safe_attrs(span: Span) -> Dict[str, Any]:
 # Run report
 # ---------------------------------------------------------------------------
 def stage_record(span: Span) -> Dict[str, Any]:
-    """One stage's record: duration, annotations, subtree metrics."""
+    """One stage's record: duration, annotations, subtree metrics.
+
+    Nested spans (e.g. the ``calibration`` span under ``scheduling``)
+    appear recursively under ``children``, so cache-effectiveness attrs
+    like ``cached``/``source`` are reachable from the JSON report.
+    """
     metrics = span.aggregate_metrics()
     record: Dict[str, Any] = {
         "name": span.name,
         "duration_ms": round(span.duration_ms, 3),
         "attrs": _safe_attrs(span),
     }
+    if span.children:
+        record["children"] = [stage_record(child) for child in span.children]
     if metrics:
         record["metrics"] = metrics.to_dict()
     return record
@@ -111,7 +118,12 @@ def run_report(
 # Chrome trace_event export
 # ---------------------------------------------------------------------------
 def chrome_trace_events(tracer: Union[Tracer, NullTracer]) -> List[Dict[str, Any]]:
-    """All spans as Chrome "complete" (``ph: X``) events, µs timestamps."""
+    """All spans as Chrome "complete" (``ph: X``) events, µs timestamps.
+
+    Span forests grafted from engine workers carry a ``worker`` attribute
+    on their roots (the worker PID); it becomes the ``tid`` lane of the
+    whole subtree, so parallel runs render as per-worker swimlanes.
+    """
     events: List[Dict[str, Any]] = [
         {
             "name": "process_name",
@@ -121,23 +133,27 @@ def chrome_trace_events(tracer: Union[Tracer, NullTracer]) -> List[Dict[str, Any
             "args": {"name": "repro flow"},
         }
     ]
-    for span in tracer.all_spans():
-        args = _safe_attrs(span)
-        metrics = span.metrics
-        if metrics:
-            args["metrics"] = metrics.to_dict()
-        events.append(
-            {
-                "name": span.name,
-                "cat": "flow",
-                "ph": "X",
-                "ts": round(span.start_s * 1e6, 3),
-                "dur": round(span.duration_ms * 1e3, 3),
-                "pid": 1,
-                "tid": 1,
-                "args": args,
-            }
-        )
+    for root in tracer.roots:
+        tid = root.attrs.get("worker", 1)
+        if not isinstance(tid, int):
+            tid = 1
+        for span in root.walk():
+            args = _safe_attrs(span)
+            metrics = span.metrics
+            if metrics:
+                args["metrics"] = metrics.to_dict()
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": "flow",
+                    "ph": "X",
+                    "ts": round(span.start_s * 1e6, 3),
+                    "dur": round(span.duration_ms * 1e3, 3),
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
     return events
 
 

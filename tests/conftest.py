@@ -8,6 +8,8 @@ their factor sweeps.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.delay.calibrated import CalibratedDelayModel, CalibrationTable
@@ -30,6 +32,23 @@ def make_mini_stream_design(depth: int = 8192, unroll: int = 1) -> Design:
 
 def make_unrolled_compute_design(unroll: int = 16) -> Design:
     return unrolled_broadcast_design(unroll=unroll)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_calibration_cache(tmp_path_factory):
+    """Point the persistent calibration cache at a session temp dir.
+
+    Tests must neither read a developer's warm ``~/.cache/repro`` (hiding
+    cold-path bugs) nor write to it (polluting real state).
+    """
+    cache_dir = tmp_path_factory.mktemp("repro-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

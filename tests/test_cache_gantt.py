@@ -1,10 +1,20 @@
 """Tests for calibration persistence and Gantt rendering."""
 
+import json
+import os
+
 import pytest
 
+import repro.delay.cache as cache_mod
 from repro.delay.cache import (
+    CalibrationProvenance,
+    calibration_lock,
+    default_cache_dir,
+    default_calibration_path,
     get_or_build_calibration,
     load_calibration,
+    read_provenance,
+    resolve_calibration,
     save_calibration,
 )
 from repro.delay.calibrated import CalibrationTable
@@ -47,6 +57,142 @@ class TestCalibrationCache:
         save_calibration(self.table(), str(path), device="aws-f1")
         table = get_or_build_calibration(str(path), device="aws-f1")
         assert table.lookup("add_i32", 64) == pytest.approx(2.1)
+
+    def test_seed_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(self.table(), str(path), device="aws-f1", seed=2020)
+        load_calibration(str(path), seed=2020)
+        with pytest.raises(ReproError, match="seed"):
+            load_calibration(str(path), seed=7)
+
+    def test_smooth_passes_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(self.table(), str(path), device="aws-f1", smooth_passes=1)
+        with pytest.raises(ReproError, match="smooth_passes"):
+            load_calibration(str(path), smooth_passes=3)
+
+    def test_missing_provenance_rejected(self, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text('{"version": 1, "curves": {}}')
+        with pytest.raises(ReproError, match="provenance"):
+            load_calibration(str(path))
+
+    def test_read_provenance(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(
+            self.table(), str(path), device="zc706", seed=11, smooth_passes=2
+        )
+        assert read_provenance(str(path)) == CalibrationProvenance(
+            device="zc706", seed=11, smooth_passes=2
+        )
+
+    def test_save_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = tmp_path / "cal.json"
+        save_calibration(self.table(), str(path), device="aws-f1")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["cal.json"]
+        assert json.loads(path.read_text())["device"] == "aws-f1"
+
+
+class TestResolveCalibration:
+    """resolve_calibration: memory -> disk -> build, with provenance."""
+
+    @pytest.fixture(autouse=True)
+    def _tiny_build(self, monkeypatch, tmp_path):
+        """Stub the 14s characterization with a tiny deterministic table,
+        and give every test a private cache dir + memo."""
+
+        def fake_build(device, seed=2020, smooth_passes=1):
+            table = CalibrationTable()
+            table.add("add_i32", 1, 0.5 + seed * 1e-6)
+            return table
+
+        monkeypatch.setattr(cache_mod, "build_default_calibration", fake_build)
+        monkeypatch.setattr(cache_mod, "_MEMORY", {})
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_build_then_disk_then_memory(self):
+        table1, source1 = resolve_calibration("aws-f1")
+        assert source1 == "built"
+        _table2, source2 = resolve_calibration("aws-f1")
+        assert source2 == "memory"
+        cache_mod._MEMORY.clear()  # new process, warm disk
+        table3, source3 = resolve_calibration("aws-f1")
+        assert source3 == "disk"
+        assert table3.to_dict() == table1.to_dict()
+
+    def test_auto_path_encodes_provenance(self):
+        resolve_calibration("aws-f1", seed=7, smooth_passes=2)
+        path = default_calibration_path("aws-f1", seed=7, smooth_passes=2)
+        assert os.path.exists(path)
+        assert read_provenance(path) == CalibrationProvenance(
+            device="aws-f1", seed=7, smooth_passes=2
+        )
+
+    def test_distinct_seeds_get_distinct_files(self):
+        resolve_calibration("aws-f1", seed=1)
+        resolve_calibration("aws-f1", seed=2)
+        assert default_calibration_path("aws-f1", seed=1) != \
+            default_calibration_path("aws-f1", seed=2)
+        assert os.path.exists(default_calibration_path("aws-f1", seed=1))
+        assert os.path.exists(default_calibration_path("aws-f1", seed=2))
+
+    def test_explicit_path_builds_and_reuses(self, tmp_path):
+        path = str(tmp_path / "explicit.json")
+        _table, source = resolve_calibration("aws-f1", path=path)
+        assert source == "built" and os.path.exists(path)
+        cache_mod._MEMORY.clear()
+        _table, source = resolve_calibration("aws-f1", path=path)
+        assert source == "disk"
+
+    def test_explicit_path_provenance_mismatch_raises(self, tmp_path):
+        path = str(tmp_path / "explicit.json")
+        resolve_calibration("aws-f1", seed=1, path=path)
+        cache_mod._MEMORY.clear()
+        with pytest.raises(ReproError, match="seed"):
+            resolve_calibration("aws-f1", seed=2, path=path)
+
+    def test_cache_disabled_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CALIBRATION_CACHE", "off")
+        _table, source = resolve_calibration("aws-f1")
+        assert source == "built"
+        assert not os.path.exists(default_calibration_path("aws-f1"))
+
+    def test_cache_dir_env_override(self):
+        assert default_cache_dir() == os.environ["REPRO_CACHE_DIR"]
+
+    def test_lock_is_exclusive_and_reentrant_across_processes(self, tmp_path):
+        """The lock must actually serialize two processes racing to build."""
+        import multiprocessing
+
+        path = str(tmp_path / "locked.json")
+        ctx = multiprocessing.get_context("fork")
+        started = ctx.Event()
+        release = ctx.Event()
+
+        def hold_lock():
+            with calibration_lock(path):
+                started.set()
+                release.wait(timeout=30)
+
+        holder = ctx.Process(target=hold_lock)
+        holder.start()
+        assert started.wait(timeout=10)
+        acquired = []
+
+        def try_lock():
+            with calibration_lock(path):
+                acquired.append(True)
+
+        import threading
+
+        contender = threading.Thread(target=try_lock)
+        contender.start()
+        contender.join(timeout=0.5)
+        assert contender.is_alive() and not acquired  # blocked by holder
+        release.set()
+        contender.join(timeout=10)
+        assert acquired == [True]
+        holder.join(timeout=10)
 
 
 class TestGantt:

@@ -5,6 +5,8 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.delay.cache import save_calibration
+from repro.testing import synthetic_calibration
 
 
 class TestCli:
@@ -17,9 +19,22 @@ class TestCli:
         with pytest.raises(SystemExit):
             main([])
 
-    def test_unknown_design_rejected(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_design_rejected(self, capsys):
+        # argparse `choices` rejects it: usage error (2) naming the designs
+        with pytest.raises(SystemExit) as excinfo:
             main(["run", "nonexistent"])
+        assert excinfo.value.code == 2
+        assert "matmul" in capsys.readouterr().err
+
+    def test_unknown_config_exits_2_with_choices(self, capsys):
+        assert main(["run", "matmul", "--config", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "valid configs" in err and "full" in err
+
+    def test_empty_config_exits_2(self, capsys):
+        assert main(["run", "matmul", "--config", " , "]) == 2
+        assert "valid configs" in capsys.readouterr().err
 
     def test_fig17_experiment(self, capsys):
         assert main(["fig17"]) == 0
@@ -54,3 +69,48 @@ class TestCli:
         report = json.loads(capsys.readouterr().out)
         assert report["runs"][0]["counters"]
         assert trace_path.exists()
+
+
+class TestCliEngine:
+    """--jobs and --calibration, the engine/cache flags of the CLI."""
+
+    def test_jobs_parallel_run_json(self, capsys):
+        # Two calibration-free configs fanned over two worker processes;
+        # the report must keep submission order and full enrichment.
+        assert main(
+            ["run", "matmul", "--config", "orig,skid", "--jobs", "2", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert [run["config"] for run in report["runs"]] == ["orig", "skid"]
+        assert all("utilization" in run for run in report["runs"])
+
+    def test_calibration_flag_uses_saved_table(self, tmp_path, capsys):
+        path = tmp_path / "cal.json"
+        save_calibration(
+            synthetic_calibration(), str(path),
+            device="aws-f1", seed=2020, smooth_passes=1,
+        )
+        assert main(
+            ["run", "matmul", "--config", "full",
+             "--calibration", str(path), "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        (run,) = report["runs"]
+        (scheduling,) = [s for s in run["stages"] if s["name"] == "scheduling"]
+        (calibration,) = [
+            s for s in scheduling["children"] if s["name"] == "calibration"
+        ]
+        assert calibration["attrs"]["cached"] is True
+        assert calibration["attrs"]["source"] == "disk"
+
+    def test_calibration_provenance_mismatch_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "cal.json"
+        save_calibration(
+            synthetic_calibration(), str(path),
+            device="aws-f1", seed=999, smooth_passes=1,
+        )
+        assert main(
+            ["run", "matmul", "--config", "full", "--calibration", str(path)]
+        ) == 1
+        err = capsys.readouterr().err
+        assert "repro: error" in err and "seed" in err

@@ -1,0 +1,154 @@
+"""Tests for the parallel experiment engine (repro.engine)."""
+
+import pytest
+
+from repro import obs
+from repro.engine import Engine, FlowJob, default_jobs, graft_trace, run_flow_job
+from repro.errors import ReproError
+from repro.flow import Flow
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.opt import BASELINE, FULL
+
+
+def _double(x):
+    return 2 * x
+
+
+def _traced_triple(x):
+    with obs.span("triple", x=x):
+        return 3 * x
+
+
+class TestFlowJob:
+    def test_make_sorts_params(self):
+        job = FlowJob.make("stencil", BASELINE, iterations=4, width=8)
+        assert job.params == (("iterations", 4), ("width", 8))
+        assert job.param_dict == {"iterations": 4, "width": 8}
+
+    def test_hashable_and_describable(self):
+        job = FlowJob.make("matmul", FULL, tag="opt")
+        assert hash(job)
+        assert "matmul" in job.describe()
+        assert FULL.label in job.describe()
+
+    def test_run_flow_job_matches_direct_run(self, synthetic_table):
+        from repro.designs import build_design
+
+        flow = Flow(calibration=synthetic_table)
+        job = FlowJob.make("matmul", BASELINE)
+        via_job = run_flow_job(flow, job)
+        direct = flow.run(build_design("matmul"), BASELINE)
+        assert via_job.fmax_mhz == direct.fmax_mhz
+
+
+class TestEngineSequential:
+    def test_default_is_inline(self):
+        assert Engine().jobs == 1
+
+    def test_zero_means_cpu_count(self):
+        assert Engine(jobs=0).jobs == default_jobs()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            Engine(jobs=-1)
+
+    def test_results_in_submission_order(self, synthetic_table):
+        engine = Engine(flow=Flow(calibration=synthetic_table))
+        jobs = [
+            FlowJob.make("matmul", BASELINE),
+            FlowJob.make("face_detection", BASELINE),
+        ]
+        results = engine.run_flows(jobs)
+        assert [r.design for r in results] == ["matrix_multiply", "face_detection"]
+
+    def test_map_inline(self):
+        assert Engine().map(_double, [1, 2, 3]) == [2, 4, 6]
+
+
+class TestEngineParallel:
+    """Real multi-process runs, kept small (two cheap BASELINE flows)."""
+
+    JOBS = [
+        FlowJob.make("matmul", BASELINE),
+        FlowJob.make("face_detection", BASELINE),
+    ]
+
+    def test_parallel_matches_sequential(self):
+        sequential = Engine(jobs=1).run_flows(self.JOBS)
+        parallel = Engine(jobs=2).run_flows(self.JOBS)
+        assert [r.design for r in parallel] == [r.design for r in sequential]
+        for seq, par in zip(sequential, parallel):
+            assert par.fmax_mhz == seq.fmax_mhz
+            assert par.utilization == seq.utilization
+
+    def test_parallel_traces_merge_in_order(self):
+        tracer = Tracer()
+        with obs.activate(tracer):
+            Engine(jobs=2).run_flows(self.JOBS)
+        designs = [
+            root.attrs["design"]
+            for root in tracer.roots
+            if root.name == obs.FLOW_SPAN
+        ]
+        assert designs == ["matrix_multiply", "face_detection"]
+        workers = {root.attrs.get("worker") for root in tracer.roots}
+        assert all(isinstance(w, int) for w in workers)
+
+    def test_parallel_results_feed_run_report(self):
+        tracer = Tracer()
+        with obs.activate(tracer):
+            results = Engine(jobs=2).run_flows(self.JOBS)
+        report = obs.run_report(tracer, results)
+        assert [run["design"] for run in report["runs"]] == [
+            "matrix_multiply",
+            "face_detection",
+        ]
+        # results matched to spans by identity => enriched records
+        assert all("utilization" in run for run in report["runs"])
+
+    def test_parallel_map_keeps_order_and_traces(self):
+        tracer = Tracer()
+        with obs.activate(tracer):
+            out = Engine(jobs=2).map(_traced_triple, [5, 7, 9])
+        assert out == [15, 21, 27]
+        xs = [root.attrs["x"] for root in tracer.roots if root.name == "triple"]
+        assert xs == [5, 7, 9]
+
+    def test_parallel_without_tracer_is_fine(self):
+        out = Engine(jobs=2).map(_double, [1, 2])
+        assert out == [2, 4]
+
+
+class TestGraftTrace:
+    def test_rebases_child_times(self):
+        parent, child = Tracer(), Tracer()
+        child._epoch = parent._epoch + 1.0  # child born one second later
+        with child.span("work"):
+            pass
+        original_start = child.roots[0].start_s
+        graft_trace(parent, child, worker=42)
+        (root,) = parent.roots
+        assert root.start_s == pytest.approx(original_start + 1.0)
+        assert root.attrs["worker"] == 42
+
+    def test_never_travels_back_in_time(self):
+        parent, child = Tracer(), Tracer()
+        child._epoch = parent._epoch - 5.0  # incomparable clocks
+        with child.span("work"):
+            pass
+        graft_trace(parent, child)
+        assert parent.roots[0].start_s >= 0.0
+
+    def test_null_parent_is_noop(self):
+        child = Tracer()
+        with child.span("work"):
+            pass
+        graft_trace(NULL_TRACER, child)
+        assert NULL_TRACER.roots == []
+        assert child.roots  # untouched
+
+    def test_out_of_span_metrics_merge(self):
+        parent, child = Tracer(), Tracer()
+        child.add("jobs.finished", 3)
+        graft_trace(parent, child)
+        assert parent.metrics.counter("jobs.finished") == 3

@@ -83,6 +83,53 @@ class TestOptimizationEffect:
         assert flow.run(mini_design, BASELINE).sync_report is None
 
 
+class TestCalibrationWiring:
+    """The flow must resolve calibration with its own seed and path."""
+
+    def _capture_resolve(self, monkeypatch, synthetic_table):
+        captured = {}
+
+        def fake_resolve(device, seed=2020, smooth_passes=1, path=None):
+            captured.update(
+                device=device, seed=seed, smooth_passes=smooth_passes, path=path
+            )
+            return synthetic_table, "built"
+
+        monkeypatch.setattr("repro.flow.resolve_calibration", fake_resolve)
+        return captured
+
+    def test_seed_forwarded_to_calibration(
+        self, monkeypatch, synthetic_table, mini_design
+    ):
+        captured = self._capture_resolve(monkeypatch, synthetic_table)
+        Flow(seed=7).run(mini_design, FULL)
+        assert captured["seed"] == 7
+        assert captured["device"] == mini_design.device
+        assert captured["smooth_passes"] == Flow.SMOOTH_PASSES
+
+    def test_calibration_path_forwarded(
+        self, monkeypatch, synthetic_table, mini_design, tmp_path
+    ):
+        captured = self._capture_resolve(monkeypatch, synthetic_table)
+        path = str(tmp_path / "cal.json")
+        Flow(calibration_path=path).run(mini_design, FULL)
+        assert captured["path"] == path
+
+    def test_injected_table_skips_resolution(
+        self, monkeypatch, synthetic_table, mini_design
+    ):
+        captured = self._capture_resolve(monkeypatch, synthetic_table)
+        Flow(calibration=synthetic_table).run(mini_design, FULL)
+        assert captured == {}
+
+    def test_baseline_never_resolves(
+        self, monkeypatch, synthetic_table, mini_design
+    ):
+        captured = self._capture_resolve(monkeypatch, synthetic_table)
+        Flow().run(mini_design, BASELINE)
+        assert captured == {}
+
+
 class TestConfigLabels:
     def test_labels(self):
         assert BASELINE.label == "orig"
