@@ -51,7 +51,11 @@ def sink_delay(placement: Placement, net: Net, sink: Cell, pin: str = "") -> flo
 
 
 def worst_sink_delay(placement: Placement, net: Net) -> float:
-    """Largest sink delay of the net (0.0 for a sink-less net)."""
+    """Largest sink delay of the net (0.0 for a sink-less net).
+
+    The pin is passed through so control pins (``ce*``/``we*``/``en*``)
+    keep their full-radius penalty.
+    """
     if not net.sinks:
         return 0.0
-    return max(sink_delay(placement, net, cell) for cell, _pin in net.sinks)
+    return max(sink_delay(placement, net, cell, pin) for cell, pin in net.sinks)

@@ -44,11 +44,18 @@ def _demand_of(cell: Cell) -> int:
 
 
 class Placement:
-    """Result of placement: a position and radius per cell."""
+    """Result of placement: a position and radius per cell.
+
+    Every write through :meth:`put` (or :meth:`remove`) bumps the written
+    cell's *epoch*; the timing engine's per-(net, sink, pin) delay memo keys
+    on driver/sink epochs, so a placement edit invalidates exactly the memo
+    entries it touched and nothing else.
+    """
 
     def __init__(self) -> None:
         self.pos: Dict[str, Tuple[float, float]] = {}
         self.radius: Dict[str, float] = {}
+        self._epoch: Dict[str, int] = {}
 
     #: Cap on a cell's pin-access radius (tiles).  Large blocks expose their
     #: pins near the edge facing the neighbor, so intra-block distance does
@@ -89,6 +96,18 @@ class Placement:
     def put(self, cell: Cell, x: float, y: float, radius: float = 0.0) -> None:
         self.pos[cell.name] = (x, y)
         self.radius[cell.name] = radius
+        self._epoch[cell.name] = self._epoch.get(cell.name, 0) + 1
+
+    def remove(self, name: str) -> None:
+        """Forget a cell's placement (epoch keeps rising: a later re-``put``
+        under the same name never aliases stale memo entries)."""
+        self.pos.pop(name, None)
+        self.radius.pop(name, None)
+        self._epoch[name] = self._epoch.get(name, 0) + 1
+
+    def epoch_of(self, name: str) -> int:
+        """Monotonic write counter for one cell (0 = never placed)."""
+        return self._epoch.get(name, 0)
 
 
 class Placer:

@@ -24,9 +24,10 @@ also true on silicon.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.physical.placement import Placement
@@ -84,13 +85,6 @@ def _centroid(placement: Placement, sinks: List[Tuple[Cell, str]]) -> Tuple[floa
     return sum(xs) / len(xs), sum(ys) / len(ys)
 
 
-def _input_net_of(netlist: Netlist, cell: Cell) -> Optional[Net]:
-    for net in netlist.nets.values():
-        if cell in net.sink_cells():
-            return net
-    return None
-
-
 def replicate_high_fanout(
     netlist: Netlist,
     placement: Placement,
@@ -104,28 +98,69 @@ def replicate_high_fanout(
     emergent structure is a registered fanout *tree*, which is what a real
     physical optimizer builds for a register feeding thousands of loads.
 
+    Pass 1 examines every net; later passes examine only the worklist of
+    nets *touched* by the previous pass (sinks rewritten, freshly created,
+    or loaded by new replicas).  A net untouched since its last examination
+    repeats the same skip decision, so the worklist sweep reaches the same
+    fixpoint as the seed's full rescan without the O(nets) sink scans per
+    pass.
+
     Returns the number of replica registers created.  New replicas are
     added to ``placement`` at their cluster centroids.
     """
     if not config.enabled:
         return 0
     created = 0
+    candidates: Optional[List[Net]] = None
     for index in range(max_passes):
         with obs.span("replication-pass", index=index) as sp:
-            pass_created = _replicate_pass(netlist, placement, config)
+            pass_created, touched = _replicate_pass(netlist, placement, config, candidates)
             sp.set("replicas", pass_created)
+            sp.set("examined", "all" if candidates is None else len(candidates))
         created += pass_created
         if pass_created == 0:
             break
+        # Seed-equivalent ordering: the full rescan walked nets in dict
+        # insertion order, which ``Net._seq`` reproduces.
+        candidates = sorted(touched.values(), key=lambda n: n._seq)
     obs.add("physical.replicas_created", created)
     return created
 
 
 def _replicate_pass(
-    netlist: Netlist, placement: Placement, config: ReplicationConfig
-) -> int:
+    netlist: Netlist,
+    placement: Placement,
+    config: ReplicationConfig,
+    candidates: Optional[List[Net]] = None,
+) -> Tuple[int, Dict[str, Net]]:
     created = 0
-    for net in list(netlist.nets.values()):
+    touched: Dict[str, Net] = {}
+    # The seed pass iterated a snapshot of every net in dict insertion
+    # order, so a feeder touched mid-pass was still examined later in the
+    # *same* pass if it lay ahead in that order.  A seq-ordered heap
+    # reproduces this: nets touched at a position behind the cursor wait
+    # for the next pass (via ``touched``), nets ahead are enqueued — but
+    # only if they existed at pass start, since the seed snapshot excluded
+    # nets created mid-pass.
+    snapshot_limit = netlist._net_counter
+    work = list(netlist.nets.values()) if candidates is None else candidates
+    heap: List[Tuple[int, str]] = [(net._seq, net.name) for net in work]
+    heapq.heapify(heap)
+    by_name: Dict[str, Net] = {net.name: net for net in work}
+    queued = set(by_name)
+
+    def requeue(net: Net, cursor_seq: int) -> None:
+        touched[net.name] = net
+        if net._seq > cursor_seq and net._seq < snapshot_limit and net.name not in queued:
+            queued.add(net.name)
+            heapq.heappush(heap, (net._seq, net.name))
+            by_name[net.name] = net
+
+    while heap:
+        seq, name = heapq.heappop(heap)
+        net = by_name[name]
+        if net.name not in netlist.nets:
+            continue
         if net.driver.kind is not CellKind.FF:
             continue
         if net.kind is NetKind.CLOCKLESS:
@@ -143,9 +178,10 @@ def _replicate_pass(
         obs.add("physical.nets_replicated", 1)
         obs.observe("replication.fanout", net.fanout)
         clusters = _cluster_sinks(placement, net.sinks, groups)
-        feeder = _input_net_of(netlist, net.driver)
+        feeder = netlist.input_net_of(net.driver)
         # Cluster 0 stays on the original driver/net.
         net.sinks = list(clusters[0])
+        touched[net.name] = net
         for i, cluster in enumerate(clusters[1:], start=1):
             replica = netlist.new_cell(
                 f"{net.driver.name}_rep{i}",
@@ -157,10 +193,12 @@ def _replicate_pass(
             )
             cx, cy = _centroid(placement, cluster)
             placement.put(replica, cx, cy, 0.0)
-            netlist.connect(
+            rep_net = netlist.connect(
                 f"{net.name}_rep{i}", replica, cluster, kind=net.kind, width=net.width
             )
+            touched[rep_net.name] = rep_net
             if feeder is not None:
                 feeder.add_sink(replica, "d")
+                requeue(feeder, seq)
             created += 1
-    return created
+    return created, touched

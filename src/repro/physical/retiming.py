@@ -8,13 +8,18 @@ combinational cell (Leiserson–Saxe backward move, restricted to the
 single-fanout case), re-balancing the two cycles around the register.
 
 The pass is conservative: a move is committed only when a trial STA run
-confirms the period improved.  Trials run on cloned netlists so failures
-leave the input untouched.
+confirms the period improved.  Trials mutate the live netlist through
+:class:`_MoveRecord` apply/undo pairs and re-time only the forward damage
+cone via :meth:`TimingAnalyzer.update` — a rejected move is rolled back
+exactly, so failures leave the input untouched.  Trial cost is therefore
+proportional to the edited cone, not the netlist, which is why the default
+move budget is generous.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
 
 from repro import obs
 from repro.physical.placement import Placement
@@ -33,24 +38,36 @@ def clone_placement(placement: Placement) -> Placement:
     copy = Placement()
     copy.pos = dict(placement.pos)
     copy.radius = dict(placement.radius)
+    copy._epoch = dict(placement._epoch)
     return copy
+
+
+@dataclass
+class _MoveRecord:
+    """Everything needed to undo one backward move exactly."""
+
+    ff: Cell
+    c: Cell
+    n_in: Net
+    n_out: Net
+    new_ffs: List[Cell] = field(default_factory=list)
+    new_nets: List[Net] = field(default_factory=list)
+    #: (net, sink list before the move) for each rewired input net of ``c``.
+    rewired: List[Tuple[Net, List[Tuple[Cell, str]]]] = field(default_factory=list)
 
 
 def _single_input_net(netlist: Netlist, cell: Cell) -> Optional[Net]:
     """The unique net feeding ``cell``, or None."""
-    found: Optional[Net] = None
-    for net in netlist.nets.values():
-        if cell in net.sink_cells():
-            if found is not None:
-                return None
-            found = net
-    return found
+    nets = netlist.input_nets_of(cell)
+    return nets[0] if len(nets) == 1 else None
 
 
-def _backward_move(netlist: Netlist, placement: Placement, ff: Cell) -> bool:
+def _apply_backward_move(
+    netlist: Netlist, placement: Placement, ff: Cell
+) -> Optional[_MoveRecord]:
     """Push ``ff`` backward across its driving combinational cell.
 
-    Preconditions (checked, returning False when unmet):
+    Preconditions (checked, returning None when unmet):
 
     * ``ff`` has exactly one input net, whose comb driver ``c`` feeds only
       ``ff`` (otherwise the move would change other fanout timing);
@@ -58,20 +75,22 @@ def _backward_move(netlist: Netlist, placement: Placement, ff: Cell) -> bool:
 
     After the move, ``c`` drives ``ff``'s old output net directly and every
     input of ``c`` is registered by a fresh movable FF placed at ``c``.
+    Returns a :class:`_MoveRecord` for :func:`_undo_backward_move`.
     """
     n_in = _single_input_net(netlist, ff)
     if n_in is None:
-        return False
+        return None
     c = n_in.driver
     if c.is_sequential or c is ff:
-        return False
+        return None
     if any(cell is not ff for cell, _pin in n_in.sinks):
-        return False
+        return None
     n_out = netlist.driver_net_of(ff)
     if n_out is None:
-        return False
+        return None
 
-    input_nets = [net for net in netlist.nets.values() if c in net.sink_cells()]
+    record = _MoveRecord(ff=ff, c=c, n_in=n_in, n_out=n_out)
+    input_nets = netlist.input_nets_of(c)
     for i, net in enumerate(input_nets):
         new_ff = netlist.new_cell(
             f"{ff.name}_bk{i}",
@@ -83,49 +102,87 @@ def _backward_move(netlist: Netlist, placement: Placement, ff: Cell) -> bool:
         )
         cx, cy = placement.pos[c.name]
         placement.put(new_ff, cx, cy, 0.0)
+        record.rewired.append((net, list(net.sinks)))
         net.sinks = [
             (new_ff, pin) if cell is c else (cell, pin) for cell, pin in net.sinks
         ]
-        netlist.connect(f"{net.name}_rt", new_ff, [(c, "i")], kind=net.kind, width=net.width)
+        new_net = netlist.connect(
+            f"{net.name}_rt", new_ff, [(c, "i")], kind=net.kind, width=net.width
+        )
+        record.new_ffs.append(new_ff)
+        record.new_nets.append(new_net)
 
-    del netlist.nets[n_in.name]
+    netlist.remove_net(n_in.name)
     n_out.driver = c
-    del netlist.cells[ff.name]
-    return True
+    netlist.remove_cell(ff.name)
+    return record
+
+
+def _undo_backward_move(
+    netlist: Netlist, placement: Placement, record: _MoveRecord
+) -> None:
+    """Exactly reverse :func:`_apply_backward_move`."""
+    netlist.add_cell(record.ff)
+    record.n_out.driver = record.ff
+    netlist.add_net(record.n_in)
+    for net, old_sinks in record.rewired:
+        net.sinks = old_sinks
+    for new_net in record.new_nets:
+        netlist.remove_net(new_net.name)
+    for new_ff in record.new_ffs:
+        netlist.remove_cell(new_ff.name)
+        placement.remove(new_ff.name)
 
 
 def retime_movable(
     netlist: Netlist,
     placement: Placement,
-    max_moves: int = 16,
+    max_moves: int = 64,
 ) -> Tuple[Netlist, Placement, int]:
     """Greedy accept-if-improves retiming of movable registers.
 
-    Returns ``(netlist, placement, moves)`` — possibly the inputs unchanged
-    when no profitable move exists.
+    One :class:`TimingAnalyzer` persists across trials; each trial applies
+    the move to the live netlist, re-propagates only the damaged cone, and
+    rolls back if the period did not improve.  Returns ``(netlist,
+    placement, moves)`` — the inputs, mutated in place when moves committed.
     """
-    current_nl, current_pl = netlist, placement
+    analyzer = TimingAnalyzer(netlist, placement)
     moves = 0
     for _ in range(max_moves):
-        result = TimingAnalyzer(current_nl, current_pl).analyze()
-        if result.period_ns <= MIN_PERIOD_NS + 1e-9:
+        total, end, _net = analyzer.worst_endpoint()
+        period = max(total, MIN_PERIOD_NS)
+        if period <= MIN_PERIOD_NS + 1e-9:
             break
         # A backward move helps when the critical path *captures* at a
         # movable register: pushing that register toward the path's start
         # moves combinational delay into the (lighter) next cycle.
-        end = current_nl.cells.get(result.endpoint)
-        if end is None or not end.movable:
+        if not end.movable:
             break
         obs.add("physical.retiming_trials", 1)
-        trial_nl = clone_netlist(current_nl)
-        trial_pl = clone_placement(current_pl)
-        if not _backward_move(trial_nl, trial_pl, trial_nl.cells[end.name]):
+        record = _apply_backward_move(netlist, placement, end)
+        if record is None:
             break
-        trial_result = TimingAnalyzer(trial_nl, trial_pl).analyze()
-        if trial_result.period_ns + 1e-9 < result.period_ns:
-            current_nl, current_pl = trial_nl, trial_pl
+        cone = analyzer.update(
+            changed_cells=[record.c.name] + [f.name for f in record.new_ffs],
+            changed_nets=[net.name for net, _old in record.rewired]
+            + [n.name for n in record.new_nets]
+            + [record.n_out.name],
+            removed_cells=[record.ff.name],
+            removed_nets=[record.n_in.name],
+        )
+        obs.observe("retiming.cone_size", cone)
+        new_total, _cell, _n = analyzer.worst_endpoint()
+        if max(new_total, MIN_PERIOD_NS) + 1e-9 < period:
             moves += 1
         else:
+            _undo_backward_move(netlist, placement, record)
+            analyzer.update(
+                changed_cells=[record.c.name, record.ff.name],
+                changed_nets=[net.name for net, _old in record.rewired]
+                + [record.n_in.name, record.n_out.name],
+                removed_cells=[f.name for f in record.new_ffs],
+                removed_nets=[n.name for n in record.new_nets],
+            )
             break
     obs.add("physical.retiming_moves", moves)
-    return current_nl, current_pl, moves
+    return netlist, placement, moves

@@ -15,25 +15,22 @@ the final hop locally.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro import obs
 from repro.physical.placement import Placement
 from repro.rtl.netlist import Cell, CellKind, Net, Netlist
 
 
-def _io_maps(netlist: Netlist) -> Tuple[Dict[str, Net], Dict[str, List[Net]]]:
-    out_net: Dict[str, Net] = {}
-    in_nets: Dict[str, List[Net]] = {}
-    for net in netlist.nets.values():
-        out_net[net.driver.name] = net
-        for cell, _pin in net.sinks:
-            in_nets.setdefault(cell.name, []).append(net)
-    return out_net, in_nets
+def _out_net(netlist: Netlist, cell: Cell) -> Optional[Net]:
+    """Last-registered net driven by ``cell`` (the seed scan's overwrite
+    semantics for multi-output cells)."""
+    driven = netlist.driver_nets_of(cell)
+    return driven[-1] if driven else None
 
 
-def _is_chain_link(cell: Cell, in_nets: Dict[str, List[Net]]) -> bool:
-    """A movable single-input cell is a chain link.
+def _is_chain_link(netlist: Netlist, cell: Cell) -> bool:
+    """A movable single-pin-input cell is a chain link.
 
     Movable FFs are scheduler-inserted registers; movable LOGIC/DSP cells
     are the internal stages of pipelined cores (float units, DSP
@@ -42,7 +39,7 @@ def _is_chain_link(cell: Cell, in_nets: Dict[str, List[Net]]) -> bool:
     return (
         cell.movable
         and cell.kind in (CellKind.FF, CellKind.LOGIC, CellKind.DSP)
-        and len(in_nets.get(cell.name, [])) == 1
+        and len(netlist.input_pins_of(cell)) == 1
     )
 
 
@@ -51,20 +48,20 @@ def spread_movable_chains(netlist: Netlist, placement: Placement) -> int:
 
     Returns the number of registers moved.
     """
-    out_net, in_nets = _io_maps(netlist)
     moved = 0
     visited = set()
     for cell in list(netlist.cells.values()):
-        if not _is_chain_link(cell, in_nets) or cell.name in visited:
+        if not _is_chain_link(netlist, cell) or cell.name in visited:
             continue
         # Walk to the head of this chain.
         head = cell
         while True:
-            driver = in_nets[head.name][0].driver
+            driver = netlist.input_net_of(head).driver
+            driver_out = _out_net(netlist, driver)
             if (
-                _is_chain_link(driver, in_nets)
-                and out_net.get(driver.name) is not None
-                and out_net[driver.name].fanout == 1
+                _is_chain_link(netlist, driver)
+                and driver_out is not None
+                and driver_out.fanout == 1
             ):
                 head = driver
             else:
@@ -72,19 +69,19 @@ def spread_movable_chains(netlist: Netlist, placement: Placement) -> int:
         # Collect the chain forward from the head.
         chain: List[Cell] = [head]
         while True:
-            net = out_net.get(chain[-1].name)
+            net = _out_net(netlist, chain[-1])
             if net is None or net.fanout != 1:
                 break
             nxt = net.sinks[0][0]
-            if _is_chain_link(nxt, in_nets):
+            if _is_chain_link(netlist, nxt):
                 chain.append(nxt)
             else:
                 break
         visited.update(c.name for c in chain)
         if not chain:
             continue
-        source = in_nets[head.name][0].driver
-        tail_net = out_net.get(chain[-1].name)
+        source = netlist.input_net_of(head).driver
+        tail_net = _out_net(netlist, chain[-1])
         if tail_net is None or not tail_net.sinks:
             continue
         sx, sy = placement.pos[source.name]

@@ -8,13 +8,28 @@ cell of 32 LUTs), one cell per pipeline register bank, one per BRAM36, one
 per FIFO controller, and one per FSM/controller.  Net granularity is one net
 per logical signal; a net records its :class:`NetKind` so the timing engine
 can classify critical paths into the paper's broadcast taxonomy.
+
+Connectivity queries are backed by *maintained indexes*: the netlist keeps a
+per-cell ``input_pins`` list (every ``(net, pin)`` the cell sinks) and a
+per-cell driven-net list, updated on every structural mutation —
+:meth:`Netlist.add_net`, :meth:`Net.add_sink`, whole-list ``net.sinks``
+assignment, ``net.driver`` reassignment, :meth:`Netlist.remove_net` and
+:meth:`Netlist.remove_cell`.  Consumers (STA, replication, retiming,
+spreading) therefore never scan ``nets.values()`` to answer "what feeds this
+cell"; a query is O(degree) instead of O(nets × sinks).
+
+Index ordering is load-bearing: per-cell pin lists are kept sorted by net
+*insertion sequence* (ties by position within the net's sink list), which is
+exactly the iteration order the original scan-based queries produced.
+Strict-inequality argmax loops in the timing engine break ties by first-seen
+order, so preserving this order keeps results bit-for-bit identical.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import RTLError
 
@@ -91,47 +106,115 @@ class Cell:
         return f"<Cell {self.name} {self.kind.value}>"
 
 
-@dataclass
 class Net:
     """A signal from one driver cell to one or more sink cells.
 
     Sinks are (cell, pin) pairs; the pin string is informational except that
     distinct pins on the same cell count as distinct physical sinks.
+
+    Once registered in a :class:`Netlist`, structural mutations — appending
+    a sink, replacing the whole sink list, reassigning the driver — notify
+    the owning netlist so its connectivity indexes stay exact.
     """
 
-    name: str
-    driver: Cell
-    sinks: List[Tuple[Cell, str]] = field(default_factory=list)
-    kind: NetKind = NetKind.DATA
-    width: int = 1
+    __slots__ = ("name", "kind", "width", "_driver", "_sinks", "_owner", "_seq")
+
+    def __init__(
+        self,
+        name: str,
+        driver: Cell,
+        sinks: Optional[List[Tuple[Cell, str]]] = None,
+        kind: NetKind = NetKind.DATA,
+        width: int = 1,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.width = width
+        self._driver = driver
+        self._sinks: List[Tuple[Cell, str]] = list(sinks) if sinks else []
+        #: Owning netlist (set by :meth:`Netlist.add_net`).
+        self._owner: Optional["Netlist"] = None
+        #: Registration sequence number within the owner (insertion order).
+        self._seq: int = -1
+
+    # Support pickling despite __slots__ (FlowResults cross process
+    # boundaries in the experiment engine).
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            setattr(self, slot, value)
+
+    @property
+    def driver(self) -> Cell:
+        return self._driver
+
+    @driver.setter
+    def driver(self, cell: Cell) -> None:
+        old = self._driver
+        self._driver = cell
+        if self._owner is not None:
+            self._owner._reindex_driver(self, old, cell)
+
+    @property
+    def sinks(self) -> List[Tuple[Cell, str]]:
+        return self._sinks
+
+    @sinks.setter
+    def sinks(self, new_sinks: List[Tuple[Cell, str]]) -> None:
+        old = self._sinks
+        self._sinks = list(new_sinks)
+        if self._owner is not None:
+            self._owner._reindex_sinks(self, old, self._sinks)
 
     @property
     def fanout(self) -> int:
-        return len(self.sinks)
+        return len(self._sinks)
 
     def add_sink(self, cell: Cell, pin: str = "i") -> None:
-        self.sinks.append((cell, pin))
+        self._sinks.append((cell, pin))
+        if self._owner is not None:
+            self._owner._index_sink(self, cell, pin)
 
     def sink_cells(self) -> List[Cell]:
-        return [cell for cell, _ in self.sinks]
+        return [cell for cell, _ in self._sinks]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Net {self.name} {self.kind.value} f={self.fanout}>"
 
 
 class Netlist:
-    """A named collection of cells and nets with integrity checking."""
+    """A named collection of cells and nets with integrity checking.
+
+    Alongside the ``cells`` and ``nets`` dictionaries, the netlist maintains
+    connectivity indexes (see module docstring).  Mutate structure through
+    the provided APIs (``connect``/``add_net``/``add_sink``/``sinks``
+    setter/``driver`` setter/``remove_net``/``remove_cell``) — raw ``del``
+    on the dictionaries bypasses index maintenance and will be caught by
+    :meth:`validate`.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.cells: Dict[str, Cell] = {}
         self.nets: Dict[str, Net] = {}
+        #: Monotonic registration counter; never reused, so ordering by
+        #: ``Net._seq`` reproduces ``nets`` dict insertion order even after
+        #: removals and re-additions.
+        self._net_counter: int = 0
+        #: cell name -> [(net, pin), ...] sorted by (net seq, sink position).
+        self._input_pins: Dict[str, List[Tuple[Net, str]]] = {}
+        #: cell name -> [net, ...] driven by the cell, sorted by net seq.
+        self._driver_nets: Dict[str, List[Net]] = {}
 
     # -- construction ------------------------------------------------------
     def add_cell(self, cell: Cell) -> Cell:
         if cell.name in self.cells:
             raise RTLError(f"duplicate cell name {cell.name!r} in netlist {self.name!r}")
         self.cells[cell.name] = cell
+        self._input_pins.setdefault(cell.name, [])
+        self._driver_nets.setdefault(cell.name, [])
         return cell
 
     def new_cell(self, name: str, kind: CellKind, **kwargs) -> Cell:
@@ -151,7 +234,44 @@ class Netlist:
         if net.driver.name not in self.cells:
             raise RTLError(f"net {net.name!r} driven by foreign cell {net.driver.name!r}")
         self.nets[net.name] = net
+        net._owner = self
+        net._seq = self._net_counter
+        self._net_counter += 1
+        self._driver_nets.setdefault(net.driver.name, []).append(net)
+        for cell, pin in net.sinks:
+            self._index_sink(net, cell, pin)
         return net
+
+    def remove_net(self, name: str) -> Net:
+        """Unregister a net, keeping the connectivity indexes exact."""
+        net = self.nets.pop(name, None)
+        if net is None:
+            raise RTLError(f"cannot remove unknown net {name!r} from netlist {self.name!r}")
+        net._owner = None
+        driven = self._driver_nets.get(net.driver.name)
+        if driven is not None and net in driven:
+            driven.remove(net)
+        for cell_name in {cell.name for cell, _pin in net.sinks}:
+            pins = self._input_pins.get(cell_name)
+            if pins is not None:
+                self._input_pins[cell_name] = [e for e in pins if e[0] is not net]
+        return net
+
+    def remove_cell(self, name: str) -> Cell:
+        """Unregister a cell; it must no longer drive or sink any net."""
+        cell = self.cells.get(name)
+        if cell is None:
+            raise RTLError(f"cannot remove unknown cell {name!r} from netlist {self.name!r}")
+        if self._driver_nets.get(name):
+            nets = [n.name for n in self._driver_nets[name]]
+            raise RTLError(f"cannot remove cell {name!r}: still drives {nets}")
+        if self._input_pins.get(name):
+            nets = [n.name for n, _pin in self._input_pins[name]]
+            raise RTLError(f"cannot remove cell {name!r}: still sinks {nets}")
+        del self.cells[name]
+        self._input_pins.pop(name, None)
+        self._driver_nets.pop(name, None)
+        return cell
 
     def connect(
         self,
@@ -172,17 +292,75 @@ class Netlist:
             net.add_sink(cell, pin)
         return self.add_net(net)
 
+    # -- index maintenance -------------------------------------------------
+    def _index_sink(self, net: Net, cell: Cell, pin: str) -> None:
+        """Record one new (net, pin) input of ``cell``.
+
+        Appends are O(1) in the common case (the net is the newest the cell
+        has seen); a late ``add_sink`` on an older net triggers a stable
+        re-sort by net sequence to restore scan order.
+        """
+        pins = self._input_pins.setdefault(cell.name, [])
+        pins.append((net, pin))
+        if len(pins) > 1 and pins[-2][0]._seq > net._seq:
+            pins.sort(key=lambda entry: entry[0]._seq)
+
+    def _reindex_sinks(
+        self,
+        net: Net,
+        old_sinks: List[Tuple[Cell, str]],
+        new_sinks: List[Tuple[Cell, str]],
+    ) -> None:
+        """Rebuild per-cell pin lists after a whole-list sink replacement."""
+        affected = {cell.name for cell, _pin in old_sinks}
+        affected.update(cell.name for cell, _pin in new_sinks)
+        for cell_name in affected:
+            pins = [e for e in self._input_pins.get(cell_name, ()) if e[0] is not net]
+            pins.extend(
+                (net, pin) for cell, pin in new_sinks if cell.name == cell_name
+            )
+            pins.sort(key=lambda entry: entry[0]._seq)
+            self._input_pins[cell_name] = pins
+
+    def _reindex_driver(self, net: Net, old: Cell, new: Cell) -> None:
+        driven = self._driver_nets.get(old.name)
+        if driven is not None and net in driven:
+            driven.remove(net)
+        pins = self._driver_nets.setdefault(new.name, [])
+        pins.append(net)
+        if len(pins) > 1 and pins[-2]._seq > net._seq:
+            pins.sort(key=lambda n: n._seq)
+
     # -- queries ----------------------------------------------------------
     def driver_net_of(self, cell: Cell) -> Optional[Net]:
         """The net driven by ``cell``, if any (cells drive at most one net
         in this model; replication keeps that invariant)."""
-        for net in self.nets.values():
-            if net.driver is cell:
-                return net
-        return None
+        driven = self._driver_nets.get(cell.name)
+        return driven[0] if driven else None
+
+    def driver_nets_of(self, cell: Cell) -> List[Net]:
+        """All nets driven by ``cell``, in registration order."""
+        return list(self._driver_nets.get(cell.name, ()))
+
+    def input_pins_of(self, cell: Cell) -> List[Tuple[Net, str]]:
+        """Every (net, pin) input of ``cell``, one entry per physical sink
+        pin, ordered by (net registration, sink position)."""
+        return list(self._input_pins.get(cell.name, ()))
 
     def input_nets_of(self, cell: Cell) -> List[Net]:
-        return [net for net in self.nets.values() if cell in net.sink_cells()]
+        """Unique nets feeding ``cell``, in registration order."""
+        nets: List[Net] = []
+        seen: Set[int] = set()
+        for net, _pin in self._input_pins.get(cell.name, ()):
+            if id(net) not in seen:
+                seen.add(id(net))
+                nets.append(net)
+        return nets
+
+    def input_net_of(self, cell: Cell) -> Optional[Net]:
+        """The first net feeding ``cell`` (registration order), or None."""
+        pins = self._input_pins.get(cell.name)
+        return pins[0][0] if pins else None
 
     def fanout_of(self, cell: Cell) -> int:
         net = self.driver_net_of(cell)
@@ -210,7 +388,36 @@ class Netlist:
                     raise RTLError(f"net {net.name!r}: stale sink {cell.name!r}")
             if net.fanout == 0:
                 raise RTLError(f"net {net.name!r} has no sinks")
+        self._check_indexes()
         self._check_comb_loops()
+
+    def _check_indexes(self) -> None:
+        """Verify the maintained indexes still mirror the net structure —
+        catches raw dict mutation that bypassed the netlist APIs."""
+        driver_counts: Dict[str, int] = {}
+        pin_counts: Dict[str, int] = {}
+        for net in self.nets.values():
+            if net._owner is not self:
+                raise RTLError(f"net {net.name!r} not owned by netlist {self.name!r}")
+            driver_counts[net.driver.name] = driver_counts.get(net.driver.name, 0) + 1
+            if net not in self._driver_nets.get(net.driver.name, ()):
+                raise RTLError(f"net {net.name!r} missing from driver index")
+            for cell, pin in net.sinks:
+                pin_counts[cell.name] = pin_counts.get(cell.name, 0) + 1
+                if not any(
+                    e[0] is net and e[1] == pin
+                    for e in self._input_pins.get(cell.name, ())
+                ):
+                    raise RTLError(
+                        f"net {net.name!r} sink ({cell.name!r}, {pin!r}) "
+                        f"missing from input-pin index"
+                    )
+        for name, driven in self._driver_nets.items():
+            if len(driven) != driver_counts.get(name, 0):
+                raise RTLError(f"driver index for {name!r} has stale entries")
+        for name, pins in self._input_pins.items():
+            if len(pins) != pin_counts.get(name, 0):
+                raise RTLError(f"input-pin index for {name!r} has stale entries")
 
     def _check_comb_loops(self) -> None:
         """Detect combinational cycles (sequential cells break paths)."""

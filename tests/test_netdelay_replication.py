@@ -52,6 +52,23 @@ class TestNetDelayLaw:
         _nl, net, placement, b = two_cell_net(10, fanout_pad=3)
         assert worst_sink_delay(placement, net) >= sink_delay(placement, net, b)
 
+    def test_worst_sink_keeps_control_pin_penalty(self):
+        """worst_sink_delay must pass the pin through, so a far control pin
+        dominates a near data pin."""
+        nl = Netlist("n")
+        a = nl.new_cell("a", CellKind.FF, ffs=1, delay_ns=0.1)
+        m = nl.new_cell("m", CellKind.CTRL, delay_ns=0.25)
+        b = nl.new_cell("b", CellKind.FF, ffs=1, delay_ns=0.1)
+        net = nl.connect("e", a, [(b, "d"), (m, "ce")], kind=NetKind.ENABLE)
+        placement = Placement()
+        placement.put(a, 0, 0)
+        placement.put(b, 1, 0)
+        placement.put(m, 1, 0, radius=20.0)
+        assert worst_sink_delay(placement, net) == pytest.approx(
+            sink_delay(placement, net, m, "ce")
+        )
+        assert worst_sink_delay(placement, net) > sink_delay(placement, net, m)
+
     def test_control_pin_pays_macro_radius(self):
         nl = Netlist("n")
         a = nl.new_cell("a", CellKind.FF, ffs=1, delay_ns=0.1)

@@ -1,0 +1,119 @@
+"""Unit tests for the netlist connectivity indexes.
+
+The maintained ``input_pins``/``driver_nets`` indexes back every hot query
+in the physical layer, so they must stay exact across all mutation paths:
+``connect``, ``add_sink``, whole-list ``sinks`` assignment, ``driver``
+reassignment, ``remove_net`` and ``remove_cell``.  ``validate()`` doubles
+as the consistency oracle.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import RTLError
+from repro.rtl.netlist import Cell, CellKind, Net, NetKind, Netlist
+
+
+def _mini() -> Netlist:
+    nl = Netlist("idx")
+    a = nl.new_cell("a", CellKind.FF, delay_ns=0.1)
+    b = nl.new_cell("b", CellKind.LOGIC, delay_ns=0.2)
+    c = nl.new_cell("c", CellKind.FF, delay_ns=0.1)
+    nl.connect("n_ab", a, [(b, "i0")], kind=NetKind.DATA)
+    nl.connect("n_bc", b, [(c, "d")], kind=NetKind.DATA)
+    return nl
+
+
+class TestQueries:
+    def test_input_and_driver_queries(self):
+        nl = _mini()
+        a, b, c = nl.cells["a"], nl.cells["b"], nl.cells["c"]
+        assert nl.driver_net_of(a).name == "n_ab"
+        assert [n.name for n in nl.driver_nets_of(b)] == ["n_bc"]
+        assert nl.input_pins_of(b) == [(nl.nets["n_ab"], "i0")]
+        assert nl.input_net_of(c).name == "n_bc"
+        assert nl.input_nets_of(a) == []
+        assert nl.fanout_of(a) == 1
+        nl.validate()
+
+    def test_pin_order_follows_net_registration(self):
+        nl = Netlist("order")
+        a = nl.new_cell("a", CellKind.FF)
+        b = nl.new_cell("b", CellKind.FF)
+        sink = nl.new_cell("s", CellKind.LOGIC)
+        n1 = nl.connect("n1", a, [(sink, "i0")])
+        n2 = nl.connect("n2", b, [(sink, "i1")])
+        # A late add_sink on the *older* net must keep seq order.
+        n1.add_sink(sink, "i2")
+        assert [(n.name, p) for n, p in nl.input_pins_of(sink)] == [
+            ("n1", "i0"),
+            ("n1", "i2"),
+            ("n2", "i1"),
+        ]
+        assert [n.name for n in nl.input_nets_of(sink)] == ["n1", "n2"]
+        nl.validate()
+
+
+class TestMutations:
+    def test_sinks_assignment_reindexes(self):
+        nl = _mini()
+        b, c = nl.cells["b"], nl.cells["c"]
+        net = nl.nets["n_ab"]
+        net.sinks = [(c, "d2")]
+        assert nl.input_pins_of(b) == []
+        assert [(n.name, p) for n, p in nl.input_pins_of(c)] == [
+            ("n_ab", "d2"),
+            ("n_bc", "d"),
+        ]
+        nl.validate()
+
+    def test_driver_reassignment_reindexes(self):
+        nl = _mini()
+        a, b = nl.cells["a"], nl.cells["b"]
+        net = nl.nets["n_ab"]
+        d = nl.new_cell("d", CellKind.FF)
+        net.driver = d
+        assert nl.driver_net_of(a) is None
+        assert nl.driver_net_of(d) is net
+        nl.validate()
+
+    def test_remove_net_and_cell(self):
+        nl = _mini()
+        with pytest.raises(RTLError):
+            nl.remove_cell("b")  # still connected
+        nl.remove_net("n_ab")
+        nl.remove_net("n_bc")
+        nl.remove_cell("b")
+        assert "b" not in nl.cells
+        with pytest.raises(RTLError):
+            nl.remove_net("n_ab")  # already gone
+        nl.validate()
+
+    def test_seq_order_survives_remove_and_readd(self):
+        nl = _mini()
+        net = nl.remove_net("n_ab")
+        nl.add_net(net)
+        seqs = [n._seq for n in nl.nets.values()]
+        assert seqs == sorted(seqs)
+        assert list(nl.nets) == ["n_bc", "n_ab"]
+        nl.validate()
+
+    def test_raw_dict_mutation_is_caught(self):
+        nl = _mini()
+        del nl.nets["n_ab"]  # bypasses index maintenance
+        with pytest.raises(RTLError):
+            nl.validate()
+
+
+class TestPickling:
+    def test_netlist_roundtrip(self):
+        nl = _mini()
+        clone = pickle.loads(pickle.dumps(nl))
+        clone.validate()
+        assert [(n.name, n._seq) for n in clone.nets.values()] == [
+            (n.name, n._seq) for n in nl.nets.values()
+        ]
+        assert clone.input_net_of(clone.cells["c"]).name == "n_bc"
