@@ -16,7 +16,16 @@ Commands:
 * ``all [--out report.md]``        — run every experiment, one report
   (``--json report.json`` / ``--trace-out t.json`` for structured output,
   ``--jobs N`` for a parallel run);
-* ``verilog <design> <out.v>``     — emit the generated netlist as Verilog.
+* ``verilog <design> <out.v>``     — emit the generated netlist as Verilog;
+* ``serve``                        — run the flow-compilation daemon
+  (request coalescing, content-addressed result store, fault-tolerant
+  worker processes — see :mod:`repro.service`);
+* ``submit <design> [--wait]``     — submit a compilation to a daemon
+  (exit 0 ok, 1 failed, 3 when the daemon applies backpressure);
+* ``status [job-id]``              — query a daemon's queue/jobs/metrics.
+
+Batch commands (``run`` with several configs, ``all``) exit nonzero when
+*any* job failed, while still reporting every job that completed.
 
 Flow-running commands accept ``--calibration PATH`` to pin the §4.1
 characterization to an explicit file (built there on first use); without
@@ -28,25 +37,20 @@ it the persistent cache under ``$REPRO_CACHE_DIR`` (default
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 
 from repro import Flow, obs
 from repro.analysis import classify_design, diagnose, format_critical_path
-from repro.control.styles import ControlStyle
 from repro.designs import build_design, design_names
-from repro.engine import Engine, FlowJob
+from repro.engine import Engine, FlowFailure, FlowJob
 from repro.errors import ReproError
-from repro.opt import BASELINE, CTRL_ONLY, DATA_ONLY, FULL, OptimizationConfig
+from repro.opt import BASELINE, CONFIG_LABELS
+from repro.service.client import DEFAULT_HOST, DEFAULT_PORT
 
-CONFIGS = {
-    "orig": BASELINE,
-    "data": DATA_ONLY,
-    "ctrl": CTRL_ONLY,
-    "full": FULL,
-    "skid": OptimizationConfig(control=ControlStyle.SKID),
-    "skid_minarea": OptimizationConfig(control=ControlStyle.SKID_MINAREA),
-}
+#: ``--config`` labels (shared with the service; see repro.opt).
+CONFIGS = dict(CONFIG_LABELS)
 
 
 class CliUsageError(ReproError):
@@ -120,11 +124,19 @@ def _cmd_run(args) -> int:
     engine = _engine_for(args)
     tracer = obs.Tracer()
     with obs.activate(tracer):
+        # collect_errors: one bad config point must not eat its siblings'
+        # results — report everything, then exit nonzero below.
         results = engine.run_flows(
-            [FlowJob.make(args.design, config, tag=label) for label, config in configs]
+            [FlowJob.make(args.design, config, tag=label) for label, config in configs],
+            collect_errors=True,
         )
+    failures = [r for r in results if isinstance(r, FlowFailure)]
+    successes = [r for r in results if not isinstance(r, FlowFailure)]
     if not args.json:
         for result in results:
+            if isinstance(result, FlowFailure):
+                print(f"repro: error: {result.describe()}", file=sys.stderr)
+                continue
             print(result.summary())
             if args.verbose:
                 print(format_critical_path(result.timing))
@@ -132,11 +144,14 @@ def _cmd_run(args) -> int:
         print()
         print(obs.render_console(tracer))
     if args.json:
-        print(json.dumps(obs.run_report(tracer, results), indent=2))
+        report = obs.run_report(tracer, successes)
+        if failures:
+            report["failures"] = [failure.record() for failure in failures]
+        print(json.dumps(report, indent=2))
     if args.trace_out:
         obs.write_chrome_trace(args.trace_out, tracer)
         print(f"wrote Chrome trace to {args.trace_out}", file=sys.stderr)
-    return 0
+    return 1 if failures else 0
 
 
 def _cmd_trace(args) -> int:
@@ -199,6 +214,124 @@ def _cmd_verilog(args) -> int:
     result = _flow_for(args).run(design, CONFIGS[args.config])
     write_verilog(result.gen.netlist, args.output)
     print(f"wrote {len(result.gen.netlist.cells)} cells to {args.output}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import FlowService, ResultStore, ServiceServer
+
+    service = FlowService(
+        store=ResultStore(max_entries=args.store_max),
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_attempts=args.max_attempts,
+        job_timeout_s=args.job_timeout,
+    )
+    server = ServiceServer(service, host=args.host, port=args.port)
+
+    async def _main() -> None:
+        await server.start()
+        print(
+            f"repro service listening on http://{server.host}:{server.port} "
+            f"(workers={service.workers}, queue_limit={service.queue_limit}, "
+            f"store={service.store.root})",
+            flush=True,
+        )
+        try:
+            await server.wait_shutdown()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceBusyError, ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        record = client.submit(
+            args.design,
+            config=args.config,
+            priority=args.priority,
+            wait=args.wait,
+            seed=args.seed,
+            calibration_path=args.calibration,
+        )
+    except ServiceBusyError as exc:
+        print(f"repro: busy: {exc}", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        if exc.payload and exc.payload.get("state") == "failed":
+            error = exc.payload.get("error") or {}
+            print(
+                f"repro: error: job {exc.payload.get('id')} failed: "
+                f"{error.get('error_type')}: {error.get('error')}",
+                file=sys.stderr,
+            )
+        else:
+            print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(record, indent=2))
+    else:
+        label = f"{record['id']} {record['design']}[{record['config']}]"
+        if record["state"] == "done":
+            summary = record.get("summary", {})
+            fmax = summary.get("fmax_mhz")
+            fmax_text = f" Fmax={fmax:.0f}MHz" if fmax else ""
+            print(
+                f"{label} done via {record.get('served_from')}{fmax_text} "
+                f"digest={record['digest'][:12]}"
+            )
+        else:
+            print(
+                f"{label} {record['state']} ({record.get('submitted_as')}) "
+                f"digest={record['digest'][:12]}"
+            )
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        document = client.job(args.job_id) if args.job_id else client.status()
+    except ServiceError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 1
+    if args.json or args.job_id:
+        print(json.dumps(document, indent=2))
+        return 0
+    queue = document.get("queue", {})
+    counters = document.get("metrics", {}).get("counters", {})
+    print(
+        f"queue depth {queue.get('depth', 0)}/{queue.get('limit', 0)} "
+        f"(high={queue.get('by_priority', {}).get('high', 0)}, "
+        f"normal={queue.get('by_priority', {}).get('normal', 0)}, "
+        f"low={queue.get('by_priority', {}).get('low', 0)}) "
+        f"workers={document.get('workers')} "
+        f"store entries={document.get('store', {}).get('entries')}"
+    )
+    interesting = (
+        "service.submitted", "service.compiles", "service.result_hits",
+        "service.coalesced", "service.retries", "service.crashes",
+        "service.timeouts", "service.quarantined", "service.rejected",
+    )
+    shown = {name: counters.get(name, 0) for name in interesting if name in counters}
+    if shown:
+        print("  ".join(f"{k.split('.', 1)[1]}={v}" for k, v in shown.items()))
+    for job in document.get("jobs", []):
+        print(
+            f"{job['id']:>9s}  {job['design']}[{job['config']}]  "
+            f"{job['state']:8s} attempts={job['attempts']} "
+            f"served_from={job.get('served_from') or '-'}"
+        )
     return 0
 
 
@@ -307,9 +440,66 @@ def main(argv=None) -> int:
         if args.trace_out:
             obs.write_chrome_trace(args.trace_out, tracer)
             print(f"wrote Chrome trace to {args.trace_out}")
+        if report.failures:
+            for name, error in sorted(report.failures.items()):
+                print(f"repro: error: {name} failed: {error}", file=sys.stderr)
+            return 1
         return 0
 
     p_all.set_defaults(fn=_cmd_all)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the flow-compilation daemon (see repro.service)"
+    )
+    p_serve.add_argument("--host", default=DEFAULT_HOST)
+    p_serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="concurrent worker processes (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="max queued jobs before submissions get HTTP 429 (default 32)",
+    )
+    p_serve.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help="retry budget for crashed/hung workers (default 3)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", type=float, default=600.0, metavar="S",
+        help="per-job wall-clock budget in seconds (default 600)",
+    )
+    p_serve.add_argument(
+        "--store-max", type=int, default=256, metavar="N",
+        help="result-store entry cap before LRU eviction (default 256)",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one compilation to a running daemon"
+    )
+    p_submit.add_argument("design", choices=design_names(include_extra=True))
+    p_submit.add_argument("--config", default="orig", choices=sorted(CONFIGS))
+    p_submit.add_argument(
+        "--priority", default="normal", choices=("high", "normal", "low")
+    )
+    p_submit.add_argument(
+        "--wait", action="store_true", help="block until the job finishes"
+    )
+    p_submit.add_argument("--json", action="store_true")
+    p_submit.add_argument("--host", default=DEFAULT_HOST)
+    p_submit.add_argument("--port", type=int, default=DEFAULT_PORT)
+    _add_flow_options(p_submit, jobs=False)
+    p_submit.set_defaults(fn=_cmd_submit)
+
+    p_status = sub.add_parser("status", help="query a running daemon")
+    p_status.add_argument(
+        "job_id", nargs="?", default=None, help="job id (omit for the overview)"
+    )
+    p_status.add_argument("--json", action="store_true")
+    p_status.add_argument("--host", default=DEFAULT_HOST)
+    p_status.add_argument("--port", type=int, default=DEFAULT_PORT)
+    p_status.set_defaults(fn=_cmd_status)
 
     args = parser.parse_args(argv)
     try:

@@ -31,10 +31,12 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
+from repro import hashing
 from repro.delay.calibrated import CalibrationTable
 from repro.delay.calibration import build_default_calibration
 from repro.errors import ReproError
@@ -50,6 +52,30 @@ try:  # POSIX advisory locks; on platforms without fcntl the lock is a no-op
     import fcntl
 except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
+
+#: Whether the lockless-fallback warning has fired yet (once per process).
+_LOCKLESS_WARNED = False
+
+
+def _warn_lockless_once() -> None:
+    """One warning, first time the lock degrades — not once per call site.
+
+    The cache still works without ``fcntl`` (atomic renames keep readers
+    consistent); what is lost is build-once economy: N cold processes may
+    each pay for their own characterization.  Worth saying once, not worth
+    crashing over, and not worth repeating on every flow run.
+    """
+    global _LOCKLESS_WARNED
+    if _LOCKLESS_WARNED:
+        return
+    _LOCKLESS_WARNED = True
+    warnings.warn(
+        "fcntl is unavailable on this platform; calibration caching falls "
+        "back to lockless best-effort mode (concurrent cold processes may "
+        "each re-characterize instead of sharing one build)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
 
 
 @dataclass(frozen=True)
@@ -69,6 +95,24 @@ class CalibrationProvenance:
             if stored != wanted:
                 diffs[name] = (stored, wanted)
         return diffs
+
+    def digest(self) -> str:
+        """Canonical content digest of this provenance.
+
+        The flow-compilation service folds this into its request digests
+        (see :mod:`repro.service.request`), so a request compiled against
+        one characterization identity can never alias a result compiled
+        against another.  Uses the shared :mod:`repro.hashing` recipe.
+        """
+        return hashing.content_digest(
+            {
+                "kind": "calibration-provenance",
+                "device": self.device,
+                "seed": self.seed,
+                "smooth_passes": self.smooth_passes,
+                "version": self.version,
+            }
+        )
 
 
 def save_calibration(
@@ -193,7 +237,8 @@ def calibration_lock(path: str) -> Iterator[None]:
     platforms without ``fcntl`` the lock degrades to a no-op (the atomic
     rename in :func:`save_calibration` still keeps readers consistent).
     """
-    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+    if fcntl is None:
+        _warn_lockless_once()
         yield
         return
     lock_path = path + ".lock"

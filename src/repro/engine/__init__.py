@@ -19,14 +19,16 @@ Every experiment driver in :mod:`repro.experiments` accepts an
 ``all`` and the table/figure commands.
 """
 
-from repro.engine.jobs import FlowJob, run_flow_job
+from repro.engine.jobs import FlowFailure, FlowJob, run_flow_job
 from repro.engine.merge import graft_trace
-from repro.engine.pool import Engine, default_jobs
+from repro.engine.pool import Engine, default_jobs, ensure_pickle_depth
 
 __all__ = [
     "Engine",
     "FlowJob",
+    "FlowFailure",
     "run_flow_job",
     "graft_trace",
     "default_jobs",
+    "ensure_pickle_depth",
 ]

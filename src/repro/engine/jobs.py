@@ -14,6 +14,7 @@ the worker is cheaper than shipping the IR across the process boundary.
 
 from __future__ import annotations
 
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
@@ -65,6 +66,46 @@ class FlowJob:
         extra = ", ".join(f"{k}={v}" for k, v in self.params)
         suffix = f" ({extra})" if extra else ""
         return f"{self.design}[{self.config.label}]{suffix}"
+
+
+@dataclass(frozen=True)
+class FlowFailure:
+    """One job of a batch that raised instead of producing a result.
+
+    Returned in a job's result slot by ``Engine.run_flows(...,
+    collect_errors=True)``, so one bad ``design × config`` point no longer
+    kills the sibling runs of the batch — the CLI reports every failure and
+    exits nonzero while still printing the results that did complete.
+    """
+
+    job: FlowJob
+    error: str
+    error_type: str
+    traceback: str = ""
+
+    @classmethod
+    def from_exception(cls, job: FlowJob, exc: BaseException) -> "FlowFailure":
+        return cls(
+            job=job,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            traceback="".join(
+                _traceback.format_exception(type(exc), exc, exc.__traceback__)
+            ),
+        )
+
+    def describe(self) -> str:
+        return f"{self.job.describe()} failed: {self.error_type}: {self.error}"
+
+    def record(self) -> Dict[str, Any]:
+        """JSON-ready record (the ``failures`` list of ``--json`` reports)."""
+        return {
+            "design": self.job.design,
+            "config": self.job.config.label,
+            "tag": self.job.tag,
+            "error_type": self.error_type,
+            "error": self.error,
+        }
 
 
 def run_flow_job(flow: "Flow", job: FlowJob) -> "FlowResult":

@@ -30,7 +30,7 @@ import sys
 from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro import obs
-from repro.engine.jobs import FlowJob, run_flow_job
+from repro.engine.jobs import FlowFailure, FlowJob, run_flow_job
 from repro.engine.merge import graft_trace
 from repro.errors import ReproError
 from repro.flow import Flow, FlowResult
@@ -48,9 +48,18 @@ def default_jobs() -> int:
 PICKLE_RECURSION_LIMIT = 50_000
 
 
-def _ensure_pickle_depth() -> None:
+def ensure_pickle_depth() -> None:
+    """Raise the recursion limit so deep FlowResult graphs (de)serialize.
+
+    Used by both pool workers here and the flow service's result store,
+    which pickles the same object graphs to disk.
+    """
     if sys.getrecursionlimit() < PICKLE_RECURSION_LIMIT:
         sys.setrecursionlimit(PICKLE_RECURSION_LIMIT)
+
+
+#: Backwards-compatible private alias (pre-service name).
+_ensure_pickle_depth = ensure_pickle_depth
 
 
 def _pool_context():
@@ -84,7 +93,13 @@ def _run_task(payload: Tuple[int, Any]) -> Tuple[int, Any, "obs.Tracer", int]:
     with obs.activate(tracer):
         if isinstance(task, FlowJob):
             assert _WORKER_FLOW is not None, "worker used before initialization"
-            result: Any = run_flow_job(_WORKER_FLOW, task)
+            # A raising job must come home as data, not as an exception:
+            # letting it propagate would abort the pool iteration in the
+            # parent and throw away every sibling result of the batch.
+            try:
+                result: Any = run_flow_job(_WORKER_FLOW, task)
+            except Exception as exc:
+                result = FlowFailure.from_exception(task, exc)
         else:
             func, item = task
             result = func(item)
@@ -113,12 +128,30 @@ class Engine:
         self.flow = flow or Flow()
 
     # -- public API ------------------------------------------------------
-    def run_flows(self, jobs: Sequence[FlowJob]) -> List[FlowResult]:
-        """Run every job; results are positionally aligned with ``jobs``."""
+    def run_flows(
+        self, jobs: Sequence[FlowJob], collect_errors: bool = False
+    ) -> List[FlowResult]:
+        """Run every job; results are positionally aligned with ``jobs``.
+
+        With ``collect_errors=False`` (the default) the first failing job
+        raises, exactly like a sequential loop would.  With
+        ``collect_errors=True`` a failing job yields a
+        :class:`~repro.engine.jobs.FlowFailure` in its result slot instead,
+        and every other job still runs to completion — the CLI uses this so
+        a partial batch failure reports every outcome and exits nonzero.
+        """
         jobs = list(jobs)
         if self.jobs == 1 or len(jobs) <= 1:
-            return [run_flow_job(self.flow, job) for job in jobs]
-        return self._run_parallel(jobs)
+            results: List[Any] = []
+            for job in jobs:
+                try:
+                    results.append(run_flow_job(self.flow, job))
+                except Exception as exc:
+                    if not collect_errors:
+                        raise
+                    results.append(FlowFailure.from_exception(job, exc))
+            return results
+        return self._run_parallel(jobs, collect_errors=collect_errors)
 
     def map(
         self,
@@ -137,12 +170,14 @@ class Engine:
         return self._run_parallel([(func, item) for item in items])
 
     # -- execution -------------------------------------------------------
-    def _run_parallel(self, tasks: List[Any]) -> List[Any]:
+    def _run_parallel(
+        self, tasks: List[Any], collect_errors: bool = False
+    ) -> List[Any]:
         # Unpickling happens in the pool's result-handler thread, which
         # shares the process-wide recursion limit; raise it before any
         # result can arrive (the limit is never lowered back — lowering it
         # under a live thread would race).
-        _ensure_pickle_depth()
+        ensure_pickle_depth()
         parent = obs.current_tracer()
         workers = min(self.jobs, len(tasks))
         results: List[Any] = [None] * len(tasks)
@@ -163,4 +198,8 @@ class Engine:
             if entry is not None:
                 tracer, pid = entry
                 graft_trace(parent, tracer, worker=pid)
+        if not collect_errors:
+            for result in results:  # earliest submitted failure wins
+                if isinstance(result, FlowFailure):
+                    raise ReproError(result.describe())
         return results

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine import Engine
+from repro.errors import ReproError
 from repro.experiments import (
     format_fig15,
     format_fig16,
@@ -51,6 +52,7 @@ class SummaryReport:
 
     sections: Dict[str, str] = field(default_factory=dict)
     seconds: Dict[str, float] = field(default_factory=dict)
+    failures: Dict[str, str] = field(default_factory=dict)
 
     def render(self) -> str:
         lines: List[str] = [
@@ -60,10 +62,18 @@ class SummaryReport:
         for name, text in self.sections.items():
             lines.append(f"## {name}  ({self.seconds[name]:.0f}s)")
             lines.append("")
-            lines.append(text)
+            if name in self.failures:
+                lines.append(f"**FAILED**: {text}")
+            else:
+                lines.append(text)
             lines.append("")
         total = sum(self.seconds.values())
         lines.append(f"total wall clock: {total:.0f}s")
+        if self.failures:
+            lines.append(
+                f"{len(self.failures)} experiment(s) failed: "
+                + ", ".join(sorted(self.failures))
+            )
         return "\n".join(lines)
 
 
@@ -87,9 +97,16 @@ def run_all(
         if only is not None and name not in only:
             continue
         start = time.time()
-        result = runner(engine=engine)
-        report.sections[name] = formatter(result)
+        try:
+            result = runner(engine=engine)
+            report.sections[name] = formatter(result)
+        except ReproError as exc:
+            # One broken experiment must not eat the rest of the report;
+            # run_all's callers check report.failures for the exit code.
+            report.failures[name] = str(exc)
+            report.sections[name] = str(exc)
         report.seconds[name] = time.time() - start
         if echo:
-            print(f"[{name} done in {report.seconds[name]:.0f}s]")
+            status = "FAILED" if name in report.failures else "done"
+            print(f"[{name} {status} in {report.seconds[name]:.0f}s]")
     return report

@@ -69,6 +69,39 @@ class FlowResult:
     def depth_by_loop(self) -> Dict[str, int]:
         return {f"{k}/{l}": s.depth for (k, l), s in self.schedules.items()}
 
+    def fingerprint(self) -> Dict[str, object]:
+        """The stable, JSON-able identity of this result.
+
+        Everything deterministic a run produces — frequencies, critical
+        path class, resource/utilization numbers, schedule depths, IIs,
+        edit log, netlist size — and nothing that varies between otherwise
+        identical runs (wall clock, traces, object identities).  Two runs
+        of the same request must produce equal fingerprints; the service
+        relies on this to prove a retried job reproduced the original.
+        """
+        return {
+            "design": self.design,
+            "config": self.config_label,
+            "clock_target_mhz": self.clock_target_mhz,
+            "fmax_mhz": self.fmax_mhz,
+            "period_ns": self.period_ns,
+            "critical_path_class": self.timing.path_class.value,
+            "utilization": dict(sorted(self.utilization.items())),
+            "depth_by_loop": self.depth_by_loop,
+            "ii_by_loop": dict(self.ii_by_loop),
+            "schedule_edits": list(self.schedule_edits),
+            "cells": len(self.gen.netlist.cells),
+            "nets": len(self.gen.netlist.nets),
+        }
+
+    def result_digest(self) -> str:
+        """Canonical digest of :meth:`fingerprint` (see :mod:`repro.hashing`)."""
+        from repro import hashing
+
+        return hashing.content_digest(
+            {"schema": "repro-flow-result/1", **self.fingerprint()}
+        )
+
     def summary(self) -> str:
         # Partial resource reports (e.g. a device with no DSP column) may
         # omit keys; treat missing kinds as unused rather than raising.

@@ -1,0 +1,80 @@
+"""Canonical hashing — one deterministic digest recipe for every cacheable
+artifact in the repository.
+
+Both persistent caches key their entries by content, not by position:
+
+* :mod:`repro.delay.cache` identifies a calibration table by its
+  *provenance* (device, seed, smoothing, format version);
+* :mod:`repro.service` identifies a flow-compilation request by everything
+  that can change its result (design, builder params, optimization config,
+  clock target, seed, calibration provenance) and a finished
+  :class:`~repro.flow.FlowResult` by its stable outputs.
+
+All of them funnel through :func:`content_digest` so the recipe is written
+exactly once.  Two properties matter:
+
+1. **Process independence.**  Python's builtin ``hash()`` is salted per
+   process (``PYTHONHASHSEED``); these digests must name files shared
+   between a daemon, its worker processes, and later sessions, so they are
+   SHA-256 over a canonical JSON encoding instead.
+2. **Canonical encoding.**  Keys are sorted, separators are fixed, ASCII
+   is forced, and only JSON-expressible values (plus tuples) are accepted
+   — anything else raises instead of silently hashing ``repr`` noise that
+   could differ between runs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_json", "content_digest"]
+
+
+def _reject_unknown(value: Any) -> Any:
+    raise TypeError(
+        f"refusing to hash non-canonical value of type {type(value).__name__}: "
+        f"{value!r} (convert it to plain str/int/float/bool/None/list/dict first)"
+    )
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON encoding of ``obj``.
+
+    Deterministic across processes and sessions: sorted keys, fixed
+    separators, ASCII-only.  Tuples encode as lists (``json`` does this
+    natively); any value JSON cannot express raises ``TypeError`` rather
+    than degrading to an unstable ``repr``.
+    """
+    _check_keys(obj)
+    return json.dumps(
+        obj,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+        default=_reject_unknown,
+    )
+
+
+def _check_keys(obj: Any) -> None:
+    """Reject non-string dict keys: ``json`` would coerce them (``1`` and
+    ``"1"`` collide) and ``sort_keys`` across mixed types is py-version
+    dependent — both break digest stability."""
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"canonical JSON requires str keys, got {type(key).__name__}: {key!r}"
+                )
+            _check_keys(value)
+    elif isinstance(obj, (list, tuple)):
+        for item in obj:
+            _check_keys(item)
+
+
+def content_digest(obj: Any) -> str:
+    """Hex SHA-256 of :func:`canonical_json`\\ ``(obj)`` — the one digest
+    recipe shared by the calibration cache and the flow service."""
+    return hashlib.sha256(canonical_json(obj).encode("ascii")).hexdigest()

@@ -60,3 +60,14 @@ CTRL_ONLY = OptimizationConfig(
 SKID_NAIVE = OptimizationConfig(
     broadcast_aware=True, sync_pruning=True, control=ControlStyle.SKID
 )
+
+#: The named configurations user-facing surfaces accept (the CLI's
+#: ``--config`` labels and the flow service's ``"config"`` field).
+CONFIG_LABELS = {
+    "orig": BASELINE,
+    "data": DATA_ONLY,
+    "ctrl": CTRL_ONLY,
+    "full": FULL,
+    "skid": OptimizationConfig(control=ControlStyle.SKID),
+    "skid_minarea": OptimizationConfig(control=ControlStyle.SKID_MINAREA),
+}

@@ -1,0 +1,194 @@
+"""Python client for the flow-compilation daemon.
+
+Stdlib-only (``http.client``), one connection per call — the service's
+clients are CLIs, CI scripts and benchmark harnesses, not long-lived
+connection pools.
+
+Error mapping mirrors the daemon's backpressure semantics:
+
+* HTTP 429 → :class:`ServiceBusyError` (the CLI exits 3 — "try later");
+* any other non-2xx → :class:`ServiceError` carrying the status code;
+* connection failures → :class:`ServiceError` with status 0.
+
+Because daemon, workers and clients share one machine (and one
+``$REPRO_CACHE_DIR``), :meth:`ServiceClient.load_result` can rehydrate the
+full :class:`~repro.flow.FlowResult` of any completed job straight from
+the content-addressed store — the HTTP surface only ever carries light
+JSON records.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Dict, Optional
+
+from repro.errors import ReproError
+from repro.flow import FlowResult
+from repro.service.store import ResultStore
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8973
+
+
+class ServiceError(ReproError):
+    """A request to the daemon failed; ``status`` holds the HTTP code
+    (0 when the daemon was unreachable)."""
+
+    def __init__(
+        self,
+        message: str,
+        status: int = 0,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceBusyError(ServiceError):
+    """The daemon applied backpressure (HTTP 429): queue full, retry later."""
+
+
+class ServiceClient:
+    """Talks to one ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: float = 600.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        body = json.dumps(payload).encode() if payload is not None else None
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request(
+                method,
+                path,
+                body=body,
+                headers={"Content-Type": "application/json"} if body else {},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach repro service at {self.host}:{self.port}: {exc}",
+                status=0,
+            ) from exc
+        finally:
+            conn.close()
+        try:
+            document = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                f"malformed response from service ({response.status}): {exc}",
+                status=response.status,
+            ) from exc
+        if response.status >= 400:
+            error = document.get("error", f"HTTP {response.status}")
+            if not isinstance(error, str):  # e.g. a failed job's structured record
+                error = json.dumps(error)
+            cls = ServiceBusyError if response.status == 429 else ServiceError
+            raise cls(error, status=response.status, payload=document)
+        return document
+
+    # -- probes ----------------------------------------------------------
+    def ping(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except ServiceError:
+            return False
+
+    def wait_ready(self, timeout: float = 15.0, interval: float = 0.1) -> None:
+        """Poll ``/healthz`` until the daemon answers (or raise)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.ping():
+                return
+            time.sleep(interval)
+        raise ServiceError(
+            f"repro service at {self.host}:{self.port} not ready after {timeout}s"
+        )
+
+    # -- API -------------------------------------------------------------
+    def submit(
+        self,
+        design: str,
+        config: Any = "orig",
+        params: Optional[Dict[str, Any]] = None,
+        priority: str = "normal",
+        wait: bool = False,
+        wait_timeout_s: Optional[float] = None,
+        timeout_s: Optional[float] = None,
+        clock_mhz: Optional[float] = None,
+        seed: int = 2020,
+        calibration_path: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        """Submit one compilation; returns the job record.
+
+        The record's ``submitted_as`` field says how this submission was
+        admitted (``queued`` / ``coalesced`` / ``store``); with
+        ``wait=True`` the call blocks until the job finishes.  A failed
+        job under ``wait`` raises :class:`ServiceError` (status 500) with
+        the daemon's structured error message.
+        """
+        payload: Dict[str, Any] = {
+            "design": design,
+            "config": config,
+            "params": params or {},
+            "priority": priority,
+            "seed": seed,
+            "wait": wait,
+        }
+        if wait_timeout_s is not None:
+            payload["wait_timeout_s"] = wait_timeout_s
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
+        if clock_mhz is not None:
+            payload["clock_mhz"] = clock_mhz
+        if calibration_path is not None:
+            payload["calibration_path"] = calibration_path
+        return self._request("POST", "/submit", payload)
+
+    def status(self) -> Dict[str, Any]:
+        return self._request("GET", "/status")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait_job(
+        self, job_id: str, timeout: float = 600.0, interval: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll ``/jobs/<id>`` until it reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record.get("state") in ("done", "failed", "aborted"):
+                return record
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record.get('state')!r} after {timeout}s"
+                )
+            time.sleep(interval)
+
+    def load_result(
+        self, digest: str, store: Optional[ResultStore] = None
+    ) -> Optional[FlowResult]:
+        """Rehydrate a full :class:`FlowResult` from the shared local store."""
+        return (store if store is not None else ResultStore()).load_result(digest)
+
+    def shutdown(self) -> None:
+        try:
+            self._request("POST", "/shutdown")
+        except ServiceError as exc:
+            if exc.status != 0:  # unreachable == already down
+                raise

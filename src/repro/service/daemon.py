@@ -1,0 +1,534 @@
+"""The flow-compilation daemon: an asyncio job queue over worker processes.
+
+:class:`FlowService` is the long-lived heart of ``repro serve``.  It takes
+:class:`~repro.service.request.FlowRequest` submissions and guarantees:
+
+* **Request coalescing** — N concurrent submissions of the same request
+  digest share one compile; later arrivals attach to the in-flight job
+  (counter ``service.coalesced``).
+* **Result reuse** — a request whose digest is already in the
+  content-addressed :class:`~repro.service.store.ResultStore` completes
+  instantly without compiling (counter ``service.result_hits``).
+* **Backpressure** — the queue is bounded; a submission beyond the bound
+  raises :class:`QueueFullError`, which the HTTP front end maps to 429 and
+  the CLI to exit code 3.  Nothing queues unboundedly.
+* **Priority lanes** — ``high`` / ``normal`` / ``low`` deques; the
+  dispatcher always drains the highest non-empty lane first.
+* **Fault tolerance** — every job runs in its own worker process.  A
+  worker that crashes (nonzero exit, SIGKILL, silence on the pipe) is
+  retried with exponential backoff up to ``max_attempts``; a worker that
+  hangs past the per-job timeout is killed and retried the same way.  A
+  job whose flow raises *cleanly* is deterministic poison — it is not
+  retried but quarantined immediately with a structured error record
+  under ``$REPRO_CACHE_DIR/quarantine/``, as is a job that exhausts its
+  retries.
+
+Observability: the service owns a :class:`~repro.obs.tracer.Tracer`.  Each
+job contributes a ``service.job`` span (queue wait, attempts, outcome) and
+the worker's own flow spans are grafted in with their PID lane, so a
+daemon trace reads exactly like an engine run's.  Gauges/counters:
+``service.queue_depth``, ``service.submitted``, ``service.compiles``,
+``service.result_hits``, ``service.coalesced``, ``service.retries``,
+``service.crashes``, ``service.timeouts``, ``service.quarantined``,
+``service.rejected``.
+
+Threading contract: all public methods must be called on the event loop
+that ran :meth:`FlowService.start` (the HTTP server does; tests drive it
+inside ``asyncio.run``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import multiprocessing
+import os
+import tempfile
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.delay.cache import default_cache_dir
+from repro.designs import design_names
+from repro.engine.merge import graft_trace
+from repro.errors import ReproError
+from repro.service.request import FlowRequest
+from repro.service.store import ResultStore
+from repro.service.worker import worker_entry
+
+#: Dispatch order of the priority lanes.
+PRIORITIES = ("high", "normal", "low")
+
+#: Version tag of quarantine records.
+QUARANTINE_SCHEMA = "repro-quarantine/1"
+
+#: Poll interval of the worker-process supervisor (s).
+SUPERVISE_TICK_S = 0.02
+
+
+class QueueFullError(ReproError):
+    """The bounded queue rejected a submission (HTTP 429, CLI exit 3)."""
+
+
+class UnknownJobError(ReproError):
+    """A status query named a job id the daemon has never seen."""
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:  # fast + inherits warm calibration memo
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+@dataclass
+class Job:
+    """One queued/running/finished compilation inside the daemon."""
+
+    id: str
+    request: FlowRequest
+    digest: str
+    priority: str = "normal"
+    state: str = "queued"  # queued|running|retrying|done|failed|aborted
+    served_from: Optional[str] = None  # compile|store|None
+    attempts: int = 0
+    coalesced: int = 0
+    worker_pid: Optional[int] = None
+    timeout_s: Optional[float] = None
+    result_digest: Optional[str] = None
+    summary: Dict[str, Any] = field(default_factory=dict)
+    error: Optional[Dict[str, Any]] = None
+    created_s: float = field(default_factory=time.time)
+    started_s: Optional[float] = None
+    finished_s: Optional[float] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    span: Optional[obs.Span] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.state in ("done", "failed", "aborted")
+
+    def record(self) -> Dict[str, Any]:
+        """JSON-safe view served by ``/jobs/<id>`` and ``repro status``."""
+        return {
+            "id": self.id,
+            "design": self.request.design,
+            "config": self.request.config.label,
+            "params": {str(k): v for k, v in self.request.params},
+            "seed": self.request.seed,
+            "digest": self.digest,
+            "priority": self.priority,
+            "state": self.state,
+            "served_from": self.served_from,
+            "attempts": self.attempts,
+            "coalesced": self.coalesced,
+            "worker_pid": self.worker_pid,
+            "result_digest": self.result_digest,
+            "summary": dict(self.summary),
+            "error": self.error,
+            "created_s": self.created_s,
+            "started_s": self.started_s,
+            "finished_s": self.finished_s,
+        }
+
+
+class FlowService:
+    """The request-coalescing, fault-tolerant flow-compilation queue.
+
+    Args:
+        store: Result store (defaults to ``$REPRO_CACHE_DIR/results``).
+        workers: Concurrent worker processes (dispatcher tasks).
+        queue_limit: Max *queued* (not yet running) jobs before
+            submissions are rejected with :class:`QueueFullError`.
+        max_attempts: Attempt cap per job; crashes/timeouts retry until it.
+        backoff_s / backoff_cap_s: Exponential retry backoff
+            (``backoff_s * 2**(attempt-1)``, capped).
+        job_timeout_s: Default per-job wall-clock budget; a worker alive
+            past it is killed and the attempt counted as a timeout.
+        quarantine_dir: Where poison-job records land.
+        tracer: Observability sink (a private one is created by default).
+        entry: Worker process target — overridable so tests can wrap
+            :func:`~repro.service.worker.worker_entry` with fault hooks.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 2,
+        queue_limit: int = 32,
+        max_attempts: int = 3,
+        backoff_s: float = 0.25,
+        backoff_cap_s: float = 5.0,
+        job_timeout_s: float = 600.0,
+        quarantine_dir: Optional[str] = None,
+        tracer: Optional[obs.Tracer] = None,
+        entry: Optional[Callable] = None,
+    ) -> None:
+        if workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if queue_limit < 0:
+            raise ReproError(f"queue_limit must be >= 0, got {queue_limit}")
+        if max_attempts < 1:
+            raise ReproError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.store = store if store is not None else ResultStore()
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self.job_timeout_s = job_timeout_s
+        self.quarantine_dir = quarantine_dir or os.path.join(
+            default_cache_dir(), "quarantine"
+        )
+        self.tracer = tracer or obs.Tracer()
+        self._entry = entry or worker_entry
+        self._lanes: Dict[str, Deque[Job]] = {p: deque() for p in PRIORITIES}
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}
+        self._procs: Dict[str, Any] = {}
+        self._ids = itertools.count(1)
+        self._work_available = asyncio.Event()
+        self._tasks: List[asyncio.Task] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the dispatcher tasks (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self._tasks = [
+            asyncio.create_task(self._worker_loop(), name=f"repro-service-w{i}")
+            for i in range(self.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Cancel dispatchers, kill live worker processes, release waiters."""
+        for task in self._tasks:
+            task.cancel()
+        for task in self._tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._tasks = []
+        self._started = False
+        for proc in list(self._procs.values()):
+            try:
+                proc.kill()
+            except Exception:
+                pass
+        self._procs.clear()
+        for job in self._jobs.values():
+            if not job.finished:
+                job.state = "aborted"
+                self._finish_span(job)
+                job.done.set()
+        self._inflight.clear()
+        for lane in self._lanes.values():
+            lane.clear()
+        self._set_queue_gauge()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: FlowRequest,
+        priority: str = "normal",
+        timeout_s: Optional[float] = None,
+    ) -> Tuple[Job, str]:
+        """Admit one request; returns ``(job, how)`` with ``how`` one of
+        ``"store"`` (instant result-store hit), ``"coalesced"`` (attached
+        to an identical in-flight job) or ``"queued"``.
+
+        Raises :class:`QueueFullError` when the bounded queue is full and
+        :class:`ReproError` for an unknown design or priority.
+        """
+        if priority not in PRIORITIES:
+            raise ReproError(
+                f"unknown priority {priority!r}; valid: {', '.join(PRIORITIES)}"
+            )
+        if request.design not in design_names(include_extra=True):
+            raise ReproError(
+                f"unknown design {request.design!r}; valid designs: "
+                f"{', '.join(design_names(include_extra=True))}"
+            )
+        digest = request.digest()
+
+        existing = self._inflight.get(digest)
+        if existing is not None:
+            existing.coalesced += 1
+            self.tracer.add("service.coalesced")
+            return existing, "coalesced"
+
+        stored = self.store.get(digest)
+        if stored is not None:
+            job = self._new_job(request, digest, priority)
+            job.state = "done"
+            job.served_from = "store"
+            job.result_digest = stored.result_digest
+            job.summary = dict(stored.summary)
+            job.started_s = job.finished_s = time.time()
+            job.done.set()
+            self.tracer.add("service.result_hits")
+            return job, "store"
+
+        if self._queued_count() >= self.queue_limit:
+            self.tracer.add("service.rejected")
+            raise QueueFullError(
+                f"queue is full ({self._queued_count()}/{self.queue_limit} "
+                f"queued); retry later"
+            )
+
+        job = self._new_job(request, digest, priority)
+        job.timeout_s = timeout_s
+        self._inflight[digest] = job
+        self._lanes[priority].append(job)
+        self.tracer.add("service.submitted")
+        self._set_queue_gauge()
+        self._work_available.set()
+        return job, "queued"
+
+    async def wait(self, job: Job, timeout: Optional[float] = None) -> Job:
+        """Block until ``job`` finishes (or ``asyncio.TimeoutError``)."""
+        if timeout is None:
+            await job.done.wait()
+        else:
+            await asyncio.wait_for(job.done.wait(), timeout)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise UnknownJobError(f"unknown job id {job_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self, jobs_limit: int = 50) -> Dict[str, Any]:
+        """The ``/status`` document: queue, metrics, store, recent jobs."""
+        records = [job.record() for job in self._jobs.values()]
+        return {
+            "schema": "repro-service-status/1",
+            "queue": {
+                "depth": self._queued_count(),
+                "limit": self.queue_limit,
+                "by_priority": {p: len(self._lanes[p]) for p in PRIORITIES},
+            },
+            "workers": self.workers,
+            "inflight": len(self._inflight),
+            "jobs": records[-jobs_limit:],
+            "metrics": self.tracer.aggregate_metrics().to_dict(),
+            "store": {"root": self.store.root, "entries": len(self.store)},
+            "quarantine_dir": self.quarantine_dir,
+        }
+
+    def counter(self, name: str) -> float:
+        """Convenience for tests/CI: one aggregated counter value."""
+        return self.tracer.aggregate_metrics().counter(name)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _new_job(self, request: FlowRequest, digest: str, priority: str) -> Job:
+        job = Job(
+            id=f"job-{next(self._ids):04d}",
+            request=request,
+            digest=digest,
+            priority=priority,
+        )
+        span = obs.Span(
+            name="service.job",
+            attrs={
+                "job_id": job.id,
+                "design": request.design,
+                "config": request.config.label,
+                "digest": digest,
+                "priority": priority,
+            },
+            start_s=self.tracer._now(),
+        )
+        self.tracer.roots.append(span)
+        job.span = span
+        self._jobs[job.id] = job
+        return job
+
+    def _queued_count(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def _set_queue_gauge(self) -> None:
+        self.tracer.set_gauge("service.queue_depth", self._queued_count())
+        self.tracer.set_gauge("service.inflight", len(self._inflight))
+
+    def _pop_job(self) -> Optional[Job]:
+        for priority in PRIORITIES:
+            lane = self._lanes[priority]
+            if lane:
+                job = lane.popleft()
+                self._set_queue_gauge()
+                return job
+        return None
+
+    async def _worker_loop(self) -> None:
+        while True:
+            job = self._pop_job()
+            if job is None:
+                self._work_available.clear()
+                await self._work_available.wait()
+                continue
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        job.started_s = time.time()
+        if job.span is not None:
+            job.span.set("queue_wait_s", round(job.started_s - job.created_s, 4))
+        attempt = 0
+        while True:
+            attempt += 1
+            job.attempts = attempt
+            kind, payload, exitcode = await self._run_attempt(job)
+
+            if kind == "ok":
+                tracer = payload.pop("tracer", None)
+                if tracer is not None:
+                    graft_trace(self.tracer, tracer, worker=payload.get("pid"))
+                job.served_from = "compile"
+                job.result_digest = payload.get("result_digest")
+                job.summary = dict(payload.get("summary") or {})
+                self.tracer.add("service.compiles")
+                if payload.get("evicted"):
+                    self.tracer.add("service.store_evictions", payload["evicted"])
+                self._finish(job, "done")
+                return
+
+            if kind == "error":
+                # The flow raised cleanly: deterministic poison.  Retrying
+                # would reproduce the same exception, so quarantine now.
+                job.error = {
+                    "error_type": payload.get("error_type", "Exception"),
+                    "error": payload.get("error", ""),
+                    "traceback": payload.get("traceback", ""),
+                }
+                self._quarantine(job, reason="error")
+                self._finish(job, "failed")
+                return
+
+            # Crash (silent death / signal) or timeout (killed by us).
+            self.tracer.add(
+                "service.timeouts" if kind == "timeout" else "service.crashes"
+            )
+            job.error = {
+                "error_type": "WorkerTimeout" if kind == "timeout" else "WorkerCrash",
+                "error": (
+                    f"worker attempt {attempt} "
+                    + ("exceeded its deadline" if kind == "timeout" else "died")
+                    + f" (exitcode={exitcode})"
+                ),
+            }
+            if attempt >= self.max_attempts:
+                self._quarantine(job, reason=kind)
+                self._finish(job, "failed")
+                return
+            self.tracer.add("service.retries")
+            delay = min(self.backoff_cap_s, self.backoff_s * (2 ** (attempt - 1)))
+            job.state = "retrying"
+            await asyncio.sleep(delay)
+            job.state = "running"
+
+    async def _run_attempt(
+        self, job: Job
+    ) -> Tuple[str, Dict[str, Any], Optional[int]]:
+        """One worker process: returns ``(kind, payload, exitcode)`` with
+        ``kind`` in ``ok | error | crash | timeout``."""
+        ctx = _mp_context()
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=self._entry,
+            args=(job.request.to_dict(), self.store.root, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        job.worker_pid = proc.pid
+        self._procs[job.id] = proc
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + (job.timeout_s or self.job_timeout_s)
+        payload: Optional[Dict[str, Any]] = None
+        timed_out = False
+        try:
+            while True:
+                if parent_conn.poll():
+                    try:
+                        payload = parent_conn.recv()
+                    except Exception:
+                        payload = None  # half-written message from a corpse
+                    break
+                if not proc.is_alive():
+                    break
+                if loop.time() >= deadline:
+                    timed_out = True
+                    proc.kill()
+                    break
+                await asyncio.sleep(SUPERVISE_TICK_S)
+            await loop.run_in_executor(None, proc.join, 5)
+            exitcode = proc.exitcode
+        finally:
+            self._procs.pop(job.id, None)
+            parent_conn.close()
+        if payload is not None and payload.get("ok"):
+            return "ok", payload, exitcode
+        if payload is not None:
+            return "error", payload, exitcode
+        return ("timeout" if timed_out else "crash"), {}, exitcode
+
+    def _finish(self, job: Job, state: str) -> None:
+        job.state = state
+        job.finished_s = time.time()
+        if self._inflight.get(job.digest) is job:
+            del self._inflight[job.digest]
+        self._set_queue_gauge()
+        self._finish_span(job)
+        job.done.set()
+
+    def _finish_span(self, job: Job) -> None:
+        if job.span is None or job.span.end_s is not None:
+            return
+        job.span.end_s = self.tracer._now()
+        job.span.set("state", job.state)
+        job.span.set("attempts", job.attempts)
+        job.span.set("coalesced", job.coalesced)
+        if job.served_from:
+            job.span.set("served_from", job.served_from)
+        if job.result_digest:
+            job.span.set("result_digest", job.result_digest)
+
+    def _quarantine(self, job: Job, reason: str) -> None:
+        """Write the structured poison-job record (atomic, like the store)."""
+        record = {
+            "schema": QUARANTINE_SCHEMA,
+            "job_id": job.id,
+            "digest": job.digest,
+            "request": job.request.to_dict(),
+            "reason": reason,  # error | crash | timeout
+            "attempts": job.attempts,
+            "error": job.error,
+            "quarantined_s": time.time(),
+        }
+        try:
+            os.makedirs(self.quarantine_dir, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.quarantine_dir, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, os.path.join(self.quarantine_dir, f"{job.digest}.json"))
+        except OSError:
+            pass  # quarantine is best-effort forensics; the job record has it all
+        self.tracer.add("service.quarantined")

@@ -1,0 +1,192 @@
+"""Canonical flow-compilation requests.
+
+A :class:`FlowRequest` names everything that can change the outcome of one
+flow run — and nothing else:
+
+* the design (registry name + builder params, like
+  :class:`~repro.engine.jobs.FlowJob`);
+* the :class:`~repro.opt.OptimizationConfig` (which paper techniques run);
+* the clock target override and the placement/characterization seed;
+* the §4.1 calibration provenance (seed, smoothing, cache format version,
+  and the explicit table path if one is pinned).
+
+:meth:`FlowRequest.digest` hashes the canonical encoding of all of it with
+the shared :mod:`repro.hashing` recipe, so the digest is identical across
+processes, machines and sessions, and *any* field change — including a
+calibration-provenance change that would alter downstream schedules —
+produces a different digest.  That digest is the key of the
+content-addressed result store and the coalescing identity of the daemon's
+job queue: two clients asking for the same digest share one compile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro import hashing
+from repro.control.styles import ControlStyle
+from repro.delay.cache import FORMAT_VERSION, CalibrationProvenance
+from repro.errors import ReproError
+from repro.opt import BASELINE, CONFIG_LABELS, OptimizationConfig
+
+#: Version tag of the canonical request encoding.  Bumping it invalidates
+#: every stored result, which is exactly what a format change must do.
+REQUEST_SCHEMA = "repro-flow-request/1"
+
+#: Smoothing passes the flow requests from the §4.1 characterization
+#: (mirrors :attr:`repro.flow.Flow.SMOOTH_PASSES`; kept literal here so a
+#: request encodes its provenance without importing the flow).
+DEFAULT_SMOOTH_PASSES = 1
+
+
+def config_to_dict(config: OptimizationConfig) -> Dict[str, Any]:
+    """The canonical (JSON-able, hash-stable) encoding of a config."""
+    return {
+        "broadcast_aware": bool(config.broadcast_aware),
+        "sync_pruning": bool(config.sync_pruning),
+        "control": config.control.value,
+    }
+
+
+def config_from_spec(spec: Any) -> OptimizationConfig:
+    """Turn a wire-format config spec into an :class:`OptimizationConfig`.
+
+    Accepts a label from :data:`repro.opt.CONFIG_LABELS` (``"orig"``,
+    ``"full"``, ...), a dict as produced by :func:`config_to_dict`, or an
+    already-built config (passed through).
+    """
+    if isinstance(spec, OptimizationConfig):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return CONFIG_LABELS[spec]
+        except KeyError:
+            raise ReproError(
+                f"unknown config {spec!r}; valid configs: "
+                f"{', '.join(sorted(CONFIG_LABELS))}"
+            ) from None
+    if isinstance(spec, dict):
+        try:
+            return OptimizationConfig(
+                broadcast_aware=bool(spec.get("broadcast_aware", False)),
+                sync_pruning=bool(spec.get("sync_pruning", False)),
+                control=ControlStyle(spec.get("control", ControlStyle.STALL.value)),
+            )
+        except ValueError as exc:
+            raise ReproError(f"bad config spec {spec!r}: {exc}") from exc
+    raise ReproError(f"bad config spec of type {type(spec).__name__}: {spec!r}")
+
+
+@dataclass(frozen=True)
+class FlowRequest:
+    """One flow compilation, canonically described.
+
+    Attributes:
+        design: Registry name (see :func:`repro.designs.build_design`).
+        config: The optimization techniques to apply.
+        params: Design-builder kwargs as a sorted ``(name, value)`` tuple
+            (hashable, canonical ordering).
+        clock_mhz: HLS clock-target override; ``None`` uses the design's.
+        seed: Placement *and* characterization seed (a seeded flow is
+            seeded end to end — see :class:`repro.flow.Flow`).
+        smooth_passes: Smoothing passes of the §4.1 characterization.
+        calibration_path: Explicit calibration file to pin, or ``None`` for
+            the automatic provenance-keyed cache path.
+    """
+
+    design: str
+    config: OptimizationConfig = BASELINE
+    params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
+    clock_mhz: Optional[float] = None
+    seed: int = 2020
+    smooth_passes: int = DEFAULT_SMOOTH_PASSES
+    calibration_path: Optional[str] = None
+
+    @classmethod
+    def make(
+        cls,
+        design: str,
+        config: Any = BASELINE,
+        clock_mhz: Optional[float] = None,
+        seed: int = 2020,
+        smooth_passes: int = DEFAULT_SMOOTH_PASSES,
+        calibration_path: Optional[str] = None,
+        **params: Any,
+    ) -> "FlowRequest":
+        return cls(
+            design=design,
+            config=config_from_spec(config),
+            params=tuple(sorted(params.items())),
+            clock_mhz=None if clock_mhz is None else float(clock_mhz),
+            seed=int(seed),
+            smooth_passes=int(smooth_passes),
+            calibration_path=calibration_path,
+        )
+
+    # -- views -----------------------------------------------------------
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def provenance_dict(self) -> Dict[str, Any]:
+        """The calibration identity this request would compile against.
+
+        The device half of a full :class:`CalibrationProvenance` is a
+        function of ``design`` + ``params`` (already hashed); the rest —
+        seed, smoothing, cache format version, pinned path — is recorded
+        here so a provenance change always changes the request digest.
+        """
+        return {
+            "seed": self.seed,
+            "smooth_passes": self.smooth_passes,
+            "version": FORMAT_VERSION,
+            "path": self.calibration_path,
+        }
+
+    def provenance_for(self, device: str) -> CalibrationProvenance:
+        """The full provenance once the design's device is known."""
+        return CalibrationProvenance(
+            device=device, seed=self.seed, smooth_passes=self.smooth_passes
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical wire/hash encoding (round-trips via :meth:`from_dict`)."""
+        return {
+            "design": self.design,
+            "config": config_to_dict(self.config),
+            "params": {str(k): v for k, v in self.params},
+            "clock_mhz": self.clock_mhz,
+            "seed": self.seed,
+            "calibration": self.provenance_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FlowRequest":
+        try:
+            calibration = dict(payload.get("calibration") or {})
+            return cls.make(
+                str(payload["design"]),
+                config=payload.get("config", "orig"),
+                clock_mhz=payload.get("clock_mhz"),
+                seed=int(payload.get("seed", 2020)),
+                smooth_passes=int(
+                    calibration.get("smooth_passes", DEFAULT_SMOOTH_PASSES)
+                ),
+                calibration_path=calibration.get("path"),
+                **dict(payload.get("params") or {}),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"bad flow request payload: {exc}") from exc
+
+    def digest(self) -> str:
+        """The content digest this request is stored and coalesced under."""
+        return hashing.content_digest({"schema": REQUEST_SCHEMA, **self.to_dict()})
+
+    def with_seed(self, seed: int) -> "FlowRequest":
+        return replace(self, seed=int(seed))
+
+    def describe(self) -> str:
+        extra = ", ".join(f"{k}={v}" for k, v in self.params)
+        suffix = f" ({extra})" if extra else ""
+        return f"{self.design}[{self.config.label}]{suffix} seed={self.seed}"

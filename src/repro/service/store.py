@@ -1,0 +1,232 @@
+"""Content-addressed result store: ``$REPRO_CACHE_DIR/results/``.
+
+Every entry is one finished flow compilation, keyed by the
+:meth:`~repro.service.request.FlowRequest.digest` of the request that
+produced it.  Two files per entry:
+
+* ``<digest>.pkl`` — the pickled payload (request encoding, summary, and
+  the full :class:`~repro.flow.FlowResult`);
+* ``<digest>.json`` — a small metadata sidecar (design, config, Fmax,
+  result digest, sizes) readable without unpickling, used for listings and
+  the daemon's status endpoint.
+
+Guarantees:
+
+* **Atomic writes** — both files are written to a temp name and
+  ``os.replace``'d, the same discipline as the calibration cache, so a
+  concurrent reader (another daemon, a worker retry racing its
+  predecessor's corpse) can never observe a half-written entry.  Writes of
+  the same digest are idempotent by construction: the flow is
+  deterministic, so last-writer-wins replaces equal bytes with equal bytes.
+* **LRU eviction** — the store is bounded (``max_entries``); a successful
+  :meth:`ResultStore.get` refreshes the entry's recency (mtime), and
+  :meth:`ResultStore.put` evicts the least-recently-used entries beyond
+  the bound.  Eviction is crash-safe: a missing sidecar or payload is
+  treated as a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.delay.cache import default_cache_dir
+from repro.engine.pool import ensure_pickle_depth
+from repro.errors import ReproError
+from repro.flow import FlowResult
+from repro.service.request import FlowRequest
+
+#: Version tag of the on-disk entry layout.
+STORE_SCHEMA = "repro-result-store/1"
+
+#: Default LRU bound.  A FlowResult pickle runs tens of KB to a few MB
+#: depending on design depth; 256 entries keeps the store well under a GB
+#: while covering every design × config × seed point a realistic sweep hits.
+DEFAULT_MAX_ENTRIES = 256
+
+
+def default_store_dir() -> str:
+    """``$REPRO_CACHE_DIR/results`` (see :func:`default_cache_dir`)."""
+    return os.path.join(default_cache_dir(), "results")
+
+
+@dataclass
+class StoredResult:
+    """One store hit: the sidecar metadata plus a lazy payload loader."""
+
+    digest: str
+    meta: Dict[str, Any]
+    path: str
+
+    @property
+    def result_digest(self) -> str:
+        return self.meta.get("result_digest", "")
+
+    @property
+    def summary(self) -> Dict[str, Any]:
+        return self.meta.get("summary", {})
+
+    def load(self) -> FlowResult:
+        """Unpickle the full :class:`FlowResult` (the expensive half)."""
+        ensure_pickle_depth()
+        with open(self.path, "rb") as handle:
+            payload = pickle.load(handle)
+        if payload.get("schema") != STORE_SCHEMA:
+            raise ReproError(
+                f"result-store entry {self.path!r} has schema "
+                f"{payload.get('schema')!r}, expected {STORE_SCHEMA!r}"
+            )
+        return payload["result"]
+
+
+class ResultStore:
+    """Bounded, content-addressed cache of finished flow compilations."""
+
+    def __init__(
+        self,
+        root: Optional[str] = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+    ) -> None:
+        if max_entries < 1:
+            raise ReproError(f"max_entries must be >= 1, got {max_entries}")
+        self.root = root or default_store_dir()
+        self.max_entries = max_entries
+
+    # -- paths -----------------------------------------------------------
+    def _payload_path(self, digest: str) -> str:
+        return os.path.join(self.root, f"{digest}.pkl")
+
+    def _meta_path(self, digest: str) -> str:
+        return os.path.join(self.root, f"{digest}.json")
+
+    # -- read side -------------------------------------------------------
+    def get(self, digest: str) -> Optional[StoredResult]:
+        """Look up ``digest``; a hit refreshes the entry's LRU recency."""
+        payload_path = self._payload_path(digest)
+        meta_path = self._meta_path(digest)
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not os.path.exists(payload_path):
+            return None
+        now = time.time()
+        for path in (payload_path, meta_path):
+            try:
+                os.utime(path, (now, now))
+            except OSError:  # entry raced an eviction; treat as a miss
+                return None
+        return StoredResult(digest=digest, meta=meta, path=payload_path)
+
+    def load_result(self, digest: str) -> Optional[FlowResult]:
+        """Convenience: ``get`` + ``load`` in one call."""
+        hit = self.get(digest)
+        return hit.load() if hit is not None else None
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """All sidecar records, least-recently-used first."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        records = []
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                with open(path) as handle:
+                    meta = json.load(handle)
+                mtime = os.path.getmtime(path)
+            except (OSError, json.JSONDecodeError):
+                continue
+            meta["_mtime"] = mtime
+            records.append(meta)
+        records.sort(key=lambda rec: (rec["_mtime"], rec.get("digest", "")))
+        return records
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for n in os.listdir(self.root) if n.endswith(".pkl"))
+        except OSError:
+            return 0
+
+    def __bool__(self) -> bool:
+        # Without this, an *empty* store is falsy (via __len__) and
+        # ``store or ResultStore()`` silently swaps in the default root.
+        return True
+
+    # -- write side ------------------------------------------------------
+    def put(self, request: FlowRequest, result: FlowResult) -> StoredResult:
+        """Store ``result`` under ``request``'s digest (atomic), then evict
+        down to ``max_entries``.  Returns the stored entry; the eviction
+        count is available on ``entry.meta["evicted"]`` for observability.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        digest = request.digest()
+        meta = {
+            "schema": STORE_SCHEMA,
+            "digest": digest,
+            "result_digest": result.result_digest(),
+            "request": request.to_dict(),
+            "summary": {
+                "design": result.design,
+                "config": result.config_label,
+                "clock_target_mhz": result.clock_target_mhz,
+                "fmax_mhz": result.fmax_mhz,
+                "period_ns": result.period_ns,
+                "critical_path_class": result.timing.path_class.value,
+            },
+            "created_s": time.time(),
+        }
+        ensure_pickle_depth()
+        payload = {"schema": STORE_SCHEMA, "meta": meta, "result": result}
+        # Payload first, sidecar last: a reader that sees the sidecar is
+        # guaranteed the payload already exists.
+        self._atomic_write(
+            self._payload_path(digest), pickle.dumps(payload, protocol=4)
+        )
+        meta["payload_bytes"] = os.path.getsize(self._payload_path(digest))
+        self._atomic_write(
+            self._meta_path(digest),
+            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
+        )
+        evicted = self.evict()
+        meta["evicted"] = evicted
+        return StoredResult(digest=digest, meta=meta, path=self._payload_path(digest))
+
+    def _atomic_write(self, path: str, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def evict(self) -> int:
+        """Drop least-recently-used entries beyond ``max_entries``."""
+        records = self.entries()
+        excess = len(records) - self.max_entries
+        if excess <= 0:
+            return 0
+        evicted = 0
+        for record in records[:excess]:
+            digest = record.get("digest")
+            if not digest:
+                continue
+            for path in (self._payload_path(digest), self._meta_path(digest)):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+            evicted += 1
+        return evicted

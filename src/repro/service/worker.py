@@ -1,0 +1,94 @@
+"""Worker-process side of the flow service.
+
+One job = one worker process.  The daemon spawns :func:`worker_entry` with
+the request's wire encoding, the store root, and one end of a pipe; the
+worker compiles, writes the result into the content-addressed store
+*itself* (atomically), and sends back only a small completion payload —
+the request digest, the result digest, a summary, and its private tracer.
+
+Writing the store entry on the worker side makes retries idempotent: if
+the daemon kills a hung worker after the store write but before the pipe
+message, the retry simply overwrites the entry with identical content.
+And keeping the heavyweight :class:`~repro.flow.FlowResult` out of the
+pipe keeps the supervision protocol tiny — the daemon (or any local
+client) loads the full result from the store by digest when it wants it.
+
+Process isolation is the whole point: a worker that segfaults, is
+OOM-killed, or hangs takes down *its process*, not the daemon; the daemon
+observes the corpse (exit code, missing payload, or deadline) and retries.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from typing import Any, Dict
+
+from repro import obs
+from repro.designs import build_design
+from repro.engine.pool import ensure_pickle_depth
+from repro.flow import Flow, FlowResult
+from repro.service.request import FlowRequest
+from repro.service.store import ResultStore
+
+
+def execute_request(request: FlowRequest) -> FlowResult:
+    """Run one request through the exact same code path as the CLI: build
+    the design from the registry, build a seeded flow, run the config."""
+    flow = Flow(
+        clock_mhz=request.clock_mhz,
+        seed=request.seed,
+        calibration_path=request.calibration_path,
+    )
+    flow.SMOOTH_PASSES = request.smooth_passes
+    design = build_design(request.design, **request.param_dict)
+    return flow.run(design, request.config)
+
+
+def worker_entry(request_dict: Dict[str, Any], store_root: str, conn) -> None:
+    """Process target: compile ``request_dict``, store the result, report.
+
+    Sends exactly one message on ``conn``:
+
+    * success — ``{"ok": True, "digest", "result_digest", "summary",
+      "tracer", "pid"}``;
+    * clean failure (the flow raised) — ``{"ok": False, "error",
+      "error_type", "traceback", "pid"}``.
+
+    A crash or kill sends nothing; the daemon reads that silence (plus the
+    exit code) as a crash and retries.
+    """
+    try:
+        ensure_pickle_depth()
+        request = FlowRequest.from_dict(request_dict)
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            result = execute_request(request)
+        entry = ResultStore(store_root).put(request, result)
+        conn.send(
+            {
+                "ok": True,
+                "digest": entry.digest,
+                "result_digest": entry.result_digest,
+                "summary": entry.summary,
+                "evicted": entry.meta.get("evicted", 0),
+                "tracer": tracer,
+                "pid": os.getpid(),
+            }
+        )
+    except BaseException as exc:  # report *everything* — the pipe is the
+        # daemon's only window into this process
+        try:
+            conn.send(
+                {
+                    "ok": False,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                    "traceback": traceback.format_exc(),
+                    "pid": os.getpid(),
+                }
+            )
+        except (BrokenPipeError, OSError):  # daemon died first; nothing to do
+            pass
+    finally:
+        conn.close()

@@ -114,3 +114,136 @@ class TestCliEngine:
         ) == 1
         err = capsys.readouterr().err
         assert "repro: error" in err and "seed" in err
+
+
+class TestCliBatchFailures:
+    """Batch commands report every completed job and exit nonzero when any
+    job failed (the engine's collect_errors path)."""
+
+    @staticmethod
+    def _mismatched_calibration(tmp_path) -> str:
+        path = tmp_path / "cal.json"
+        save_calibration(
+            synthetic_calibration(), str(path),
+            device="aws-f1", seed=999, smooth_passes=1,
+        )
+        return str(path)
+
+    def test_run_partial_failure_keeps_good_results(self, tmp_path, capsys):
+        # 'orig' is calibration-free and succeeds; 'full' needs the
+        # calibration and hits the seed-mismatch error.
+        path = self._mismatched_calibration(tmp_path)
+        assert main(
+            ["run", "matmul", "--config", "orig,full", "--calibration", path]
+        ) == 1
+        captured = capsys.readouterr()
+        assert "Fmax=" in captured.out  # orig still reported
+        assert "repro: error" in captured.err
+        assert "does not match the requested provenance" in captured.err
+
+    def test_run_partial_failure_json_report(self, tmp_path, capsys):
+        path = self._mismatched_calibration(tmp_path)
+        assert main(
+            ["run", "matmul", "--config", "orig,full",
+             "--calibration", path, "--json"]
+        ) == 1
+        report = json.loads(capsys.readouterr().out)
+        # The aborted run leaves a bare span record; only 'orig' completed
+        # with full result enrichment.
+        enriched = [r["config"] for r in report["runs"] if "utilization" in r]
+        assert enriched == ["orig"]
+        (failure,) = report["failures"]
+        assert failure["tag"] == "full"
+        assert failure["error_type"] == "ReproError"
+
+    def test_run_parallel_partial_failure(self, tmp_path, capsys):
+        path = self._mismatched_calibration(tmp_path)
+        assert main(
+            ["run", "matmul", "--config", "orig,full",
+             "--calibration", path, "--jobs", "2", "--json"]
+        ) == 1
+        report = json.loads(capsys.readouterr().out)
+        enriched = [r["config"] for r in report["runs"] if "utilization" in r]
+        assert enriched == ["orig"]
+        assert len(report["failures"]) == 1
+
+    def test_all_propagates_experiment_failure(self, monkeypatch, capsys):
+        from repro.errors import ReproError
+        from repro.experiments import summary as summary_mod
+
+        def ok_runner(engine=None):
+            return "fine"
+
+        def bad_runner(engine=None):
+            raise ReproError("synthetic experiment breakage")
+
+        monkeypatch.setattr(
+            summary_mod, "EXPERIMENTS",
+            (
+                ("good_exp", ok_runner, lambda r: f"rendered {r}"),
+                ("bad_exp", bad_runner, lambda r: r),
+            ),
+        )
+        assert main(["all"]) == 1
+        captured = capsys.readouterr()
+        assert "rendered fine" in captured.out  # good section survives
+        assert "FAILED" in captured.out and "bad_exp" in captured.out
+        assert "synthetic experiment breakage" in captured.err
+
+
+class TestCliService:
+    """Argument wiring of serve/submit/status (live daemon paths are
+    covered in test_service_http.py)."""
+
+    def test_submit_unreachable_daemon_exits_1(self, capsys):
+        assert main(["submit", "matmul", "--port", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_status_unreachable_daemon_exits_1(self, capsys):
+        assert main(["status", "--port", "1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_rejects_unknown_config(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["submit", "matmul", "--config", "bogus"])
+        assert excinfo.value.code == 2
+
+    def test_submit_backpressure_exits_3(self, tmp_path, capsys):
+        from repro.service import ResultStore, serve_in_thread
+
+        with serve_in_thread(
+            store=ResultStore(str(tmp_path / "results")),
+            quarantine_dir=str(tmp_path / "quarantine"),
+            workers=1,
+            queue_limit=0,
+        ) as server:
+            assert main(
+                ["submit", "matmul", "--port", str(server.port)]
+            ) == 3
+            assert "busy" in capsys.readouterr().err
+
+    def test_submit_and_status_against_live_daemon(self, tmp_path, capsys):
+        from repro.service import ResultStore, serve_in_thread
+
+        with serve_in_thread(
+            store=ResultStore(str(tmp_path / "results")),
+            quarantine_dir=str(tmp_path / "quarantine"),
+            workers=1,
+        ) as server:
+            port = str(server.port)
+            assert main(
+                ["submit", "matmul", "--config", "orig", "--wait",
+                 "--json", "--port", port]
+            ) == 0
+            record = json.loads(capsys.readouterr().out)
+            assert record["state"] == "done"
+            assert record["served_from"] == "compile"
+
+            assert main(["status", "--port", port]) == 0
+            out = capsys.readouterr().out
+            assert "compiles=1" in out
+            assert record["id"] in out
+
+            assert main(["status", record["id"], "--port", port]) == 0
+            fetched = json.loads(capsys.readouterr().out)
+            assert fetched["digest"] == record["digest"]

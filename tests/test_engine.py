@@ -3,7 +3,14 @@
 import pytest
 
 from repro import obs
-from repro.engine import Engine, FlowJob, default_jobs, graft_trace, run_flow_job
+from repro.engine import (
+    Engine,
+    FlowFailure,
+    FlowJob,
+    default_jobs,
+    graft_trace,
+    run_flow_job,
+)
 from repro.errors import ReproError
 from repro.flow import Flow
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -117,6 +124,50 @@ class TestEngineParallel:
     def test_parallel_without_tracer_is_fine(self):
         out = Engine(jobs=2).map(_double, [1, 2])
         assert out == [2, 4]
+
+
+class TestCollectErrors:
+    """run_flows(collect_errors=True): failures become FlowFailure slots."""
+
+    GOOD = FlowJob.make("matmul", BASELINE)
+    BAD = FlowJob.make("matmul", BASELINE, tag="bad", no_such_param=1)
+
+    def test_sequential_collects_failures_in_order(self, synthetic_table):
+        engine = Engine(flow=Flow(calibration=synthetic_table))
+        results = engine.run_flows([self.BAD, self.GOOD], collect_errors=True)
+        failure, success = results
+        assert isinstance(failure, FlowFailure)
+        assert not isinstance(success, FlowFailure)
+        assert failure.job is self.BAD
+        assert "no_such_param" in failure.error
+        assert failure.record()["tag"] == "bad"
+
+    def test_sequential_default_still_raises(self, synthetic_table):
+        engine = Engine(flow=Flow(calibration=synthetic_table))
+        with pytest.raises(Exception, match="no_such_param"):
+            engine.run_flows([self.BAD, self.GOOD])
+
+    def test_parallel_collects_failures_in_order(self):
+        results = Engine(jobs=2).run_flows(
+            [self.GOOD, self.BAD], collect_errors=True
+        )
+        success, failure = results
+        assert not isinstance(success, FlowFailure)
+        assert isinstance(failure, FlowFailure)
+        assert "no_such_param" in failure.error
+
+    def test_parallel_default_raises_earliest_failure(self):
+        with pytest.raises(ReproError, match="no_such_param"):
+            Engine(jobs=2).run_flows([self.GOOD, self.BAD])
+
+    def test_failure_record_is_json_safe(self, synthetic_table):
+        import json
+
+        engine = Engine(flow=Flow(calibration=synthetic_table))
+        (failure,) = engine.run_flows([self.BAD], collect_errors=True)
+        record = json.loads(json.dumps(failure.record()))
+        assert record["design"] == "matmul"
+        assert record["error_type"]
 
 
 class TestGraftTrace:

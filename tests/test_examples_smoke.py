@@ -39,6 +39,14 @@ class TestCheapExamples:
         out = capsys.readouterr().out
         assert "genome" in out and "pattern_matching" in out
 
+    def test_service_demo(self, capsys):
+        run_example("service_demo.py")
+        out = capsys.readouterr().out
+        assert "cold submit : done via compile" in out
+        assert "warm submit : served from store" in out
+        assert "compiles=2" in out
+        assert "rehydrated" in out
+
 
 class TestExampleSources:
     """Every example imports cleanly and documents itself."""

@@ -1,0 +1,170 @@
+"""Canonical hashing + request-digest stability (the service's identity layer).
+
+The whole service contract — coalescing, store hits, retry idempotence —
+rests on one property: the same logical request always hashes to the same
+digest, in any process, under any ``PYTHONHASHSEED``, and *any* semantic
+field change produces a different digest.  These tests pin that property.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
+
+import pytest
+
+from repro.delay.cache import FORMAT_VERSION, CalibrationProvenance
+from repro.hashing import canonical_json, content_digest
+from repro.service.request import FlowRequest, config_from_spec, config_to_dict
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_no_whitespace_and_sorted(self):
+        assert canonical_json({"b": [1, 2], "a": "x"}) == '{"a":"x","b":[1,2]}'
+
+    def test_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({1: "x"})
+
+    def test_nested_non_string_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"outer": [{2: "x"}]})
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_non_json_types_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_unicode_is_escaped_to_ascii(self):
+        # ensure_ascii makes the byte encoding unambiguous across locales
+        assert canonical_json({"k": "µ"}) == '{"k":"\\u00b5"}'
+
+    def test_content_digest_is_sha256_hex(self):
+        digest = content_digest({"a": 1})
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex
+
+    def test_content_digest_distinguishes_values(self):
+        assert content_digest({"a": 1}) != content_digest({"a": 2})
+
+
+class TestRequestDigest:
+    def test_digest_stable_across_processes(self):
+        """The acceptance property: two fresh interpreters with different
+        hash seeds compute the identical digest for the same request."""
+        script = (
+            "from repro.service.request import FlowRequest;"
+            "print(FlowRequest.make('matmul', config='full', seed=7).digest())"
+        )
+        digests = set()
+        for hash_seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={
+                    "PYTHONPATH": SRC_DIR,
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+                },
+            )
+            digests.add(proc.stdout.strip())
+        assert len(digests) == 1
+        assert digests == {FlowRequest.make("matmul", config="full", seed=7).digest()}
+
+    def test_same_request_same_digest(self):
+        a = FlowRequest.make("genome", config="full", seed=3)
+        b = FlowRequest.make("genome", config="full", seed=3)
+        assert a.digest() == b.digest()
+
+    def test_config_object_and_label_agree(self):
+        assert (
+            FlowRequest.make("matmul", config="full").digest()
+            == FlowRequest.make("matmul", config=config_from_spec("full")).digest()
+        )
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            dict(design="genome"),
+            dict(config="orig"),
+            dict(clock_mhz=300.0),
+            dict(seed=3),
+            dict(smooth_passes=2),
+            dict(calibration_path="/tmp/other.json"),
+        ],
+    )
+    def test_any_field_change_changes_digest(self, mutation):
+        base = dict(
+            design="matmul", config="full", clock_mhz=250.0, seed=2020,
+            smooth_passes=1, calibration_path=None,
+        )
+        changed = dict(base, **mutation)
+        assert (
+            FlowRequest.make(base.pop("design"), **base).digest()
+            != FlowRequest.make(changed.pop("design"), **changed).digest()
+        )
+
+    def test_params_change_changes_digest(self):
+        assert (
+            FlowRequest.make("matmul").digest()
+            != FlowRequest.make("matmul", unroll=4).digest()
+        )
+
+    def test_wire_roundtrip_preserves_digest(self):
+        request = FlowRequest.make("matmul", config="skid", seed=5, unroll=2)
+        wire = json.loads(json.dumps(request.to_dict()))  # full JSON trip
+        assert FlowRequest.from_dict(wire).digest() == request.digest()
+
+    def test_digest_covers_calibration_provenance_fields(self):
+        """seed and smooth_passes feed both the request digest and the
+        calibration provenance — a recalibration is never served a stale
+        result."""
+        base = FlowRequest.make("matmul")
+        assert base.provenance_dict()["seed"] == base.seed
+        assert base.provenance_dict()["version"] == FORMAT_VERSION
+        assert (
+            base.with_seed(base.seed + 1).provenance_dict()
+            != base.provenance_dict()
+        )
+
+
+class TestProvenanceDigest:
+    def test_provenance_digest_is_content_addressed(self):
+        a = CalibrationProvenance(device="aws-f1", seed=2020, smooth_passes=1)
+        b = CalibrationProvenance(device="aws-f1", seed=2020, smooth_passes=1)
+        assert a.digest() == b.digest()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(device="other-device"),
+            dict(seed=999),
+            dict(smooth_passes=3),
+        ],
+    )
+    def test_provenance_digest_sensitive_to_fields(self, kwargs):
+        base = CalibrationProvenance(device="aws-f1", seed=2020, smooth_passes=1)
+        other = CalibrationProvenance(
+            **{**dict(device="aws-f1", seed=2020, smooth_passes=1), **kwargs}
+        )
+        assert base.digest() != other.digest()
+
+
+class TestConfigSpec:
+    def test_config_dict_roundtrip(self):
+        config = config_from_spec("skid_minarea")
+        assert config_from_spec(config_to_dict(config)) == config
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(Exception):
+            config_from_spec("not-a-config")

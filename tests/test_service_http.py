@@ -1,0 +1,158 @@
+"""HTTP front end + client: routes, status codes, end-to-end compile."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import (
+    ResultStore,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceError,
+    serve_in_thread,
+)
+
+
+@pytest.fixture(scope="module")
+def live(tmp_path_factory):
+    """One real daemon behind HTTP, shared by the module's tests."""
+    root = tmp_path_factory.mktemp("service-http")
+    with serve_in_thread(
+        store=ResultStore(str(root / "results")),
+        quarantine_dir=str(root / "quarantine"),
+        workers=2,
+        queue_limit=8,
+    ) as server:
+        client = ServiceClient(server.host, server.port)
+        client.wait_ready()
+        yield server, client
+
+
+class TestEndToEnd:
+    def test_submit_wait_then_store_hit(self, live):
+        server, client = live
+        record = client.submit("matmul", config="orig", wait=True)
+        assert record["state"] == "done"
+        assert record["served_from"] == "compile"
+        assert record["submitted_as"] == "queued"
+        assert record["summary"]["fmax_mhz"] > 0
+        assert len(record["digest"]) == 64
+
+        again = client.submit("matmul", config="orig", wait=True)
+        assert again["submitted_as"] == "store"
+        assert again["result_digest"] == record["result_digest"]
+
+        # The full FlowResult rehydrates from the shared local store.
+        result = client.load_result(record["digest"], store=server.service.store)
+        assert result is not None
+        assert result.result_digest() == record["result_digest"]
+
+    def test_job_lookup_and_status(self, live):
+        server, client = live
+        record = client.submit("matmul", config="orig", wait=True)
+        fetched = client.job(record["id"])
+        assert fetched["state"] == "done"
+        assert fetched["digest"] == record["digest"]
+
+        status = client.status()
+        assert status["schema"] == "repro-service-status/1"
+        assert status["workers"] == 2
+        assert status["store"]["entries"] >= 1
+        assert status["metrics"]["counters"]["service.compiles"] >= 1
+
+    def test_wait_job_polls_to_terminal_state(self, live):
+        _, client = live
+        record = client.submit("matmul", config="orig")  # store hit by now
+        final = client.wait_job(record["id"], timeout=30)
+        assert final["state"] == "done"
+
+
+class TestHttpErrors:
+    def test_unknown_design_404(self, live):
+        _, client = live
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("not-a-design")
+        assert excinfo.value.status == 404
+        assert "matmul" in str(excinfo.value)  # lists the valid designs
+
+    def test_bad_config_400(self, live):
+        _, client = live
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("matmul", config="not-a-config")
+        assert excinfo.value.status == 400
+
+    def test_bad_priority_400(self, live):
+        _, client = live
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit("matmul", priority="urgent")
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_404(self, live):
+        _, client = live
+        with pytest.raises(ServiceError) as excinfo:
+            client.job("job-9999")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_404_and_bad_method_405(self, live):
+        server, _ = live
+        base = f"http://{server.host}:{server.port}"
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/nope")
+        assert excinfo.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/submit")  # GET on a POST route
+        assert excinfo.value.code == 405
+
+    def test_malformed_json_400(self, live):
+        server, _ = live
+        req = urllib.request.Request(
+            f"http://{server.host}:{server.port}/submit",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(req)
+        assert excinfo.value.code == 400
+        assert "bad JSON" in json.loads(excinfo.value.read())["error"]
+
+    def test_unreachable_daemon_maps_to_status_zero(self):
+        client = ServiceClient(port=1)  # nothing listens there
+        with pytest.raises(ServiceError) as excinfo:
+            client.status()
+        assert excinfo.value.status == 0
+        assert client.ping() is False
+
+
+class TestBackpressureOverHttp:
+    def test_queue_full_is_429_and_busy_error(self, tmp_path):
+        with serve_in_thread(
+            store=ResultStore(str(tmp_path / "results")),
+            quarantine_dir=str(tmp_path / "quarantine"),
+            workers=1,
+            queue_limit=0,  # every submission overflows immediately
+        ) as server:
+            client = ServiceClient(server.host, server.port)
+            client.wait_ready()
+            with pytest.raises(ServiceBusyError) as excinfo:
+                client.submit("matmul", config="orig")
+            assert excinfo.value.status == 429
+            counters = client.status()["metrics"]["counters"]
+            assert counters["service.rejected"] == 1
+
+
+class TestShutdown:
+    def test_shutdown_route_stops_daemon(self, tmp_path):
+        with serve_in_thread(
+            store=ResultStore(str(tmp_path / "results")),
+            quarantine_dir=str(tmp_path / "quarantine"),
+            workers=1,
+        ) as server:
+            client = ServiceClient(server.host, server.port)
+            client.wait_ready()
+            client.shutdown()
+            # Idempotent: a second shutdown against a dead daemon is a no-op.
+            client.shutdown()
