@@ -31,7 +31,11 @@ Flow-running commands accept ``--calibration PATH`` to pin the §4.1
 characterization to an explicit file (built there on first use); without
 it the persistent cache under ``$REPRO_CACHE_DIR`` (default
 ``~/.cache/repro``) is used, so only the first cold run ever pays the
-~14 s characterization cost.
+~14 s characterization cost.  They also accept ``--stage-cache off`` to
+disable the staged pipeline's content-addressed artifact store
+(``$REPRO_CACHE_DIR/stages`` — see :mod:`repro.pipeline`), which
+otherwise lets re-runs and compares skip every stage whose inputs did not
+change.
 """
 
 from __future__ import annotations
@@ -88,7 +92,11 @@ def _build_design(name: str, include_extra: bool = False):
 
 
 def _flow_for(args) -> Flow:
-    return Flow(seed=args.seed, calibration_path=getattr(args, "calibration", None))
+    return Flow(
+        seed=args.seed,
+        calibration_path=getattr(args, "calibration", None),
+        stage_cache=getattr(args, "stage_cache", None),
+    )
 
 
 def _engine_for(args) -> Engine:
@@ -100,6 +108,13 @@ def _add_flow_options(parser, jobs: bool = True) -> None:
         "--calibration", default=None, metavar="PATH",
         help="calibration table file (built there on first use; its stored "
              "device/seed provenance must match the run)",
+    )
+    parser.add_argument(
+        "--stage-cache", choices=("on", "off"), default=None,
+        metavar="{on,off}",
+        help="stage-artifact caching under $REPRO_CACHE_DIR/stages "
+             "(default: on unless $REPRO_STAGE_CACHE=off); 'off' re-runs "
+             "every pipeline stage",
     )
     if jobs:
         parser.add_argument(

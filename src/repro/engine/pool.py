@@ -16,6 +16,12 @@ tasks) out over a ``multiprocessing`` pool:
   through the persistent disk cache (:mod:`repro.delay.cache`); the file
   lock there guarantees N cold workers run exactly one characterization
   between them.
+* **Stage-artifact economy** — workers inherit the flow's stage-cache
+  policy (:mod:`repro.pipeline`), so all of them read and write the same
+  content-addressed store under ``$REPRO_CACHE_DIR/stages``: a pipeline
+  stage computed by any worker (or any earlier run) is skipped by every
+  other worker whose inputs hash the same, and concurrent same-digest
+  writes are idempotent by the store's atomic-replace discipline.
 
 The pool prefers the ``fork`` start method where available: it is fast
 and lets workers inherit an already-memoized calibration table from the

@@ -35,7 +35,10 @@ def run_table1(
     """Run Orig (BASELINE) and Opt (FULL) flows over the benchmark suite.
 
     With a parallel ``engine`` the 2×N flow runs fan out over its worker
-    pool; entries always come back in suite order.
+    pool; entries always come back in suite order.  The Orig/Opt pair of
+    each design shares its front-end pipeline stages (pragma lowering)
+    through the on-disk stage-artifact store (:mod:`repro.pipeline`), in
+    sequential and parallel runs alike.
     """
     engine = engine or Engine(flow=flow)
     names = list(designs if designs is not None else design_names())

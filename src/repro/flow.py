@@ -1,43 +1,49 @@
 """End-to-end flow: Design → schedule → netlist → placement → Fmax.
 
 This is the reproduction's equivalent of "run Vivado HLS, then Vivado, then
-read the timing report".  :class:`Flow.run` executes:
+read the timing report".  :class:`Flow.run` executes the staged pass
+pipeline (see :mod:`repro.pipeline`):
 
 1. pragma lowering (loop unrolling — where data broadcasts are born);
 2. optional §4.2 synchronization pruning;
-3. scheduling — baseline HLS model, or §4.1 broadcast-aware;
-4. RTL generation with the selected §3.3/§4.3 control style;
-5. placement, movable-chain spreading, backend register replication,
+3. §4.1 calibration-table resolution;
+4. scheduling — baseline HLS model, or §4.1 broadcast-aware;
+5. RTL generation with the selected §3.3/§4.3 control style;
+6. placement, movable-chain spreading, backend register replication,
    movable-register retiming;
-6. static timing analysis → Fmax + critical-path attribution.
+7. static timing analysis → Fmax + critical-path attribution.
+
+Each stage is content-addressed; when a stage's input digest matches an
+artifact in the on-disk store (``$REPRO_CACHE_DIR/stages/``) the stage is
+skipped and its recorded outputs and trace are replayed instead, so a
+:meth:`Flow.compare` or a sweep re-runs only the stages a config change
+actually invalidates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-from repro import obs
+from repro import hashing, obs
 from repro.delay.cache import resolve_calibration
-from repro.delay.calibrated import CalibratedDelayModel, CalibrationTable
-from repro.delay.hls_model import HlsDelayModel
-from repro.ir.passes import apply_pragmas
+from repro.delay.calibrated import CalibrationTable
 from repro.ir.program import Design
 from repro.opt import BASELINE, OptimizationConfig
-from repro.physical.device import get_device
-from repro.physical.fabric import Fabric
-from repro.physical.placement import Placement, Placer
-from repro.physical.replication import ReplicationConfig, replicate_high_fanout
-from repro.physical.retiming import retime_movable
-from repro.physical.spreading import spread_movable_chains
-from repro.physical.timing import TimingAnalyzer, TimingResult
-from repro.rtl.generator import GenOptions, GenResult, generate_netlist
+from repro.physical.placement import Placement
+from repro.physical.replication import ReplicationConfig
+from repro.physical.timing import TimingResult
+from repro.pipeline import (
+    MemoryStageStore,
+    PassManager,
+    StageArtifactStore,
+    build_stages,
+    stage_cache_enabled,
+)
+from repro.rtl.generator import GenResult
 from repro.rtl.resources import ResourceReport
-from repro.scheduling.broadcast_aware import broadcast_aware_schedule
-from repro.scheduling.chaining import ChainingScheduler
-from repro.scheduling.ii import analyze_ii
 from repro.scheduling.schedule import Schedule
-from repro.sync.pruning import SyncPruningReport, prune_synchronization
+from repro.sync.pruning import SyncPruningReport
 
 #: Default HLS clock target when a design does not specify one (MHz).
 DEFAULT_CLOCK_MHZ = 300.0
@@ -64,6 +70,11 @@ class FlowResult:
     placement: Optional[Placement] = None
     #: Root span of this run when a tracer was active (see :mod:`repro.obs`).
     trace: Optional[obs.Span] = None
+    #: Per-stage pipeline journal: stage name, input digest, whether it ran
+    #: or was served from a stored artifact (see :mod:`repro.pipeline`).
+    #: Deliberately excluded from :meth:`fingerprint` — cache hits must not
+    #: change a result's identity.
+    journal: Optional[List[Dict[str, object]]] = None
 
     @property
     def depth_by_loop(self) -> Dict[str, int]:
@@ -75,9 +86,11 @@ class FlowResult:
         Everything deterministic a run produces — frequencies, critical
         path class, resource/utilization numbers, schedule depths, IIs,
         edit log, netlist size — and nothing that varies between otherwise
-        identical runs (wall clock, traces, object identities).  Two runs
-        of the same request must produce equal fingerprints; the service
-        relies on this to prove a retried job reproduced the original.
+        identical runs (wall clock, traces, object identities, stage-cache
+        hits).  Two runs of the same request must produce equal
+        fingerprints; the service relies on this to prove a retried job
+        reproduced the original, and the pipeline equivalence suite to
+        prove cached and uncached runs are bit-identical.
         """
         return {
             "design": self.design,
@@ -96,8 +109,6 @@ class FlowResult:
 
     def result_digest(self) -> str:
         """Canonical digest of :meth:`fingerprint` (see :mod:`repro.hashing`)."""
-        from repro import hashing
-
         return hashing.content_digest(
             {"schema": "repro-flow-result/1", **self.fingerprint()}
         )
@@ -129,13 +140,21 @@ class Flow:
         calibration: Calibration table for §4.1; when omitted the flow
             resolves one through the persistent on-disk cache (see
             :mod:`repro.delay.cache`) — built once per (device, seed,
-            smoothing), loaded everywhere else.
+            smoothing), loaded everywhere else.  Resolution is additionally
+            memoized per flow instance, so a compare/sweep resolves at most
+            once per (device, seed, smoothing, path).
         calibration_path: Explicit calibration file (the CLI's
             ``--calibration PATH``); its stored provenance must match this
             flow's device/seed or the run fails loudly.
         replication: Backend fanout-optimization knobs (the paper runs with
             it enabled; the ablation bench disables it).
         retime: Run movable-register retiming after replication.
+        stage_cache: Stage-artifact caching policy.  ``None`` (default)
+            uses the shared on-disk store under ``$REPRO_CACHE_DIR/stages``
+            unless ``$REPRO_STAGE_CACHE`` is ``off``; ``True``/``"on"``
+            forces the default store; ``False``/``"off"`` disables all
+            stage reuse; a store instance (e.g. a private
+            :class:`~repro.pipeline.StageArtifactStore`) is used as-is.
     """
 
     #: Smoothing passes requested from the §4.1 characterization.
@@ -149,6 +168,7 @@ class Flow:
         replication: Optional[ReplicationConfig] = None,
         retime: bool = True,
         calibration_path: Optional[str] = None,
+        stage_cache: Union[None, bool, str, StageArtifactStore] = None,
     ) -> None:
         self.clock_mhz = clock_mhz
         self.seed = seed
@@ -156,24 +176,78 @@ class Flow:
         self.calibration_path = calibration_path
         self.replication = replication or ReplicationConfig()
         self.retime = retime
+        self.stage_cache = stage_cache
+        #: (device, seed, smooth_passes, path) → (table, original source).
+        self._calibration_memo: Dict[Tuple, Tuple[CalibrationTable, str]] = {}
 
     # ------------------------------------------------------------------
-    def run(self, design: Design, config: OptimizationConfig = BASELINE) -> FlowResult:
+    def _resolve_calibration(self, device: str) -> Tuple[CalibrationTable, str]:
+        """Resolve (and instance-memoize) the calibration table.
+
+        The memo stores the *original* resolution source ("built", "disk",
+        "memory"), so observability reports the same provenance no matter
+        how many runs this flow instance serves.
+        """
+        key = (device, self.seed, self.SMOOTH_PASSES, self.calibration_path)
+        hit = self._calibration_memo.get(key)
+        if hit is None:
+            # Looked up as a module global so tests can monkeypatch
+            # ``repro.flow.resolve_calibration``.
+            hit = resolve_calibration(
+                device,
+                seed=self.seed,
+                smooth_passes=self.SMOOTH_PASSES,
+                path=self.calibration_path,
+            )
+            self._calibration_memo[key] = hit
+        return hit
+
+    def _stage_store(self) -> Optional[StageArtifactStore]:
+        """Materialize the ``stage_cache`` policy into a store (or None)."""
+        cache = self.stage_cache
+        if cache is None:
+            return StageArtifactStore() if stage_cache_enabled() else None
+        if isinstance(cache, bool):
+            return StageArtifactStore() if cache else None
+        if isinstance(cache, str):
+            if cache.strip().lower() in ("off", "0", "no", "false"):
+                return None
+            return StageArtifactStore()
+        return cache
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        design: Design,
+        config: OptimizationConfig = BASELINE,
+        _overlay: Optional[MemoryStageStore] = None,
+    ) -> FlowResult:
         """Run the full flow on ``design`` under ``config``.
 
-        When a :class:`repro.obs.Tracer` is activated (``obs.activate``),
-        the run reports into it: one ``flow`` root span with a child span
-        per stage (``pragmas``, ``sync-pruning``, ``scheduling``,
+        The run is a staged pass pipeline (see :mod:`repro.pipeline`):
+        ``pragmas``, ``sync-pruning``, ``calibration``, ``scheduling``,
         ``ii-analysis``, ``rtl-gen``, ``placement``, ``spreading``,
-        ``replication``, ``retiming``, ``timing``), plus counters such as
-        ``scheduling.registers_inserted`` and ``physical.nets_replicated``.
-        The root span is attached to :attr:`FlowResult.trace`.
+        ``replication``, ``retiming``, ``timing``.  When a
+        :class:`repro.obs.Tracer` is activated (``obs.activate``), the run
+        reports one ``flow`` root span with a child span per stage, plus
+        counters such as ``scheduling.registers_inserted``,
+        ``physical.nets_replicated``, and ``pipeline.stages_skipped`` /
+        ``pipeline.stages_run``.  Stages served from the artifact store
+        replay their recorded trace (marked ``cached=True``).  The root
+        span is attached to :attr:`FlowResult.trace`; the per-stage journal
+        to :attr:`FlowResult.journal`.
+
+        ``_overlay`` is an in-process stage store shared by
+        :meth:`compare` and the sweep drivers so sibling runs reuse their
+        common front-end even when the on-disk store is cold.
         """
-        design.verify()
         clock_mhz = float(
             self.clock_mhz or design.meta.get("clock_mhz", DEFAULT_CLOCK_MHZ)
         )
-        clock_ns = 1000.0 / clock_mhz
+        ctx: Dict[str, object] = {"design": design, "clock_ns": 1000.0 / clock_mhz}
+        manager = PassManager(
+            build_stages(), store=self._stage_store(), overlay=_overlay
+        )
 
         tracer = obs.current_tracer()
         with tracer.span(
@@ -183,111 +257,10 @@ class Flow:
             clock_target_mhz=clock_mhz,
             seed=self.seed,
         ) as root:
-            with tracer.span("pragmas") as sp:
-                lowered = apply_pragmas(design)
-                sp.set("kernels", len(lowered.kernels))
-                sp.set("loops", sum(1 for _ in lowered.all_loops()))
-                sp.set("ops", sum(len(l.body.ops) for _, l in lowered.all_loops()))
-
-            # The span is opened even when pruning is disabled so every
-            # trace has the same stage skeleton (attr `enabled` tells which).
-            with tracer.span("sync-pruning", enabled=bool(config.sync_pruning)) as sp:
-                sync_report = None
-                if config.sync_pruning:
-                    lowered, sync_report = prune_synchronization(lowered)
-                    sp.set("split_loops", len(sync_report.split_loops))
-                    sp.set("flows_created", sync_report.flows_created)
-                    sp.set("call_syncs_pruned", len(sync_report.call_syncs_pruned))
-
-            with tracer.span(
-                "scheduling", broadcast_aware=bool(config.broadcast_aware)
-            ) as sp:
-                schedules: Dict[Tuple[str, str], Schedule] = {}
-                edits: List[str] = []
-                cal_model: Optional[CalibratedDelayModel] = None
-                if config.broadcast_aware:
-                    # The characterization itself runs placements; give it
-                    # its own span so its cost isn't blamed on scheduling.
-                    with tracer.span("calibration") as cal_span:
-                        if self.calibration is not None:
-                            table, source = self.calibration, "injected"
-                        else:
-                            table, source = resolve_calibration(
-                                lowered.device,
-                                seed=self.seed,
-                                smooth_passes=self.SMOOTH_PASSES,
-                                path=self.calibration_path,
-                            )
-                        cal_span.set("source", source)
-                        cal_span.set("cached", source != "built")
-                    cal_model = CalibratedDelayModel(table)
-                hls_model = HlsDelayModel()
-                for kernel, loop in lowered.all_loops():
-                    if cal_model is not None:
-                        result = broadcast_aware_schedule(
-                            loop.body, clock_ns, cal_model
-                        )
-                        schedules[(kernel.name, loop.name)] = result.schedule
-                        edits.extend(
-                            f"{kernel.name}/{loop.name}: {edit}"
-                            for edit in result.edits
-                        )
-                    else:
-                        schedules[(kernel.name, loop.name)] = ChainingScheduler(
-                            hls_model, clock_ns
-                        ).schedule(loop.body)
-                sp.set("loops", len(schedules))
-                sp.set("edits", len(edits))
-                sp.set("max_depth", max((s.depth for s in schedules.values()), default=0))
-
-            with tracer.span("ii-analysis") as sp:
-                ii_by_loop = {
-                    f"{kernel.name}/{loop.name}": analyze_ii(
-                        loop, schedules[(kernel.name, loop.name)]
-                    ).ii
-                    for kernel, loop in lowered.all_loops()
-                }
-                sp.set("worst_ii", max(ii_by_loop.values(), default=1))
-
-            with tracer.span("rtl-gen", control=config.control.value) as sp:
-                gen = generate_netlist(
-                    lowered, schedules, GenOptions(control=config.control)
-                )
-                sp.set("cells", len(gen.netlist.cells))
-                sp.set("nets", len(gen.netlist.nets))
-
-            with tracer.span("placement", cells=len(gen.netlist.cells)):
-                fabric = Fabric(get_device(lowered.device))
-                placement = Placer(fabric, seed=self.seed).place(
-                    gen.netlist, anchor=gen.anchor
-                )
-
-            with tracer.span("spreading") as sp:
-                moved = spread_movable_chains(gen.netlist, placement)
-                sp.set("registers_moved", moved)
-
-            with tracer.span("replication") as sp:
-                replicas = replicate_high_fanout(
-                    gen.netlist, placement, self.replication
-                )
-                sp.set("replicas_created", replicas)
-
-            netlist = gen.netlist
-            with tracer.span("retiming", enabled=self.retime) as sp:
-                if self.retime:
-                    netlist, placement, moves = retime_movable(netlist, placement)
-                    sp.set("moves", moves)
-
-            with tracer.span("timing") as sp:
-                timing = TimingAnalyzer(netlist, placement).analyze()
-                sp.set("fmax_mhz", round(timing.fmax_mhz, 3))
-                sp.set("period_ns", round(timing.period_ns, 4))
-                sp.set("critical_path_class", timing.path_class.value)
-
-            # The retimed netlist is the final article; expose it in gen so
-            # downstream analysis (census, verilog) sees what was timed.
-            gen.netlist = netlist
-            resources = ResourceReport.of_netlist(netlist)
+            ctx, journal = manager.execute(self, config, ctx)
+            timing: TimingResult = ctx["timing"]
+            gen: GenResult = ctx["gen"]
+            resources = ResourceReport.of_netlist(gen.netlist)
             root.set("fmax_mhz", round(timing.fmax_mhz, 3))
             root.set("critical_path_class", timing.path_class.value)
             tracer.set_gauge("flow.fmax_mhz", round(timing.fmax_mhz, 3))
@@ -299,14 +272,15 @@ class Flow:
             period_ns=timing.period_ns,
             timing=timing,
             resources=resources,
-            utilization=resources.utilization(lowered.device),
-            schedules=schedules,
+            utilization=resources.utilization(ctx["lowered"].device),
+            schedules=ctx["schedules"],
             gen=gen,
-            schedule_edits=edits,
-            sync_report=sync_report,
-            ii_by_loop=ii_by_loop,
-            placement=placement,
+            schedule_edits=ctx["schedule_edits"],
+            sync_report=ctx["sync_report"],
+            ii_by_loop=ctx["ii_by_loop"],
+            placement=ctx["placement"],
             trace=root if isinstance(root, obs.Span) else None,
+            journal=journal,
         )
 
     def compare(
@@ -315,9 +289,20 @@ class Flow:
         baseline: OptimizationConfig = BASELINE,
         optimized: Optional[OptimizationConfig] = None,
     ) -> Tuple[FlowResult, FlowResult]:
-        """Run a design twice (Table 1's Orig vs Opt columns)."""
+        """Run a design twice (Table 1's Orig vs Opt columns).
+
+        Both runs share an in-process stage overlay, so the front-end
+        stages whose digests don't depend on the config delta (pragma
+        lowering in particular — the design is verified and lowered exactly
+        once) are executed by the first run and replayed by the second,
+        even when the on-disk store starts cold.  Disabled together with
+        the stage cache (``stage_cache="off"``).
+        """
         from repro.opt import FULL
 
-        orig = self.run(design, baseline)
-        opt = self.run(design, optimized if optimized is not None else FULL)
+        overlay = MemoryStageStore() if self._stage_store() is not None else None
+        orig = self.run(design, baseline, _overlay=overlay)
+        opt = self.run(
+            design, optimized if optimized is not None else FULL, _overlay=overlay
+        )
         return orig, opt

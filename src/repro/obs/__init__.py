@@ -27,6 +27,12 @@ Flow code instruments itself with the module-level helpers::
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.snapshot import (
+    replay_metrics,
+    replay_span,
+    snapshot_metrics,
+    snapshot_span,
+)
 from repro.obs.report import (
     FLOW_SPAN,
     RUN_REPORT_SCHEMA,
@@ -66,6 +72,10 @@ __all__ = [
     "add",
     "observe",
     "set_gauge",
+    "snapshot_span",
+    "snapshot_metrics",
+    "replay_span",
+    "replay_metrics",
     "FLOW_SPAN",
     "RUN_REPORT_SCHEMA",
     "run_report",

@@ -30,7 +30,10 @@ daemon trace reads exactly like an engine run's.  Gauges/counters:
 ``service.queue_depth``, ``service.submitted``, ``service.compiles``,
 ``service.result_hits``, ``service.coalesced``, ``service.retries``,
 ``service.crashes``, ``service.timeouts``, ``service.quarantined``,
-``service.rejected``.
+``service.rejected``, plus ``service.stages_skipped`` /
+``service.stages_run`` aggregated from each compiled job's pipeline
+journal — after a crash-retry, ``stages_skipped`` counts the checkpointed
+prefix the retry resumed from (see :mod:`repro.pipeline`).
 
 Threading contract: all public methods must be called on the event loop
 that ran :meth:`FlowService.start` (the HTTP server does; tests drive it
@@ -99,6 +102,9 @@ class Job:
     worker_pid: Optional[int] = None
     timeout_s: Optional[float] = None
     result_digest: Optional[str] = None
+    #: Per-stage pipeline journal from the winning attempt; after a
+    #: crash-retry it shows the resumed prefix as ``skipped`` entries.
+    journal: Optional[List[Dict[str, Any]]] = None
     summary: Dict[str, Any] = field(default_factory=dict)
     error: Optional[Dict[str, Any]] = None
     created_s: float = field(default_factory=time.time)
@@ -127,6 +133,7 @@ class Job:
             "coalesced": self.coalesced,
             "worker_pid": self.worker_pid,
             "result_digest": self.result_digest,
+            "journal": self.journal,
             "summary": dict(self.summary),
             "error": self.error,
             "created_s": self.created_s,
@@ -403,6 +410,12 @@ class FlowService:
                 job.served_from = "compile"
                 job.result_digest = payload.get("result_digest")
                 job.summary = dict(payload.get("summary") or {})
+                job.journal = payload.get("journal")
+                for entry in job.journal or ():
+                    if entry.get("action") == "skipped":
+                        self.tracer.add("service.stages_skipped")
+                    else:
+                        self.tracer.add("service.stages_run")
                 self.tracer.add("service.compiles")
                 if payload.get("evicted"):
                     self.tracer.add("service.store_evictions", payload["evicted"])

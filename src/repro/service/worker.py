@@ -16,6 +16,12 @@ client) loads the full result from the store by digest when it wants it.
 Process isolation is the whole point: a worker that segfaults, is
 OOM-killed, or hangs takes down *its process*, not the daemon; the daemon
 observes the corpse (exit code, missing payload, or deadline) and retries.
+
+Checkpoint/resume rides on the staged pipeline (:mod:`repro.pipeline`):
+the flow inside the worker writes each completed stage's artifact to the
+shared ``$REPRO_CACHE_DIR/stages`` store as it goes, so a retry after a
+mid-flow kill resumes from the last completed stage — its journal shows
+the prefix as ``skipped`` — and reproduces the original result digest.
 """
 
 from __future__ import annotations
@@ -51,7 +57,7 @@ def worker_entry(request_dict: Dict[str, Any], store_root: str, conn) -> None:
     Sends exactly one message on ``conn``:
 
     * success — ``{"ok": True, "digest", "result_digest", "summary",
-      "tracer", "pid"}``;
+      "tracer", "journal", "pid"}``;
     * clean failure (the flow raised) — ``{"ok": False, "error",
       "error_type", "traceback", "pid"}``.
 
@@ -73,6 +79,7 @@ def worker_entry(request_dict: Dict[str, Any], store_root: str, conn) -> None:
                 "summary": entry.summary,
                 "evicted": entry.meta.get("evicted", 0),
                 "tracer": tracer,
+                "journal": result.journal,
                 "pid": os.getpid(),
             }
         )

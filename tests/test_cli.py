@@ -96,10 +96,7 @@ class TestCliEngine:
         ) == 0
         report = json.loads(capsys.readouterr().out)
         (run,) = report["runs"]
-        (scheduling,) = [s for s in run["stages"] if s["name"] == "scheduling"]
-        (calibration,) = [
-            s for s in scheduling["children"] if s["name"] == "calibration"
-        ]
+        (calibration,) = [s for s in run["stages"] if s["name"] == "calibration"]
         assert calibration["attrs"]["cached"] is True
         assert calibration["attrs"]["source"] == "disk"
 

@@ -17,6 +17,7 @@ from conftest import make_mini_stream_design, make_unrolled_compute_design
 FLOW_STAGES = [
     "pragmas",
     "sync-pruning",
+    "calibration",
     "scheduling",
     "ii-analysis",
     "rtl-gen",
