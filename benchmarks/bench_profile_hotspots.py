@@ -1,0 +1,59 @@
+"""Hot-path profile over a broadcast-factor sweep, recorded for posterity.
+
+Runs the genome design at several unroll factors — the broadcast-width
+axis of the source paper — with the stage cache off (profiling measures
+where *this run's* wall clock goes; replayed stages would read as free),
+profiles the span trees, and records the ``repro-profile/1`` document
+under the ``profile`` key of ``BENCH_flow.json``.
+
+Asserted: the profiler finds at least one super-linear stage over the
+sweep.  Today that is the O(n²) refinement loop inside placement — the
+exact kind of hot spot ROADMAP item 3 wants surfaced; if an optimization
+PR flattens it, this assertion is the reminder to re-point the bench at
+the next-worst offender (or celebrate and drop it).
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.designs import build_design
+from repro.flow import Flow
+from repro.opt import FULL
+from repro.testing import synthetic_calibration
+
+DESIGN = "genome"
+PARAM = "unroll"
+#: Broadcast factors swept (unroll=1 exercises a different RTL shape;
+#: 2..8 is the regime the paper's figures cover).
+FACTORS = (2, 4, 8)
+TOP_K = 12
+
+
+def test_profile_flags_superlinear_stage(bench_extras, record):
+    reports = []
+    for factor in FACTORS:
+        tracer = obs.Tracer()
+        flow = Flow(calibration=synthetic_calibration(), stage_cache=False)
+        with obs.activate(tracer):
+            flow.run(build_design(DESIGN, **{PARAM: factor}), FULL)
+        reports.append((float(factor), obs.run_report(tracer)))
+
+    document = obs.profile_reports(reports, top=TOP_K)
+    document["design"] = DESIGN
+    document["param"] = PARAM
+    bench_extras["profile"] = document
+
+    record(
+        "profile_hotspots",
+        f"{DESIGN} ({PARAM} sweep, config=full)\n"
+        + obs.render_profile(document),
+    )
+
+    assert document["hotspots"], "profiler produced no hot paths"
+    # Self-time shares are a partition of the total.
+    assert abs(sum(s["share"] for s in document["hotspots"][:TOP_K]) - 1.0) < 0.2
+    superlinear = document.get("superlinear_paths") or []
+    assert superlinear, (
+        "no super-linear stage found over the sweep — either the scaling "
+        "bottleneck was fixed (update this bench) or the profiler regressed"
+    )

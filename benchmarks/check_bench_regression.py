@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Bench-regression sentinel: fresh BENCH_flow.json vs the committed baseline.
+
+Compares the warm-path latency metrics of a freshly produced
+``benchmarks/results/BENCH_flow.json`` against ``benchmarks/bench_baseline.json``
+and exits nonzero when any tracked metric regressed beyond its tolerance —
+the CI tripwire for "this PR made the warm path slower".
+
+The baseline document pins, per metric (dotted path into the bench doc):
+
+* ``value`` — the accepted reference measurement;
+* ``tolerance`` — allowed relative regression before failing (default
+  ``DEFAULT_TOLERANCE``, i.e. >25% slower fails).  Sub-millisecond metrics
+  carry larger per-metric tolerances: on a loaded CI runner, scheduler
+  jitter on a 0.2 ms file read dwarfs any plausible code regression.
+
+Lower-is-better throughout (all tracked metrics are latencies in seconds).
+A metric *missing* from the fresh document fails too — that means the
+benchmark that produces it did not run, which is itself a regression of
+the bench suite.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py            # check
+    python benchmarks/check_bench_regression.py --update   # re-pin baseline
+
+``--update`` rewrites the baseline values from the fresh document (keeping
+each metric's tolerance), for when a PR legitimately shifts the floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Dict, Optional
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_BENCH = HERE / "results" / "BENCH_flow.json"
+DEFAULT_BASELINE = HERE / "bench_baseline.json"
+
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+
+#: Allowed relative regression when a metric has no per-metric tolerance.
+DEFAULT_TOLERANCE = 0.25
+
+
+def lookup(document: Dict[str, Any], dotted: str) -> Optional[float]:
+    """Resolve ``a.b.c`` into nested dicts; None when any hop is missing."""
+    node: Any = document
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def check(
+    bench: Dict[str, Any], baseline: Dict[str, Any]
+) -> tuple[list[str], list[str]]:
+    """Returns (failures, report_lines)."""
+    failures: list[str] = []
+    lines: list[str] = []
+    default_tol = float(baseline.get("default_tolerance", DEFAULT_TOLERANCE))
+    for name, spec in sorted(baseline.get("metrics", {}).items()):
+        reference = float(spec["value"])
+        tolerance = float(spec.get("tolerance", default_tol))
+        ceiling = reference * (1.0 + tolerance)
+        fresh = lookup(bench, name)
+        if fresh is None:
+            failures.append(f"{name}: missing from fresh bench document")
+            lines.append(f"FAIL  {name:<36s} missing (benchmark did not run?)")
+            continue
+        ratio = fresh / reference if reference else float("inf")
+        verdict = "ok"
+        if fresh > ceiling:
+            verdict = "FAIL"
+            failures.append(
+                f"{name}: {fresh:.6g}s vs baseline {reference:.6g}s "
+                f"(+{(ratio - 1) * 100:.0f}%, tolerance +{tolerance * 100:.0f}%)"
+            )
+        elif fresh * (1.0 + tolerance) < reference:
+            verdict = "fast"  # improved past the tolerance: worth re-pinning
+        lines.append(
+            f"{verdict:>4s}  {name:<36s} {fresh:>12.6f}s  "
+            f"baseline {reference:.6f}s  ({ratio:.2f}x, tol +{tolerance * 100:.0f}%)"
+        )
+    return failures, lines
+
+
+def update(bench: Dict[str, Any], baseline: Dict[str, Any]) -> Dict[str, Any]:
+    """The baseline with every value re-pinned from the fresh document."""
+    for name, spec in baseline.get("metrics", {}).items():
+        fresh = lookup(bench, name)
+        if fresh is not None:
+            spec["value"] = round(fresh, 6)
+    return baseline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", type=pathlib.Path, default=DEFAULT_BENCH)
+    parser.add_argument("--baseline", type=pathlib.Path, default=DEFAULT_BASELINE)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-pin baseline values from the fresh bench document",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        bench = json.loads(args.bench.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read bench document {args.bench}: {exc}")
+        return 2
+    try:
+        baseline = json.loads(args.baseline.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline {args.baseline}: {exc}")
+        return 2
+    if baseline.get("schema") != BASELINE_SCHEMA:
+        print(f"error: {args.baseline} is not a {BASELINE_SCHEMA} document")
+        return 2
+
+    if args.update:
+        args.baseline.write_text(
+            json.dumps(update(bench, baseline), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"re-pinned {len(baseline.get('metrics', {}))} baseline metrics "
+              f"in {args.baseline}")
+        return 0
+
+    failures, lines = check(bench, baseline)
+    print(f"bench regression check: {args.bench} vs {args.baseline}")
+    for line in lines:
+        print(f"  {line}")
+    if failures:
+        print(f"\n{len(failures)} warm-path regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        print("\n(if this slowdown is intentional, re-pin with "
+              "`python benchmarks/check_bench_regression.py --update`)")
+        return 1
+    print("\nall tracked warm-path metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,14 @@ Commands:
   Chrome ``trace_event`` file, ``--verbose`` for the span tree,
   ``--jobs N`` to fan multiple configs over worker processes);
 * ``trace <design> [--out t.json]`` — run the flow and export the trace;
+  ``trace --request <digest>`` instead loads the merged per-request trace
+  a service compile left behind (daemon span + every worker attempt,
+  partial spans of killed attempts included);
+* ``profile <design> --sweep A,B,C`` — run a broadcast-factor sweep and
+  rank pipeline stages by self-time, fitting each stage's scaling slope
+  to flag super-linear (candidate O(n²)) hot paths;
+* ``events [--follow] [--grep S]`` — query the service's structured
+  event journal (``repro-event/1`` JSONL);
 * ``tune <design>``                — auto-apply techniques until converged;
 * ``diagnose <design>``            — broadcast classification + advice;
 * ``diemap <design>``              — ASCII die map + worst broadcast net;
@@ -22,7 +30,9 @@ Commands:
   worker processes — see :mod:`repro.service`);
 * ``submit <design> [--wait]``     — submit a compilation to a daemon
   (exit 0 ok, 1 failed, 3 when the daemon applies backpressure);
-* ``status [job-id]``              — query a daemon's queue/jobs/metrics.
+* ``status [job-id]``              — query a daemon: human-readable table
+  of queue depths, hit rates and uptime (``--json`` for the raw
+  snapshot document).
 
 Batch commands (``run`` with several configs, ``all``) exit nonzero when
 *any* job failed, while still reporting every job that completed.
@@ -43,7 +53,9 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import sys
+import time
 
 from repro import Flow, obs
 from repro.analysis import classify_design, diagnose, format_critical_path
@@ -170,6 +182,10 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    if args.request:
+        return _cmd_trace_request(args)
+    if not args.design:
+        raise CliUsageError("trace needs a design (or --request <digest>)")
     configs = _configs_for(args.config)
     _check_design(args.design)
     engine = _engine_for(args)
@@ -183,6 +199,123 @@ def _cmd_trace(args) -> int:
     obs.write_chrome_trace(out, tracer)
     print(f"\nwrote Chrome trace to {out} "
           f"(open in chrome://tracing or https://ui.perfetto.dev)")
+    return 0
+
+
+def _cmd_trace_request(args) -> int:
+    """Render the merged per-request trace a service compile stored."""
+    from repro.service import TraceStore, rebuild_trace
+
+    document = TraceStore().get(args.request)
+    if document is None:
+        print(
+            f"repro: error: no stored trace for request digest "
+            f"{args.request!r} (has the service compiled it?)",
+            file=sys.stderr,
+        )
+        return 1
+    attempts = document.get("attempts") or 0
+    print(
+        f"trace {document.get('trace_id')} — request {args.request[:12]} "
+        f"job={document.get('job_id')} state={document.get('state')} "
+        f"attempts={attempts} served_from={document.get('served_from') or '-'}"
+    )
+    roots = rebuild_trace(document)
+    for root in roots:
+        print()
+        print(obs.render_console(root))
+    if args.out:
+        tracer = obs.Tracer()
+        tracer.roots = roots
+        obs.write_chrome_trace(args.out, tracer)
+        print(f"\nwrote Chrome trace to {args.out}")
+    return 0
+
+
+#: Default broadcast-factor parameter of each sweepable design (the knob
+#: ``repro profile --sweep`` varies; override with ``--param``).
+SWEEP_PARAMS = {
+    "genome": "unroll",
+    "matmul": "pes",
+    "stream_buffer": "depth",
+    "vector_arith": "width",
+    "stencil": "iterations",
+}
+
+
+def _cmd_profile(args) -> int:
+    _check_design(args.design, include_extra=True)
+    param = args.param or SWEEP_PARAMS.get(args.design)
+    if not param:
+        raise CliUsageError(
+            f"design {args.design!r} has no default sweep parameter; "
+            f"pass --param NAME (sweepable defaults: "
+            f"{', '.join(f'{d}:{p}' for d, p in sorted(SWEEP_PARAMS.items()))})"
+        )
+    try:
+        factors = [int(v) for v in args.sweep.split(",") if v.strip()]
+    except ValueError as exc:
+        raise CliUsageError(f"bad --sweep list {args.sweep!r}: {exc}") from exc
+    if len(set(factors)) < 2:
+        raise CliUsageError("--sweep needs at least two distinct factors")
+    flow = _flow_for(args)
+    reports = []
+    for factor in factors:
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            design = build_design(args.design, **{param: factor})
+            flow.run(design, CONFIGS[args.config])
+        reports.append((float(factor), obs.run_report(tracer)))
+        if not args.json:
+            print(f"profiled {args.design} {param}={factor}", file=sys.stderr)
+    document = obs.profile_reports(reports, top=args.top)
+    document["design"] = args.design
+    document["param"] = param
+    document["config"] = args.config
+    if args.json:
+        print(json.dumps(document, indent=2))
+    else:
+        print(f"{args.design} ({param} sweep, config={args.config})")
+        print(obs.render_profile(document))
+    return 0
+
+
+def _cmd_events(args) -> int:
+    from repro.delay.cache import default_cache_dir
+    from repro.obs.journal import follow_events, read_events
+
+    path = args.path or os.path.join(
+        default_cache_dir(), "journal", "events.jsonl"
+    )
+
+    def render(record) -> str:
+        if args.json:
+            return json.dumps(record, sort_keys=True)
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.get("ts", 0)))
+        source = record.get("source") or "?"
+        pid = record.get("pid") or "-"
+        skip = {"schema", "ts", "event", "pid", "source"}
+        fields = " ".join(
+            f"{key}={record[key]}" for key in sorted(record) if key not in skip
+        )
+        return f"{stamp} {source:>13s}/{pid:<7} {record.get('event', '?'):<18s} {fields}"
+
+    if args.follow:
+        needle = (args.grep or "").lower()
+        try:
+            for record in follow_events(path):
+                if needle and needle not in json.dumps(record).lower():
+                    continue
+                print(render(record), flush=True)
+        except KeyboardInterrupt:
+            pass
+        return 0
+    records = read_events(path, grep=args.grep, limit=args.limit)
+    if not records:
+        print(f"no events in {path}", file=sys.stderr)
+        return 0
+    for record in records:
+        print(render(record))
     return 0
 
 
@@ -323,31 +456,87 @@ def _cmd_status(args) -> int:
     if args.json or args.job_id:
         print(json.dumps(document, indent=2))
         return 0
-    queue = document.get("queue", {})
-    counters = document.get("metrics", {}).get("counters", {})
-    print(
-        f"queue depth {queue.get('depth', 0)}/{queue.get('limit', 0)} "
-        f"(high={queue.get('by_priority', {}).get('high', 0)}, "
-        f"normal={queue.get('by_priority', {}).get('normal', 0)}, "
-        f"low={queue.get('by_priority', {}).get('low', 0)}) "
-        f"workers={document.get('workers')} "
-        f"store entries={document.get('store', {}).get('entries')}"
-    )
-    interesting = (
-        "service.submitted", "service.compiles", "service.result_hits",
-        "service.coalesced", "service.retries", "service.crashes",
-        "service.timeouts", "service.quarantined", "service.rejected",
-    )
-    shown = {name: counters.get(name, 0) for name in interesting if name in counters}
-    if shown:
-        print("  ".join(f"{k.split('.', 1)[1]}={v}" for k, v in shown.items()))
-    for job in document.get("jobs", []):
-        print(
-            f"{job['id']:>9s}  {job['design']}[{job['config']}]  "
-            f"{job['state']:8s} attempts={job['attempts']} "
-            f"served_from={job.get('served_from') or '-'}"
-        )
+    print(_render_status_table(document))
     return 0
+
+
+def _format_uptime(seconds: float) -> str:
+    seconds = max(0, int(seconds))
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}h {minutes:02d}m {secs:02d}s"
+    if minutes:
+        return f"{minutes}m {secs:02d}s"
+    return f"{secs}s"
+
+
+def _render_status_table(document) -> str:
+    """The human view of a daemon snapshot: queue depths, hit rates,
+    uptime, recent jobs.  (``--json`` prints the raw snapshot instead.)"""
+    queue = document.get("queue", {})
+    by_priority = queue.get("by_priority", {})
+    counters = document.get("metrics", {}).get("counters", {})
+    hits = counters.get("service.result_hits", 0)
+    compiles = counters.get("service.compiles", 0)
+    skipped = counters.get("service.stages_skipped", 0)
+    ran = counters.get("service.stages_run", 0)
+
+    def rate(part, whole) -> str:
+        return f"{100.0 * part / whole:.0f}%" if whole else "-"
+
+    rows = [
+        ("uptime", _format_uptime(document.get("uptime_s", 0))),
+        (
+            "queue",
+            f"{queue.get('depth', 0)}/{queue.get('limit', 0)} "
+            f"(high {by_priority.get('high', 0)} / "
+            f"normal {by_priority.get('normal', 0)} / "
+            f"low {by_priority.get('low', 0)})",
+        ),
+        ("inflight", str(document.get("inflight", 0))),
+        ("workers", str(document.get("workers", 0))),
+        (
+            "result store",
+            f"{document.get('store', {}).get('entries', 0)} entries "
+            f"(hit rate {rate(hits, hits + compiles)})",
+        ),
+        (
+            "compiles",
+            f"{compiles} (store hits {hits}, "
+            f"coalesced {counters.get('service.coalesced', 0)})",
+        ),
+        (
+            "stage cache",
+            f"skipped {skipped} / ran {ran} "
+            f"(warm {rate(skipped, skipped + ran)})",
+        ),
+        (
+            "faults",
+            f"retries {counters.get('service.retries', 0)}, "
+            f"crashes {counters.get('service.crashes', 0)}, "
+            f"timeouts {counters.get('service.timeouts', 0)}, "
+            f"quarantined {counters.get('service.quarantined', 0)}, "
+            f"rejected {counters.get('service.rejected', 0)}",
+        ),
+    ]
+    lines = [f"{label:<14s} {value}" for label, value in rows]
+    jobs = document.get("jobs", [])
+    if jobs:
+        lines.append("")
+        lines.append(
+            f"{'job':>9s}  {'design[config]':<28s} {'state':<9s} "
+            f"{'att':>3s}  {'served from':<12s} trace"
+        )
+        for job in jobs:
+            label = f"{job['design']}[{job['config']}]"
+            trace_id = job.get("trace_id") or "-"
+            lines.append(
+                f"{job['id']:>9s}  {label:<28s} {job['state']:<9s} "
+                f"{job['attempts']:>3d}  {job.get('served_from') or '-':<12s} "
+                f"{trace_id}"
+            )
+    return "\n".join(lines)
 
 
 def _experiment_command(name: str):
@@ -385,9 +574,16 @@ def main(argv=None) -> int:
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser(
-        "trace", help="run the flow and export a Chrome trace"
+        "trace",
+        help="run the flow and export a Chrome trace, or inspect a "
+        "stored service trace (--request)",
     )
-    p_trace.add_argument("design", choices=design_names())
+    p_trace.add_argument("design", nargs="?", default=None, choices=design_names())
+    p_trace.add_argument(
+        "--request", default=None, metavar="DIGEST",
+        help="show the merged per-request trace stored by the service "
+        "for this request digest instead of running the flow",
+    )
     p_trace.add_argument("--config", default="orig,full")
     p_trace.add_argument(
         "--out", default=None, metavar="PATH",
@@ -395,6 +591,53 @@ def main(argv=None) -> int:
     )
     _add_flow_options(p_trace)
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="rank flow hot paths by self-time over a parameter sweep",
+    )
+    p_prof.add_argument("design", choices=design_names(include_extra=True))
+    p_prof.add_argument(
+        "--sweep", required=True, metavar="A,B,...",
+        help="comma-separated parameter values (at least two distinct), "
+        "e.g. --sweep 1,2,4,8",
+    )
+    p_prof.add_argument(
+        "--param", default=None, metavar="NAME",
+        help="design parameter to sweep (default: the design's scale "
+        "knob, e.g. unroll for genome)",
+    )
+    p_prof.add_argument("--config", default="full", choices=sorted(CONFIGS))
+    p_prof.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="number of hot paths to show (default 10)",
+    )
+    p_prof.add_argument("--json", action="store_true")
+    _add_flow_options(p_prof, jobs=False)
+    # Profiling measures this run's wall clock; stage-cache hits would
+    # replay stages in ~0ms and erase the signal, so default it off.
+    p_prof.set_defaults(fn=_cmd_profile, stage_cache="off")
+
+    p_events = sub.add_parser(
+        "events", help="read or follow the structured event journal"
+    )
+    p_events.add_argument(
+        "--path", default=None, metavar="FILE",
+        help="journal path (default $REPRO_CACHE_DIR/journal/events.jsonl)",
+    )
+    p_events.add_argument(
+        "--follow", action="store_true", help="tail the journal (Ctrl-C to stop)"
+    )
+    p_events.add_argument(
+        "--grep", default=None, metavar="TEXT",
+        help="only events whose JSON rendering contains TEXT",
+    )
+    p_events.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only the last N matching events",
+    )
+    p_events.add_argument("--json", action="store_true")
+    p_events.set_defaults(fn=_cmd_events)
 
     p_diag = sub.add_parser("diagnose", help="broadcast classification + advice")
     p_diag.add_argument("design", choices=design_names())

@@ -40,6 +40,7 @@ from repro import hashing
 from repro.delay.calibrated import CalibrationTable
 from repro.delay.calibration import build_default_calibration
 from repro.errors import ReproError
+from repro.obs.journal import emit_event
 
 FORMAT_VERSION = 1
 
@@ -311,6 +312,13 @@ def resolve_calibration(
         table = build_default_calibration(
             device, seed=seed, smooth_passes=smooth_passes
         )
+        emit_event(
+            "calibration.build",
+            device=device,
+            seed=seed,
+            smooth_passes=smooth_passes,
+            cached=False,
+        )
         _MEMORY[key] = table
         return table, SOURCE_BUILT
     with calibration_lock(target):
@@ -325,6 +333,13 @@ def resolve_calibration(
             )
             save_calibration(
                 table, target, device=device, seed=seed, smooth_passes=smooth_passes
+            )
+            emit_event(
+                "calibration.build",
+                device=device,
+                seed=seed,
+                smooth_passes=smooth_passes,
+                path=target,
             )
             source = SOURCE_BUILT
     _MEMORY[key] = table

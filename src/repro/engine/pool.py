@@ -80,10 +80,19 @@ def _pool_context():
 _WORKER_FLOW: Optional[Flow] = None
 
 
-def _init_worker(flow: Flow) -> None:
+def _init_worker(flow: Flow, journal_path: Optional[str] = None) -> None:
     global _WORKER_FLOW
     _WORKER_FLOW = flow
     _ensure_pickle_depth()  # results are pickled on the worker side
+    if journal_path:
+        # Re-activate the parent's event journal under this worker's pid,
+        # so stage cache hit/miss and calibration-build events emitted
+        # inside pool workers land in the same JSONL stream.  (A fork
+        # start method would inherit the parent's handle, but spawn would
+        # not — activating explicitly covers both.)
+        from repro.obs.journal import EventJournal, activate_journal
+
+        activate_journal(EventJournal(journal_path, source="engine-worker"))
 
 
 def _run_task(payload: Tuple[int, Any]) -> Tuple[int, Any, "obs.Tracer", int]:
@@ -189,8 +198,13 @@ class Engine:
         results: List[Any] = [None] * len(tasks)
         traces: List[Optional[Tuple["obs.Tracer", int]]] = [None] * len(tasks)
         ctx = _pool_context()
+        journal = obs.current_journal()
+        journal_path = str(journal.path) if journal is not None else None
+        obs.emit_event("engine.pool_start", workers=workers, tasks=len(tasks))
         with ctx.Pool(
-            processes=workers, initializer=_init_worker, initargs=(self.flow,)
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(self.flow, journal_path),
         ) as pool:
             completed = pool.imap_unordered(
                 _run_task, list(enumerate(tasks)), chunksize=1
@@ -198,6 +212,7 @@ class Engine:
             for index, result, tracer, pid in completed:
                 results[index] = result
                 traces[index] = (tracer, pid)
+        obs.emit_event("engine.pool_done", workers=workers, tasks=len(tasks))
         # Graft in submission order so the merged report lists runs exactly
         # as a sequential execution would, regardless of completion order.
         for entry in traces:

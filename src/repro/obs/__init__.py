@@ -26,8 +26,39 @@ Flow code instruments itself with the module-level helpers::
     obs.add("physical.nets_replicated", 1)
 """
 
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+from repro.obs.exposition import (
+    CONTENT_TYPE as EXPOSITION_CONTENT_TYPE,
+    Family,
+    Sample,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.journal import (
+    EVENT_SCHEMA,
+    EventJournal,
+    activate_journal,
+    current_journal,
+    emit_event,
+    follow_events,
+    read_events,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.profiler import (
+    PROFILE_SCHEMA,
+    SUPERLINEAR_SLOPE,
+    fit_power_law,
+    profile_reports,
+    render_profile,
+)
 from repro.obs.snapshot import (
+    rebuild_span,
     replay_metrics,
     replay_span,
     snapshot_metrics,
@@ -72,10 +103,32 @@ __all__ = [
     "add",
     "observe",
     "set_gauge",
+    "global_registry",
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "EXPOSITION_CONTENT_TYPE",
+    "Family",
+    "Sample",
+    "render_exposition",
+    "parse_exposition",
+    "EVENT_SCHEMA",
+    "EventJournal",
+    "activate_journal",
+    "current_journal",
+    "emit_event",
+    "read_events",
+    "follow_events",
+    "PROFILE_SCHEMA",
+    "SUPERLINEAR_SLOPE",
+    "profile_reports",
+    "render_profile",
+    "fit_power_law",
     "snapshot_span",
     "snapshot_metrics",
     "replay_span",
     "replay_metrics",
+    "rebuild_span",
     "FLOW_SPAN",
     "RUN_REPORT_SCHEMA",
     "run_report",

@@ -1,0 +1,66 @@
+"""Cross-process trace context: trace ids and span ids.
+
+One compilation request traverses three processes — client, daemon, forked
+worker (possibly several worker attempts).  A :class:`TraceContext` is the
+tiny identity that rides along: a 16-hex-char ``trace_id`` naming the whole
+request, and the ``parent_span_id`` of whichever span caused this hop.
+
+The ids are W3C-traceparent-shaped but deliberately minimal: there is no
+sampling flag (everything is traced) and no vendor state.  Spans referenced
+across a process boundary get an explicit ``span_id`` attribute; in-process
+parentage stays structural (``Span.parent``/``Span.children``).
+
+Ids come from ``os.urandom`` — uniqueness matters, cryptographic strength
+does not, and ``uuid`` would drag in host identity for no benefit.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit trace id, 16 lowercase hex chars."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 32-bit span id, 8 lowercase hex chars."""
+    return os.urandom(4).hex()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a request hop carries: trace + causal parent span."""
+
+    trace_id: str
+    parent_span_id: Optional[str] = None
+
+    @classmethod
+    def mint(cls) -> "TraceContext":
+        """A new root context (fresh trace, no parent)."""
+        return cls(trace_id=new_trace_id())
+
+    def child(self, span_id: str) -> "TraceContext":
+        """The context to hand the next hop, parented at ``span_id``."""
+        return TraceContext(trace_id=self.trace_id, parent_span_id=span_id)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"trace_id": self.trace_id, "parent_span_id": self.parent_span_id}
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> Optional["TraceContext"]:
+        """Parse a wire dict; ``None`` for missing/malformed payloads (an
+        untraced caller must not fail the request)."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        if not isinstance(trace_id, str) or not trace_id:
+            return None
+        parent = payload.get("parent_span_id")
+        return cls(
+            trace_id=trace_id,
+            parent_span_id=parent if isinstance(parent, str) and parent else None,
+        )

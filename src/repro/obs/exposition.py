@@ -1,0 +1,280 @@
+"""Prometheus-style text exposition of a :class:`MetricsRegistry`.
+
+Renders the daemon's live metrics as the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ (version
+0.0.4) so ``GET /metrics`` is scrapeable by any off-the-shelf collector —
+while staying zero-dependency, like everything in :mod:`repro.obs`.
+
+Mapping:
+
+* counters → ``# TYPE x counter`` with the conventional ``_total`` suffix;
+* gauges → ``# TYPE x gauge``;
+* histograms → ``# TYPE x summary``: ``{quantile="0.5"}`` /
+  ``{quantile="0.9"}`` / ``{quantile="0.99"}`` series over the reservoir,
+  plus exact ``x_count`` / ``x_sum`` and auxiliary ``x_min`` / ``x_max``
+  gauges.
+
+Metric names are sanitized (``service.queue_depth`` →
+``repro_service_queue_depth``); label values are escaped per the format
+(backslash, double quote, newline).  :func:`parse_exposition` is the
+inverse used by tests and the CLI — every line the renderer emits must
+round-trip through it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, Number
+
+#: Content-Type of the rendered document (what Prometheus scrapers expect).
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Quantiles exported per histogram.
+QUANTILES = (0.5, 0.9, 0.99)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: ``name{labels} value`` — labels parsed separately by :func:`_parse_labels`.
+_LINE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$")
+
+
+def metric_name(raw: str, prefix: str = "repro") -> str:
+    """Sanitize a dotted internal name into a legal exposition name."""
+    name = _SANITIZE.sub("_", raw)
+    if prefix:
+        name = f"{prefix}_{name}"
+    if not _NAME_OK.match(name):
+        name = f"_{name}"
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def format_value(value: Number) -> str:
+    """Render a sample value (ints stay ints; floats use repr)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+@dataclass
+class Sample:
+    """One series sample: name, labels, value."""
+
+    name: str
+    value: Number
+    labels: Tuple[Tuple[str, str], ...] = ()
+
+    def render(self) -> str:
+        if self.labels:
+            inner = ",".join(
+                f'{k}="{escape_label_value(str(v))}"' for k, v in self.labels
+            )
+            return f"{self.name}{{{inner}}} {format_value(self.value)}"
+        return f"{self.name} {format_value(self.value)}"
+
+
+@dataclass
+class Family:
+    """One metric family: a TYPE (and optional HELP) plus its samples."""
+
+    name: str
+    kind: str  # counter | gauge | summary | untyped
+    samples: List[Sample] = field(default_factory=list)
+    help: Optional[str] = None
+
+    def render(self) -> List[str]:
+        lines: List[str] = []
+        if self.help:
+            text = self.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {self.name} {text}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines.extend(sample.render() for sample in self.samples)
+        return lines
+
+
+def registry_families(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> List[Family]:
+    """Map one registry onto exposition families, sorted by name."""
+    families: List[Family] = []
+    for raw, counter in sorted(registry.counters.items()):
+        name = metric_name(raw, prefix)
+        families.append(
+            Family(
+                name=f"{name}_total",
+                kind="counter",
+                samples=[Sample(f"{name}_total", counter.value)],
+            )
+        )
+    for raw, gauge in sorted(registry.gauges.items()):
+        name = metric_name(raw, prefix)
+        families.append(
+            Family(name=name, kind="gauge", samples=[Sample(name, gauge.value)])
+        )
+    for raw, hist in sorted(registry.histograms.items()):
+        name = metric_name(raw, prefix)
+        summary = Family(name=name, kind="summary")
+        for q in QUANTILES:
+            summary.samples.append(
+                Sample(
+                    name,
+                    hist.percentile(q * 100.0),
+                    labels=(("quantile", format(q, "g")),),
+                )
+            )
+        summary.samples.append(Sample(f"{name}_count", hist.count))
+        summary.samples.append(Sample(f"{name}_sum", hist.total))
+        families.append(summary)
+        if hist.count:
+            families.append(
+                Family(
+                    name=f"{name}_min",
+                    kind="gauge",
+                    samples=[Sample(f"{name}_min", hist.min_value)],
+                )
+            )
+            families.append(
+                Family(
+                    name=f"{name}_max",
+                    kind="gauge",
+                    samples=[Sample(f"{name}_max", hist.max_value)],
+                )
+            )
+    return families
+
+
+def render_exposition(
+    registry: MetricsRegistry,
+    extra_families: Iterable[Family] = (),
+    prefix: str = "repro",
+) -> str:
+    """The full exposition document for one registry (plus extra families,
+    e.g. the daemon's labeled per-lane queue depths).  Ends in a newline —
+    the format requires the final line to be terminated."""
+    lines: List[str] = []
+    for family in list(registry_families(registry, prefix)) + list(extra_families):
+        lines.extend(family.render())
+    return "\n".join(lines) + "\n" if lines else "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parsing (tests, CLI, and any scraper of our own)
+# ---------------------------------------------------------------------------
+class ExpositionParseError(ValueError):
+    """A line of exposition text did not match the format."""
+
+
+def _parse_labels(body: str) -> Tuple[Tuple[str, str], ...]:
+    """Parse ``{k="v",...}`` (the braces included) with escape handling."""
+    inner = body[1:-1].strip()
+    labels: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(inner):
+        eq = inner.index("=", i)
+        key = inner[i:eq].strip().lstrip(",").strip()
+        if inner[eq + 1] != '"':
+            raise ExpositionParseError(f"unquoted label value in {body!r}")
+        j = eq + 2
+        raw: List[str] = []
+        while j < len(inner):
+            ch = inner[j]
+            if ch == "\\" and j + 1 < len(inner):
+                raw.append(inner[j : j + 2])
+                j += 2
+                continue
+            if ch == '"':
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise ExpositionParseError(f"unterminated label value in {body!r}")
+        labels.append((key, _unescape_label_value("".join(raw))))
+        i = j + 1
+        while i < len(inner) and inner[i] in ", ":
+            i += 1
+    return tuple(labels)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+@dataclass
+class ParsedExposition:
+    """The parsed document: sample values plus family types."""
+
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = field(
+        default_factory=dict
+    )
+    types: Dict[str, str] = field(default_factory=dict)
+
+    def value(
+        self, name: str, labels: Tuple[Tuple[str, str], ...] = ()
+    ) -> Optional[float]:
+        return self.samples.get((name, tuple(labels)))
+
+    def names(self) -> List[str]:
+        return sorted({name for name, _labels in self.samples})
+
+
+def parse_exposition(text: str) -> ParsedExposition:
+    """Parse a whole exposition document; raises
+    :class:`ExpositionParseError` on any malformed non-comment line."""
+    doc = ParsedExposition()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            parts = stripped.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                doc.types[parts[2]] = parts[3]
+            continue
+        match = _LINE.match(stripped)
+        if not match:
+            raise ExpositionParseError(f"line {lineno}: bad sample {line!r}")
+        name, labels_body, value_text = match.groups()
+        labels = _parse_labels(labels_body) if labels_body else ()
+        try:
+            value = _parse_value(value_text)
+        except ValueError as exc:
+            raise ExpositionParseError(
+                f"line {lineno}: bad value {value_text!r}"
+            ) from exc
+        doc.samples[(name, labels)] = value
+    return doc

@@ -1,0 +1,229 @@
+"""Append-only structured event journal (JSONL, ``repro-event/1``).
+
+The service daemon and its forked workers write one JSON object per line
+describing lifecycle events: job accepted / coalesced / started / retried /
+quarantined / completed, stage cache hit / miss, calibration builds, daemon
+startup and shutdown.  The journal is the service's *only* log — there is
+deliberately no freeform stderr logging; everything is a queryable record.
+
+Design constraints:
+
+* **Multi-process safe.**  Writers open the file with ``O_APPEND`` and emit
+  each record as a single ``write()`` of one ``\\n``-terminated line.  POSIX
+  guarantees the append offset is atomic per write, so daemon and worker
+  lines interleave but never interleave *within* a line (records are far
+  below ``PIPE_BUF``).
+* **Bounded.**  Size-based rotation: when the file would exceed
+  ``max_bytes`` the writer renames ``events.jsonl`` → ``events.jsonl.1``
+  (shifting older generations up to ``keep`` files) and starts fresh.
+* **Corruption tolerant.**  Replay (:func:`read_events`) skips torn or
+  truncated lines — a SIGKILL'd writer must not poison the log for readers.
+
+An ambient journal mirrors the ambient tracer: components call
+:func:`emit_event` without threading a handle through every signature;
+:func:`activate_journal` installs one for the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
+
+EVENT_SCHEMA = "repro-event/1"
+
+#: Default rotation threshold (bytes) and number of rotated generations.
+DEFAULT_MAX_BYTES = 4 * 1024 * 1024
+DEFAULT_KEEP = 3
+
+
+class EventJournal:
+    """One JSONL event log with size-based rotation."""
+
+    def __init__(
+        self,
+        path: Path,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        keep: int = DEFAULT_KEEP,
+        source: Optional[str] = None,
+    ) -> None:
+        self.path = Path(path)
+        self.max_bytes = int(max_bytes)
+        self.keep = int(keep)
+        #: Stamped onto every record as ``source`` (e.g. ``daemon`` or
+        #: ``worker``); ``pid`` is always stamped.
+        self.source = source
+
+    # -- write side ------------------------------------------------------
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Append one ``repro-event/1`` record; returns the record."""
+        record: Dict[str, Any] = {
+            "schema": EVENT_SCHEMA,
+            "ts": time.time(),
+            "event": event,
+            "pid": os.getpid(),
+        }
+        if self.source:
+            record["source"] = self.source
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        self._rotate_if_needed(len(line))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return record
+
+    def _rotate_if_needed(self, incoming: int) -> None:
+        try:
+            size = self.path.stat().st_size
+        except OSError:
+            return
+        if size + incoming <= self.max_bytes:
+            return
+        # Shift generations: .{keep-1} -> .{keep}, ..., base -> .1.  Best
+        # effort — a concurrent rotator losing the race is harmless, the
+        # journal is advisory telemetry.
+        try:
+            oldest = self.path.with_name(f"{self.path.name}.{self.keep}")
+            if oldest.exists():
+                oldest.unlink()
+            for gen in range(self.keep - 1, 0, -1):
+                src = self.path.with_name(f"{self.path.name}.{gen}")
+                if src.exists():
+                    os.replace(src, self.path.with_name(f"{self.path.name}.{gen + 1}"))
+            os.replace(self.path, self.path.with_name(f"{self.path.name}.1"))
+        except OSError:
+            pass
+
+    # -- read side -------------------------------------------------------
+    def generations(self) -> List[Path]:
+        """All journal files, oldest generation first."""
+        files: List[Path] = []
+        for gen in range(self.keep, 0, -1):
+            candidate = self.path.with_name(f"{self.path.name}.{gen}")
+            if candidate.exists():
+                files.append(candidate)
+        if self.path.exists():
+            files.append(self.path)
+        return files
+
+    def read(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        return read_events(self.path, keep=self.keep, limit=limit)
+
+
+def _iter_records(path: Path) -> Iterator[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn/truncated write — skip, don't fail
+                if isinstance(record, dict):
+                    yield record
+    except OSError:
+        return
+
+
+def read_events(
+    path: Path,
+    keep: int = DEFAULT_KEEP,
+    limit: Optional[int] = None,
+    grep: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Replay the journal at ``path`` (rotated generations first), skipping
+    corrupt lines.  ``grep`` substring-filters against the JSON rendering of
+    each record; ``limit`` keeps the most recent N matches."""
+    path = Path(path)
+    journal = EventJournal(path, keep=keep)
+    records: List[Dict[str, Any]] = []
+    for generation in journal.generations():
+        records.extend(_iter_records(generation))
+    if grep:
+        needle = grep.lower()
+        records = [
+            r for r in records if needle in json.dumps(r, sort_keys=True).lower()
+        ]
+    if limit is not None and limit >= 0:
+        records = records[-limit:]
+    return records
+
+
+def follow_events(
+    path: Path,
+    poll_s: float = 0.2,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Tail the journal: yield existing records, then new ones as they are
+    appended (surviving rotation by reopening when the inode shrinks).
+    Runs until ``stop()`` returns true (forever without one)."""
+    path = Path(path)
+    offset = 0
+    while True:
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = 0
+        if size < offset:  # rotated underneath us
+            offset = 0
+        if size > offset:
+            with open(path, "r", encoding="utf-8", errors="replace") as handle:
+                handle.seek(offset)
+                for line in handle:
+                    if not line.endswith("\n"):
+                        break  # partial trailing line; re-read next poll
+                    offset += len(line.encode("utf-8"))
+                    stripped = line.strip()
+                    if not stripped:
+                        continue
+                    try:
+                        record = json.loads(stripped)
+                    except json.JSONDecodeError:
+                        continue
+                    if isinstance(record, dict):
+                        yield record
+        if stop is not None and stop():
+            return
+        time.sleep(poll_s)
+
+
+# ---------------------------------------------------------------------------
+# Ambient journal (mirrors the ambient tracer in repro.obs.tracer)
+# ---------------------------------------------------------------------------
+_ACTIVE: List[Optional[EventJournal]] = [None]
+
+
+def activate_journal(journal: Optional[EventJournal]) -> Optional[EventJournal]:
+    """Install ``journal`` as the process-ambient journal; returns the
+    previous one so callers can restore it."""
+    previous = _ACTIVE[0]
+    _ACTIVE[0] = journal
+    return previous
+
+
+def current_journal() -> Optional[EventJournal]:
+    return _ACTIVE[0]
+
+
+def emit_event(event: str, **fields: Any) -> Optional[Dict[str, Any]]:
+    """Emit through the ambient journal; a silent no-op when none is active
+    (library code calls this unconditionally)."""
+    journal = _ACTIVE[0]
+    if journal is None:
+        return None
+    try:
+        return journal.emit(event, **fields)
+    except OSError:
+        return None  # telemetry must never fail the flow

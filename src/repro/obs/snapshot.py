@@ -23,9 +23,9 @@ tell (and should not care) whether the scheduler ran or was replayed.
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracer import Span
 
 
@@ -44,28 +44,38 @@ def _json_safe(value: Any) -> Any:
 def snapshot_metrics(metrics: MetricsRegistry) -> Dict[str, Any]:
     """JSON-safe, *lossless* view of one registry.
 
-    Unlike :meth:`MetricsRegistry.to_dict` this keeps raw histogram
-    samples, not summaries — replay must reproduce the samples so any
+    Unlike :meth:`MetricsRegistry.to_dict` this keeps the full histogram
+    state (reservoir samples plus the exact count/sum/min/max), not
+    summaries — replay must reproduce the state bit-for-bit so any
     downstream percentile computation matches the original run.
     """
     return {
         "counters": {n: c.value for n, c in sorted(metrics.counters.items())},
         "gauges": {n: g.value for n, g in sorted(metrics.gauges.items())},
         "histograms": {
-            n: list(h.samples) for n, h in sorted(metrics.histograms.items())
+            n: h.state_dict() for n, h in sorted(metrics.histograms.items())
         },
     }
 
 
 def replay_metrics(metrics: MetricsRegistry, snapshot: Dict[str, Any]) -> None:
-    """Re-emit a :func:`snapshot_metrics` capture into ``metrics``."""
+    """Re-emit a :func:`snapshot_metrics` capture into ``metrics``.
+
+    Accepts both the current histogram encoding (a state dict with exact
+    aggregates) and the legacy one (a bare sample list, from sidecars
+    written before reservoir bounding).
+    """
     for name, value in (snapshot.get("counters") or {}).items():
         metrics.add(name, value)
     for name, value in (snapshot.get("gauges") or {}).items():
         metrics.set_gauge(name, value)
-    for name, samples in (snapshot.get("histograms") or {}).items():
-        for sample in samples:
-            metrics.observe(name, sample)
+    for name, payload in (snapshot.get("histograms") or {}).items():
+        target = metrics.histograms.setdefault(name, Histogram())
+        if isinstance(payload, dict):
+            target.merge_from(Histogram.from_state(payload))
+        else:
+            for sample in payload:
+                target.observe(sample)
 
 
 def snapshot_span(span: Span) -> Dict[str, Any]:
@@ -81,6 +91,7 @@ def snapshot_span(span: Span) -> Dict[str, Any]:
     return {
         "name": span.name,
         "attrs": {str(k): _json_safe(v) for k, v in span.attrs.items()},
+        "start_s": round(span.start_s, 6),
         "duration_ms": round(span.duration_ms, 3),
         "metrics": snapshot_metrics(span.metrics),
         "children": [snapshot_span(child) for child in span.children],
@@ -117,3 +128,37 @@ def replay_span(span: Any, snapshot: Dict[str, Any]) -> None:
     replay_metrics(span.metrics, snapshot.get("metrics") or {})
     for child_snapshot in snapshot.get("children") or ():
         span.children.append(_rebuild_child(child_snapshot, span))
+
+
+def rebuild_span(
+    snapshot: Dict[str, Any], parent: Optional[Span] = None
+) -> Optional[Span]:
+    """Reconstruct a full :class:`Span` tree from a :func:`snapshot_span`
+    capture, durations and timestamps included.
+
+    This is the *faithful* inverse of :func:`snapshot_span`, used by the
+    service's merged-trace store to rehydrate per-request traces (daemon
+    span + every worker attempt's spans, partial ones included) for
+    ``repro trace --request`` and Chrome export.  Contrast with
+    :func:`replay_span`, which deliberately rebuilds children with zero
+    duration for cache-hit replay.
+
+    Returns ``None`` for an empty snapshot.
+    """
+    if not snapshot:
+        return None
+    start_s = float(snapshot.get("start_s") or 0.0)
+    duration_ms = float(snapshot.get("duration_ms") or 0.0)
+    node = Span(
+        name=snapshot.get("name", "span"),
+        attrs=dict(snapshot.get("attrs") or {}),
+        start_s=start_s,
+        end_s=start_s + duration_ms / 1e3,
+        parent=parent,
+    )
+    replay_metrics(node.metrics, snapshot.get("metrics") or {})
+    for child_snapshot in snapshot.get("children") or ():
+        child = rebuild_span(child_snapshot, node)
+        if child is not None:
+            node.children.append(child)
+    return node

@@ -141,6 +141,7 @@ class PassManager:
             ctx.update(outputs)
             for key in stage.outputs:
                 key_digests[key] = digest
+            duration_ms = round((time.perf_counter() - started) * 1e3, 3)
             journal.append(
                 {
                     "stage": stage.name,
@@ -148,7 +149,15 @@ class PassManager:
                     "action": action,
                     "source": source,
                     "cacheable": stage.cacheable,
-                    "duration_ms": round((time.perf_counter() - started) * 1e3, 3),
+                    "duration_ms": duration_ms,
                 }
             )
+            if stage.cacheable and caching:
+                obs.emit_event(
+                    "stage.hit" if action == ACTION_SKIPPED else "stage.miss",
+                    stage=stage.name,
+                    digest=digest,
+                    cache=source,  # "memory"/"disk" ("source" names the emitter)
+                    duration_ms=duration_ms,
+                )
         return ctx, journal

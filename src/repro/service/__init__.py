@@ -45,7 +45,8 @@ from repro.service.daemon import FlowService, Job, QueueFullError, UnknownJobErr
 from repro.service.request import FlowRequest, config_from_spec, config_to_dict
 from repro.service.server import ServiceServer, serve_in_thread
 from repro.service.store import ResultStore, StoredResult
-from repro.service.worker import execute_request, worker_entry
+from repro.service.traces import TRACE_SCHEMA, TraceStore, rebuild_trace
+from repro.service.worker import TELEMETRY_KEY, execute_request, worker_entry
 
 __all__ = [
     "FlowRequest",
@@ -66,4 +67,8 @@ __all__ = [
     "DEFAULT_PORT",
     "execute_request",
     "worker_entry",
+    "TELEMETRY_KEY",
+    "TRACE_SCHEMA",
+    "TraceStore",
+    "rebuild_trace",
 ]

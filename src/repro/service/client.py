@@ -26,6 +26,7 @@ from typing import Any, Dict, Optional
 
 from repro.errors import ReproError
 from repro.flow import FlowResult
+from repro.obs.context import TraceContext
 from repro.service.store import ResultStore
 
 DEFAULT_HOST = "127.0.0.1"
@@ -132,6 +133,7 @@ class ServiceClient:
         clock_mhz: Optional[float] = None,
         seed: int = 2020,
         calibration_path: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         """Submit one compilation; returns the job record.
 
@@ -140,7 +142,14 @@ class ServiceClient:
         ``wait=True`` the call blocks until the job finishes.  A failed
         job under ``wait`` raises :class:`ServiceError` (status 500) with
         the daemon's structured error message.
+
+        Every submission carries a trace context — ``trace`` if given,
+        else a freshly minted one — whose ``trace_id`` comes back in the
+        job record and names the merged per-request trace
+        (:meth:`get_trace`, ``repro trace --request``).
         """
+        if trace is None:
+            trace = TraceContext.mint()
         payload: Dict[str, Any] = {
             "design": design,
             "config": config,
@@ -148,6 +157,7 @@ class ServiceClient:
             "priority": priority,
             "seed": seed,
             "wait": wait,
+            "trace": trace.to_dict(),
         }
         if wait_timeout_s is not None:
             payload["wait_timeout_s"] = wait_timeout_s
@@ -161,6 +171,31 @@ class ServiceClient:
 
     def status(self) -> Dict[str, Any]:
         return self._request("GET", "/status")
+
+    def metrics(self) -> str:
+        """The raw ``GET /metrics`` exposition text."""
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach repro service at {self.host}:{self.port}: {exc}",
+                status=0,
+            ) from exc
+        finally:
+            conn.close()
+        if response.status >= 400:
+            raise ServiceError(
+                f"GET /metrics failed: HTTP {response.status}",
+                status=response.status,
+            )
+        return raw.decode("utf-8")
+
+    def get_trace(self, digest: str) -> Dict[str, Any]:
+        """The merged per-request trace document for ``digest``."""
+        return self._request("GET", f"/trace/{digest}")
 
     def job(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")

@@ -58,9 +58,17 @@ from repro.delay.cache import default_cache_dir
 from repro.designs import design_names
 from repro.engine.merge import graft_trace
 from repro.errors import ReproError
+from repro.obs.context import TraceContext, new_span_id, new_trace_id
+from repro.obs.journal import EventJournal
 from repro.service.request import FlowRequest
 from repro.service.store import ResultStore
-from repro.service.worker import worker_entry
+from repro.service.traces import (
+    TRACE_SCHEMA,
+    TraceStore,
+    discard_spool,
+    read_spool,
+)
+from repro.service.worker import TELEMETRY_KEY, worker_entry
 
 #: Dispatch order of the priority lanes.
 PRIORITIES = ("high", "normal", "low")
@@ -102,6 +110,13 @@ class Job:
     worker_pid: Optional[int] = None
     timeout_s: Optional[float] = None
     result_digest: Optional[str] = None
+    #: Trace identity: the request-wide trace id (client-minted or minted
+    #: here) and the daemon span's own id — the parent of worker spans.
+    trace_id: Optional[str] = None
+    span_id: Optional[str] = None
+    #: Span snapshots of every worker attempt (partial ones from the trace
+    #: spool when an attempt was killed mid-flow).
+    worker_spans: List[Dict[str, Any]] = field(default_factory=list)
     #: Per-stage pipeline journal from the winning attempt; after a
     #: crash-retry it shows the resumed prefix as ``skipped`` entries.
     journal: Optional[List[Dict[str, Any]]] = None
@@ -133,6 +148,7 @@ class Job:
             "coalesced": self.coalesced,
             "worker_pid": self.worker_pid,
             "result_digest": self.result_digest,
+            "trace_id": self.trace_id,
             "journal": self.journal,
             "summary": dict(self.summary),
             "error": self.error,
@@ -173,6 +189,8 @@ class FlowService:
         quarantine_dir: Optional[str] = None,
         tracer: Optional[obs.Tracer] = None,
         entry: Optional[Callable] = None,
+        journal: Optional[EventJournal] = None,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         if workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
@@ -191,6 +209,15 @@ class FlowService:
             default_cache_dir(), "quarantine"
         )
         self.tracer = tracer or obs.Tracer()
+        #: Process-wide registry mirrored by every service counter/gauge/
+        #: histogram write — the substrate of ``GET /metrics``.
+        self.registry = obs.global_registry()
+        self.journal = journal or EventJournal(
+            os.path.join(default_cache_dir(), "journal", "events.jsonl"),
+            source="daemon",
+        )
+        self.traces = trace_store or TraceStore()
+        self.created_s = time.time()
         self._entry = entry or worker_entry
         self._lanes: Dict[str, Deque[Job]] = {p: deque() for p in PRIORITIES}
         self._jobs: Dict[str, Job] = {}
@@ -204,11 +231,42 @@ class FlowService:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    # -- telemetry sinks -------------------------------------------------
+    def _emit(self, event: str, **fields: Any) -> None:
+        """Journal one event; telemetry never fails the service."""
+        try:
+            self.journal.emit(event, **fields)
+        except OSError:
+            pass
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        self.tracer.add(name, amount)
+        self.registry.add(name, amount)
+
+    def _gauge(self, name: str, value: float) -> None:
+        self.tracer.set_gauge(name, value)
+        self.registry.set_gauge(name, value)
+
+    def _observe(self, name: str, value: float) -> None:
+        self.tracer.observe(name, value)
+        self.registry.observe(name, value)
+
     async def start(self) -> None:
         """Spawn the dispatcher tasks (idempotent)."""
         if self._started:
             return
         self._started = True
+        self._emit(
+            "service.start",
+            workers=self.workers,
+            queue_limit=self.queue_limit,
+            max_attempts=self.max_attempts,
+            job_timeout_s=self.job_timeout_s,
+            store=self.store.root,
+            quarantine_dir=self.quarantine_dir,
+            journal=str(self.journal.path),
+            traces=self.traces.root,
+        )
         self._tasks = [
             asyncio.create_task(self._worker_loop(), name=f"repro-service-w{i}")
             for i in range(self.workers)
@@ -240,6 +298,7 @@ class FlowService:
         for lane in self._lanes.values():
             lane.clear()
         self._set_queue_gauge()
+        self._emit("service.stop", uptime_s=round(time.time() - self.created_s, 3))
 
     # ------------------------------------------------------------------
     # Submission
@@ -249,6 +308,7 @@ class FlowService:
         request: FlowRequest,
         priority: str = "normal",
         timeout_s: Optional[float] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Tuple[Job, str]:
         """Admit one request; returns ``(job, how)`` with ``how`` one of
         ``"store"`` (instant result-store hit), ``"coalesced"`` (attached
@@ -271,33 +331,65 @@ class FlowService:
         existing = self._inflight.get(digest)
         if existing is not None:
             existing.coalesced += 1
-            self.tracer.add("service.coalesced")
+            if trace is not None and existing.span is not None:
+                # Later arrivals keep their own trace ids; record them so
+                # the merged trace names every client that shared this job.
+                existing.span.attrs.setdefault("coalesced_trace_ids", []).append(
+                    trace.trace_id
+                )
+            self._count("service.coalesced")
+            self._emit(
+                "job.coalesced",
+                job_id=existing.id,
+                digest=digest,
+                design=request.design,
+                trace_id=trace.trace_id if trace else None,
+            )
             return existing, "coalesced"
 
         stored = self.store.get(digest)
         if stored is not None:
-            job = self._new_job(request, digest, priority)
+            job = self._new_job(request, digest, priority, trace)
             job.state = "done"
             job.served_from = "store"
             job.result_digest = stored.result_digest
             job.summary = dict(stored.summary)
             job.started_s = job.finished_s = time.time()
+            self._finish_span(job)
+            self._store_trace(job)
             job.done.set()
-            self.tracer.add("service.result_hits")
+            self._count("service.result_hits")
+            self._emit(
+                "job.store_hit",
+                job_id=job.id,
+                digest=digest,
+                design=request.design,
+                trace_id=job.trace_id,
+            )
             return job, "store"
 
         if self._queued_count() >= self.queue_limit:
-            self.tracer.add("service.rejected")
+            self._count("service.rejected")
+            self._emit("job.rejected", digest=digest, design=request.design)
             raise QueueFullError(
                 f"queue is full ({self._queued_count()}/{self.queue_limit} "
                 f"queued); retry later"
             )
 
-        job = self._new_job(request, digest, priority)
+        job = self._new_job(request, digest, priority, trace)
         job.timeout_s = timeout_s
         self._inflight[digest] = job
         self._lanes[priority].append(job)
-        self.tracer.add("service.submitted")
+        self._count("service.submitted")
+        self._emit(
+            "job.accepted",
+            job_id=job.id,
+            digest=digest,
+            design=request.design,
+            config=request.config.label,
+            priority=priority,
+            trace_id=job.trace_id,
+        )
         self._set_queue_gauge()
         self._work_available.set()
         return job, "queued"
@@ -331,26 +423,47 @@ class FlowService:
             },
             "workers": self.workers,
             "inflight": len(self._inflight),
+            "uptime_s": round(time.time() - self.created_s, 3),
             "jobs": records[-jobs_limit:],
             "metrics": self.tracer.aggregate_metrics().to_dict(),
             "store": {"root": self.store.root, "entries": len(self.store)},
             "quarantine_dir": self.quarantine_dir,
+            "journal": str(self.journal.path),
+            "traces": self.traces.root,
         }
 
     def counter(self, name: str) -> float:
         """Convenience for tests/CI: one aggregated counter value."""
         return self.tracer.aggregate_metrics().counter(name)
 
+    def lane_depths(self) -> Dict[str, int]:
+        """Queued jobs per priority lane (the ``/metrics`` label source)."""
+        return {p: len(self._lanes[p]) for p in PRIORITIES}
+
+    def uptime_s(self) -> float:
+        return round(time.time() - self.created_s, 3)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _new_job(self, request: FlowRequest, digest: str, priority: str) -> Job:
+    def _new_job(
+        self,
+        request: FlowRequest,
+        digest: str,
+        priority: str,
+        trace: Optional[TraceContext] = None,
+    ) -> Job:
         job = Job(
             id=f"job-{next(self._ids):04d}",
             request=request,
             digest=digest,
             priority=priority,
         )
+        # Adopt the client-minted trace id or mint one — either way every
+        # job belongs to exactly one trace, with the daemon span as the
+        # parent of whatever the worker attempts produce.
+        job.trace_id = trace.trace_id if trace is not None else new_trace_id()
+        job.span_id = new_span_id()
         span = obs.Span(
             name="service.job",
             attrs={
@@ -359,9 +472,13 @@ class FlowService:
                 "config": request.config.label,
                 "digest": digest,
                 "priority": priority,
+                "trace_id": job.trace_id,
+                "span_id": job.span_id,
             },
             start_s=self.tracer._now(),
         )
+        if trace is not None and trace.parent_span_id:
+            span.attrs["parent_span_id"] = trace.parent_span_id
         self.tracer.roots.append(span)
         job.span = span
         self._jobs[job.id] = job
@@ -371,8 +488,12 @@ class FlowService:
         return sum(len(lane) for lane in self._lanes.values())
 
     def _set_queue_gauge(self) -> None:
-        self.tracer.set_gauge("service.queue_depth", self._queued_count())
-        self.tracer.set_gauge("service.inflight", len(self._inflight))
+        self._gauge("service.queue_depth", self._queued_count())
+        self._gauge("service.inflight", len(self._inflight))
+        for priority in PRIORITIES:
+            self._gauge(
+                f"service.lane_depth.{priority}", len(self._lanes[priority])
+            )
 
     def _pop_job(self) -> Optional[Job]:
         for priority in PRIORITIES:
@@ -395,8 +516,18 @@ class FlowService:
     async def _run_job(self, job: Job) -> None:
         job.state = "running"
         job.started_s = time.time()
+        queue_wait_s = round(job.started_s - job.created_s, 4)
         if job.span is not None:
-            job.span.set("queue_wait_s", round(job.started_s - job.created_s, 4))
+            job.span.set("queue_wait_s", queue_wait_s)
+        self._observe("service.queue_wait_s", queue_wait_s)
+        self._emit(
+            "job.started",
+            job_id=job.id,
+            digest=job.digest,
+            design=job.request.design,
+            trace_id=job.trace_id,
+            queue_wait_s=queue_wait_s,
+        )
         attempt = 0
         while True:
             attempt += 1
@@ -406,6 +537,8 @@ class FlowService:
             if kind == "ok":
                 tracer = payload.pop("tracer", None)
                 if tracer is not None:
+                    for root in tracer.roots:
+                        job.worker_spans.append(obs.snapshot_span(root))
                     graft_trace(self.tracer, tracer, worker=payload.get("pid"))
                 job.served_from = "compile"
                 job.result_digest = payload.get("result_digest")
@@ -413,12 +546,16 @@ class FlowService:
                 job.journal = payload.get("journal")
                 for entry in job.journal or ():
                     if entry.get("action") == "skipped":
-                        self.tracer.add("service.stages_skipped")
+                        self._count("service.stages_skipped")
                     else:
-                        self.tracer.add("service.stages_run")
-                self.tracer.add("service.compiles")
+                        self._count("service.stages_run")
+                self._count("service.compiles")
+                self._observe(
+                    "service.compile_latency_s",
+                    round(time.time() - job.started_s, 4),
+                )
                 if payload.get("evicted"):
-                    self.tracer.add("service.store_evictions", payload["evicted"])
+                    self._count("service.store_evictions", payload["evicted"])
                 self._finish(job, "done")
                 return
 
@@ -435,7 +572,7 @@ class FlowService:
                 return
 
             # Crash (silent death / signal) or timeout (killed by us).
-            self.tracer.add(
+            self._count(
                 "service.timeouts" if kind == "timeout" else "service.crashes"
             )
             job.error = {
@@ -450,8 +587,17 @@ class FlowService:
                 self._quarantine(job, reason=kind)
                 self._finish(job, "failed")
                 return
-            self.tracer.add("service.retries")
+            self._count("service.retries")
             delay = min(self.backoff_cap_s, self.backoff_s * (2 ** (attempt - 1)))
+            self._emit(
+                "job.retried",
+                job_id=job.id,
+                attempt=attempt,
+                kind=kind,
+                exitcode=exitcode,
+                backoff_s=delay,
+                trace_id=job.trace_id,
+            )
             job.state = "retrying"
             await asyncio.sleep(delay)
             job.state = "running"
@@ -463,15 +609,35 @@ class FlowService:
         ``kind`` in ``ok | error | crash | timeout``."""
         ctx = _mp_context()
         parent_conn, child_conn = ctx.Pipe(duplex=False)
+        wire = job.request.to_dict()
+        spool = os.path.join(
+            self.traces.root, "spool", f"{job.id}-a{job.attempts}.json"
+        )
+        wire[TELEMETRY_KEY] = {
+            "trace": {
+                "trace_id": job.trace_id,
+                "parent_span_id": job.span_id,
+            },
+            "attempt": job.attempts,
+            "spool": spool,
+            "journal": str(self.journal.path),
+        }
         proc = ctx.Process(
             target=self._entry,
-            args=(job.request.to_dict(), self.store.root, child_conn),
+            args=(wire, self.store.root, child_conn),
             daemon=True,
         )
         proc.start()
         child_conn.close()
         job.worker_pid = proc.pid
         self._procs[job.id] = proc
+        self._emit(
+            "worker.spawned",
+            job_id=job.id,
+            worker_pid=proc.pid,
+            attempt=job.attempts,
+            trace_id=job.trace_id,
+        )
         loop = asyncio.get_running_loop()
         deadline = loop.time() + (job.timeout_s or self.job_timeout_s)
         payload: Optional[Dict[str, Any]] = None
@@ -497,10 +663,54 @@ class FlowService:
             self._procs.pop(job.id, None)
             parent_conn.close()
         if payload is not None and payload.get("ok"):
-            return "ok", payload, exitcode
-        if payload is not None:
-            return "error", payload, exitcode
-        return ("timeout" if timed_out else "crash"), {}, exitcode
+            kind = "ok"
+        elif payload is not None:
+            kind = "error"
+        else:
+            kind = "timeout" if timed_out else "crash"
+        self._emit(
+            "worker.exit",
+            job_id=job.id,
+            worker_pid=proc.pid,
+            attempt=job.attempts,
+            exitcode=exitcode,
+            outcome=kind,
+            trace_id=job.trace_id,
+        )
+        if kind == "ok":
+            discard_spool(spool)
+        else:
+            # The attempt died (or raised) before delivering its tracer:
+            # salvage whatever the spool thread managed to write, so the
+            # merged trace shows how far this attempt got.
+            self._salvage_spool(job, spool)
+        return kind, payload if payload is not None else {}, exitcode
+
+    def _salvage_spool(self, job: Job, spool: str) -> None:
+        document = read_spool(spool)
+        discard_spool(spool)
+        if not document:
+            return
+        meta = document.get("meta") or {}
+        salvaged = obs.Tracer()
+        for snapshot in document.get("spans") or ():
+            span = obs.rebuild_span(snapshot)
+            if span is None:
+                continue
+            span.set("partial", True)
+            span.set("attempt", meta.get("attempt") or job.attempts)
+            if job.trace_id:
+                span.set("trace_id", job.trace_id)
+            if job.span_id:
+                span.set("parent_span_id", job.span_id)
+            if meta.get("pid"):
+                span.set("pid", meta["pid"])
+            if span.end_s is None:
+                span.end_s = span.start_s
+            job.worker_spans.append(obs.snapshot_span(span))
+            salvaged.roots.append(span)
+        if salvaged.roots:
+            graft_trace(self.tracer, salvaged, worker=meta.get("pid"))
 
     def _finish(self, job: Job, state: str) -> None:
         job.state = state
@@ -509,7 +719,38 @@ class FlowService:
             del self._inflight[job.digest]
         self._set_queue_gauge()
         self._finish_span(job)
+        self._store_trace(job)
+        self._emit(
+            "job.completed",
+            job_id=job.id,
+            digest=job.digest,
+            state=state,
+            served_from=job.served_from,
+            attempts=job.attempts,
+            trace_id=job.trace_id,
+            duration_s=round(job.finished_s - (job.started_s or job.created_s), 4),
+        )
         job.done.set()
+
+    def _store_trace(self, job: Job) -> None:
+        """Write the merged per-request trace document: the daemon's job
+        span plus every worker attempt's span snapshots (partial ones from
+        the spool included).  Keyed by request digest — what ``repro trace
+        --request`` and ``GET /trace/<digest>`` read."""
+        self.traces.put(
+            job.digest,
+            {
+                "schema": TRACE_SCHEMA,
+                "trace_id": job.trace_id,
+                "digest": job.digest,
+                "job_id": job.id,
+                "state": job.state,
+                "served_from": job.served_from,
+                "attempts": job.attempts,
+                "daemon_span": obs.snapshot_span(job.span) if job.span else {},
+                "worker_spans": list(job.worker_spans),
+            },
+        )
 
     def _finish_span(self, job: Job) -> None:
         if job.span is None or job.span.end_s is not None:
@@ -544,4 +785,12 @@ class FlowService:
             os.replace(tmp, os.path.join(self.quarantine_dir, f"{job.digest}.json"))
         except OSError:
             pass  # quarantine is best-effort forensics; the job record has it all
-        self.tracer.add("service.quarantined")
+        self._count("service.quarantined")
+        self._emit(
+            "job.quarantined",
+            job_id=job.id,
+            digest=job.digest,
+            reason=reason,
+            attempts=job.attempts,
+            trace_id=job.trace_id,
+        )

@@ -9,13 +9,19 @@ Routes:
 
 * ``GET  /healthz``      — liveness probe;
 * ``GET  /status``       — the daemon snapshot (queue, metrics, store);
+* ``GET  /metrics``      — Prometheus-style text exposition of the
+  process-wide metrics registry (queue depth per lane, coalesce/hit
+  counters, compile-latency summaries, worker restarts);
+* ``GET  /trace/<digest>`` — the merged per-request trace document
+  (daemon span + every worker attempt, partial spans included);
 * ``GET  /jobs/<id>``    — one job record (404 for unknown ids);
 * ``POST /submit``       — admit a request.  Body fields: ``design``
   (required), ``config`` (label or canonical dict), ``params``,
   ``priority``, ``seed``, ``clock_mhz``, ``calibration_path``,
   ``timeout_s``, ``wait`` (block until the job finishes),
-  ``wait_timeout_s``.  Statuses: 200 job finished / served from store,
-  202 accepted (non-wait), 400 bad request, 404 unknown design,
+  ``wait_timeout_s``, ``trace`` (a client-minted trace context, see
+  :mod:`repro.obs.context`).  Statuses: 200 job finished / served from
+  store, 202 accepted (non-wait), 400 bad request, 404 unknown design,
   429 queue full (backpressure), 500 job failed under ``wait``;
 * ``POST /shutdown``     — graceful stop.
 
@@ -30,10 +36,17 @@ import asyncio
 import json
 import threading
 from contextlib import contextmanager
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.designs import design_names
 from repro.errors import ReproError
+from repro.obs.context import TraceContext
+from repro.obs.exposition import (
+    CONTENT_TYPE as EXPOSITION_CONTENT_TYPE,
+    Family,
+    Sample,
+    render_exposition,
+)
 from repro.service.daemon import FlowService, QueueFullError, UnknownJobError
 from repro.service.request import FlowRequest
 
@@ -68,6 +81,7 @@ class ServiceServer:
         await self.service.start()
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self.service._emit("http.listen", host=self.host, port=self.port)
 
     async def wait_shutdown(self) -> None:
         await self._shutdown.wait()
@@ -98,10 +112,15 @@ class ServiceServer:
             status, payload = await self._handle_one(reader)
         except Exception as exc:  # a handler bug must not kill the daemon
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload).encode()
+        if isinstance(payload, str):  # text routes (/metrics)
+            body = payload.encode()
+            content_type = EXPOSITION_CONTENT_TYPE
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode()
@@ -119,7 +138,7 @@ class ServiceServer:
 
     async def _handle_one(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
         request_line = await reader.readline()
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
@@ -146,11 +165,18 @@ class ServiceServer:
     # -- routing ---------------------------------------------------------
     async def _route(
         self, method: str, path: str, body: Dict[str, Any]
-    ) -> Tuple[int, Dict[str, Any]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str]]:
         if method == "GET" and path == "/healthz":
             return 200, {"ok": True, "schema": "repro-service/1"}
         if method == "GET" and path == "/status":
             return 200, self.service.snapshot()
+        if method == "GET" and path == "/metrics":
+            return 200, self.metrics_text()
+        if method == "GET" and path.startswith("/trace/"):
+            document = self.service.traces.get(path[len("/trace/"):])
+            if document is None:
+                return 404, {"error": f"no trace for digest {path[len('/trace/'):]!r}"}
+            return 200, document
         if method == "GET" and path.startswith("/jobs/"):
             try:
                 return 200, self.service.job(path[len("/jobs/"):]).record()
@@ -164,6 +190,31 @@ class ServiceServer:
         return (405 if path in ("/submit", "/shutdown", "/status") else 404), {
             "error": f"no route {method} {path}"
         }
+
+    def metrics_text(self) -> str:
+        """The ``/metrics`` exposition document: the process-wide registry
+        plus live labeled lane depths and the daemon uptime."""
+        lane_family = Family(
+            name="repro_service_lane_queue_depth",
+            kind="gauge",
+            help="Queued jobs per priority lane",
+        )
+        for lane, depth in self.service.lane_depths().items():
+            lane_family.samples.append(
+                Sample(
+                    "repro_service_lane_queue_depth",
+                    depth,
+                    labels=(("lane", lane),),
+                )
+            )
+        uptime = Family(
+            name="repro_service_uptime_s",
+            kind="gauge",
+            samples=[Sample("repro_service_uptime_s", self.service.uptime_s())],
+        )
+        return render_exposition(
+            self.service.registry, extra_families=[lane_family, uptime]
+        )
 
     async def _submit(self, body: Dict[str, Any]) -> Tuple[int, Dict[str, Any]]:
         design = body.get("design")
@@ -189,6 +240,7 @@ class ServiceServer:
                 request,
                 priority=body.get("priority", "normal"),
                 timeout_s=body.get("timeout_s"),
+                trace=TraceContext.from_dict(body.get("trace")),
             )
         except QueueFullError as exc:
             return 429, {"error": str(exc)}

@@ -22,20 +22,35 @@ the flow inside the worker writes each completed stage's artifact to the
 shared ``$REPRO_CACHE_DIR/stages`` store as it goes, so a retry after a
 mid-flow kill resumes from the last completed stage — its journal shows
 the prefix as ``skipped`` — and reproduces the original result digest.
+
+Telemetry rides in on the reserved ``_telemetry`` key of the wire dict
+(reserved precisely because :meth:`FlowRequest.from_dict` ignores it, so
+it can never perturb the request digest): the trace context minted by the
+client, the spool path for SIGKILL-surviving span snapshots, and the
+daemon's event-journal path.  All of it is optional — a bare request dict
+compiles exactly as before.
 """
 
 from __future__ import annotations
 
 import os
 import traceback
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro import obs
 from repro.designs import build_design
 from repro.engine.pool import ensure_pickle_depth
 from repro.flow import Flow, FlowResult
+from repro.obs.journal import EventJournal, activate_journal
 from repro.service.request import FlowRequest
 from repro.service.store import ResultStore
+from repro.service.traces import TraceSpool
+
+#: Reserved key of the request wire dict carrying telemetry sidecar data.
+#: :meth:`FlowRequest.from_dict` does not read it, so its presence (or any
+#: change to its contents) cannot alter the request digest — coalescing
+#: and store identity stay purely content-addressed.
+TELEMETRY_KEY = "_telemetry"
 
 
 def execute_request(request: FlowRequest) -> FlowResult:
@@ -51,6 +66,20 @@ def execute_request(request: FlowRequest) -> FlowResult:
     return flow.run(design, request.config)
 
 
+def _tag_roots(tracer: obs.Tracer, telemetry: Dict[str, Any]) -> None:
+    """Stamp the trace identity onto every root span the worker produced,
+    so the spans stay attributable after grafting into the daemon trace."""
+    trace = telemetry.get("trace") or {}
+    for root in tracer.roots:
+        if trace.get("trace_id"):
+            root.set("trace_id", trace["trace_id"])
+        if trace.get("parent_span_id"):
+            root.set("parent_span_id", trace["parent_span_id"])
+        if telemetry.get("attempt"):
+            root.set("attempt", telemetry["attempt"])
+        root.set("pid", os.getpid())
+
+
 def worker_entry(request_dict: Dict[str, Any], store_root: str, conn) -> None:
     """Process target: compile ``request_dict``, store the result, report.
 
@@ -62,15 +91,36 @@ def worker_entry(request_dict: Dict[str, Any], store_root: str, conn) -> None:
       "error_type", "traceback", "pid"}``.
 
     A crash or kill sends nothing; the daemon reads that silence (plus the
-    exit code) as a crash and retries.
+    exit code) as a crash and retries — and rebuilds this attempt's spans
+    from the trace spool the background thread kept writing.
     """
+    telemetry = dict(request_dict.pop(TELEMETRY_KEY, None) or {})
+    spool: Optional[TraceSpool] = None
+    if telemetry.get("journal"):
+        activate_journal(
+            EventJournal(telemetry["journal"], source="worker")
+        )
     try:
         ensure_pickle_depth()
         request = FlowRequest.from_dict(request_dict)
         tracer = obs.Tracer()
+        if telemetry.get("spool"):
+            spool = TraceSpool(
+                tracer,
+                telemetry["spool"],
+                meta={
+                    "trace": telemetry.get("trace") or {},
+                    "attempt": telemetry.get("attempt"),
+                    "pid": os.getpid(),
+                },
+            ).start()
         with obs.activate(tracer):
             result = execute_request(request)
         entry = ResultStore(store_root).put(request, result)
+        _tag_roots(tracer, telemetry)
+        if spool is not None:
+            spool.stop(final_write=True)
+            spool = None
         conn.send(
             {
                 "ok": True,
@@ -98,4 +148,6 @@ def worker_entry(request_dict: Dict[str, Any], store_root: str, conn) -> None:
         except (BrokenPipeError, OSError):  # daemon died first; nothing to do
             pass
     finally:
+        if spool is not None:
+            spool.stop(final_write=False)
         conn.close()

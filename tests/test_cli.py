@@ -238,8 +238,15 @@ class TestCliService:
 
             assert main(["status", "--port", port]) == 0
             out = capsys.readouterr().out
-            assert "compiles=1" in out
+            assert "compiles       1" in out
+            assert "uptime" in out
             assert record["id"] in out
+            # the trace id column lets `repro trace --request` follow up
+            assert record["trace_id"] in out
+
+            assert main(["status", "--json", "--port", port]) == 0
+            snapshot = json.loads(capsys.readouterr().out)
+            assert snapshot["metrics"]["counters"]["service.compiles"] == 1
 
             assert main(["status", record["id"], "--port", port]) == 0
             fetched = json.loads(capsys.readouterr().out)

@@ -1,0 +1,145 @@
+"""Prometheus text exposition: every emitted line must round-trip.
+
+The contract under test is the one ``GET /metrics`` relies on: any
+off-the-shelf scraper (here: our own :func:`parse_exposition`) can parse
+the full document, label values survive escaping, and an empty registry
+still yields a well-formed document.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    ExpositionParseError,
+    Family,
+    Sample,
+    escape_label_value,
+    metric_name,
+    parse_exposition,
+    render_exposition,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _full_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.add("service.submitted", 4)
+    registry.add("service.compiles")
+    registry.set_gauge("service.queue_depth", 2)
+    registry.set_gauge("service.fmax_mhz", 301.25)
+    for value in (0.1, 0.2, 0.3, 0.4, 0.5):
+        registry.observe("service.compile_latency_s", value)
+    return registry
+
+
+class TestRenderRoundTrip:
+    def test_every_line_parses(self):
+        text = render_exposition(_full_registry())
+        doc = parse_exposition(text)  # raises on any malformed line
+        assert doc.samples
+
+    def test_counter_total_suffix_and_value(self):
+        doc = parse_exposition(render_exposition(_full_registry()))
+        assert doc.value("repro_service_submitted_total") == 4
+        assert doc.types["repro_service_submitted_total"] == "counter"
+
+    def test_gauge_value(self):
+        doc = parse_exposition(render_exposition(_full_registry()))
+        assert doc.value("repro_service_queue_depth") == 2
+        assert doc.value("repro_service_fmax_mhz") == pytest.approx(301.25)
+
+    def test_histogram_becomes_summary_with_exact_count_sum(self):
+        doc = parse_exposition(render_exposition(_full_registry()))
+        name = "repro_service_compile_latency_s"
+        assert doc.types[name] == "summary"
+        assert doc.value(f"{name}_count") == 5
+        assert doc.value(f"{name}_sum") == pytest.approx(1.5)
+        assert doc.value(name, (("quantile", "0.5"),)) == pytest.approx(0.3)
+        assert doc.value(f"{name}_min") == pytest.approx(0.1)
+        assert doc.value(f"{name}_max") == pytest.approx(0.5)
+
+    def test_document_ends_with_newline(self):
+        assert render_exposition(_full_registry()).endswith("\n")
+
+    def test_content_type_is_prometheus_004(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestEmptyRegistry:
+    def test_empty_registry_is_well_formed(self):
+        text = render_exposition(MetricsRegistry())
+        assert text.endswith("\n")
+        doc = parse_exposition(text)
+        assert doc.samples == {}
+
+
+class TestNamesAndLabels:
+    def test_dotted_names_sanitize(self):
+        assert metric_name("service.queue_depth") == "repro_service_queue_depth"
+        assert metric_name("a-b c.d") == "repro_a_b_c_d"
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            'plain',
+            'with "quotes"',
+            "back\\slash",
+            "new\nline",
+            'all \\ of " it\n together',
+        ],
+    )
+    def test_label_values_round_trip(self, value):
+        family = Family(
+            name="repro_test_labeled",
+            kind="gauge",
+            samples=[Sample("repro_test_labeled", 1, labels=(("key", value),))],
+        )
+        text = render_exposition(MetricsRegistry(), extra_families=[family])
+        doc = parse_exposition(text)
+        assert doc.value("repro_test_labeled", (("key", value),)) == 1
+
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_multiple_labels_keep_order(self):
+        family = Family(
+            name="repro_test_lanes",
+            kind="gauge",
+            samples=[
+                Sample("repro_test_lanes", d, labels=(("lane", lane),))
+                for lane, d in (("high", 1), ("normal", 2), ("low", 3))
+            ],
+        )
+        doc = parse_exposition(
+            render_exposition(MetricsRegistry(), extra_families=[family])
+        )
+        assert doc.value("repro_test_lanes", (("lane", "normal"),)) == 2
+
+
+class TestParserRejectsGarbage:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "no_value_here",
+            "bad name with spaces 1",
+            'metric{unterminated="oops 1',
+            "metric not_a_number",
+        ],
+    )
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ExpositionParseError):
+            parse_exposition(line + "\n")
+
+    def test_comments_and_blank_lines_are_fine(self):
+        doc = parse_exposition("# HELP x y\n\n# TYPE x counter\nx 1\n")
+        assert doc.value("x") == 1
+        assert doc.types["x"] == "counter"
+
+    def test_inf_and_nan_values(self):
+        doc = parse_exposition("up +Inf\ndown -Inf\n")
+        assert doc.value("up") == float("inf")
+        assert doc.value("down") == float("-inf")

@@ -1,0 +1,172 @@
+"""Structured event journal: rotation, corruption tolerance, replay.
+
+The journal is the service's only log, written concurrently by the daemon
+and forked workers; these tests pin the properties that make that safe —
+single-write appends, bounded rotation, and readers that survive torn
+lines left by a SIGKILL'd writer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.obs.journal import (
+    EVENT_SCHEMA,
+    EventJournal,
+    activate_journal,
+    current_journal,
+    emit_event,
+    follow_events,
+    read_events,
+)
+
+
+class TestEmit:
+    def test_records_carry_schema_ts_pid_source(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl", source="daemon")
+        record = journal.emit("job.accepted", job_id="job-0001", lane="high")
+        assert record["schema"] == EVENT_SCHEMA
+        assert record["event"] == "job.accepted"
+        assert record["source"] == "daemon"
+        assert record["job_id"] == "job-0001"
+        assert record["ts"] > 0 and record["pid"] > 0
+        (read,) = read_events(journal.path)
+        assert read == json.loads(json.dumps(record))
+
+    def test_none_fields_are_dropped(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        record = journal.emit("job.started", error=None, attempt=1)
+        assert "error" not in record
+        assert record["attempt"] == 1
+
+    def test_one_line_per_record(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        for i in range(10):
+            journal.emit("tick", n=i)
+        lines = journal.path.read_text().splitlines()
+        assert len(lines) == 10
+        assert all(json.loads(line)["schema"] == EVENT_SCHEMA for line in lines)
+
+
+class TestRotation:
+    def test_rotates_at_max_bytes_and_keeps_generations(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl", max_bytes=400, keep=2)
+        for i in range(40):
+            journal.emit("tick", n=i, pad="x" * 40)
+        generations = journal.generations()
+        assert 2 <= len(generations) <= 3  # base + up to `keep` rotated
+        assert generations[-1] == journal.path
+        # Oldest generations beyond `keep` were unlinked, not accumulated.
+        assert not (tmp_path / "events.jsonl.3").exists()
+
+    def test_replay_reads_rotated_generations_oldest_first(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl", max_bytes=400, keep=3)
+        for i in range(30):
+            journal.emit("tick", n=i, pad="y" * 40)
+        records = read_events(journal.path)
+        ns = [r["n"] for r in records]
+        assert ns == sorted(ns)  # chronological across rotation boundaries
+        assert ns[-1] == 29
+
+    def test_rotation_bounds_disk_usage(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl", max_bytes=500, keep=2)
+        for i in range(300):
+            journal.emit("tick", n=i, pad="z" * 60)
+        total = sum(p.stat().st_size for p in journal.generations())
+        assert total <= 500 * 4  # base + keep generations, each bounded
+
+
+class TestCorruptionTolerance:
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        journal.emit("ok", n=1)
+        journal.emit("ok", n=2)
+        with open(journal.path, "a") as handle:
+            handle.write('{"schema": "repro-event/1", "event": "torn", "n')
+        records = read_events(journal.path)
+        assert [r["n"] for r in records] == [1, 2]
+
+    def test_garbage_mid_file_is_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        journal = EventJournal(path)
+        journal.emit("ok", n=1)
+        with open(path, "a") as handle:
+            handle.write("\x00\x00 not json at all\n")
+            handle.write("[1, 2, 3]\n")  # valid JSON, wrong shape
+        journal.emit("ok", n=2)
+        assert [r["n"] for r in read_events(path)] == [1, 2]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == []
+
+
+class TestQuerying:
+    def test_grep_substring_matches_any_field(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        journal.emit("job.accepted", job_id="job-0001")
+        journal.emit("stage.miss", stage="placement")
+        journal.emit("job.completed", job_id="job-0001")
+        assert len(read_events(journal.path, grep="job-0001")) == 2
+        assert len(read_events(journal.path, grep="PLACEMENT")) == 1  # ci
+        assert read_events(journal.path, grep="nonexistent") == []
+
+    def test_limit_keeps_most_recent(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        for i in range(10):
+            journal.emit("tick", n=i)
+        assert [r["n"] for r in read_events(journal.path, limit=3)] == [7, 8, 9]
+
+
+class TestFollow:
+    def test_follow_yields_appended_records(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl")
+        journal.emit("before", n=0)
+        seen = []
+        done = threading.Event()
+
+        def consume():
+            for record in follow_events(
+                journal.path, poll_s=0.01, stop=lambda: len(seen) >= 3
+            ):
+                seen.append(record["event"])
+            done.set()
+
+        thread = threading.Thread(target=consume, daemon=True)
+        thread.start()
+        journal.emit("during", n=1)
+        journal.emit("after", n=2)
+        assert done.wait(timeout=5), "follow_events never caught up"
+        thread.join(timeout=1)
+        assert seen[:3] == ["before", "during", "after"]
+
+
+class TestAmbientJournal:
+    def test_emit_event_is_noop_without_journal(self, tmp_path):
+        previous = activate_journal(None)
+        try:
+            assert emit_event("orphan", n=1) is None
+        finally:
+            activate_journal(previous)
+
+    def test_activate_and_emit(self, tmp_path):
+        journal = EventJournal(tmp_path / "events.jsonl", source="test")
+        previous = activate_journal(journal)
+        try:
+            assert current_journal() is journal
+            record = emit_event("ambient", n=7)
+            assert record is not None and record["n"] == 7
+        finally:
+            activate_journal(previous)
+        (read,) = read_events(journal.path)
+        assert read["event"] == "ambient" and read["source"] == "test"
+
+    def test_activate_returns_previous_for_restoration(self, tmp_path):
+        first = EventJournal(tmp_path / "a.jsonl")
+        second = EventJournal(tmp_path / "b.jsonl")
+        outer = activate_journal(first)
+        try:
+            assert activate_journal(second) is first
+            assert activate_journal(first) is second
+        finally:
+            activate_journal(outer)
