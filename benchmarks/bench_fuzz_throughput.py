@@ -1,0 +1,46 @@
+"""Differential-fuzzing throughput — programs checked per second.
+
+One fixed-seed campaign (generation + oracle + metamorphic pass checks)
+timed end to end, recorded into ``BENCH_flow.json`` so the cost of a CI
+fuzz budget stays machine-trackable: if a generator or interpreter change
+makes programs 10x slower to check, the ``fuzz`` extras section shows it
+on the next benchmark run.
+
+The campaign must also come back clean — a divergence here is a real
+miscompile and fails the benchmark loudly rather than skewing the rate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.fuzz import run_campaign
+
+#: Enough programs to amortize per-campaign setup without dominating the
+#: benchmark session (~10 s single-threaded).
+CAMPAIGN_COUNT = 40
+
+#: The compile/cache check is covered by its own benchmarks; here we time
+#: the fuzz-specific machinery (generate, build, reference, sim, passes).
+CAMPAIGN_CHECKS = ("oracle", "passes")
+
+
+def test_fuzz_campaign_throughput(bench_extras, tmp_path):
+    start = time.perf_counter()
+    report = run_campaign(
+        seed=2020,
+        count=CAMPAIGN_COUNT,
+        checks=CAMPAIGN_CHECKS,
+        corpus_dir=str(tmp_path),
+    )
+    elapsed_s = time.perf_counter() - start
+
+    assert report.ok, [d.summary() for d in report.divergences]
+    assert report.programs == CAMPAIGN_COUNT
+    bench_extras["fuzz"] = {
+        "seed": report.seed,
+        "checks": list(CAMPAIGN_CHECKS),
+        "programs": report.programs,
+        "elapsed_s": round(elapsed_s, 3),
+        "programs_per_s": round(report.programs / max(elapsed_s, 1e-9), 2),
+    }

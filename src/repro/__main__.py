@@ -16,6 +16,11 @@ Commands:
   to flag super-linear (candidate O(n²)) hot paths;
 * ``events [--follow] [--grep S]`` — query the service's structured
   event journal (``repro-event/1`` JSONL);
+* ``fuzz [--count K] [--budget S]`` — differential fuzzing: generate
+  seeded random dataflow programs and check the simulator against a
+  sequential reference, every IR pass for metamorphic equivalence, and
+  the stage cache for digest determinism; failures are shrunk to minimal
+  reproducers in ``tests/fuzz_corpus/`` (exit 1 on any divergence);
 * ``tune <design>``                — auto-apply techniques until converged;
 * ``diagnose <design>``            — broadcast classification + advice;
 * ``diemap <design>``              — ASCII die map + worst broadcast net;
@@ -317,6 +322,47 @@ def _cmd_events(args) -> int:
     for record in records:
         print(render(record))
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz.harness import CHECK_GROUPS, run_campaign
+
+    checks = tuple(
+        label.strip() for label in args.checks.split(",") if label.strip()
+    )
+    unknown = [label for label in checks if label not in CHECK_GROUPS]
+    if unknown:
+        raise CliUsageError(
+            f"unknown check {', '.join(repr(u) for u in unknown)}; "
+            f"valid checks: {', '.join(CHECK_GROUPS)}"
+        )
+    if args.count < 1:
+        raise CliUsageError("--count must be at least 1")
+    report = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        checks=checks or CHECK_GROUPS,
+        budget_s=args.budget,
+        corpus_dir=args.corpus_dir,
+        shrink_failures=not args.no_shrink,
+        log=lambda message: print(message, file=sys.stderr),
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        rate = report.programs / report.elapsed_s if report.elapsed_s else 0.0
+        print(
+            f"fuzz seed={report.seed}: {report.programs}/{report.requested} "
+            f"programs in {report.elapsed_s:.1f}s ({rate:.1f}/s), "
+            f"checks={','.join(report.checks)}, "
+            f"divergences={len(report.divergences)}"
+            + (" [budget exhausted]" if report.budget_exhausted else "")
+        )
+        for divergence in report.divergences:
+            print(f"  DIVERGENCE {divergence.summary()}")
+            if divergence.corpus_path:
+                print(f"    reproducer: {divergence.corpus_path}")
+    return 1 if report.divergences else 0
 
 
 def _cmd_diagnose(args) -> int:
@@ -638,6 +684,39 @@ def main(argv=None) -> int:
     )
     p_events.add_argument("--json", action="store_true")
     p_events.set_defaults(fn=_cmd_events)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random programs vs reference, passes, cache",
+    )
+    # SUPPRESS keeps the global --seed (before the subcommand) working while
+    # also accepting the more natural `repro fuzz --seed N` spelling.
+    p_fuzz.add_argument("--seed", type=int, default=argparse.SUPPRESS)
+    p_fuzz.add_argument(
+        "--count", type=int, default=50, metavar="K",
+        help="number of programs to generate (default 50)",
+    )
+    p_fuzz.add_argument(
+        "--budget", type=float, default=None, metavar="S",
+        help="wall-clock budget in seconds; stop generating when exceeded",
+    )
+    p_fuzz.add_argument(
+        "--checks", default="oracle,passes,cache", metavar="A,B,...",
+        help="check groups to run: oracle, passes, cache "
+             "(default: all three)",
+    )
+    p_fuzz.add_argument(
+        "--corpus-dir", default=os.path.join("tests", "fuzz_corpus"),
+        metavar="DIR",
+        help="where shrunk reproducers are written "
+             "(default tests/fuzz_corpus)",
+    )
+    p_fuzz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report divergences without minimizing them first",
+    )
+    p_fuzz.add_argument("--json", action="store_true")
+    p_fuzz.set_defaults(fn=_cmd_fuzz)
 
     p_diag = sub.add_parser("diagnose", help="broadcast classification + advice")
     p_diag.add_argument("design", choices=design_names())

@@ -96,7 +96,9 @@ def run_all(
     for name, runner, formatter in EXPERIMENTS:
         if only is not None and name not in only:
             continue
-        start = time.time()
+        # perf_counter, not time.time: durations must be monotonic (a
+        # wall-clock step from NTP would record negative/garbage seconds).
+        start = time.perf_counter()
         try:
             result = runner(engine=engine)
             report.sections[name] = formatter(result)
@@ -105,7 +107,7 @@ def run_all(
             # run_all's callers check report.failures for the exit code.
             report.failures[name] = str(exc)
             report.sections[name] = str(exc)
-        report.seconds[name] = time.time() - start
+        report.seconds[name] = time.perf_counter() - start
         if echo:
             status = "FAILED" if name in report.failures else "done"
             print(f"[{name} {status} in {report.seconds[name]:.0f}s]")

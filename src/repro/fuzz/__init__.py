@@ -1,0 +1,51 @@
+"""Differential fuzzing and invariant harness for the repro toolchain.
+
+Generates seeded random dataflow programs (:mod:`repro.fuzz.gen`), checks
+them with a differential oracle, metamorphic pass-equivalence and cache
+determinism (:mod:`repro.fuzz.harness`), and shrinks failures to minimal
+corpus reproducers (:mod:`repro.fuzz.shrink`).
+"""
+
+from repro.fuzz.gen import generate_spec
+from repro.fuzz.harness import (
+    CampaignReport,
+    Divergence,
+    run_campaign,
+    run_checks,
+)
+from repro.fuzz.reference import ReferenceResult, output_fifos, run_reference
+from repro.fuzz.shrink import shrink
+from repro.fuzz.spec import (
+    PROGRAM_SCHEMA,
+    BufferSpec,
+    BuiltProgram,
+    FifoSpec,
+    KernelSpec,
+    LoopSpec,
+    OpSpec,
+    ProgramSpec,
+    SpecError,
+    build_program,
+)
+
+__all__ = [
+    "PROGRAM_SCHEMA",
+    "BufferSpec",
+    "BuiltProgram",
+    "CampaignReport",
+    "Divergence",
+    "FifoSpec",
+    "KernelSpec",
+    "LoopSpec",
+    "OpSpec",
+    "ProgramSpec",
+    "ReferenceResult",
+    "SpecError",
+    "build_program",
+    "generate_spec",
+    "output_fifos",
+    "run_campaign",
+    "run_checks",
+    "run_reference",
+    "shrink",
+]

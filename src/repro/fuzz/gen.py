@@ -1,0 +1,340 @@
+"""Seeded random program generation.
+
+Programs are drawn from the paper's design space: dataflow pipelines of
+1–3 kernels connected by FIFO chains, 1–3 parallel lanes per pipeline
+(fused into one loop per kernel — the Fig. 5a shape §4.2 splits), mixed
+integer widths with casts/slices, private BRAM buffers addressed by the
+loop index, loop-invariant scalar parameters (the Fig. 1/2 broadcast
+sources) and unroll pragmas.
+
+Every program is *sound by construction*:
+
+* kernels are emitted producer-first and rate-matched (each lane moves
+  exactly one element per pre-unroll iteration), so both the sequential
+  reference and the concurrent simulation drain completely;
+* FIFO reads of one channel stay within one loop body;
+* unroll factors divide the trip count, and internal FIFO depths cover
+  the widest post-unroll burst;
+* divisors are non-zero constants.
+
+Generation is deterministic per ``(seed, index)``: the RNG is seeded with
+a string key, which Python hashes with SHA-512 — stable across processes
+and versions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.types import DataType, f32, i1, i8, i16, i32, i64, u8, u16, u32, common_type
+from repro.opt import CONFIG_LABELS
+
+from repro.fuzz.spec import (
+    BufferSpec,
+    FifoSpec,
+    KernelSpec,
+    LoopSpec,
+    OpSpec,
+    ProgramSpec,
+)
+
+#: Integer element/operand types the generator draws from.
+INT_TYPES = (i8, i16, i32, i64, u8, u16, u32)
+
+#: Trip counts (weighted toward 8); every unroll candidate divides them.
+TRIP_COUNTS = (4, 8, 8, 12, 16)
+
+#: Depth of every generated FIFO — covers the widest post-unroll burst
+#: (unroll 4 x 2 reads per lane iteration = 8 elements per firing).
+FIFO_DEPTH = 16
+
+
+def _rand_value(rng: random.Random, dtype: DataType) -> object:
+    if dtype.is_float:
+        return round(rng.uniform(-1000.0, 1000.0), 3)
+    if dtype.is_signed:
+        return rng.randrange(-(1 << (dtype.width - 1)), 1 << (dtype.width - 1))
+    return rng.randrange(0, 1 << dtype.width)
+
+
+class _LaneBuilder:
+    """Emits a type-tracked random op DAG for one lane of one kernel."""
+
+    def __init__(self, rng: random.Random, prefix: str, ops: List[OpSpec]) -> None:
+        self.rng = rng
+        self.prefix = prefix
+        self.ops = ops
+        self.pool: List[Tuple[str, DataType]] = []
+        self._n = 0
+
+    def fresh(self, stem: str = "v") -> str:
+        self._n += 1
+        return f"{self.prefix}_{stem}{self._n}"
+
+    def emit(self, op: OpSpec, dtype: Optional[DataType]) -> Optional[str]:
+        self.ops.append(op)
+        if op.name and dtype is not None:
+            self.pool.append((op.name, dtype))
+            return op.name
+        return None
+
+    def const(self, value: object, dtype: DataType) -> str:
+        name = self.fresh("c")
+        self.ops.append(OpSpec(kind="const", name=name, value=value, type=str(dtype)))
+        self.pool.append((name, dtype))
+        return name
+
+    def pick(self, want_float: Optional[bool] = None) -> Optional[Tuple[str, DataType]]:
+        candidates = [
+            (n, t)
+            for n, t in self.pool
+            if want_float is None or (t.is_float == want_float and t != i1)
+        ]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    # -- op menus -------------------------------------------------------
+    def random_int_op(self) -> None:
+        rng = self.rng
+        picked = self.pick(want_float=False)
+        if picked is None:
+            return
+        a, at = picked
+        roll = rng.random()
+        if roll < 0.40:  # plain binary arithmetic / bitwise
+            b, bt = self.pick(want_float=False) or (self.const(_rand_value(rng, at), at), at)
+            op = rng.choice(("add", "sub", "mul", "and", "or", "xor"))
+            dtype = common_type(at, bt) if op in ("add", "sub", "mul") else at
+            self.emit(OpSpec(kind="binop", name=self.fresh(), op=op, args=[a, b]), dtype)
+        elif roll < 0.48:  # division by a non-zero constant
+            divisor = rng.choice((1, 2, 3, 5, 7))
+            if at.is_signed and rng.random() < 0.3:
+                divisor = -divisor
+            b = self.const(divisor, at)
+            self.emit(
+                OpSpec(kind="binop", name=self.fresh(), op="div", args=[a, b]),
+                common_type(at, at),
+            )
+        elif roll < 0.58:  # shifts, sometimes deliberately oversized
+            amount = rng.randrange(0, at.width + 17)
+            b = self.const(amount, u8)
+            op = rng.choice(("shl", "shr"))
+            self.emit(OpSpec(kind="binop", name=self.fresh(), op=op, args=[a, b]), at)
+        elif roll < 0.70:  # compare + select
+            b, bt = self.pick(want_float=False) or (self.const(_rand_value(rng, at), at), at)
+            cond = self.fresh("cc")
+            self.emit(
+                OpSpec(kind="cmp", name=cond, op=rng.choice(("eq", "ne", "lt", "le", "gt", "ge")),
+                       args=[a, b]),
+                i1,
+            )
+            # select arms must agree in type: reuse a twice when b differs.
+            arm_b = b if bt == at else self.const(_rand_value(rng, at), at)
+            self.emit(
+                OpSpec(kind="select", name=self.fresh("sel"), args=[cond, a, arm_b]), at
+            )
+        elif roll < 0.82:  # width cast
+            target = rng.choice(INT_TYPES)
+            kind = rng.choice(("zext", "sext", "trunc"))
+            self.emit(
+                OpSpec(kind="cast", name=self.fresh("x"), op=kind, args=[a], type=str(target)),
+                target,
+            )
+        elif roll < 0.92 and at.width >= 16:  # bit-field slice
+            target = rng.choice((u8, u16))
+            lsb = rng.randrange(0, max(1, at.width - target.width + 1))
+            self.emit(
+                OpSpec(kind="slice", name=self.fresh("sl"), args=[a], lsb=lsb,
+                       type=str(target)),
+                target,
+            )
+        elif roll < 0.96:
+            self.emit(OpSpec(kind="not", name=self.fresh("n"), args=[a]), at)
+        else:
+            self.emit(OpSpec(kind="reg", name=self.fresh("r"), args=[a]), at)
+
+    def random_float_op(self) -> None:
+        rng = self.rng
+        picked = self.pick(want_float=True)
+        if picked is None:
+            return
+        a, at = picked
+        roll = rng.random()
+        if roll < 0.70:
+            b, _bt = self.pick(want_float=True) or (self.const(_rand_value(rng, at), at), at)
+            op = rng.choice(("add", "sub", "mul"))
+            self.emit(OpSpec(kind="binop", name=self.fresh(), op=op, args=[a, b]), at)
+        else:
+            b, _bt = self.pick(want_float=True) or (self.const(_rand_value(rng, at), at), at)
+            cond = self.fresh("cc")
+            self.emit(
+                OpSpec(kind="cmp", name=cond, op=rng.choice(("lt", "gt", "le", "ge")),
+                       args=[a, b]),
+                i1,
+            )
+            self.emit(OpSpec(kind="select", name=self.fresh("sel"), args=[cond, a, b]), at)
+
+    def result_as(self, dtype: DataType) -> str:
+        """A lane output value of exactly ``dtype`` (casting if needed)."""
+        picked = self.pick(want_float=dtype.is_float)
+        if picked is None:
+            return self.const(_rand_value(self.rng, dtype), dtype)
+        name, t = picked
+        if t == dtype:
+            return name
+        if dtype.is_float or t.is_float:
+            # No float<->int casts in the IR; fall back to a constant.
+            return self.const(_rand_value(self.rng, dtype), dtype)
+        kind = self.rng.choice(("zext", "sext", "trunc"))
+        out = self.fresh("out")
+        self.emit(OpSpec(kind="cast", name=out, op=kind, args=[name], type=str(dtype)), dtype)
+        return out
+
+
+def generate_spec(seed: int, index: int) -> ProgramSpec:
+    """Deterministically generate program ``index`` of campaign ``seed``."""
+    rng = random.Random(f"repro-fuzz/{seed}/{index}")
+    trip = rng.choice(TRIP_COUNTS)
+    n_kernels = rng.randint(1, 3)
+    n_lanes = rng.randint(1, 3)
+    config = rng.choice(sorted(CONFIG_LABELS))
+
+    # Lane plumbing: lane l flows through fifo chain l across all kernels.
+    lane_float = [rng.random() < 0.15 for _ in range(n_lanes)]
+    # stage_types[l][s] is the element type between kernel s-1 and s
+    # (s == 0 is the external input, s == n_kernels the external output).
+    stage_types: List[List[DataType]] = []
+    for lane in range(n_lanes):
+        if lane_float[lane]:
+            stage_types.append([f32] * (n_kernels + 1))
+        else:
+            stage_types.append([rng.choice(INT_TYPES) for _ in range(n_kernels + 1)])
+
+    # Two integer lanes may share one external input channel: both reads
+    # land in kernel 0's body — the shared-FIFO case flow splitting must
+    # never separate.
+    shared_input = (
+        n_lanes >= 2
+        and not lane_float[0]
+        and not lane_float[1]
+        and rng.random() < 0.30
+    )
+    if shared_input:
+        stage_types[1][0] = stage_types[0][0]
+
+    fifos: List[FifoSpec] = []
+    fifo_of: Dict[Tuple[int, int], str] = {}  # (lane, stage) -> fifo name
+    for lane in range(n_lanes):
+        for stage in range(n_kernels + 1):
+            if shared_input and lane == 1 and stage == 0:
+                fifo_of[(lane, stage)] = fifo_of[(0, 0)]
+                continue
+            external = stage in (0, n_kernels)
+            name = (
+                f"in{lane}" if stage == 0
+                else f"out{lane}" if stage == n_kernels
+                else f"mid{lane}_{stage}"
+            )
+            fifos.append(
+                FifoSpec(
+                    name=name,
+                    type=str(stage_types[lane][stage]),
+                    depth=FIFO_DEPTH,
+                    external=external,
+                )
+            )
+            fifo_of[(lane, stage)] = name
+
+    # Unroll pragma on at most one kernel's loop.
+    unroll_candidates = [f for f in (2, 4) if trip % f == 0]
+    unroll_kernel = -1
+    unroll_factor = 1
+    if unroll_candidates and rng.random() < 0.35:
+        unroll_kernel = rng.randrange(n_kernels)
+        unroll_factor = rng.choice(unroll_candidates)
+
+    buffers: List[BufferSpec] = []
+    params: Dict[str, object] = {}
+    kernels: List[KernelSpec] = []
+    for k in range(n_kernels):
+        ops: List[OpSpec] = []
+        # Optional loop-invariant scalar — the classic broadcast source.
+        invariant_name = ""
+        if rng.random() < 0.35:
+            invariant_name = f"k{k}_p"
+            ops.append(OpSpec(kind="input", name=invariant_name, type="i32", invariant=True))
+            params[invariant_name] = rng.randrange(-1000, 1000)
+        for lane in range(n_lanes):
+            lb = _LaneBuilder(rng, f"k{k}_l{lane}", ops)
+            read = lb.fresh("in")
+            lb.emit(
+                OpSpec(kind="fifo_read", name=read, fifo=fifo_of[(lane, k)]),
+                stage_types[lane][k],
+            )
+            if not lane_float[lane]:
+                if invariant_name and rng.random() < 0.6:
+                    lb.pool.append((invariant_name, i32))
+                if rng.random() < 0.4:
+                    lb.pool.append(("i", i32))
+            for _ in range(rng.randint(1, 5)):
+                if lane_float[lane]:
+                    lb.random_float_op()
+                else:
+                    lb.random_int_op()
+            # Optional private buffer: store at the loop index, sometimes
+            # load back (index-addressed BRAM — what the unroll-index fix
+            # protects).
+            if not lane_float[lane] and rng.random() < 0.30:
+                data_name, data_type = lb.pick(want_float=False) or (read, stage_types[lane][k])
+                buf = f"k{k}_l{lane}_buf"
+                buffers.append(BufferSpec(name=buf, type=str(data_type), depth=trip))
+                ops.append(OpSpec(kind="store", buffer=buf, args=["i", data_name]))
+                if rng.random() < 0.5:
+                    loaded = lb.fresh("ld")
+                    lb.emit(
+                        OpSpec(kind="load", name=loaded, buffer=buf, args=["i"]),
+                        data_type,
+                    )
+            out_value = lb.result_as(stage_types[lane][k + 1])
+            ops.append(OpSpec(kind="fifo_write", fifo=fifo_of[(lane, k + 1)], args=[out_value]))
+        kernels.append(
+            KernelSpec(
+                name=f"k{k}",
+                loops=[
+                    LoopSpec(
+                        name=f"l{k}",
+                        trip_count=trip,
+                        ops=ops,
+                        pipeline=True,
+                        unroll=unroll_factor if k == unroll_kernel else 1,
+                    )
+                ],
+            )
+        )
+
+    # Stimuli: exactly the number of elements each external input is read.
+    stimuli: Dict[str, List[object]] = {}
+    reads_per_iteration: Dict[str, int] = {}
+    for lane in range(n_lanes):
+        name = fifo_of[(lane, 0)]
+        reads_per_iteration[name] = reads_per_iteration.get(name, 0) + 1
+    for fifo in fifos:
+        if fifo.external and fifo.name in reads_per_iteration:
+            dtype = DataType.parse(fifo.type)
+            count = trip * reads_per_iteration[fifo.name]
+            stimuli[fifo.name] = [_rand_value(rng, dtype) for _ in range(count)]
+
+    return ProgramSpec(
+        name=f"fuzz_s{seed}_i{index}",
+        seed=seed,
+        config=config,
+        dataflow=True,
+        clock_mhz=300.0,
+        fifos=fifos,
+        buffers=buffers,
+        kernels=kernels,
+        stimuli=stimuli,
+        params=params,
+    )

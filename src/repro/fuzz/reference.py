@@ -1,0 +1,73 @@
+"""Sequential reference execution — the fuzzer's functional oracle.
+
+The reference semantics of a generated program is the simplest one that
+can possibly be right: preload every external input FIFO completely, then
+fire each loop exactly ``trip_count`` times in declaration order (the
+generator emits kernels producer-first, so a single sweep drains the whole
+pipeline).  FIFO capacity is ignored — depth only affects *timing*, never
+values, which is exactly the invariant the differential comparison against
+the cycle-stepped :class:`~repro.sim.dataflow.DataflowSim` checks.
+"""
+
+from __future__ import annotations
+
+import collections
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.ir.interp import Evaluator
+from repro.ir.program import Design
+from repro.sim.dataflow import index_inputs
+
+
+@dataclass
+class ReferenceResult:
+    """Outputs of one reference execution."""
+
+    outputs: Dict[str, List[object]] = field(default_factory=dict)
+    buffers: Dict[str, List[object]] = field(default_factory=dict)
+    firings: Dict[str, int] = field(default_factory=dict)
+
+
+def output_fifos(design: Design) -> List[str]:
+    """External FIFOs written by some loop — the observable outputs."""
+    written: set = set()
+    for _kernel, loop in design.all_loops():
+        _r, w = loop.fifo_endpoints()
+        written.update(w)
+    return [
+        name
+        for name, fifo in design.fifos.items()
+        if fifo.external and name in written
+    ]
+
+
+def run_reference(
+    design: Design,
+    stimuli: Dict[str, List[object]],
+    params: Optional[Dict[str, object]] = None,
+) -> ReferenceResult:
+    """Execute ``design`` sequentially; raises
+    :class:`~repro.errors.SimulationError` when a loop underflows a FIFO
+    (an ill-formed program, not a divergence)."""
+    evaluator = Evaluator(fifos={}, buffers={})
+    for name, items in stimuli.items():
+        evaluator.fifos[name] = collections.deque(items)
+    params = dict(params or {})
+    result = ReferenceResult()
+    for kernel, loop in design.all_loops():
+        if loop.trip_count is None:
+            raise SimulationError(
+                f"{kernel.name}/{loop.name}: reference execution needs a "
+                "static trip count"
+            )
+        for iteration in range(loop.trip_count):
+            feeds = index_inputs(loop.body, iteration)
+            feeds.update(params)
+            evaluator.run(loop.body, inputs=feeds)
+        result.firings[f"{kernel.name}/{loop.name}"] = loop.trip_count
+    for name in output_fifos(design):
+        result.outputs[name] = list(evaluator.fifos.get(name, ()))
+    result.buffers = {k: list(v) for k, v in evaluator.buffers.items()}
+    return result

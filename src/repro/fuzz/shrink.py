@@ -1,0 +1,219 @@
+"""Greedy reduction of failing fuzz programs.
+
+Given a spec and a predicate ("does this candidate still fail the same
+check?"), repeatedly try structure-removing mutations — drop a kernel,
+halve every trip count, clear unroll pragmas, delete single ops, replace
+computed values with constants — and keep any candidate that still fails.
+Every accepted step strictly decreases :meth:`ProgramSpec.size`, so the
+process terminates at a local minimum: the corpus reproducer.
+
+Candidates that fail to *build* (:class:`SpecError` — e.g. deleting an op
+another op still references) are simply invalid mutations and are skipped;
+only a genuine re-failure of the original check is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.ir.types import DataType
+
+from repro.fuzz.spec import OpSpec, ProgramSpec, SpecError, build_program
+
+
+def _copy(spec: ProgramSpec) -> ProgramSpec:
+    return ProgramSpec.from_dict(spec.to_dict())
+
+
+def _drop_kernel(spec: ProgramSpec, index: int) -> Optional[ProgramSpec]:
+    """Remove kernel ``index``, re-plumbing orphaned internal FIFOs.
+
+    FIFOs that lose their writer become external inputs fed with zeros;
+    FIFOs that lose their reader become external outputs; FIFOs touched by
+    nobody disappear along with their stimuli.
+    """
+    if len(spec.kernels) <= 1:
+        return None
+    candidate = _copy(spec)
+    candidate.kernels.pop(index)
+
+    # reads-per-program and writer presence, over the surviving kernels
+    total_reads: Dict[str, int] = {}
+    written: set = set()
+    for kernel in candidate.kernels:
+        for loop in kernel.loops:
+            for op in loop.ops:
+                if op.kind == "fifo_read":
+                    total_reads[op.fifo] = (
+                        total_reads.get(op.fifo, 0) + loop.trip_count
+                    )
+                elif op.kind == "fifo_write":
+                    written.add(op.fifo)
+
+    kept = []
+    for fifo in candidate.fifos:
+        reads = total_reads.get(fifo.name, 0)
+        writes = fifo.name in written
+        if not reads and not writes:
+            candidate.stimuli.pop(fifo.name, None)
+            continue
+        if not writes:  # reader survives: feed it from outside
+            fifo.external = True
+            if fifo.name not in candidate.stimuli:
+                zero = 0.0 if DataType.parse(fifo.type).is_float else 0
+                candidate.stimuli[fifo.name] = [zero] * reads
+        elif not reads:  # writer survives: expose it as an output
+            fifo.external = True
+        kept.append(fifo)
+    candidate.fifos = kept
+    return candidate
+
+
+def _halve_trips(spec: ProgramSpec) -> Optional[ProgramSpec]:
+    """Halve every trip count together (keeps kernels rate-matched)."""
+    trips = {l.trip_count for k in spec.kernels for l in k.loops}
+    if len(trips) != 1:
+        return None
+    (trip,) = trips
+    if trip < 2 or trip % 2:
+        return None
+    new_trip = trip // 2
+    for kernel in spec.kernels:
+        for loop in kernel.loops:
+            if loop.unroll > 1 and new_trip % loop.unroll:
+                return None
+    candidate = _copy(spec)
+    for kernel in candidate.kernels:
+        for loop in kernel.loops:
+            loop.trip_count = new_trip
+    candidate.stimuli = {
+        name: items[: len(items) // 2] for name, items in candidate.stimuli.items()
+    }
+    # buffers sized to the trip count shrink with it (keeps size() honest)
+    for buffer in candidate.buffers:
+        if buffer.depth == trip:
+            buffer.depth = new_trip
+    return candidate
+
+
+def _drop_unused_decls(spec: ProgramSpec) -> Optional[ProgramSpec]:
+    """Strip FIFOs/buffers (and stimuli) no surviving op references."""
+    used_fifos: set = set()
+    used_buffers: set = set()
+    for kernel in spec.kernels:
+        for loop in kernel.loops:
+            for op in loop.ops:
+                if op.fifo:
+                    used_fifos.add(op.fifo)
+                if op.buffer:
+                    used_buffers.add(op.buffer)
+    if all(f.name in used_fifos for f in spec.fifos) and all(
+        b.name in used_buffers for b in spec.buffers
+    ):
+        return None
+    candidate = _copy(spec)
+    candidate.fifos = [f for f in candidate.fifos if f.name in used_fifos]
+    candidate.buffers = [b for b in candidate.buffers if b.name in used_buffers]
+    candidate.stimuli = {
+        name: items
+        for name, items in candidate.stimuli.items()
+        if name in used_fifos
+    }
+    return candidate
+
+
+def _value_types(spec: ProgramSpec) -> Dict[Tuple[str, str, str], str]:
+    """(kernel, loop, value-name) → type string, from one trial build."""
+    built = build_program(spec)
+    types: Dict[Tuple[str, str, str], str] = {}
+    for kernel, loop in built.design.all_loops():
+        for name, value in loop.body.values.items():
+            types[(kernel.name, loop.name, name)] = str(value.type)
+    return types
+
+
+def _candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    # most aggressive first: whole kernels, then trips, then single ops
+    for k in reversed(range(len(spec.kernels))):
+        candidate = _drop_kernel(spec, k)
+        if candidate is not None:
+            yield candidate
+    candidate = _halve_trips(spec)
+    if candidate is not None:
+        yield candidate
+    for ki, kernel in enumerate(spec.kernels):
+        for li, loop in enumerate(kernel.loops):
+            if loop.unroll > 1:
+                candidate = _copy(spec)
+                candidate.kernels[ki].loops[li].unroll = 1
+                yield candidate
+    for ki, kernel in enumerate(spec.kernels):
+        for li, loop in enumerate(kernel.loops):
+            for oi in reversed(range(len(loop.ops))):
+                candidate = _copy(spec)
+                candidate.kernels[ki].loops[li].ops.pop(oi)
+                yield candidate
+    try:
+        types = _value_types(spec)
+    except SpecError:
+        return
+    for ki, kernel in enumerate(spec.kernels):
+        for li, loop in enumerate(kernel.loops):
+            for oi, op in enumerate(loop.ops):
+                if not op.name or op.kind in ("const", "input"):
+                    continue
+                type_str = types.get((kernel.name, loop.name, op.name))
+                if type_str is None or type_str == "i1":
+                    continue
+                zero = 0.0 if DataType.parse(type_str).is_float else 0
+                candidate = _copy(spec)
+                candidate.kernels[ki].loops[li].ops[oi] = OpSpec(
+                    kind="const", name=op.name, value=zero, type=type_str
+                )
+                yield candidate
+
+
+def shrink(
+    spec: ProgramSpec,
+    still_fails: Callable[[ProgramSpec], bool],
+    max_evals: int = 400,
+) -> Optional[ProgramSpec]:
+    """Greedily minimize ``spec`` under ``still_fails``.
+
+    Returns the smallest failing spec found (possibly ``spec`` itself), or
+    ``None`` when the original does not reproduce under the predicate —
+    a flaky failure the caller should report unshrunk.
+    """
+    try:
+        if not still_fails(spec):
+            return None
+    except SpecError:
+        return None
+    current = spec
+    evals = 0
+    improved = True
+    while improved and evals < max_evals:
+        improved = False
+        for candidate in _candidates(current):
+            if candidate.size() >= current.size():
+                continue
+            evals += 1
+            try:
+                if still_fails(candidate):
+                    current = candidate
+                    improved = True
+                    break
+            except SpecError:
+                continue
+            if evals >= max_evals:
+                break
+    # Final cosmetic sweep: declarations nothing references don't affect
+    # size(), so the greedy loop never removes them — do it once here.
+    cleaned = _drop_unused_decls(current)
+    if cleaned is not None:
+        try:
+            if still_fails(cleaned):
+                return cleaned
+        except SpecError:
+            pass
+    return current

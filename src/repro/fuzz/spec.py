@@ -1,0 +1,370 @@
+"""JSON-serializable fuzz program specifications.
+
+A :class:`ProgramSpec` is the *genotype* of one fuzzed design: a flat,
+purely-data description of FIFOs, buffers, kernels, loop bodies (as linear
+op lists over named SSA values) and input stimuli.  Specs — not built
+:class:`~repro.ir.program.Design` objects — are what the generator emits,
+the shrinker mutates, and the corpus stores, because they survive a JSON
+round trip byte-for-byte and rebuild deterministically.
+
+:func:`build_program` is the phenotype mapping: it lowers a spec into a
+verified design plus its stimuli.  Any structural or type error raises
+:class:`SpecError`, which the shrinker uses to reject invalid mutation
+candidates.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import IRError, ReproError, VerificationError
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.types import DataType, i1, i32
+from repro.ir.values import Value
+
+#: Schema tag of serialized fuzz programs.
+PROGRAM_SCHEMA = "repro-fuzz-program/1"
+
+#: Binary op names accepted by ``OpSpec(kind="binop")``.
+BINOPS = ("add", "sub", "mul", "div", "and", "or", "xor", "shl", "shr")
+
+#: Comparison kinds accepted by ``OpSpec(kind="cmp")``.
+CMPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: Cast kinds accepted by ``OpSpec(kind="cast")``.
+CASTS = ("zext", "sext", "trunc")
+
+
+class SpecError(ReproError):
+    """A program spec cannot be built into a valid design."""
+
+
+@dataclass
+class OpSpec:
+    """One operation of a loop body, referencing values by name.
+
+    ``kind`` selects the shape; unused fields stay at their defaults:
+
+    * ``input``      — declare a body input (``type``, ``invariant``);
+    * ``const``      — ``value`` of ``type``;
+    * ``binop``      — ``op`` in :data:`BINOPS`, ``args = [a, b]``;
+    * ``not``        — ``args = [a]``;
+    * ``cmp``        — ``op`` in :data:`CMPS`, ``args = [a, b]``;
+    * ``select``     — ``args = [cond, a, b]``;
+    * ``slice``      — ``args = [a]``, ``lsb``, result ``type``;
+    * ``cast``       — ``op`` in :data:`CASTS`, ``args = [a]``, ``type``;
+    * ``reg``        — ``args = [a]``;
+    * ``fifo_read``  — ``fifo``;
+    * ``fifo_write`` — ``fifo``, ``args = [data]``;
+    * ``load``       — ``buffer``, ``args = [addr]``;
+    * ``store``      — ``buffer``, ``args = [addr, data]``.
+    """
+
+    kind: str
+    name: str = ""
+    op: str = ""
+    args: List[str] = field(default_factory=list)
+    type: str = ""
+    value: object = 0
+    lsb: int = 0
+    fifo: str = ""
+    buffer: str = ""
+    invariant: bool = False
+
+
+@dataclass
+class LoopSpec:
+    name: str
+    trip_count: int
+    ops: List[OpSpec] = field(default_factory=list)
+    pipeline: bool = True
+    unroll: int = 1
+
+
+@dataclass
+class KernelSpec:
+    name: str
+    loops: List[LoopSpec] = field(default_factory=list)
+
+
+@dataclass
+class FifoSpec:
+    name: str
+    type: str
+    depth: int = 16
+    external: bool = False
+
+
+@dataclass
+class BufferSpec:
+    name: str
+    type: str
+    depth: int = 16
+
+
+@dataclass
+class ProgramSpec:
+    """The complete, serializable description of one fuzzed program."""
+
+    name: str
+    seed: int = 0
+    config: str = "orig"
+    dataflow: bool = True
+    clock_mhz: float = 300.0
+    fifos: List[FifoSpec] = field(default_factory=list)
+    buffers: List[BufferSpec] = field(default_factory=list)
+    kernels: List[KernelSpec] = field(default_factory=list)
+    stimuli: Dict[str, List[object]] = field(default_factory=dict)
+    params: Dict[str, object] = field(default_factory=dict)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"schema": PROGRAM_SCHEMA, **asdict(self)}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def from_dict(document: Dict[str, object]) -> "ProgramSpec":
+        document = dict(document)
+        schema = document.pop("schema", PROGRAM_SCHEMA)
+        if schema != PROGRAM_SCHEMA:
+            raise SpecError(f"unknown fuzz program schema {schema!r}")
+        try:
+            return ProgramSpec(
+                name=document["name"],
+                seed=document.get("seed", 0),
+                config=document.get("config", "orig"),
+                dataflow=document.get("dataflow", True),
+                clock_mhz=document.get("clock_mhz", 300.0),
+                fifos=[FifoSpec(**f) for f in document.get("fifos", [])],
+                buffers=[BufferSpec(**b) for b in document.get("buffers", [])],
+                kernels=[
+                    KernelSpec(
+                        name=k["name"],
+                        loops=[
+                            LoopSpec(
+                                name=l["name"],
+                                trip_count=l["trip_count"],
+                                ops=[OpSpec(**o) for o in l.get("ops", [])],
+                                pipeline=l.get("pipeline", True),
+                                unroll=l.get("unroll", 1),
+                            )
+                            for l in k.get("loops", [])
+                        ],
+                    )
+                    for k in document.get("kernels", [])
+                ],
+                stimuli={k: list(v) for k, v in document.get("stimuli", {}).items()},
+                params=dict(document.get("params", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise SpecError(f"malformed fuzz program document: {exc}") from exc
+
+    @staticmethod
+    def from_json(text: str) -> "ProgramSpec":
+        return ProgramSpec.from_dict(json.loads(text))
+
+    # -- metrics used by the shrinker -----------------------------------
+    def size(self) -> Tuple[int, int, int]:
+        """Complexity metric ``(non-const ops, total ops, trip sum)``;
+        every accepted shrink step strictly decreases it."""
+        total = sum(len(l.ops) for k in self.kernels for l in k.loops)
+        consts = sum(
+            1 for k in self.kernels for l in k.loops for o in l.ops if o.kind == "const"
+        )
+        trips = sum(l.trip_count for k in self.kernels for l in k.loops)
+        return (total - consts, total, trips)
+
+
+@dataclass
+class BuiltProgram:
+    """A spec lowered to a runnable design."""
+
+    spec: ProgramSpec
+    design: Design
+    stimuli: Dict[str, List[object]]
+    params: Dict[str, object]
+
+
+def _parse_type(spec: str, where: str) -> DataType:
+    try:
+        return DataType.parse(spec)
+    except IRError as exc:
+        raise SpecError(f"{where}: bad type {spec!r}: {exc}") from exc
+
+
+def _build_body(
+    loop: LoopSpec,
+    fifos: Dict[str, Fifo],
+    buffers: Dict[str, Buffer],
+    where: str,
+):
+    builder = DFGBuilder(f"{loop.name}_body")
+    env: Dict[str, Value] = {}
+
+    def resolve(name: str, op_name: str) -> Value:
+        if name in env:
+            return env[name]
+        if name in ("i", "j"):
+            # Implicit loop-index input, matching the simulator's feeds.
+            env[name] = builder.input(name, i32)
+            return env[name]
+        raise SpecError(f"{where}/{op_name}: unknown value {name!r}")
+
+    def define(op: OpSpec, value: Value) -> None:
+        if not op.name:
+            raise SpecError(f"{where}: {op.kind} op needs a result name")
+        if op.name in env:
+            raise SpecError(f"{where}: duplicate value name {op.name!r}")
+        env[op.name] = value
+
+    for op in loop.ops:
+        kind = op.kind
+        try:
+            if kind == "input":
+                define(
+                    op,
+                    builder.input(
+                        op.name,
+                        _parse_type(op.type, where),
+                        loop_invariant=op.invariant,
+                    ),
+                )
+            elif kind == "const":
+                define(op, builder.const(op.value, _parse_type(op.type, where), name=op.name))
+            elif kind == "binop":
+                if op.op not in BINOPS:
+                    raise SpecError(f"{where}: unknown binop {op.op!r}")
+                a, b = (resolve(n, op.name or op.op) for n in op.args)
+                method = {"and": "and_", "or": "or_"}.get(op.op, op.op)
+                define(op, getattr(builder, method)(a, b, name=op.name))
+            elif kind == "not":
+                define(op, builder.not_(resolve(op.args[0], op.name), name=op.name))
+            elif kind == "cmp":
+                a, b = (resolve(n, op.name) for n in op.args)
+                define(op, builder.cmp(op.op, a, b, name=op.name))
+            elif kind == "select":
+                cond, a, b = (resolve(n, op.name) for n in op.args)
+                define(op, builder.select(cond, a, b, name=op.name))
+            elif kind == "slice":
+                define(
+                    op,
+                    builder.slice_(
+                        resolve(op.args[0], op.name),
+                        op.lsb,
+                        _parse_type(op.type, where),
+                        name=op.name,
+                    ),
+                )
+            elif kind == "cast":
+                if op.op not in CASTS:
+                    raise SpecError(f"{where}: unknown cast {op.op!r}")
+                define(
+                    op,
+                    getattr(builder, op.op)(
+                        resolve(op.args[0], op.name),
+                        _parse_type(op.type, where),
+                        name=op.name,
+                    ),
+                )
+            elif kind == "reg":
+                define(op, builder.reg(resolve(op.args[0], op.name), name=op.name))
+            elif kind == "fifo_read":
+                if op.fifo not in fifos:
+                    raise SpecError(f"{where}: unknown fifo {op.fifo!r}")
+                define(op, builder.fifo_read(fifos[op.fifo], name=op.name))
+            elif kind == "fifo_write":
+                if op.fifo not in fifos:
+                    raise SpecError(f"{where}: unknown fifo {op.fifo!r}")
+                builder.fifo_write(fifos[op.fifo], resolve(op.args[0], f"write {op.fifo}"))
+            elif kind == "load":
+                if op.buffer not in buffers:
+                    raise SpecError(f"{where}: unknown buffer {op.buffer!r}")
+                define(
+                    op,
+                    builder.load(
+                        buffers[op.buffer], resolve(op.args[0], op.name), name=op.name
+                    ),
+                )
+            elif kind == "store":
+                if op.buffer not in buffers:
+                    raise SpecError(f"{where}: unknown buffer {op.buffer!r}")
+                addr, data = (resolve(n, f"store {op.buffer}") for n in op.args)
+                builder.store(buffers[op.buffer], addr, data)
+            else:
+                raise SpecError(f"{where}: unknown op kind {kind!r}")
+        except (IRError, VerificationError, IndexError, ValueError) as exc:
+            raise SpecError(f"{where}/{op.kind} {op.name or op.fifo or op.buffer}: {exc}") from exc
+    try:
+        return builder.build()
+    except (IRError, VerificationError) as exc:
+        raise SpecError(f"{where}: {exc}") from exc
+
+
+def build_program(spec: ProgramSpec) -> BuiltProgram:
+    """Lower a spec into a verified :class:`Design` plus stimuli.
+
+    Raises :class:`SpecError` on any malformed spec, so callers (and the
+    shrinker in particular) can tell "invalid program" from "divergence".
+    """
+    design = Design(
+        name=spec.name,
+        dataflow=spec.dataflow,
+        meta={"clock_mhz": spec.clock_mhz, "origin": "fuzz", "seed": spec.seed},
+    )
+    fifos: Dict[str, Fifo] = {}
+    buffers: Dict[str, Buffer] = {}
+    try:
+        for f in spec.fifos:
+            fifos[f.name] = design.add_fifo(
+                Fifo(f.name, _parse_type(f.type, f"fifo {f.name}"), f.depth, f.external)
+            )
+        for b in spec.buffers:
+            buffers[b.name] = design.add_buffer(
+                Buffer(b.name, _parse_type(b.type, f"buffer {b.name}"), b.depth)
+            )
+    except VerificationError as exc:
+        raise SpecError(str(exc)) from exc
+    for kspec in spec.kernels:
+        kernel = Kernel(kspec.name)
+        for lspec in kspec.loops:
+            if lspec.trip_count <= 0:
+                raise SpecError(f"{kspec.name}/{lspec.name}: non-positive trip count")
+            if lspec.unroll > 1 and lspec.trip_count % lspec.unroll:
+                raise SpecError(
+                    f"{kspec.name}/{lspec.name}: trip {lspec.trip_count} "
+                    f"not divisible by unroll {lspec.unroll}"
+                )
+            body = _build_body(lspec, fifos, buffers, f"{kspec.name}/{lspec.name}")
+            kernel.add_loop(
+                Loop(
+                    lspec.name,
+                    body,
+                    trip_count=lspec.trip_count,
+                    pipeline=lspec.pipeline,
+                    unroll=lspec.unroll,
+                )
+            )
+        try:
+            design.add_kernel(kernel)
+        except VerificationError as exc:
+            raise SpecError(str(exc)) from exc
+    for name in spec.stimuli:
+        if name not in fifos:
+            raise SpecError(f"stimuli for unknown fifo {name!r}")
+        if not fifos[name].external:
+            raise SpecError(f"stimuli for internal fifo {name!r}")
+    try:
+        design.verify()
+    except (IRError, VerificationError) as exc:
+        raise SpecError(str(exc)) from exc
+    return BuiltProgram(
+        spec=spec,
+        design=design,
+        stimuli={k: list(v) for k, v in spec.stimuli.items()},
+        params=dict(spec.params),
+    )

@@ -19,6 +19,7 @@ from repro.errors import IRError, VerificationError
 from repro.ir.ops import (
     FIFO_OPS,
     MEM_OPS,
+    SIDE_EFFECT_OPS,
     Opcode,
     Operation,
     result_type_of,
@@ -203,12 +204,31 @@ class DFG:
             del self.values[op.result.name]
 
     def _restore_topo_order(self) -> None:
-        """Stable-re-sort ``self.ops`` into topological order."""
+        """Stable-re-sort ``self.ops`` into topological order.
+
+        Value edges alone under-constrain side-effecting ops: a STORE and a
+        later LOAD of the same buffer (or two reads of one FIFO) are ordered
+        by *program order*, not by any SSA edge, so a purely value-driven
+        sort may legally hoist the LOAD above the STORE and change what it
+        reads.  Side-effecting ops are therefore chained with explicit
+        ordering edges that pin their current relative order.
+        """
         indegree: Dict[Operation, int] = {}
         for op in self.ops:
             indegree[op] = 0
+        ordering: Dict[Operation, List[Operation]] = {}
+        previous: Optional[Operation] = None
         for op in self.ops:
-            for succ in self.successors(op):
+            if op.opcode in SIDE_EFFECT_OPS:
+                if previous is not None:
+                    ordering.setdefault(previous, []).append(op)
+                previous = op
+
+        def successors_of(op: Operation) -> List[Operation]:
+            return self.successors(op) + ordering.get(op, [])
+
+        for op in self.ops:
+            for succ in successors_of(op):
                 if succ in indegree:
                     indegree[succ] += 1
         ready = [op for op in self.ops if indegree[op] == 0]
@@ -218,7 +238,7 @@ class DFG:
             ready.sort(key=lambda o: position[o])
             op = ready.pop(0)
             order.append(op)
-            for succ in self.successors(op):
+            for succ in successors_of(op):
                 indegree[succ] -= 1
                 if indegree[succ] == 0:
                     ready.append(succ)

@@ -12,6 +12,7 @@ kinds), matching ``ap_int`` behaviour.
 
 from __future__ import annotations
 
+import collections
 from typing import Deque, Dict, List, Optional
 
 from repro.errors import SimulationError
@@ -56,23 +57,20 @@ class Evaluator:
     def can_fire(self, dfg: DFG) -> bool:
         """All FIFO reads satisfiable and writes have space right now."""
         needed: Dict[str, int] = {}
-        written: Dict[str, int] = {}
+        written: Dict[str, tuple] = {}  # name -> (count, Fifo)
         for op in dfg.ops:
             if op.opcode is Opcode.FIFO_READ:
-                needed[op.attrs["fifo"].name] = needed.get(op.attrs["fifo"].name, 0) + 1
+                fifo = op.attrs["fifo"]
+                needed[fifo.name] = needed.get(fifo.name, 0) + 1
             elif op.opcode is Opcode.FIFO_WRITE:
                 fifo = op.attrs["fifo"]
-                written[fifo.name] = written.get(fifo.name, 0) + 1
+                count, _ = written.get(fifo.name, (0, fifo))
+                written[fifo.name] = (count + 1, fifo)
         for name, count in needed.items():
             if len(self.fifos.get(name, ())) < count:
                 return False
-        for name, count in written.items():
-            fifo_obj = next(
-                (op.attrs["fifo"] for op in dfg.ops
-                 if op.opcode is Opcode.FIFO_WRITE and op.attrs["fifo"].name == name),
-            )
-            queue = self.fifos.setdefault(name, __import__("collections").deque())
-            if not fifo_obj.external and len(queue) + count > fifo_obj.depth:
+        for name, (count, fifo) in written.items():
+            if not fifo.external and len(self.fifos.get(name, ())) + count > fifo.depth:
                 return False
         return True
 
@@ -134,9 +132,14 @@ class Evaluator:
         if code is Opcode.NOT:
             return _wrap(~int(args[0]), dtype)
         if code is Opcode.SHL:
-            return _wrap(int(args[0]) << max(0, int(args[1])), dtype)
+            # Any shift >= width yields 0 after masking; clamping keeps the
+            # intermediate bounded (a fuzzed 2^31 shift amount must not
+            # materialize a billion-bit integer on the way to that 0).
+            shift = min(max(0, int(args[1])), dtype.width)
+            return _wrap(int(args[0]) << shift, dtype)
         if code is Opcode.SHR:
-            return _wrap(int(args[0]) >> max(0, int(args[1])), dtype)
+            shift = min(max(0, int(args[1])), dtype.width)
+            return _wrap(int(args[0]) >> shift, dtype)
         if code is Opcode.EQ:
             return 1 if args[0] == args[1] else 0
         if code is Opcode.NE:
@@ -167,15 +170,11 @@ class Evaluator:
             data[int(args[0]) % len(data)] = args[1]
             return None
         if code is Opcode.FIFO_READ:
-            import collections
-
             queue = self.fifos.setdefault(op.attrs["fifo"].name, collections.deque())
             if not queue:
                 raise SimulationError(f"{op.name}: read from empty fifo")
             return queue.popleft()
         if code is Opcode.FIFO_WRITE:
-            import collections
-
             queue = self.fifos.setdefault(op.attrs["fifo"].name, collections.deque())
             queue.append(args[0])
             return None

@@ -175,12 +175,21 @@ def dce(dfg: DFG, keep: Optional[set] = None) -> int:
 
 
 def _cse_key(op: Operation) -> Optional[Tuple]:
-    """Hashable identity of a pure operation, or None if not CSE-able."""
+    """Hashable identity of a pure operation, or None if not CSE-able.
+
+    The key must cover everything that feeds the computed value: opcode and
+    operands, but also the result type (``zext`` of one value to two widths
+    is two different ops) and the attributes (``slice_`` encodes its bit
+    position in ``attrs['lsb']``).  Merging on opcode+operands alone is a
+    miscompile the differential fuzzer catches immediately.
+    """
     if op.is_side_effecting or op.opcode is Opcode.REG:
         return None
     if op.opcode is Opcode.CONST:
         return (op.opcode, op.result.type, repr(op.attrs.get("value")))
-    return (op.opcode, tuple(id(v) for v in op.operands))
+    attrs = tuple(sorted((k, repr(v)) for k, v in op.attrs.items()))
+    result_type = op.result.type if op.result is not None else None
+    return (op.opcode, result_type, attrs, tuple(id(v) for v in op.operands))
 
 
 def cse(dfg: DFG) -> int:

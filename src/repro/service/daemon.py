@@ -125,6 +125,13 @@ class Job:
     created_s: float = field(default_factory=time.time)
     started_s: Optional[float] = None
     finished_s: Optional[float] = None
+    #: Monotonic twins of the wall-clock stamps above.  The wall clock is
+    #: what humans and the job record see; durations (queue wait, compile
+    #: latency) are computed from these, so an NTP step or DST jump while
+    #: a job is in flight cannot produce negative or wildly wrong numbers.
+    created_mono: float = field(default_factory=time.perf_counter)
+    started_mono: Optional[float] = None
+    finished_mono: Optional[float] = None
     done: asyncio.Event = field(default_factory=asyncio.Event)
     span: Optional[obs.Span] = None
 
@@ -218,6 +225,7 @@ class FlowService:
         )
         self.traces = trace_store or TraceStore()
         self.created_s = time.time()
+        self._created_mono = time.perf_counter()
         self._entry = entry or worker_entry
         self._lanes: Dict[str, Deque[Job]] = {p: deque() for p in PRIORITIES}
         self._jobs: Dict[str, Job] = {}
@@ -298,7 +306,7 @@ class FlowService:
         for lane in self._lanes.values():
             lane.clear()
         self._set_queue_gauge()
-        self._emit("service.stop", uptime_s=round(time.time() - self.created_s, 3))
+        self._emit("service.stop", uptime_s=self.uptime_s())
 
     # ------------------------------------------------------------------
     # Submission
@@ -355,6 +363,7 @@ class FlowService:
             job.result_digest = stored.result_digest
             job.summary = dict(stored.summary)
             job.started_s = job.finished_s = time.time()
+            job.started_mono = job.finished_mono = time.perf_counter()
             self._finish_span(job)
             self._store_trace(job)
             job.done.set()
@@ -423,7 +432,7 @@ class FlowService:
             },
             "workers": self.workers,
             "inflight": len(self._inflight),
-            "uptime_s": round(time.time() - self.created_s, 3),
+            "uptime_s": self.uptime_s(),
             "jobs": records[-jobs_limit:],
             "metrics": self.tracer.aggregate_metrics().to_dict(),
             "store": {"root": self.store.root, "entries": len(self.store)},
@@ -441,7 +450,9 @@ class FlowService:
         return {p: len(self._lanes[p]) for p in PRIORITIES}
 
     def uptime_s(self) -> float:
-        return round(time.time() - self.created_s, 3)
+        # Monotonic: a wall-clock adjustment must not shrink (or inflate)
+        # the reported uptime.  ``created_s`` stays wall-clock for display.
+        return round(time.perf_counter() - self._created_mono, 3)
 
     # ------------------------------------------------------------------
     # Internals
@@ -516,7 +527,8 @@ class FlowService:
     async def _run_job(self, job: Job) -> None:
         job.state = "running"
         job.started_s = time.time()
-        queue_wait_s = round(job.started_s - job.created_s, 4)
+        job.started_mono = time.perf_counter()
+        queue_wait_s = round(job.started_mono - job.created_mono, 4)
         if job.span is not None:
             job.span.set("queue_wait_s", queue_wait_s)
         self._observe("service.queue_wait_s", queue_wait_s)
@@ -552,7 +564,11 @@ class FlowService:
                 self._count("service.compiles")
                 self._observe(
                     "service.compile_latency_s",
-                    round(time.time() - job.started_s, 4),
+                    round(
+                        time.perf_counter()
+                        - (job.started_mono or job.created_mono),
+                        4,
+                    ),
                 )
                 if payload.get("evicted"):
                     self._count("service.store_evictions", payload["evicted"])
@@ -715,6 +731,7 @@ class FlowService:
     def _finish(self, job: Job, state: str) -> None:
         job.state = state
         job.finished_s = time.time()
+        job.finished_mono = time.perf_counter()
         if self._inflight.get(job.digest) is job:
             del self._inflight[job.digest]
         self._set_queue_gauge()
@@ -728,7 +745,9 @@ class FlowService:
             served_from=job.served_from,
             attempts=job.attempts,
             trace_id=job.trace_id,
-            duration_s=round(job.finished_s - (job.started_s or job.created_s), 4),
+            duration_s=round(
+                job.finished_mono - (job.started_mono or job.created_mono), 4
+            ),
         )
         job.done.set()
 

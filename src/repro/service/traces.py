@@ -26,6 +26,7 @@ from typing import Any, Dict, List, Optional
 
 from repro import obs
 from repro.delay.cache import default_cache_dir
+from repro.obs.journal import emit_event
 
 #: Version tag of merged per-request trace documents.
 TRACE_SCHEMA = "repro-trace/1"
@@ -134,6 +135,8 @@ class TraceSpool:
         self.path = path
         self.meta = dict(meta or {})
         self.interval_s = interval_s
+        #: Consecutive failed write rounds; exposed for tests/forensics.
+        self.failures = 0
         self._stop = threading.Event()
         self._thread = threading.Thread(
             target=self._run, name="repro-trace-spool", daemon=True
@@ -144,10 +147,36 @@ class TraceSpool:
             self._write_once()
 
     def _write_once(self) -> None:
+        """One best-effort spool round.
+
+        Transient failures (a torn read of a span list mutating on the
+        main thread, a disk hiccup) are expected — the next round wins and
+        the previous spool generation stays readable.  But they must not
+        be *silent*: a spool that has quietly stopped writing means a
+        killed worker leaves no forensics.  The first failure of a streak
+        and the eventual recovery each emit one journal event (not one per
+        round — at 50ms intervals that would flood the journal).
+        Programming errors (``TypeError``/``AttributeError``) re-raise:
+        those never heal on retry.
+        """
         try:
             write_spool(self.path, self.tracer, self.meta)
-        except Exception:
-            pass  # concurrent span mutation or disk hiccup; next round wins
+        except (TypeError, AttributeError):
+            raise
+        except Exception as exc:
+            self.failures += 1
+            if self.failures == 1:
+                emit_event(
+                    "trace.spool_write_failed",
+                    path=self.path,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            return
+        if self.failures:
+            emit_event(
+                "trace.spool_recovered", path=self.path, failures=self.failures
+            )
+            self.failures = 0
 
     def start(self) -> "TraceSpool":
         self._thread.start()

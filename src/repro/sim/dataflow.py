@@ -19,8 +19,40 @@ import collections
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.ir.dfg import DFG
 from repro.ir.interp import Evaluator
 from repro.ir.program import Design
+
+#: Input names treated as loop indices and fed the firing number.
+INDEX_INPUT_NAMES = ("i", "j")
+
+
+def index_inputs(dfg: DFG, iteration: int) -> Dict[str, int]:
+    """Loop-index feeds for firing ``iteration`` of ``dfg``.
+
+    Plain index inputs (``i``, ``j``) get the firing number.  Unrolled
+    copies (``i#k``, produced by :func:`repro.ir.passes.unroll_loop`)
+    address the *pre-unroll* iteration space: with F copies, firing c of
+    the unrolled loop executes original iterations ``c*F .. c*F+F-1``, so
+    copy k reads index ``iteration * F + k``.  Feeding every copy the same
+    firing number (the old behavior) collapses all unrolled stores onto
+    one address — unrolling would no longer be semantics-preserving.
+    """
+    feeds: Dict[str, int] = {base: iteration for base in INDEX_INPUT_NAMES}
+    copies: Dict[str, List[int]] = {}
+    for value in dfg.inputs:
+        base, sep, suffix = value.name.partition("#")
+        if not sep or base not in INDEX_INPUT_NAMES:
+            continue
+        try:
+            copies.setdefault(base, []).append(int(suffix))
+        except ValueError:
+            continue
+    for base, ks in copies.items():
+        factor = len(ks)
+        for k in ks:
+            feeds[f"{base}#{k}"] = iteration * factor + k
+    return feeds
 
 
 @dataclass
@@ -44,6 +76,9 @@ class DataflowSim:
         stall_inputs: optional callable ``(fifo_name, cycle) -> bool``;
             True means the external producer delivers nothing this cycle
             (models a stalled HBM port / upstream).
+        params: constant feeds for named loop-body inputs (e.g. the
+            loop-invariant scalars of a broadcast source); applied to every
+            firing of every loop, after the index feeds.
     """
 
     def __init__(
@@ -51,9 +86,11 @@ class DataflowSim:
         design: Design,
         stimuli: Dict[str, Sequence[object]],
         stall_inputs: Optional[Callable[[str, int], bool]] = None,
+        params: Optional[Dict[str, object]] = None,
     ) -> None:
         design.verify()
         self.design = design
+        self.params = dict(params or {})
         self.stall_inputs = stall_inputs or (lambda _name, _cycle: False)
         self.pending: Dict[str, collections.deque] = {
             name: collections.deque(items) for name, items in stimuli.items()
@@ -103,7 +140,9 @@ class DataflowSim:
                     continue
                 if not self.evaluator.can_fire(loop.body):
                     continue
-                self.evaluator.run(loop.body, inputs={"i": count, "j": count})
+                feeds = index_inputs(loop.body, count)
+                feeds.update(self.params)
+                self.evaluator.run(loop.body, inputs=feeds)
                 iteration_counters[key] = count + 1
                 firings[key] = firings.get(key, 0) + 1
                 progressed = True
@@ -127,12 +166,13 @@ def compare_designs(
     stimuli: Dict[str, Sequence[object]],
     stall_inputs: Optional[Callable[[str, int], bool]] = None,
     max_cycles: int = 100_000,
+    params: Optional[Dict[str, object]] = None,
 ) -> Tuple[DataflowTrace, DataflowTrace]:
     """Run two designs on identical stimuli (fresh copies each)."""
-    trace_a = DataflowSim(a, {k: list(v) for k, v in stimuli.items()}, stall_inputs).run(
-        max_cycles
-    )
-    trace_b = DataflowSim(b, {k: list(v) for k, v in stimuli.items()}, stall_inputs).run(
-        max_cycles
-    )
+    trace_a = DataflowSim(
+        a, {k: list(v) for k, v in stimuli.items()}, stall_inputs, params=params
+    ).run(max_cycles)
+    trace_b = DataflowSim(
+        b, {k: list(v) for k, v in stimuli.items()}, stall_inputs, params=params
+    ).run(max_cycles)
     return trace_a, trace_b

@@ -8,9 +8,11 @@ loops."
 
 Here the elementary units are the operations of a loop body; two units
 belong to the same flow when they are connected through produced/consumed
-values.  (FIFOs do *not* merge units — a FIFO endpoint is exactly where
-independent flows may be cut; buffers *do*, since a shared memory imposes
-ordering.)
+values.  A FIFO *between* loops is exactly where independent flows may be
+cut, but two accesses of the *same* FIFO inside one body must stay in one
+flow: splitting them across loops re-distributes the element stream (each
+loop would pop its own interleaved subsequence).  Buffers merge units too,
+since a shared memory imposes ordering.
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.ir.dfg import DFG
-from repro.ir.ops import MEM_OPS, Opcode, Operation
+from repro.ir.ops import FIFO_OPS, MEM_OPS, Opcode, Operation
 from repro.ir.values import Value
 
 
@@ -44,7 +46,9 @@ def dfg_components(dfg: DFG) -> List[List[Operation]]:
     """Weakly-connected components of the op graph, in stable order.
 
     Connectivity: shared SSA values (producer↔consumer, and common input
-    values) and shared memory buffers.  Constants never connect components.
+    values), shared memory buffers, and shared FIFOs (two endpoints of one
+    FIFO in the same body consume/produce one ordered stream and cannot be
+    separated).  Constants never connect components.
     """
     ops = [op for op in dfg.ops if op.opcode is not Opcode.CONST]
     if not ops:
@@ -69,6 +73,18 @@ def dfg_components(dfg: DFG) -> List[List[Operation]]:
                 uf.union(id(op), id(touching[name]))
             else:
                 touching[name] = op
+    # Shared-fifo edges: splitting two accessors of one FIFO into separate
+    # loops would deal the stream's elements round-robin between them,
+    # changing which loop sees which element — a semantics change, not a
+    # synchronization optimization.
+    touching_fifo: Dict[str, Operation] = {}
+    for op in ops:
+        if op.opcode in FIFO_OPS:
+            name = op.attrs["fifo"].name
+            if name in touching_fifo:
+                uf.union(id(op), id(touching_fifo[name]))
+            else:
+                touching_fifo[name] = op
     groups: Dict[int, List[Operation]] = {}
     for op in ops:
         groups.setdefault(uf.find(id(op)), []).append(op)

@@ -142,6 +142,64 @@ class TestMemoryAndStreams:
         ev = Evaluator(fifos={"fout": collections.deque([0])})
         assert not ev.can_fire(dfg)
 
+    def test_can_fire_counts_multiple_reads_of_one_fifo(self):
+        fin = Fifo("fin", i32)
+        b = DFGBuilder()
+        b.add(b.fifo_read(fin), b.fifo_read(fin))
+        dfg = b.build()
+        ev = Evaluator(fifos={"fin": collections.deque([1])})
+        assert not ev.can_fire(dfg)  # one element, two reads per firing
+        ev.fifos["fin"].append(2)
+        assert ev.can_fire(dfg)
+
+    def test_can_fire_counts_multiple_writes_against_capacity(self):
+        fout = Fifo("fout", i32, depth=2)
+        b = DFGBuilder()
+        b.fifo_write(fout, b.const(1, i32))
+        b.fifo_write(fout, b.const(2, i32))
+        dfg = b.build()
+        ev = Evaluator(fifos={"fout": collections.deque([0])})
+        assert not ev.can_fire(dfg)  # 1 queued + 2 writes > depth 2
+        ev.fifos["fout"].clear()
+        assert ev.can_fire(dfg)
+
+    def test_can_fire_ignores_external_fifo_capacity(self):
+        fout = Fifo("fout", i32, depth=1, external=True)
+        b = DFGBuilder()
+        b.fifo_write(fout, b.const(1, i32))
+        dfg = b.build()
+        ev = Evaluator(fifos={"fout": collections.deque([0])})
+        assert ev.can_fire(dfg)  # external sinks are drained by the testbench
+
+
+class TestWideShifts:
+    """Shift amounts are clamped to the type width: the result is already
+    fully determined (0 or the sign fill), and un-clamped amounts from
+    fuzzed data would materialize multi-gigabit Python ints."""
+
+    def evaluate(self, op, x, amount):
+        b = DFGBuilder()
+        v = b.input("x", i32)
+        w = b.input("w", i32)
+        r = getattr(b, op)(v, w)
+        env = Evaluator().run(b.build(), inputs={"x": x, "w": amount})
+        return env[r.name]
+
+    def test_shl_huge_amount_is_zero(self):
+        assert self.evaluate("shl", 7, 1 << 30) == 0
+
+    def test_shr_huge_amount_saturates(self):
+        assert self.evaluate("shr", 123456, 1 << 30) == 0
+        assert self.evaluate("shr", -1, 1 << 30) == -1  # arithmetic fill
+
+    def test_negative_amount_clamped_to_zero(self):
+        assert self.evaluate("shl", 9, -5) == 9
+        assert self.evaluate("shr", 9, -5) == 9
+
+    def test_in_range_shifts_unchanged(self):
+        assert self.evaluate("shl", 3, 4) == 48
+        assert self.evaluate("shr", 48, 4) == 3
+
 
 class TestPassSemantics:
     """Transformations must not change what a body computes."""

@@ -315,3 +315,71 @@ class TestEventJournal:
         # A hit record names which cache tier served it, not the emitter.
         hits = [r for r in stage_events if r["event"] == "stage.hit"]
         assert all(r.get("cache") in ("memory", "disk") for r in hits)
+
+
+class TestTraceSpoolFailureAccounting:
+    """A spool that stops writing must say so (once), then report recovery.
+
+    The old code swallowed every exception silently — a worker whose spool
+    was broken from round one left zero forensics *and* zero evidence that
+    forensics were missing.
+    """
+
+    def make_spool(self, tmp_path):
+        from repro.service.traces import TraceSpool
+
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            with tracer.span("probe"):
+                pass
+        return TraceSpool(tracer, str(tmp_path / "spool.json"))
+
+    def test_failure_streak_emits_one_event_then_recovery(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.obs.journal import activate_journal
+        from repro.service import traces as traces_mod
+
+        spool = self.make_spool(tmp_path)
+        journal = EventJournal(tmp_path / "journal" / "events.jsonl",
+                               source="worker")
+        activate_journal(journal)
+        try:
+            def broken(path, tracer, meta):
+                raise OSError("disk full")
+
+            monkeypatch.setattr(traces_mod, "write_spool", broken)
+            for _ in range(5):
+                spool._write_once()
+            assert spool.failures == 5
+            monkeypatch.undo()
+            spool._write_once()  # heals
+            assert spool.failures == 0
+        finally:
+            activate_journal(None)
+
+        events = read_events(journal.path)
+        failed = [r for r in events if r["event"] == "trace.spool_write_failed"]
+        recovered = [r for r in events if r["event"] == "trace.spool_recovered"]
+        assert len(failed) == 1, "failure streak must emit exactly one event"
+        assert "disk full" in failed[0]["error"]
+        assert len(recovered) == 1
+        assert recovered[0]["failures"] == 5
+        assert os.path.exists(spool.path)  # the healed round really wrote
+
+    def test_programming_errors_propagate(self, tmp_path, monkeypatch):
+        from repro.service import traces as traces_mod
+
+        spool = self.make_spool(tmp_path)
+
+        def broken(path, tracer, meta):
+            raise TypeError("snapshot_span signature changed")
+
+        monkeypatch.setattr(traces_mod, "write_spool", broken)
+        try:
+            spool._write_once()
+        except TypeError:
+            pass
+        else:  # pragma: no cover - the assertion below reports the bug
+            raise AssertionError("TypeError must not be swallowed")
+        assert spool.failures == 0  # not a counted transient failure
