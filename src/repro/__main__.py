@@ -113,6 +113,7 @@ def _flow_for(args) -> Flow:
         seed=args.seed,
         calibration_path=getattr(args, "calibration", None),
         stage_cache=getattr(args, "stage_cache", None),
+        incremental=getattr(args, "incremental", None),
     )
 
 
@@ -132,6 +133,15 @@ def _add_flow_options(parser, jobs: bool = True) -> None:
         help="stage-artifact caching under $REPRO_CACHE_DIR/stages "
              "(default: on unless $REPRO_STAGE_CACHE=off); 'off' re-runs "
              "every pipeline stage",
+    )
+    parser.add_argument(
+        "--incremental", choices=("on", "off"), default=None,
+        metavar="{on,off}",
+        help="incremental recompilation: per-loop scheduling/RTL memos, "
+             "placement trajectory reuse, and stage-output early cutoff "
+             "across the runs of one sweep (default: on unless "
+             "$REPRO_INCREMENTAL=off); results are bit-identical either "
+             "way",
     )
     if jobs:
         parser.add_argument(
@@ -261,27 +271,70 @@ def _cmd_profile(args) -> int:
         factors = [int(v) for v in args.sweep.split(",") if v.strip()]
     except ValueError as exc:
         raise CliUsageError(f"bad --sweep list {args.sweep!r}: {exc}") from exc
-    if len(set(factors)) < 2:
-        raise CliUsageError("--sweep needs at least two distinct factors")
-    flow = _flow_for(args)
+    if len(factors) < 2:
+        raise CliUsageError("--sweep needs at least two factors")
+    if any(f <= 0 for f in factors):
+        raise CliUsageError(
+            f"--sweep factors must be positive, got {args.sweep!r}"
+        )
+    if any(b <= a for a, b in zip(factors, factors[1:])):
+        raise CliUsageError(
+            f"--sweep factors must be strictly increasing, got {args.sweep!r}"
+        )
+    if args.repeat < 1:
+        raise CliUsageError("--repeat must be at least 1")
+    import gc
+
     reports = []
-    for factor in factors:
-        tracer = obs.Tracer()
-        with obs.activate(tracer):
-            design = build_design(args.design, **{param: factor})
-            flow.run(design, CONFIGS[args.config])
-        reports.append((float(factor), obs.run_report(tracer)))
+    # Repeats are interleaved round-robin over the factor list so slow
+    # machine phases (frequency scaling, cache pressure) hit every factor
+    # equally — batching repeats per factor lets drift systematically
+    # inflate the factors measured last, which reads as a fake
+    # super-linear slope.
+    for _rep in range(args.repeat):
+        for factor in factors:
+            # Fresh flow per run: no stage-cache hits and no cross-run
+            # incremental reuse may skip the work being timed.  The
+            # collection boundary keeps garbage from earlier runs out of
+            # this run's span timings.
+            gc.collect()
+            flow = _flow_for(args)
+            tracer = obs.Tracer()
+            with obs.activate(tracer):
+                design = build_design(args.design, **{param: factor})
+                flow.run(design, CONFIGS[args.config])
+            reports.append((float(factor), obs.run_report(tracer)))
         if not args.json:
-            print(f"profiled {args.design} {param}={factor}", file=sys.stderr)
-    document = obs.profile_reports(reports, top=args.top)
+            print(
+                f"profile round {_rep + 1}/{args.repeat}: "
+                f"{args.design} {param} in {{{args.sweep}}} "
+                f"(per-path minima kept)",
+                file=sys.stderr,
+            )
+    threshold = (
+        args.fail_on_slope
+        if args.fail_on_slope is not None
+        else obs.SUPERLINEAR_SLOPE
+    )
+    document = obs.profile_reports(
+        reports, top=args.top, slope_threshold=threshold, repeat_reduce="min"
+    )
     document["design"] = args.design
     document["param"] = param
     document["config"] = args.config
+    document["repeat"] = args.repeat
     if args.json:
         print(json.dumps(document, indent=2))
     else:
         print(f"{args.design} ({param} sweep, config={args.config})")
         print(obs.render_profile(document))
+    if args.fail_on_slope is not None and document.get("superlinear_paths"):
+        print(
+            "FAIL: super-linear scaling above slope "
+            f"{threshold:g}: {', '.join(document['superlinear_paths'])}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -658,11 +711,22 @@ def main(argv=None) -> int:
         "--top", type=int, default=10, metavar="K",
         help="number of hot paths to show (default 10)",
     )
+    p_prof.add_argument(
+        "--repeat", type=int, default=3, metavar="N",
+        help="runs per factor; per-path minimum self-times are kept "
+        "(default 3) — min-of-N suppresses scheduler and collector noise",
+    )
+    p_prof.add_argument(
+        "--fail-on-slope", type=float, default=None, metavar="X",
+        help="exit 1 when any path's fitted scaling exponent exceeds X "
+        "(CI gate against super-linear regressions)",
+    )
     p_prof.add_argument("--json", action="store_true")
     _add_flow_options(p_prof, jobs=False)
     # Profiling measures this run's wall clock; stage-cache hits would
-    # replay stages in ~0ms and erase the signal, so default it off.
-    p_prof.set_defaults(fn=_cmd_profile, stage_cache="off")
+    # replay stages in ~0ms and cross-run incremental reuse would skip the
+    # very work being measured, so default both off.
+    p_prof.set_defaults(fn=_cmd_profile, stage_cache="off", incremental="off")
 
     p_events = sub.add_parser(
         "events", help="read or follow the structured event journal"

@@ -40,6 +40,7 @@ from repro.pipeline import (
     build_stages,
     stage_cache_enabled,
 )
+from repro.pipeline.incremental import IncrementalState, coerce_incremental
 from repro.rtl.generator import GenResult
 from repro.rtl.resources import ResourceReport
 from repro.scheduling.schedule import Schedule
@@ -155,6 +156,13 @@ class Flow:
             forces the default store; ``False``/``"off"`` disables all
             stage reuse; a store instance (e.g. a private
             :class:`~repro.pipeline.StageArtifactStore`) is used as-is.
+        incremental: Incremental-recompilation policy (see
+            :mod:`repro.pipeline.incremental`).  ``None`` (default) is on
+            unless ``$REPRO_INCREMENTAL`` is ``off``; ``False``/``"off"``
+            disables the per-loop scheduling/RTL memos, the placement
+            trajectory reuse, and content-digest early cutoff.  The memos
+            live on this instance, so sweeps must reuse one ``Flow`` to
+            benefit; results are bit-identical either way.
     """
 
     #: Smoothing passes requested from the §4.1 characterization.
@@ -169,6 +177,7 @@ class Flow:
         retime: bool = True,
         calibration_path: Optional[str] = None,
         stage_cache: Union[None, bool, str, StageArtifactStore] = None,
+        incremental: Union[None, bool, str] = None,
     ) -> None:
         self.clock_mhz = clock_mhz
         self.seed = seed
@@ -177,8 +186,21 @@ class Flow:
         self.replication = replication or ReplicationConfig()
         self.retime = retime
         self.stage_cache = stage_cache
+        self.incremental = incremental
+        self._incremental_state_obj: Optional[IncrementalState] = None
         #: (device, seed, smooth_passes, path) → (table, original source).
         self._calibration_memo: Dict[Tuple, Tuple[CalibrationTable, str]] = {}
+
+    @property
+    def incremental_enabled(self) -> bool:
+        """Resolved incremental-recompilation policy (env-aware)."""
+        return coerce_incremental(self.incremental)
+
+    def _incremental_state(self) -> IncrementalState:
+        """Lazy per-instance incremental memo workspace."""
+        if self._incremental_state_obj is None:
+            self._incremental_state_obj = IncrementalState()
+        return self._incremental_state_obj
 
     # ------------------------------------------------------------------
     def _resolve_calibration(self, device: str) -> Tuple[CalibrationTable, str]:
@@ -245,6 +267,10 @@ class Flow:
             self.clock_mhz or design.meta.get("clock_mhz", DEFAULT_CLOCK_MHZ)
         )
         ctx: Dict[str, object] = {"design": design, "clock_ns": 1000.0 / clock_mhz}
+        if _overlay is None and self.incremental_enabled:
+            # The persistent per-flow overlay: re-run sweep points whose
+            # stage inputs are byte-identical skip those stages outright.
+            _overlay = self._incremental_state().overlay
         manager = PassManager(
             build_stages(), store=self._stage_store(), overlay=_overlay
         )

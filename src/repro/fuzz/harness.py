@@ -1,6 +1,6 @@
 """Differential, metamorphic and cache-determinism checks.
 
-Three invariants, each a family of checks over one generated program:
+Four invariants, each a family of checks over one generated program:
 
 * **oracle** — the cycle-stepped :class:`~repro.sim.dataflow.DataflowSim`
   must produce exactly the outputs (and final buffer contents) of the
@@ -13,6 +13,10 @@ Three invariants, each a family of checks over one generated program:
 * **cache** — compiling the same program cold, warm (stage-artifact store
   hit) and with caching disabled must yield identical
   :meth:`~repro.flow.FlowResult.result_digest` values.
+* **incremental** — recompiling at a bumped clock on a warm incremental
+  flow (per-loop scheduling memos, RTL tape replay, placement trajectory
+  reuse, persistent stage overlay) must be bit-identical to compiling the
+  bumped clock from scratch with every reuse path disabled.
 
 :func:`run_campaign` drives a whole seeded campaign, shrinks every failure
 to a minimal reproducer and writes it to the corpus directory.
@@ -47,7 +51,7 @@ from repro.fuzz.spec import ProgramSpec, SpecError, build_program
 CORPUS_SCHEMA = "repro-fuzz-corpus/1"
 
 #: Check groups accepted by :func:`run_checks` / the ``repro fuzz`` CLI.
-CHECK_GROUPS = ("oracle", "passes", "cache")
+CHECK_GROUPS = ("oracle", "passes", "cache", "incremental")
 
 
 @dataclass
@@ -267,6 +271,51 @@ def check_cache(
     return [Divergence(spec.name, "cache", detail, spec)]
 
 
+def check_incremental(spec: ProgramSpec, calibration=None) -> List[Divergence]:
+    """Incremental recompilation must be bit-identical to from-scratch.
+
+    One warm flow compiles the program at its spec'd clock, then again at
+    a bumped clock — the second run rides the per-loop scheduling memo,
+    the RTL tape, the placement trajectory, and the persistent stage
+    overlay.  A fresh flow with every reuse path disabled compiles the
+    bumped clock from scratch; the two bumped-clock results must agree
+    bit-for-bit.
+    """
+    calibration = calibration or synthetic_calibration()
+    config = CONFIG_LABELS.get(spec.config)
+    if config is None:
+        raise SpecError(f"{spec.name}: unknown config label {spec.config!r}")
+    bumped = spec.clock_mhz + 83  # off the spec'd clock, off common targets
+    warm_flow = Flow(
+        clock_mhz=spec.clock_mhz,
+        seed=2020,
+        calibration=calibration,
+        stage_cache="off",
+        incremental=True,
+    )
+    warm_flow.run(build_program(spec).design, config=config)
+    warm_flow.clock_mhz = bumped
+    warm = warm_flow.run(build_program(spec).design, config=config)
+    scratch_flow = Flow(
+        clock_mhz=bumped,
+        seed=2020,
+        calibration=calibration,
+        stage_cache="off",
+        incremental=False,
+    )
+    scratch = scratch_flow.run(build_program(spec).design, config=config)
+    digests = {
+        "incremental": warm.result_digest(),
+        "scratch": scratch.result_digest(),
+    }
+    if len(set(digests.values())) == 1:
+        return []
+    detail = "result digests differ: " + ", ".join(
+        f"{k}={v[:12]}" for k, v in digests.items()
+    )
+    return [Divergence(spec.name, "incremental", detail, spec)]
+
+
 def run_checks(
     spec: ProgramSpec,
     checks: Sequence[str] = CHECK_GROUPS,
@@ -295,6 +344,10 @@ def run_checks(
             elif check == "cache":
                 divergences.extend(
                     check_cache(spec, store=store, calibration=calibration)
+                )
+            elif check == "incremental":
+                divergences.extend(
+                    check_incremental(spec, calibration=calibration)
                 )
         except Exception as exc:  # noqa: BLE001 — crash == finding
             divergences.append(

@@ -125,6 +125,14 @@ class Occupancy:
     def __init__(self, fabric: Fabric) -> None:
         self.fabric = fabric
         self._used: Dict[Tuple[int, int], int] = {}
+        #: ``(cx, cy, radius)`` Chebyshev bound of the tiles examined by the
+        #: most recent :meth:`allocate` call.  The allocation result is a
+        #: pure function of the free capacities inside this box: a search
+        #: re-run against an occupancy unchanged within the box walks the
+        #: same tiles in the same order and returns identical chunks
+        #: (placement's refine uses this to skip provably-identical
+        #: failed trial moves).
+        self.last_search: Optional[Tuple[int, int, int]] = None
 
     def free_at(self, x: int, y: int) -> int:
         return self.fabric.tile_capacity(x) - self._used.get((x, y), 0)
@@ -156,13 +164,16 @@ class Occupancy:
         """
         chunks: List[Tuple[int, int, int]] = []
         remaining = amount
+        radius = 0
         for x, y in self.fabric.nearest_tiles(cx, cy, col_kind):
+            radius = max(radius, abs(x - cx), abs(y - cy))
             if remaining <= 0:
                 break
             taken = self.take(x, y, remaining)
             if taken:
                 chunks.append((x, y, taken))
                 remaining -= taken
+        self.last_search = (cx, cy, radius)
         if remaining > 0:
             raise PlacementError(
                 f"device {self.fabric.device.name!r} out of {col_kind} capacity "

@@ -7,14 +7,34 @@ is nowhere near an analytic placer, but it produces the property that
 matters for the paper's experiments: *the sinks of a broadcast net occupy an
 area proportional to their total resource demand*, so broadcast spread — and
 hence wire delay — grows with broadcast factor and buffer size.
+
+Two performance mechanisms ride on top of the greedy algorithm without
+changing any placement decision:
+
+* **Trajectory reuse** (incremental sweeps): :meth:`Placer.place` can
+  record its greedy phase as a trajectory — per cell, the desired position
+  and the exact tile chunks allocated — and a later run over a *similar*
+  netlist replays matching prefix steps by re-taking the recorded chunks
+  directly, skipping the spiral free-capacity search.  The first
+  mismatching step falls back to fresh allocation for the rest of the
+  order, so reuse is bit-identical by construction (either the whole
+  prefix matches — same occupancy state by induction — or it isn't used).
+* **Linear refinement**: the outlier cutoff scales with the design's
+  packed dimension (:data:`REFINE_OUTLIER_REL`) so the attempted-trial
+  count stays proportional to cell count, and the refine pass caches each
+  cell's neighborhood summary (four corner maxima that evaluate the worst
+  Manhattan neighbor distance in O(1), plus centroid sums) with lazy
+  invalidation, skipping trials whose inputs provably haven't changed
+  since an identical failed trial.  See :class:`_RefineContext`.
 """
 
 from __future__ import annotations
 
 import math
 import random
+import weakref
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.errors import PlacementError
@@ -24,6 +44,23 @@ from repro.physical.fabric import BRAM_COL, CLB, DSP_COL, Fabric, Occupancy
 #: Jitter amplitude in tiles — the "random noise caused by the heuristic
 #: optimization in downstream processes" that §4.1's smoothing suppresses.
 JITTER_TILES = 1.5
+
+#: Refinement outlier criterion: a cell is re-seated only when its worst
+#: neighbor distance exceeds ``max(REFINE_OUTLIER_MIN,
+#: REFINE_OUTLIER_REL * sqrt(total tile demand))``.  The relative term is
+#: what keeps refinement linear: in a packed 2D blob, typical distances
+#: grow with sqrt(area), so an *absolute* cutoff saturates — past a die
+#: diameter of a few tiles every sink of every broadcast net qualifies,
+#: and the trial count (each an O(1)-amortized but ~50 µs occupancy
+#: probe) grows quadratically through exactly the broadcast-factor range
+#: the paper sweeps.  Scaling the cutoff with the blob's linear dimension
+#: keeps the outlier *fraction* roughly constant (~5-8 % measured on
+#: genome at unroll 4-64), so trials — and refine time — stay
+#: proportional to design size.  It is also the truer reading of
+#: "outlier": a sink 12 tiles from a hub whose fanout cone spans 30 tiles
+#: is seated fine; the same distance in a 10-tile design is not.
+REFINE_OUTLIER_MIN = 8.0
+REFINE_OUTLIER_REL = 0.15
 
 
 def _col_kind_for(cell: Cell) -> str:
@@ -110,15 +147,94 @@ class Placement:
         return self._epoch.get(name, 0)
 
 
+class _RefineState:
+    """Cached neighborhood summary of one cell for O(1) cost evaluation.
+
+    ``|x - px| + |y - py|`` equals the max of the four signed corner sums,
+    so the worst neighbor distance from any point (x, y) is::
+
+        max(x + y + m1,  x - y + m2,  -x + y + m3,  -x - y + m4)
+
+    with ``m1 = max(-px - py)``, ``m2 = max(-px + py)``,
+    ``m3 = max(px - py)``, ``m4 = max(px + py)`` over the placed neighbors.
+    ``sx``/``sy``/``count`` accumulate the centroid in neighbor-list order
+    (the same float summation order the naive implementation uses).
+    """
+
+    __slots__ = ("m1", "m2", "m3", "m4", "sx", "sy", "count")
+
+    def __init__(self) -> None:
+        self.m1 = self.m2 = self.m3 = self.m4 = -math.inf
+        self.sx = 0.0
+        self.sy = 0.0
+        self.count = 0
+
+
+class _RefineContext:
+    """Cross-pass refine state: summaries, invalidation, failure memo.
+
+    ``dirty`` holds cells whose cached :class:`_RefineState` is stale
+    because a neighbor moved.  ``fail_guard`` remembers each failed trial
+    move as ``(box, own_tiles)`` — the Chebyshev search box its allocation
+    examined plus the tiles of the cell's own chunks.  A failed trial fully
+    reverts (state-neutral), so the same trial re-run later *must* fail
+    again unless something it read changed: the cell's neighborhood (→
+    ``dirty`` drops the guard) or the occupancy inside the recorded
+    region (→ an accepted move whose released/taken tiles touch the region
+    drops the guard).  Everything still guarded is skipped — this is what
+    keeps a refine pass linear instead of re-attempting every stuck
+    outlier against O(search area) occupancy scans each pass.
+    """
+
+    __slots__ = ("states", "dirty", "fail_guard")
+
+    def __init__(self) -> None:
+        self.states: Dict[str, _RefineState] = {}
+        self.dirty: set = set()
+        #: name -> ((cx, cy, radius), frozenset of own-chunk tiles)
+        self.fail_guard: Dict[str, Tuple[Tuple[int, int, int], frozenset]] = {}
+
+    def invalidate_tiles(self, tiles) -> None:
+        """Drop every fail guard whose recorded region a tile touches."""
+        if not self.fail_guard:
+            return
+        stale = []
+        for name, (box, own) in self.fail_guard.items():
+            cx, cy, radius = box
+            for x, y in tiles:
+                if (x, y) in own or (
+                    abs(x - cx) <= radius and abs(y - cy) <= radius
+                ):
+                    stale.append(name)
+                    break
+        for name in stale:
+            del self.fail_guard[name]
+
+
 class Placer:
     """Greedy BFS placer over a :class:`Fabric`."""
 
     #: Cells demanding more than this many tiles are deferred (see place()).
     BIG_CELL_TILES = 64
 
+    #: Refine implementation: ``"fast"`` (cached summaries + skip logic) or
+    #: ``"reference"`` (full recomputation every trial).  Both produce
+    #: bit-identical placements; the reference exists so tests can pin the
+    #: fast path's accepted-move behavior.
+    refine_engine = "fast"
+
+    #: Deduped adjacency per netlist, revalidated by (cells, nets) counts —
+    #: sound for this codebase because every netlist mutation (replication,
+    #: retiming, emission) adds or removes cells/nets, never rewires while
+    #: keeping both counts equal.
+    _ADJACENCY_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
     def __init__(self, fabric: Fabric, seed: int = 2020) -> None:
         self.fabric = fabric
         self.seed = seed
+        #: Greedy-phase trajectory of the last :meth:`place` call with
+        #: ``record=True`` (see :meth:`place`).
+        self.trajectory: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def place(
@@ -126,6 +242,8 @@ class Placer:
         netlist: Netlist,
         anchor: Optional[str] = None,
         refine_passes: int = 3,
+        reuse: Optional[Dict[str, Any]] = None,
+        record: bool = False,
     ) -> Placement:
         """Place every cell of ``netlist``; returns a :class:`Placement`.
 
@@ -140,15 +258,26 @@ class Placer:
            laid out this way on purpose by real flows);
         2. **greedy DFS** — remaining cells placed at the centroid of their
            already-placed neighbors, depth-first, huge macros last;
-        3. **refinement** — optional ``refine_passes`` sweeps re-seat
-           small cells toward their neighborhood centroid.  Off by default:
-           measurements show the DFS placement is already locally tight and
-           single-cell re-seating causes displacement cascades (median net
-           length regresses ~6x), so it is kept only for experimentation.
+        3. **refinement** — ``refine_passes`` sweeps re-seat outlier
+           cells toward their neighborhood centroid.  Only cells whose
+           worst neighbor distance exceeds a scale-relative cutoff are
+           tried (see :data:`REFINE_OUTLIER_REL`), and only strict
+           improvements commit — the DFS placement is already locally
+           tight, and unconditional re-seating causes displacement
+           cascades.
+
+        ``reuse`` is a trajectory recorded by a previous ``record=True``
+        call (:attr:`trajectory`): greedy steps whose (cell, demand, column
+        kind, desired position) match the recorded step re-take the
+        recorded chunks directly instead of searching the occupancy — exact
+        by induction, since a fully-matching prefix implies an identical
+        occupancy state.  The first mismatch disables reuse for the rest of
+        the run.
         """
         rng = random.Random(self.seed)
         occupancy = Occupancy(self.fabric)
         placement = Placement()
+        self.trajectory = None
         if not netlist.cells:
             return placement
         self._chunks: Dict[str, List[Tuple[int, int, int]]] = {}
@@ -198,6 +327,20 @@ class Placer:
                 placement.put(cell, px, py, 0.0)
             obs.add("placement.cells_placed", len(brams))
 
+        # A reused trajectory is valid only when the pre-greedy occupancy
+        # matches the recording run's — fabric, seed, and the exact BRAM
+        # floorplan sequence (which phase 1 derives from (name, demand)
+        # alone).
+        bram_sig = [(c.name, _demand_of(c)) for c in brams]
+        steps: Optional[List[tuple]] = None
+        if (
+            reuse is not None
+            and reuse.get("device") == self.fabric.device.name
+            and reuse.get("seed") == self.seed
+            and reuse.get("brams") == bram_sig
+        ):
+            steps = reuse["steps"]
+
         # Phase 2: greedy DFS.  I/O pads go after the core logic (they pin
         # to the die edge and must not drag the datapath there), macros go
         # last (they fill space around the packed fine-grained logic).
@@ -212,84 +355,275 @@ class Placer:
             ]
             ports = [c for c in order if c.kind is CellKind.PORT]
             big = [c for c in order if _demand_of(c) > self.BIG_CELL_TILES * 64]
-            for cell in small + ports + big:
+            recorded: Optional[List[tuple]] = [] if record else None
+            reused = 0
+            for i, cell in enumerate(small + ports + big):
+                # Always draw the jitter — the rng stream must advance
+                # identically whether or not this step replays.
                 desired = self._desired_position(
                     cell, neighbors, placement, rng, (cx, cy)
                 )
-                self._allocate_and_put(cell, desired, occupancy, placement)
+                demand = _demand_of(cell)
+                col_kind = _col_kind_for(cell)
+                chunks = None
+                if steps is not None:
+                    if i < len(steps) and steps[i][:4] == (
+                        cell.name, demand, col_kind, desired
+                    ):
+                        chunks = self._take_recorded(steps[i][4], occupancy)
+                        if chunks is not None:
+                            reused += 1
+                    if chunks is None:
+                        steps = None  # diverged: fresh allocation from here
+                if chunks is None:
+                    chunks = self._allocate(cell, desired, occupancy)
+                self._commit_chunks(cell, chunks, placement)
+                if recorded is not None:
+                    recorded.append(
+                        (cell.name, demand, col_kind, desired, tuple(chunks))
+                    )
             sp.set("cells", len(order))
+            if reuse is not None:
+                sp.set("steps_reused", reused)
+                obs.add("placement.trajectory_steps_reused", reused)
             obs.add("placement.cells_placed", len(order))
+            if recorded is not None:
+                self.trajectory = {
+                    "device": self.fabric.device.name,
+                    "seed": self.seed,
+                    "brams": bram_sig,
+                    "steps": recorded,
+                }
 
-        # Phase 3: refinement.
+        # Phase 3: refinement.  The outlier cutoff scales with the linear
+        # dimension of the packed region (integer demand sum: identical
+        # across engines, no float-order sensitivity).
+        threshold = max(
+            REFINE_OUTLIER_MIN,
+            REFINE_OUTLIER_REL * math.sqrt(sum(_demand_of(c) for c in small)),
+        )
         with obs.span("refine", passes=max(0, refine_passes)) as sp:
             moved = 0
+            ctx = _RefineContext()
             for _ in range(max(0, refine_passes)):
-                moved += self._refine(small, neighbors, occupancy, placement)
+                moved += self._refine(
+                    small, neighbors, occupancy, placement, ctx, threshold
+                )
             sp.set("moves", moved)
             obs.add("placement.refine_moves", moved)
         return placement
 
+    # -- refinement ------------------------------------------------------
     def _refine(
         self,
         cells: List[Cell],
         neighbors: Dict[str, List[str]],
         occupancy: Occupancy,
         placement: Placement,
+        ctx: Optional[_RefineContext] = None,
+        threshold: float = REFINE_OUTLIER_MIN,
     ) -> int:
         """Re-seat outlier cells, committing only strict improvements.
 
-        A move is accepted only when it reduces the cell's worst distance
-        to its neighbors by a clear margin — this keeps each pass monotone
-        per cell and avoids the displacement cascades a naive
+        ``threshold`` is the outlier cutoff (see :data:`REFINE_OUTLIER_REL`
+        — scale-relative, so the attempted-trial count stays linear in
+        design size).  A move is accepted only when it reduces the cell's
+        worst distance to its neighbors by a clear margin — this keeps each
+        pass monotone per cell and avoids the displacement cascades a naive
         move-to-centroid sweep causes.
+
+        Dispatches on :attr:`refine_engine`; both engines accept the exact
+        same move sequence (the fast one only elides provably-identical
+        failed trials and caches neighborhood summaries).
         """
-
-        def worst(cell_name: str, x: float, y: float) -> float:
-            return max(
-                abs(x - placement.pos[n][0]) + abs(y - placement.pos[n][1])
-                for n in neighbors[cell_name]
-                if n in placement.pos
+        if self.refine_engine == "reference":
+            return self._refine_reference(
+                cells, neighbors, occupancy, placement, threshold
             )
+        return self._refine_fast(
+            cells, neighbors, occupancy, placement,
+            ctx if ctx is not None else _RefineContext(),
+            threshold,
+        )
 
+    @staticmethod
+    def _neighbor_state(
+        name: str,
+        neighbors: Dict[str, List[str]],
+        placement: Placement,
+    ) -> _RefineState:
+        """Full O(degree) scan building one cell's :class:`_RefineState`."""
+        st = _RefineState()
+        pos = placement.pos
+        m1 = m2 = m3 = m4 = -math.inf
+        sx = sy = 0.0
+        count = 0
+        for n in neighbors[name]:
+            p = pos.get(n)
+            if p is None:
+                continue
+            px, py = p
+            a = -px - py
+            if a > m1:
+                m1 = a
+            b = -px + py
+            if b > m2:
+                m2 = b
+            c = px - py
+            if c > m3:
+                m3 = c
+            d = px + py
+            if d > m4:
+                m4 = d
+            sx += px
+            sy += py
+            count += 1
+        st.m1, st.m2, st.m3, st.m4 = m1, m2, m3, m4
+        st.sx, st.sy, st.count = sx, sy, count
+        return st
+
+    @staticmethod
+    def _corner_cost(x: float, y: float, st: _RefineState) -> float:
+        """Worst Manhattan distance from (x, y) to the summarized set."""
+        return max(x + y + st.m1, x - y + st.m2, -x + y + st.m3, -x - y + st.m4)
+
+    def _refine_trial(
+        self,
+        cell: Cell,
+        st: _RefineState,
+        occupancy: Occupancy,
+        placement: Placement,
+        threshold: float = REFINE_OUTLIER_MIN,
+    ) -> Optional[bool]:
+        """One trial move toward the neighborhood centroid.
+
+        Returns ``True`` (accepted), ``False`` (tried and reverted — a
+        failed trial restores position, radius, chunks, and occupancy
+        exactly, so it is state-neutral), or ``None`` (below the outlier
+        threshold; no trial attempted).
+        """
+        x, y = placement.pos[cell.name]
+        old_cost = self._corner_cost(x, y, st)
+        if old_cost <= threshold:
+            return None
+        ix = st.sx / st.count
+        iy = st.sy / st.count
+        old_chunks = self._chunks.get(cell.name, [])
+        old_radius = placement.radius[cell.name]
+        occupancy.release(old_chunks)
+        self._allocate_and_put(cell, (ix, iy), occupancy, placement)
+        nx, ny = placement.pos[cell.name]
+        if self._corner_cost(nx, ny, st) < old_cost - 2.0:
+            return True
+        # Revert: free the trial spot, retake the original.
+        occupancy.release(self._chunks[cell.name])
+        for ox, oy, units in old_chunks:
+            occupancy.take(ox, oy, units)
+        self._chunks[cell.name] = old_chunks
+        placement.put(cell, x, y, old_radius)
+        return False
+
+    def _refine_fast(
+        self,
+        cells: List[Cell],
+        neighbors: Dict[str, List[str]],
+        occupancy: Occupancy,
+        placement: Placement,
+        ctx: _RefineContext,
+        threshold: float = REFINE_OUTLIER_MIN,
+    ) -> int:
+        moved = 0
+        states = ctx.states
+        for cell in cells:
+            if cell.kind is CellKind.PORT:
+                continue
+            name = cell.name
+            st = states.get(name)
+            if st is None or name in ctx.dirty:
+                st = self._neighbor_state(name, neighbors, placement)
+                states[name] = st
+                ctx.dirty.discard(name)
+                ctx.fail_guard.pop(name, None)
+            if st.count == 0:
+                continue
+            if name in ctx.fail_guard:
+                # Provably-identical repeat of a failed trial: neighbors
+                # unmoved and the occupancy the failed search examined is
+                # untouched, so re-running it must fail again.
+                continue
+            before = {(x, y) for x, y, _u in self._chunks.get(name, ())}
+            accepted = self._refine_trial(cell, st, occupancy, placement, threshold)
+            if accepted is None:
+                continue
+            if accepted:
+                moved += 1
+                for nbr in neighbors[name]:
+                    ctx.dirty.add(nbr)
+                    ctx.fail_guard.pop(nbr, None)
+                ctx.fail_guard.pop(name, None)
+                # The move changed occupancy at the released old tiles and
+                # the taken new ones; failed searches that examined any of
+                # them could now resolve differently.
+                touched = before | {
+                    (x, y) for x, y, _u in self._chunks[name]
+                }
+                ctx.invalidate_tiles(touched)
+            else:
+                box = occupancy.last_search
+                if box is not None:
+                    ctx.fail_guard[name] = (box, frozenset(before))
+        return moved
+
+    def _refine_reference(
+        self,
+        cells: List[Cell],
+        neighbors: Dict[str, List[str]],
+        occupancy: Occupancy,
+        placement: Placement,
+        threshold: float = REFINE_OUTLIER_MIN,
+    ) -> int:
+        """Naive engine: rebuild every summary, attempt every trial."""
         moved = 0
         for cell in cells:
             if cell.kind is CellKind.PORT:
                 continue
-            placed = [n for n in neighbors[cell.name] if n in placement.pos]
-            if not placed:
+            st = self._neighbor_state(cell.name, neighbors, placement)
+            if st.count == 0:
                 continue
-            x, y = placement.pos[cell.name]
-            old_cost = worst(cell.name, x, y)
-            if old_cost <= 8.0:
-                continue
-            ix = sum(placement.pos[n][0] for n in placed) / len(placed)
-            iy = sum(placement.pos[n][1] for n in placed) / len(placed)
-            old_chunks = self._chunks.get(cell.name, [])
-            old_radius = placement.radius[cell.name]
-            occupancy.release(old_chunks)
-            self._allocate_and_put(cell, (ix, iy), occupancy, placement)
-            nx, ny = placement.pos[cell.name]
-            if worst(cell.name, nx, ny) < old_cost - 2.0:
+            if self._refine_trial(cell, st, occupancy, placement, threshold):
                 moved += 1
-            else:
-                # Revert: free the trial spot, retake the original.
-                occupancy.release(self._chunks[cell.name])
-                for cx, cy, units in old_chunks:
-                    occupancy.take(cx, cy, units)
-                self._chunks[cell.name] = old_chunks
-                placement.put(cell, x, y, old_radius)
         return moved
 
     # ------------------------------------------------------------------
     @staticmethod
     def _adjacency(netlist: Netlist) -> Dict[str, List[str]]:
+        """Deduped undirected neighbor lists, cached per netlist.
+
+        A cell driving another through k parallel nets appears once, not k
+        times — k-fold duplicates would otherwise inflate both the centroid
+        weighting and every worst-distance scan of broadcast hubs.  First
+        occurrence order is preserved (the DFS ordering depends on it).
+        """
+        cached = Placer._ADJACENCY_CACHE.get(netlist)
+        if cached is not None:
+            n_cells, n_nets, adj = cached
+            if n_cells == len(netlist.cells) and n_nets == len(netlist.nets):
+                return adj
         adj: Dict[str, List[str]] = {name: [] for name in netlist.cells}
+        seen: Dict[str, set] = {name: set() for name in netlist.cells}
         for net in netlist.nets.values():
             driver = net.driver.name
             for sink, _pin in net.sinks:
                 if sink.name != driver:
-                    adj[driver].append(sink.name)
-                    adj[sink.name].append(driver)
+                    if sink.name not in seen[driver]:
+                        seen[driver].add(sink.name)
+                        adj[driver].append(sink.name)
+                    if driver not in seen[sink.name]:
+                        seen[sink.name].add(driver)
+                        adj[sink.name].append(driver)
+        Placer._ADJACENCY_CACHE[netlist] = (
+            len(netlist.cells), len(netlist.nets), adj
+        )
         return adj
 
     def _bfs_order(
@@ -349,25 +683,53 @@ class Placer:
         y += rng.uniform(-JITTER_TILES, JITTER_TILES)
         return x, y
 
-    def _allocate_and_put(
+    @staticmethod
+    def _take_recorded(
+        chunks: Tuple[Tuple[int, int, int], ...],
+        occupancy: Occupancy,
+    ) -> Optional[List[Tuple[int, int, int]]]:
+        """Re-take a recorded chunk list directly (no spiral search).
+
+        Returns ``None`` — releasing any partial takes — if the capacity is
+        not exactly available, so the caller falls back to fresh allocation
+        from an untouched occupancy (what a scratch run would see).
+        """
+        taken: List[Tuple[int, int, int]] = []
+        for x, y, units in chunks:
+            got = occupancy.take(x, y, units)
+            if got != units:
+                if got:
+                    occupancy.release([(x, y, got)])
+                occupancy.release(taken)
+                return None
+            taken.append((x, y, units))
+        return taken
+
+    def _allocate(
         self,
         cell: Cell,
         desired: Tuple[float, float],
         occupancy: Occupancy,
-        placement: Placement,
-    ) -> None:
-        col_kind = _col_kind_for(cell)
-        demand = _demand_of(cell)
+    ) -> List[Tuple[int, int, int]]:
+        """Search the occupancy for ``cell``'s demand near ``desired``."""
         dx, dy = desired
         if cell.kind is CellKind.PORT:
             # Ports pin to the die's left edge at the requested row.
             dx = 0.0
-        chunks = occupancy.allocate(
+        return occupancy.allocate(
             max(0, min(self.fabric.cols - 1, int(round(dx)))),
             max(0, min(self.fabric.rows - 1, int(round(dy)))),
-            col_kind,
-            demand,
+            _col_kind_for(cell),
+            _demand_of(cell),
         )
+
+    def _commit_chunks(
+        self,
+        cell: Cell,
+        chunks: List[Tuple[int, int, int]],
+        placement: Placement,
+    ) -> None:
+        """Bind allocated chunks to ``cell``: position, radius, bookkeeping."""
         self._chunks[cell.name] = chunks
         total = sum(units for _x, _y, units in chunks)
         x = sum(cx * units for cx, _y, units in chunks) / total
@@ -379,3 +741,12 @@ class Placer:
             ys = [cy for _x, cy, _u in chunks]
             radius = ((max(xs) - min(xs)) + (max(ys) - min(ys))) / 4.0
         placement.put(cell, x, y, radius)
+
+    def _allocate_and_put(
+        self,
+        cell: Cell,
+        desired: Tuple[float, float],
+        occupancy: Occupancy,
+        placement: Placement,
+    ) -> None:
+        self._commit_chunks(cell, self._allocate(cell, desired, occupancy), placement)

@@ -17,6 +17,12 @@ from repro.pipeline.digest import (
     design_digest,
     table_digest,
 )
+from repro.pipeline.incremental import (
+    INCREMENTAL_ENV,
+    IncrementalState,
+    coerce_incremental,
+    incremental_enabled_default,
+)
 from repro.pipeline.manager import ACTION_RUN, ACTION_SKIPPED, PassManager
 from repro.pipeline.stage import STAGE_DIGEST_SCHEMA, Stage
 from repro.pipeline.stages import (
@@ -53,6 +59,8 @@ __all__ = [
     "DEFAULT_MAX_ENTRIES",
     "DESIGN_DIGEST_SCHEMA",
     "IIAnalysisStage",
+    "INCREMENTAL_ENV",
+    "IncrementalState",
     "MemoryStageStore",
     "PassManager",
     "PlacementStage",
@@ -72,10 +80,12 @@ __all__ = [
     "TABLE_DIGEST_SCHEMA",
     "TimingStage",
     "build_stages",
+    "coerce_incremental",
     "decode_outputs",
     "default_stage_dir",
     "design_digest",
     "encode_outputs",
+    "incremental_enabled_default",
     "stage_cache_enabled",
     "table_digest",
 ]

@@ -32,6 +32,12 @@ DESIGN_DIGEST_SCHEMA = "repro-design-digest/1"
 #: Version tag of calibration-table content digests.
 TABLE_DIGEST_SCHEMA = "repro-calibration-table-digest/1"
 
+#: Version tag of per-loop structural digests (incremental memo keys).
+LOOP_DIGEST_SCHEMA = "repro-loop-digest/1"
+
+#: Version tag of schedule-decision content digests.
+SCHEDULE_DIGEST_SCHEMA = "repro-schedule-digest/1"
+
 
 def _encode_value(value: Any) -> Any:
     """Tolerant canonicalization of free-form attribute/meta values."""
@@ -128,6 +134,67 @@ def design_digest(design: Design) -> str:
                     ],
                 ]
                 for kernel in design.kernels
+            ],
+        }
+    )
+
+
+def loop_digest(kernel_name: str, loop: Any) -> str:
+    """Content digest of one kernel loop (body, pragmas, op attributes).
+
+    The incremental memo key for per-loop scheduling and RTL emission:
+    because :func:`_encode_dfg` covers every op attribute (including
+    ``extra_latency``), two loops alias only when a scheduler/emitter run
+    over them is guaranteed to make identical decisions.
+    """
+    return content_digest(
+        {
+            "schema": LOOP_DIGEST_SCHEMA,
+            "kernel": kernel_name,
+            "name": loop.name,
+            "trip_count": loop.trip_count,
+            "pipeline": bool(loop.pipeline),
+            "ii": loop.ii,
+            "unroll": loop.unroll,
+            "body": _encode_dfg(loop.body),
+        }
+    )
+
+
+def _encode_schedule_decisions(schedule: Any) -> Dict[str, Any]:
+    """Canonical encoding of a schedule's *decisions*.
+
+    Deliberately excludes ``clock_ns`` and the violation list: no pipeline
+    stage downstream of scheduling reads either (ii-analysis and rtl-gen
+    consume entries/attrs only; violations are report-layer output whose
+    ``budget_ns`` varies with the clock).  Excluding them is what lets a
+    clock bump that changes no chaining decision cut off the entire
+    backend (rtl-gen → placement → … → timing all replay).
+    """
+    return {
+        "model": schedule.model_name,
+        "entries": [
+            [name, e.cycle, e.start_ns, e.end_ns, e.finish_cycle, e.delay_ns]
+            for name, e in schedule.entries.items()
+        ],
+    }
+
+
+def schedule_decisions_digest(schedule: Any) -> str:
+    """Content digest of one loop's schedule decisions."""
+    return content_digest(
+        {"schema": SCHEDULE_DIGEST_SCHEMA, **_encode_schedule_decisions(schedule)}
+    )
+
+
+def schedules_digest(schedules: Dict[Any, Any]) -> str:
+    """Content digest of a full ``(kernel, loop) -> Schedule`` map."""
+    return content_digest(
+        {
+            "schema": SCHEDULE_DIGEST_SCHEMA,
+            "loops": [
+                [kernel, loop, _encode_schedule_decisions(schedule)]
+                for (kernel, loop), schedule in schedules.items()
             ],
         }
     )

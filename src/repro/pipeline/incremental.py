@@ -1,0 +1,151 @@
+"""In-process incremental-recompilation state (sweep damage cones).
+
+A parameter sweep re-runs the flow with one knob changed — the clock
+target, the calibration table, a single pragma.  The stage-digest chain
+(:mod:`repro.pipeline.digest`) already skips stages whose *inputs* are
+byte-identical; this module holds the finer-grained memos that shrink the
+work of the stages that **do** re-run:
+
+* ``sched`` — per-loop scheduling decisions keyed by (loop content, clock,
+  calibration).  A single-pragma flip re-chains only the flipped loop; all
+  other loops replay their previous :class:`~repro.scheduling.schedule.Schedule`.
+* ``rtl`` — per-loop emission tapes keyed by (loop content, schedule
+  decisions, control style).  A loop whose schedule slice is unchanged is
+  re-emitted by replaying its recorded cell/net tape instead of re-running
+  the emitter logic.
+* ``place`` — the previous run's greedy-placement trajectory.  Cells whose
+  neighborhood state is unchanged re-take their recorded tile chunks
+  (skipping the spiral free-capacity search); the first divergence falls
+  back to fresh allocation for the rest of the order.
+* ``overlay`` — a persistent in-process
+  :class:`~repro.pipeline.store.MemoryStageStore` shared by every run of
+  the owning flow.  It is what turns the stage-digest chain into a *sweep*
+  damage cone: a re-run point whose stage inputs are byte-identical skips
+  the stage outright (the overlay hands back a fresh unpickled copy of the
+  previous outputs), so only the stages inside the dirty cone execute.
+
+All three memos are *exact*: every replay reproduces bit-identical state
+(tests/test_incremental_flow.py proves fingerprint equality against
+from-scratch runs, and the ``incremental`` fuzz check does the same over
+random programs).  The state lives on the :class:`~repro.flow.Flow`
+instance — nothing is persisted — and works even with the stage-artifact
+store disabled.
+
+Escape hatches: ``Flow(incremental=False)``, ``--incremental off``, or
+``REPRO_INCREMENTAL=off`` in the environment.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Dict, Hashable, Optional
+
+from repro import obs
+from repro.pipeline.store import MemoryStageStore
+
+#: Environment escape hatch: set to ``off`` to disable incremental
+#: recompilation everywhere (mirrors ``$REPRO_STAGE_CACHE``).
+INCREMENTAL_ENV = "REPRO_INCREMENTAL"
+
+#: Values of :data:`INCREMENTAL_ENV` (or ``Flow(incremental=...)`` strings)
+#: that mean "disabled".
+_OFF_VALUES = ("off", "0", "no", "false")
+
+
+def incremental_enabled_default() -> bool:
+    """Whether incremental recompilation is on absent an explicit setting."""
+    return os.environ.get(INCREMENTAL_ENV, "").strip().lower() not in _OFF_VALUES
+
+
+def coerce_incremental(setting: Any) -> bool:
+    """Normalize a ``Flow(incremental=...)`` value to a boolean policy."""
+    if setting is None:
+        return incremental_enabled_default()
+    if isinstance(setting, str):
+        return setting.strip().lower() not in _OFF_VALUES
+    return bool(setting)
+
+
+class _LruMemo:
+    """A bounded insertion-refreshed memo with hit/miss counters."""
+
+    def __init__(self, name: str, max_entries: int) -> None:
+        self.name = name
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        hit = self._entries.get(key)
+        if hit is None:
+            self.misses += 1
+            obs.add(f"incremental.{self.name}_misses")
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        obs.add(f"incremental.{self.name}_hits")
+        return hit
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+
+class IncrementalState:
+    """Per-:class:`~repro.flow.Flow` workspace of incremental memos.
+
+    Bounded so week-long sweep processes cannot grow without limit; the
+    bounds are generous relative to real sweeps (a 9-design × 2-config ×
+    10-point campaign touches well under 1k loops).
+    """
+
+    MAX_SCHED_ENTRIES = 1024
+    MAX_RTL_ENTRIES = 1024
+    MAX_PLACE_ENTRIES = 64
+    #: ~12 warm sweep points (a full run writes ~11 stage bundles).
+    MAX_OVERLAY_ENTRIES = 128
+
+    def __init__(self) -> None:
+        self.sched = _LruMemo("sched", self.MAX_SCHED_ENTRIES)
+        self.rtl = _LruMemo("rtl", self.MAX_RTL_ENTRIES)
+        self.place = _LruMemo("place", self.MAX_PLACE_ENTRIES)
+        #: Stage outputs shared across this flow's runs (hits unpickle
+        #: fresh copies, so cross-run mutation cannot alias).
+        self.overlay = MemoryStageStore(max_entries=self.MAX_OVERLAY_ENTRIES)
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        return {
+            memo.name: {
+                "entries": len(memo),
+                "hits": memo.hits,
+                "misses": memo.misses,
+            }
+            for memo in (self.sched, self.rtl, self.place)
+        }
+
+
+@contextmanager
+def ensure_traced():
+    """Guarantee a real :class:`~repro.obs.Tracer` is active.
+
+    Memo entries bundle a span snapshot (replayed on hits so warm runs
+    report the producer's counters — ``scheduling.registers_inserted``
+    and friends).  An untraced producer run would snapshot nothing and
+    starve every later traced replay, so mirror the
+    :class:`~repro.pipeline.manager.PassManager` trick: activate a private
+    shadow tracer for the duration when none is active.
+    """
+    tracer = obs.current_tracer()
+    if isinstance(tracer, obs.Tracer):
+        yield
+    else:
+        with obs.activate(obs.Tracer()):
+            yield

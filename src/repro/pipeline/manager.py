@@ -47,6 +47,78 @@ ACTION_RUN = "run"
 ACTION_SKIPPED = "skipped"
 
 
+class _LazyContext(dict):
+    """Context dict that materializes skipped-stage outputs on first read.
+
+    A store hit used to unpickle its output bundle immediately; on a warm
+    re-run where most stages skip, most of those bundles are superseded by
+    a later stage's bundle before anyone reads them (three stages bundle
+    ``lowered``, four bundle ``gen``).  Deferring the unpickle to the first
+    actual read makes a fully-warm run pay only for the *final* producer of
+    each key it consumes.
+
+    ``defer`` registers a store entry as the pending producer of a set of
+    keys; any read of such a key loads the bundle once and materializes
+    every key still pending on that entry.  A later write (a stage that
+    ran, or a newer skipped producer) simply supersedes the pending entry.
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._pending: Dict[str, Any] = {}
+
+    def defer(self, keys: Sequence[str], entry: Any) -> None:
+        for key in keys:
+            super().pop(key, None)
+            self._pending[key] = entry
+
+    def _materialize(self, key: str) -> None:
+        entry = self._pending.get(key)
+        if entry is None:
+            return
+        outputs = entry.load()
+        for name, value in outputs.items():
+            if self._pending.get(name) is entry:
+                del self._pending[name]
+                super().__setitem__(name, value)
+
+    def _materialize_all(self) -> None:
+        for key in list(self._pending):
+            self._materialize(key)
+
+    def __getitem__(self, key: str) -> Any:
+        self._materialize(key)
+        return super().__getitem__(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        self._materialize(key)
+        return super().get(key, default)
+
+    def __contains__(self, key: object) -> bool:
+        return super().__contains__(key) or key in self._pending
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._pending.pop(key, None)
+        super().__setitem__(key, value)
+
+    def update(self, *args: Any, **kwargs: Any) -> None:  # type: ignore[override]
+        for key, value in dict(*args, **kwargs).items():
+            self[key] = value
+
+    # Whole-dict views must see pending values too.
+    def keys(self):  # type: ignore[override]
+        self._materialize_all()
+        return super().keys()
+
+    def values(self):  # type: ignore[override]
+        self._materialize_all()
+        return super().values()
+
+    def items(self):  # type: ignore[override]
+        self._materialize_all()
+        return super().items()
+
+
 class PassManager:
     """Executes a stage list over a shared context dict.
 
@@ -105,6 +177,9 @@ class PassManager:
     ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
         journal: List[Dict[str, Any]] = []
         key_digests: Dict[str, str] = {"design": design_digest(ctx["design"])}
+        incremental = bool(getattr(flow, "incremental_enabled", False))
+        if not isinstance(ctx, _LazyContext):
+            ctx = _LazyContext(ctx)
         for stage in self.stages:
             started = time.perf_counter()
             with tracer.span(stage.name) as span:
@@ -114,13 +189,33 @@ class PassManager:
                 if stage.cacheable and caching:
                     hit, source = self._lookup(digest)
                 if hit is not None:
-                    outputs = hit.load()
+                    # Defer the unpickle: a later skipped stage often
+                    # supersedes these keys before anyone reads them, in
+                    # which case this bundle is never loaded at all.
+                    ctx.defer(stage.outputs, hit)
+                    content: Dict[str, str] = (
+                        dict(hit.meta.get("content") or {}) if incremental else {}
+                    )
                     obs.replay_span(span, hit.meta.get("span") or {})
                     span.set("cached", True)
                     tracer.add("pipeline.stages_skipped")
                     action = ACTION_SKIPPED
                 else:
                     outputs = dict(stage.run(flow, config, ctx, span) or {})
+                    ctx.update(outputs)
+                    # Early cutoff (incremental mode): chain each output
+                    # key from its *content* digest where the stage can
+                    # provide one, so a re-run that reproduced identical
+                    # outputs invalidates nothing downstream.  Computed now
+                    # — before any later stage mutates the live objects in
+                    # place — and stored in the artifact sidecar so a skip
+                    # can chain the same digests without loading outputs.
+                    content = {}
+                    if incremental:
+                        content = (
+                            stage.content_digests(flow, config, ctx, outputs)
+                            or {}
+                        )
                     if stage.cacheable and caching:
                         # Snapshot and pickle *now*: later stages mutate
                         # these objects in place (scheduling edits loop
@@ -131,6 +226,7 @@ class PassManager:
                             "schema": STAGE_STORE_SCHEMA,
                             "stage": stage.name,
                             "span": obs.snapshot_span(span),
+                            "content": content,
                         }
                         if self.overlay is not None:
                             self.overlay.put(digest, payload, meta)
@@ -138,9 +234,8 @@ class PassManager:
                             self.store.put(digest, payload, meta)
                     tracer.add("pipeline.stages_run")
                     action = ACTION_RUN
-            ctx.update(outputs)
             for key in stage.outputs:
-                key_digests[key] = digest
+                key_digests[key] = content.get(key, digest)
             duration_ms = round((time.perf_counter() - started) * 1e3, 3)
             journal.append(
                 {
@@ -150,6 +245,7 @@ class PassManager:
                     "source": source,
                     "cacheable": stage.cacheable,
                     "duration_ms": duration_ms,
+                    "content_keys": sorted(content),
                 }
             )
             if stage.cacheable and caching:

@@ -32,6 +32,7 @@ import os
 import pickle
 import tempfile
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
@@ -127,20 +128,33 @@ class _MemoryEntry:
 
 class MemoryStageStore:
     """In-process stage store: the overlay ``Flow.compare`` and sweeps can
-    share across runs without touching disk."""
+    share across runs without touching disk.
 
-    def __init__(self) -> None:
-        self._entries: Dict[str, Any] = {}
+    ``max_entries`` bounds the store LRU-style (a hit refreshes recency);
+    ``None`` means unbounded, which is fine for a single compare but not
+    for the per-flow overlay a week-long sweep keeps alive.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ReproError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
 
     def get(self, digest: str) -> Optional[_MemoryEntry]:
         hit = self._entries.get(digest)
         if hit is None:
             return None
+        self._entries.move_to_end(digest)
         meta, data = hit
         return _MemoryEntry(digest, meta, data)
 
     def put(self, digest: str, payload: bytes, meta: Dict[str, Any]) -> None:
         self._entries[digest] = (dict(meta), payload)
+        self._entries.move_to_end(digest)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -12,6 +12,7 @@ import pytest
 from repro.obs.profiler import (
     FLOW_OVERHEAD_PATH,
     PROFILE_SCHEMA,
+    SUPERLINEAR_MIN_SIGNAL_MS,
     SUPERLINEAR_SLOPE,
     fit_power_law,
     profile_reports,
@@ -75,6 +76,15 @@ class TestPowerLawFit:
     def test_nonpositive_values_are_dropped(self):
         assert fit_power_law([(0, 1.0), (-1, 2.0)]) is None
 
+    def test_subfloor_points_are_censored(self):
+        # A 0.2 ms -> 2 ms transition is the timer becoming measurable,
+        # not super-linear scaling: the sub-floor point must not steepen
+        # the fit of the points that carry real signal.
+        slope = fit_power_law([(2, 0.2), (4, 3.0), (8, 6.0)])
+        assert slope == pytest.approx(1.0, abs=0.01)
+        # All points censored -> unfittable, not a fabricated slope.
+        assert fit_power_law([(2, 0.1), (4, 0.2), (8, 0.4)]) is None
+
 
 class TestProfileReports:
     def _sweep(self):
@@ -129,6 +139,50 @@ class TestProfileReports:
         doc = profile_reports([(None, _report(stages))], top=3)
         assert len(doc["hotspots"]) == 3
         assert doc["hotspots"][0]["path"] == "s0"
+
+    def test_repeat_reduce_min_keeps_fastest_reading_per_path(self):
+        # Three repeats at each factor; one repeat per factor is polluted
+        # by a 50 ms collector pause on the placement span.  The min
+        # reduction must recover the clean linear readings.
+        reports = []
+        for f in (2, 4, 8):
+            for rep in range(3):
+                noise = 50.0 if rep == 1 else 0.0
+                reports.append(
+                    (float(f), _report([_stage("placement", 10.0 * f + noise)]))
+                )
+        doc = profile_reports(reports, repeat_reduce="min")
+        by_path = {spot["path"]: spot for spot in doc["hotspots"]}
+        spot = by_path["placement"]
+        assert spot["by_factor"] == {"2": 20.0, "4": 40.0, "8": 80.0}
+        assert spot["self_ms"] == pytest.approx(140.0)  # sum of minima
+        assert spot["slope"] == pytest.approx(1.0, abs=0.01)
+        assert spot["superlinear"] is False
+
+    def test_steep_subsignal_path_reports_slope_but_is_not_flagged(self):
+        # A path whose top reading never outgrows the noise floor fits a
+        # steep slope from floor-adjacent, high-relative-noise points; it
+        # must not fail a run.  The same shape scaled up must be flagged.
+        small = [
+            (float(f), _report([_stage("wobble", 0.9 * f)])) for f in (2, 4, 8)
+        ]
+        doc = profile_reports(small, slope_threshold=0.5)
+        spot = doc["hotspots"][0]
+        assert spot["path"] == "wobble"
+        assert max(spot["by_factor"].values()) < SUPERLINEAR_MIN_SIGNAL_MS
+        assert spot["slope"] > 0.5
+        assert spot["superlinear"] is False
+        assert doc["superlinear_paths"] == []
+
+        big = [
+            (float(f), _report([_stage("wobble", 9.0 * f)])) for f in (2, 4, 8)
+        ]
+        doc = profile_reports(big, slope_threshold=0.5)
+        assert doc["hotspots"][0]["superlinear"] is True
+
+    def test_repeat_reduce_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            profile_reports([], repeat_reduce="median")
 
     def test_cache_replayed_children_do_not_count(self):
         # A replayed child carries zero live duration_ms (its original cost
