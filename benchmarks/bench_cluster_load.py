@@ -1,0 +1,183 @@
+"""Cluster under load — Zipf burst latency, coalescing, peer fetch, failover.
+
+A 3-node in-process cluster (thread mode: real daemons, real HTTP, one
+shared stage store, per-node result stores) is driven through its router
+with the workloads the design doc promises it handles:
+
+* ``coalescing`` — a burst of concurrent *identical* submissions of a
+  fresh digest: the ring sends them all to the same node, which compiles
+  exactly once and coalesces the rest onto the in-flight job;
+* ``zipf`` — ≥1000 requests whose design points follow a Zipf
+  distribution (rank-``k`` weight ``1/k``), the canonical skewed-cache
+  workload: the hot head exercises the router's hot-digest cache, the
+  long tail exercises ring routing + node store hits.  Per-request wall
+  clock is recorded and summarized as p50/p99;
+* ``peer fetch`` — a digest compiled on its owner is then requested
+  *directly* from a non-owner node, whose local miss must be served by
+  downloading from the owner (``cluster.peer_hits``);
+* ``failover`` — a node is taken offline and a digest it owned is
+  re-submitted through the router, which must fail over to the backup
+  replica (``failovers == 1``) and still answer.
+
+Everything lands under the ``cluster`` key of ``BENCH_flow.json``.  The
+gate: the router's warm p50 must beat a *single-node* warm submit (an
+HTTP round-trip to a daemon store hit) — the hot-digest cache is the
+whole point of fronting the fleet with a router.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import obs
+from repro.cluster import LocalCluster
+from repro.service.client import ServiceClient
+
+#: Zipf burst size (the ISSUE floor is 1000).
+ZIPF_REQUESTS = 1000
+#: Distinct design points in the Zipf universe.
+ZIPF_RANKS = 8
+#: Concurrent submitters during the bursts.
+BURST_CLIENTS = 16
+#: Identical concurrent submissions in the coalescing burst.
+COALESCE_CLIENTS = 8
+#: Samples for the single-node warm-submit baseline.
+BASELINE_SAMPLES = 30
+
+
+def _design_point(rank: int) -> dict:
+    """Rank ``rank`` of the Zipf universe — distinct seeds give distinct
+    digests while staying on the cheapest design in the registry."""
+    return {"design": "vector_arith", "config": "orig", "seed": 3000 + rank}
+
+
+def test_cluster_zipf_load(bench_extras, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    registry = obs.global_registry()
+    peer_hits_before = registry.counter("cluster.peer_hits")
+
+    with LocalCluster(
+        nodes=3, base_dir=str(tmp_path / "cluster"), workers=2
+    ) as cluster:
+        cluster.wait_all_alive()
+        router = cluster.router
+
+        # --- cold fill: every rank compiles exactly once ----------------
+        points = [_design_point(rank) for rank in range(ZIPF_RANKS)]
+        start = time.perf_counter()
+        cold_records = [router.submit(**point) for point in points]
+        cold_fill_s = time.perf_counter() - start
+        assert all(r["state"] == "done" for r in cold_records)
+        digest_of = {
+            rank: router.request_for(**points[rank]).digest()
+            for rank in range(ZIPF_RANKS)
+        }
+
+        # --- coalescing: concurrent identical fresh submissions ---------
+        fresh = {"design": "vector_arith", "config": "orig", "seed": 4242}
+        with ThreadPoolExecutor(max_workers=COALESCE_CLIENTS) as pool:
+            burst = list(
+                pool.map(
+                    lambda _i: router.submit(**fresh), range(COALESCE_CLIENTS)
+                )
+            )
+        assert len({r["result_digest"] for r in burst}) == 1
+        node_counters = [
+            handle.client().status()["metrics"]["counters"]
+            for handle in cluster.nodes
+        ]
+        compiles = sum(c.get("service.compiles", 0) for c in node_counters)
+        coalesced = sum(c.get("service.coalesced", 0) for c in node_counters)
+        # ranks + the fresh digest each compiled once, nothing else.
+        assert compiles == ZIPF_RANKS + 1, (compiles, node_counters)
+
+        # --- the Zipf burst ---------------------------------------------
+        rng = random.Random(2020)
+        weights = [1.0 / (rank + 1) for rank in range(ZIPF_RANKS)]
+        schedule = rng.choices(range(ZIPF_RANKS), weights=weights, k=ZIPF_REQUESTS)
+
+        def timed_submit(rank: int) -> float:
+            begin = time.perf_counter()
+            record = router.submit(**points[rank])
+            elapsed = time.perf_counter() - begin
+            assert record["result_digest"] == cold_records[rank]["result_digest"]
+            return elapsed
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=BURST_CLIENTS) as pool:
+            latencies = list(pool.map(timed_submit, schedule))
+        zipf_wall_s = time.perf_counter() - start
+        latencies.sort()
+        p50 = latencies[len(latencies) // 2]
+        p99 = latencies[int(len(latencies) * 0.99)]
+        cache_hit_rate = router.cache_hits / max(router.requests, 1)
+
+        # --- single-node warm baseline: HTTP round-trip to a store hit --
+        owner = cluster.membership.owners(digest_of[0])[0]
+        baseline_client = ServiceClient(owner.host, owner.port)
+        samples = []
+        for _ in range(BASELINE_SAMPLES):
+            begin = time.perf_counter()
+            record = baseline_client.submit(wait=True, **points[0])
+            samples.append(time.perf_counter() - begin)
+            assert record["result_digest"] == cold_records[0]["result_digest"]
+        single_node_warm_p50 = statistics.median(samples)
+
+        # --- peer fetch: a non-owner serves an owner's digest -----------
+        non_owner = next(
+            handle
+            for handle in cluster.nodes
+            if handle.node_id
+            not in {info.node_id for info in cluster.membership.owners(digest_of[1])}
+        )
+        fetched = non_owner.client().submit(wait=True, **points[1])
+        assert fetched["result_digest"] == cold_records[1]["result_digest"]
+        peer_hits = registry.counter("cluster.peer_hits") - peer_hits_before
+        assert peer_hits >= 1, "non-owner submit never consulted the owner"
+
+        # --- failover: kill a primary, submit a fresh digest it owns ----
+        # (a digest already answered is a router-cache hit and never
+        # touches the fleet — the failover path needs uncached work)
+        victim = cluster.nodes[0]
+        fresh_for_victim = next(
+            {"design": "vector_arith", "config": "orig", "seed": seed}
+            for seed in range(5000, 5400)
+            if cluster.membership.owners(
+                router.request_for(
+                    "vector_arith", config="orig", seed=seed
+                ).digest()
+            )[0].node_id
+            == victim.node_id
+        )
+        cluster.membership.stop_heartbeat()  # keep the death ours to script
+        cluster.stop_node(victim.node_id)
+        failed_over = router.submit(**fresh_for_victim)
+        assert failed_over["state"] == "done", failed_over
+        assert failed_over["node"] != victim.node_id
+        assert router.failovers == 1, router.failovers
+
+        bench_extras["cluster"] = {
+            "nodes": len(cluster.nodes),
+            "replicas": cluster.membership.replicas,
+            "zipf_requests": ZIPF_REQUESTS,
+            "zipf_ranks": ZIPF_RANKS,
+            "zipf_wall_s": round(zipf_wall_s, 3),
+            "throughput_rps": round(ZIPF_REQUESTS / max(zipf_wall_s, 1e-9), 1),
+            "p50_s": round(p50, 6),
+            "p99_s": round(p99, 6),
+            "cold_fill_s": round(cold_fill_s, 3),
+            "single_node_warm_p50_s": round(single_node_warm_p50, 6),
+            "router_cache_hit_rate": round(cache_hit_rate, 4),
+            "compiles": compiles,
+            "coalesced": coalesced,
+            "coalesce_clients": COALESCE_CLIENTS,
+            "peer_hits": peer_hits,
+            "failovers": router.failovers,
+        }
+
+        # The gate: answering a hot digest from router memory must beat
+        # the single-node warm path (HTTP round-trip + store read).
+        assert p50 < single_node_warm_p50, (p50, single_node_warm_p50)

@@ -1,0 +1,57 @@
+"""repro.cluster — the multi-node compilation cluster.
+
+Scales the single-node flow service (:mod:`repro.service`) to a fleet by
+exploiting the property the service already has: requests are
+content-addressed (``FlowRequest.digest()``), so "which node owns this
+compilation" is pure arithmetic and every cache layer composes:
+
+* :mod:`repro.cluster.ring` — :class:`HashRing`, a deterministic
+  consistent-hash ring with virtual nodes; a membership change remaps
+  ~1/n of the keyspace instead of all of it;
+* :mod:`repro.cluster.membership` — :class:`Membership`, the member
+  table + heartbeat health prober that keeps the ring in sync with who
+  is actually answering (``cluster.node_up`` / ``cluster.node_down``
+  journal events);
+* :mod:`repro.cluster.peer` — :class:`PeerResultStore`, a result store
+  whose local miss downloads the entry from the digest's owner replica
+  (``GET /result/<digest>``) before falling back to compiling;
+* :mod:`repro.cluster.router` — :class:`ClusterRouter`, the submit
+  surface: hot-digest LRU cache, primary→backup failover on node death,
+  fleet-wide status/metrics aggregation;
+* :mod:`repro.cluster.server` — :class:`RouterServer`, the router's
+  HTTP front end (``repro cluster serve``);
+* :mod:`repro.cluster.local` — :class:`LocalCluster`, an n-node cluster
+  in one process (threads) or n subprocesses (SIGKILL-able), used by
+  tests, benchmarks and the CI smoke job.
+
+Quick tour::
+
+    from repro.cluster import LocalCluster
+
+    with LocalCluster(nodes=3, workers=1) as cluster:
+        record = cluster.router.submit("matmul", config="full", wait=True)
+        again = cluster.router.submit("matmul", config="full", wait=True)
+        assert again["served_from"] == "router-cache"
+"""
+
+from repro.cluster.local import LocalCluster, NodeHandle, free_port, peers_spec
+from repro.cluster.membership import Membership, NodeInfo
+from repro.cluster.peer import PeerResultStore
+from repro.cluster.ring import DEFAULT_REPLICAS, DEFAULT_VNODES, HashRing
+from repro.cluster.router import ClusterRouter
+from repro.cluster.server import RouterServer
+
+__all__ = [
+    "HashRing",
+    "DEFAULT_REPLICAS",
+    "DEFAULT_VNODES",
+    "Membership",
+    "NodeInfo",
+    "PeerResultStore",
+    "ClusterRouter",
+    "RouterServer",
+    "LocalCluster",
+    "NodeHandle",
+    "free_port",
+    "peers_spec",
+]

@@ -1,0 +1,272 @@
+"""LocalCluster: an n-node cluster in one process (or n subprocesses).
+
+The deployment story for tests, benchmarks and CI smoke jobs:
+
+* ``mode="thread"`` — every node is a :func:`~repro.service.server.serve_in_thread`
+  embedding (own asyncio loop + worker processes, shared
+  ``$REPRO_CACHE_DIR`` stage store, *per-node* result stores).  Cheap to
+  start, easy to introspect; "node death" is a graceful stop (the port
+  then refuses connections, which is what the router's failover path
+  keys on).
+* ``mode="process"`` — every node is a real ``repro serve`` subprocess,
+  so a test can ``SIGKILL`` one mid-compile and watch the router fail
+  over to the backup replica, which resumes from the dead node's
+  checkpointed stage artifacts (shared ``$REPRO_CACHE_DIR/stages``).
+
+Both modes wire each node's result store for peer fetch (``--peers`` /
+:class:`~repro.cluster.peer.PeerResultStore`), register every node in one
+:class:`~repro.cluster.membership.Membership` (heartbeat on), and front
+the fleet with a :class:`~repro.cluster.router.ClusterRouter`.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.cluster.membership import Membership
+from repro.cluster.peer import PeerResultStore
+from repro.cluster.router import ClusterRouter
+from repro.errors import ReproError
+from repro.obs.journal import EventJournal
+from repro.service.client import ServiceClient
+from repro.service.daemon import FlowService
+from repro.service.server import serve_in_thread
+
+
+def free_port() -> int:
+    """Ask the kernel for an ephemeral port (bind-then-close).  The tiny
+    reuse race is acceptable for tests/CI — the port is consumed
+    immediately by the spawned daemon."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def peers_spec(nodes: List["NodeHandle"]) -> str:
+    """The ``--peers`` wire format: ``id=host:port,id=host:port,...``"""
+    return ",".join(f"{n.node_id}={n.host}:{n.port}" for n in nodes)
+
+
+@dataclass
+class NodeHandle:
+    """One member node as the cluster harness drives it."""
+
+    node_id: str
+    host: str
+    port: int
+    store_root: str
+    mode: str
+    #: thread mode: the live context manager + server
+    _cm: Any = None
+    server: Any = None
+    #: process mode: the subprocess
+    proc: Optional[subprocess.Popen] = field(default=None, repr=False)
+
+    @property
+    def running(self) -> bool:
+        if self.mode == "process":
+            return self.proc is not None and self.proc.poll() is None
+        return self._cm is not None
+
+    def client(self, **kwargs: Any) -> ServiceClient:
+        return ServiceClient(host=self.host, port=self.port, **kwargs)
+
+
+class LocalCluster:
+    """Start → submit through ``.router`` → stop; context-manager friendly."""
+
+    def __init__(
+        self,
+        nodes: int = 3,
+        base_dir: Optional[str] = None,
+        mode: str = "thread",
+        workers: int = 1,
+        replicas: int = 2,
+        heartbeat_s: float = 0.2,
+        max_misses: int = 2,
+        router_cache_entries: int = 512,
+        service_kwargs: Optional[Dict[str, Any]] = None,
+        env: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if mode not in ("thread", "process"):
+            raise ReproError(f"mode must be 'thread' or 'process', got {mode!r}")
+        if nodes < 1:
+            raise ReproError(f"nodes must be >= 1, got {nodes}")
+        self.n = nodes
+        self.mode = mode
+        self.workers = workers
+        self.base_dir = base_dir or tempfile.mkdtemp(prefix="repro-cluster-")
+        self.journal_path = os.path.join(self.base_dir, "journal.jsonl")
+        self.service_kwargs = dict(service_kwargs or {})
+        self.extra_env = dict(env or {})
+        self.membership = Membership(
+            replicas=replicas,
+            heartbeat_s=heartbeat_s,
+            max_misses=max_misses,
+            journal=EventJournal(self.journal_path, source="membership"),
+        )
+        self.router = ClusterRouter(
+            self.membership,
+            cache_entries=router_cache_entries,
+            journal=EventJournal(self.journal_path, source="router"),
+        )
+        self.nodes: List[NodeHandle] = []
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "LocalCluster":
+        if self._started:
+            return self
+        self._started = True
+        handles = [
+            NodeHandle(
+                node_id=f"n{i}",
+                host="127.0.0.1",
+                port=0 if self.mode == "thread" else free_port(),
+                store_root=os.path.join(self.base_dir, f"n{i}", "results"),
+                mode=self.mode,
+            )
+            for i in range(self.n)
+        ]
+        self.nodes = handles
+        if self.mode == "thread":
+            for handle in handles:
+                self._start_thread_node(handle)
+        else:
+            for handle in handles:
+                self._start_process_node(handles, handle)
+            for handle in handles:
+                handle.client().wait_ready(timeout=30)
+        for handle in handles:
+            self.membership.add(handle.node_id, handle.host, handle.port)
+        self.membership.start_heartbeat()
+        return self
+
+    def _start_thread_node(self, handle: NodeHandle) -> None:
+        store = PeerResultStore(
+            root=handle.store_root,
+            node_id=handle.node_id,
+            # Live closure over the shared membership: ownership tracks
+            # ring changes, and the peer store skips itself by node_id.
+            owners_for=self.membership.owners,
+            journal=EventJournal(self.journal_path, source=handle.node_id),
+        )
+        service = FlowService(
+            store=store,
+            workers=self.workers,
+            node_id=handle.node_id,
+            quarantine_dir=os.path.join(
+                self.base_dir, handle.node_id, "quarantine"
+            ),
+            journal=EventJournal(self.journal_path, source=handle.node_id),
+            **self.service_kwargs,
+        )
+        handle._cm = serve_in_thread(service=service)
+        handle.server = handle._cm.__enter__()
+        handle.port = handle.server.port
+
+    def _start_process_node(
+        self, handles: List[NodeHandle], handle: NodeHandle
+    ) -> None:
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            handle.host,
+            "--port",
+            str(handle.port),
+            "--workers",
+            str(self.workers),
+            "--node-id",
+            handle.node_id,
+            "--store-dir",
+            handle.store_root,
+            "--peers",
+            peers_spec(handles),
+            "--journal",
+            self.journal_path,
+        ]
+        env = dict(os.environ)
+        env.update(self.extra_env)
+        log_path = os.path.join(self.base_dir, f"{handle.node_id}.log")
+        os.makedirs(self.base_dir, exist_ok=True)
+        with open(log_path, "ab") as log:
+            handle.proc = subprocess.Popen(
+                command, stdout=log, stderr=subprocess.STDOUT, env=env
+            )
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self.membership.stop_heartbeat()
+        for handle in self.nodes:
+            self.stop_node(handle.node_id, _graceful=True)
+        self._started = False
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- node control ----------------------------------------------------
+    def node(self, node_id: str) -> NodeHandle:
+        for handle in self.nodes:
+            if handle.node_id == node_id:
+                return handle
+        raise ReproError(f"unknown node {node_id!r}")
+
+    def stop_node(self, node_id: str, _graceful: bool = True) -> None:
+        """Take a node offline.  Thread mode: graceful server stop (the
+        port refuses connections afterwards).  Process mode: SIGTERM."""
+        handle = self.node(node_id)
+        if handle.mode == "process":
+            if handle.proc is not None and handle.proc.poll() is None:
+                handle.proc.terminate() if _graceful else handle.proc.kill()
+                try:
+                    handle.proc.wait(timeout=15)
+                except subprocess.TimeoutExpired:
+                    handle.proc.kill()
+                    handle.proc.wait(timeout=15)
+        elif handle._cm is not None:
+            cm, handle._cm, handle.server = handle._cm, None, None
+            cm.__exit__(None, None, None)
+
+    def kill_node(self, node_id: str) -> None:
+        """SIGKILL a process-mode node (the failover scenario: the daemon
+        dies mid-compile with no goodbye).  Thread-mode nodes cannot be
+        killed without killing the host process, so this degrades to a
+        stop — the router sees the same connection-refused signal."""
+        handle = self.node(node_id)
+        if handle.mode == "process" and handle.proc is not None:
+            if handle.proc.poll() is None:
+                handle.proc.kill()
+                handle.proc.wait(timeout=15)
+        else:
+            self.stop_node(node_id)
+
+    # -- conveniences ----------------------------------------------------
+    def wait_all_alive(self, timeout: float = 15.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if len(self.membership.alive()) == len(self.nodes):
+                return
+            time.sleep(0.05)
+        raise ReproError(
+            f"cluster not fully alive after {timeout}s: "
+            f"{[i.record() for i in self.membership.members()]}"
+        )
+
+    def journal_events(self, grep: Optional[str] = None) -> List[Dict[str, Any]]:
+        from repro.obs.journal import read_events
+
+        return read_events(self.journal_path, grep=grep)

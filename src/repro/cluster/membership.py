@@ -1,0 +1,296 @@
+"""Cluster membership + health: who is in the ring right now.
+
+A :class:`Membership` tracks the fleet's nodes, keeps the consistent-hash
+ring in sync with the set of *alive* members, and (optionally) runs a
+heartbeat thread that probes every node's ``GET /health``.  A node that
+misses ``max_misses`` consecutive probes is marked dead and leaves the
+ring; a dead node that answers again rejoins.  Every transition bumps a
+monotonic ``version`` (so routers can cheap-check "did the ring move?")
+and lands in the event journal (``cluster.node_up`` / ``cluster.node_down``)
+plus the metrics registry (``cluster.nodes_alive`` gauge).
+
+Thread-safety: the router's request threads read ownership while the
+heartbeat thread mutates it, so every access goes through one RLock —
+membership operations are rare and cheap (a ring rebuild is
+``members × vnodes`` sorted inserts), so a single lock is plenty.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro import obs
+from repro.cluster.ring import DEFAULT_REPLICAS, DEFAULT_VNODES, HashRing
+from repro.errors import ReproError
+from repro.obs.journal import EventJournal, emit_event
+from repro.service.client import ServiceClient, ServiceError
+
+#: Consecutive failed probes before a node is declared dead.
+DEFAULT_MAX_MISSES = 3
+
+#: Heartbeat cadence.
+DEFAULT_HEARTBEAT_S = 0.5
+
+
+@dataclass
+class NodeInfo:
+    """One member daemon as the cluster sees it."""
+
+    node_id: str
+    host: str
+    port: int
+    state: str = "alive"  # "alive" | "dead"
+    misses: int = 0
+    last_seen_s: float = 0.0
+    #: Last ``/health`` vitals (queue depth, lanes, store size).
+    vitals: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def alive(self) -> bool:
+        return self.state == "alive"
+
+    def record(self) -> Dict[str, Any]:
+        return {
+            "node_id": self.node_id,
+            "host": self.host,
+            "port": self.port,
+            "state": self.state,
+            "misses": self.misses,
+            "last_seen_s": self.last_seen_s,
+            "vitals": dict(self.vitals),
+        }
+
+
+class Membership:
+    """The ring-backed member table shared by router and status tooling."""
+
+    def __init__(
+        self,
+        replicas: int = DEFAULT_REPLICAS,
+        vnodes: int = DEFAULT_VNODES,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        max_misses: int = DEFAULT_MAX_MISSES,
+        journal: Optional[EventJournal] = None,
+        client_factory: Optional[Callable[[str, int], ServiceClient]] = None,
+        probe_client_factory: Optional[Callable[[str, int], ServiceClient]] = None,
+    ) -> None:
+        if replicas < 1:
+            raise ReproError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self.heartbeat_s = heartbeat_s
+        self.max_misses = max_misses
+        self.journal = journal
+        # Two client profiles, both fail-fast (retries=0) so a dead node
+        # costs one round-trip:
+        # * submit clients keep the long default socket timeout — a
+        #   ``wait=True`` submit legitimately blocks for a whole compile,
+        #   and mistaking a slow compile for a dead node would fail over
+        #   (and recompile) spuriously;
+        # * probe clients use a short timeout — heartbeats and status
+        #   aggregation must never hang on a wedged node.
+        self._client_factory = client_factory or (
+            lambda host, port: ServiceClient(host=host, port=port, retries=0)
+        )
+        self._probe_factory = probe_client_factory or (
+            lambda host, port: ServiceClient(
+                host=host, port=port, timeout=5.0, retries=0
+            )
+        )
+        self.ring = HashRing(vnodes=vnodes)
+        self.version = 0
+        self._nodes: Dict[str, NodeInfo] = {}
+        self._lock = threading.RLock()
+        self._heartbeat: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- journal/metrics plumbing ----------------------------------------
+    def _emit(self, event: str, **fields: Any) -> None:
+        if self.journal is not None:
+            try:
+                self.journal.emit(event, **fields)
+            except OSError:
+                pass
+        else:
+            emit_event(event, **fields)
+
+    def _gauge_alive(self) -> None:
+        obs.global_registry().set_gauge(
+            "cluster.nodes_alive", len(self.ring)
+        )
+
+    # -- membership ------------------------------------------------------
+    def add(self, node_id: str, host: str, port: int) -> NodeInfo:
+        """Join ``node_id`` (idempotent; a re-add revives a dead node)."""
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None:
+                info = NodeInfo(node_id=node_id, host=host, port=port)
+                self._nodes[node_id] = info
+            else:
+                info.host, info.port = host, port
+            info.state = "alive"
+            info.misses = 0
+            info.last_seen_s = time.time()
+            if self.ring.add(node_id):
+                self.version += 1
+                self._emit(
+                    "cluster.node_up",
+                    node_id=node_id,
+                    address=info.address,
+                    ring_version=self.version,
+                    members=len(self.ring),
+                )
+                obs.global_registry().add("cluster.node_joins")
+            self._gauge_alive()
+            return info
+
+    def remove(self, node_id: str) -> None:
+        """Forget ``node_id`` entirely (administrative leave)."""
+        with self._lock:
+            self._nodes.pop(node_id, None)
+            if self.ring.remove(node_id):
+                self.version += 1
+                self._emit(
+                    "cluster.node_down",
+                    node_id=node_id,
+                    reason="removed",
+                    ring_version=self.version,
+                    members=len(self.ring),
+                )
+            self._gauge_alive()
+
+    def mark_dead(self, node_id: str, reason: str = "unreachable") -> None:
+        """Take ``node_id`` out of the ring but keep its record so the
+        heartbeat can revive it when it answers again."""
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None or not self.ring.remove(node_id):
+                return
+            info.state = "dead"
+            self.version += 1
+            self._emit(
+                "cluster.node_down",
+                node_id=node_id,
+                address=info.address,
+                reason=reason,
+                ring_version=self.version,
+                members=len(self.ring),
+            )
+            obs.global_registry().add("cluster.node_deaths")
+            self._gauge_alive()
+
+    def mark_alive(self, node_id: str) -> None:
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None:
+                return
+            info.misses = 0
+            info.last_seen_s = time.time()
+            if info.state != "alive":
+                info.state = "alive"
+                self.ring.add(node_id)
+                self.version += 1
+                self._emit(
+                    "cluster.node_up",
+                    node_id=node_id,
+                    address=info.address,
+                    reason="revived",
+                    ring_version=self.version,
+                    members=len(self.ring),
+                )
+            self._gauge_alive()
+
+    # -- lookup ----------------------------------------------------------
+    def node(self, node_id: str) -> Optional[NodeInfo]:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    def members(self) -> List[NodeInfo]:
+        """Every known node, alive or dead, in join order."""
+        with self._lock:
+            return list(self._nodes.values())
+
+    def alive(self) -> List[NodeInfo]:
+        with self._lock:
+            return [info for info in self._nodes.values() if info.alive]
+
+    def owners(self, digest: str, count: Optional[int] = None) -> List[NodeInfo]:
+        """The alive replica set for ``digest``: primary first, then
+        backups — the router's failover order."""
+        with self._lock:
+            ids = self.ring.owners(
+                digest, count=count if count is not None else self.replicas
+            )
+            return [self._nodes[node_id] for node_id in ids]
+
+    def client(self, info: NodeInfo) -> ServiceClient:
+        """A submit-profile client (long timeout, no retries)."""
+        return self._client_factory(info.host, info.port)
+
+    def probe_client(self, info: NodeInfo) -> ServiceClient:
+        """A probe-profile client (short timeout, no retries)."""
+        return self._probe_factory(info.host, info.port)
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "schema": "repro-cluster-membership/1",
+                "ring_version": self.version,
+                "replicas": self.replicas,
+                "vnodes": self.ring.vnodes,
+                "members": [info.record() for info in self._nodes.values()],
+                "alive": sorted(self.ring.nodes()),
+            }
+
+    # -- heartbeat -------------------------------------------------------
+    def probe_all(self) -> None:
+        """One heartbeat sweep over every known node (alive *and* dead —
+        dead nodes rejoin the ring as soon as they answer again)."""
+        for info in self.members():
+            try:
+                vitals = self._probe_factory(info.host, info.port).health()
+            except ServiceError:
+                with self._lock:
+                    current = self._nodes.get(info.node_id)
+                    if current is None:
+                        continue
+                    current.misses += 1
+                    if current.alive and current.misses >= self.max_misses:
+                        self.mark_dead(
+                            info.node_id,
+                            reason=f"{current.misses} missed heartbeats",
+                        )
+            else:
+                with self._lock:
+                    current = self._nodes.get(info.node_id)
+                    if current is not None:
+                        current.vitals = vitals
+                self.mark_alive(info.node_id)
+
+    def start_heartbeat(self) -> None:
+        if self._heartbeat is not None:
+            return
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(self.heartbeat_s):
+                self.probe_all()
+
+        self._heartbeat = threading.Thread(
+            target=_loop, name="repro-cluster-heartbeat", daemon=True
+        )
+        self._heartbeat.start()
+
+    def stop_heartbeat(self) -> None:
+        if self._heartbeat is None:
+            return
+        self._stop.set()
+        self._heartbeat.join(timeout=5)
+        self._heartbeat = None

@@ -1,0 +1,180 @@
+"""HTTP front end for the cluster router.
+
+Unlike the per-node daemon (asyncio streams around a single event loop),
+the router front end is a stdlib ``ThreadingHTTPServer``: a routed
+``/submit`` with ``wait=true`` blocks for the whole compile, so each
+in-flight client needs its own thread — the router itself is thread-safe
+and the per-request work (hash, one downstream HTTP call) is tiny.
+
+Routes:
+
+* ``GET  /healthz``    — router liveness;
+* ``GET  /status``     — the aggregated cluster document
+  (:meth:`ClusterRouter.status`);
+* ``GET  /membership`` — the raw membership/ring snapshot;
+* ``GET  /metrics``    — fleet-wide exposition, every sample labeled
+  ``node=<id>`` (:meth:`ClusterRouter.metrics_text`);
+* ``POST /submit``     — same body as a node's ``/submit``; the router
+  picks the node.  Extra failure mapping: 503 when every replica of the
+  digest is unreachable;
+* ``POST /shutdown``   — stop the front end (the nodes keep running).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro.cluster.router import ClusterRouter
+from repro.errors import ReproError
+from repro.obs.exposition import CONTENT_TYPE as EXPOSITION_CONTENT_TYPE
+from repro.service.client import ServiceBusyError, ServiceError
+
+
+class RouterServer:
+    """Binds a :class:`ClusterRouter` to a TCP port (own thread pool)."""
+
+    def __init__(
+        self,
+        router: ClusterRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.router = router
+        handler = _make_handler(router)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-cluster-router",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=10)
+        self._thread = None
+
+    def __enter__(self) -> "RouterServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+def _make_handler(router: ClusterRouter):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, *args: Any) -> None:  # quiet by design
+            pass
+
+        # -- response helpers -------------------------------------------
+        def _send(self, status: int, body: bytes, content_type: str) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_json(self, status: int, document: Dict[str, Any]) -> None:
+            self._send(status, json.dumps(document).encode(), "application/json")
+
+        # -- GET ---------------------------------------------------------
+        def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+            try:
+                if self.path == "/healthz":
+                    self._send_json(
+                        200, {"ok": True, "schema": "repro-cluster/1"}
+                    )
+                elif self.path == "/status":
+                    self._send_json(200, router.status())
+                elif self.path == "/membership":
+                    self._send_json(200, router.membership.snapshot())
+                elif self.path == "/metrics":
+                    self._send(
+                        200,
+                        router.metrics_text().encode(),
+                        EXPOSITION_CONTENT_TYPE,
+                    )
+                else:
+                    self._send_json(404, {"error": f"no route GET {self.path}"})
+            except BrokenPipeError:
+                pass
+            except Exception as exc:  # a handler bug must not kill the router
+                self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        # -- POST --------------------------------------------------------
+        def do_POST(self) -> None:  # noqa: N802
+            try:
+                length = int(self.headers.get("Content-Length", "0") or "0")
+                raw = self.rfile.read(length) if length else b""
+                try:
+                    body = json.loads(raw) if raw else {}
+                except json.JSONDecodeError as exc:
+                    self._send_json(400, {"error": f"bad JSON body: {exc}"})
+                    return
+                if self.path == "/submit":
+                    self._submit(body)
+                elif self.path == "/shutdown":
+                    self._send_json(200, {"ok": True})
+                    threading.Thread(
+                        target=self.server.shutdown, daemon=True
+                    ).start()
+                else:
+                    self._send_json(404, {"error": f"no route POST {self.path}"})
+            except BrokenPipeError:
+                pass
+            except Exception as exc:
+                self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+        def _submit(self, body: Dict[str, Any]) -> None:
+            if not body.get("design"):
+                self._send_json(400, {"error": "missing required field 'design'"})
+                return
+            try:
+                record = router.submit(
+                    body["design"],
+                    config=body.get("config", "orig"),
+                    params=dict(body.get("params") or {}),
+                    priority=body.get("priority", "normal"),
+                    wait=bool(body.get("wait")),
+                    wait_timeout_s=body.get("wait_timeout_s"),
+                    timeout_s=body.get("timeout_s"),
+                    clock_mhz=body.get("clock_mhz"),
+                    seed=body.get("seed", 2020),
+                    calibration_path=body.get("calibration_path"),
+                )
+            except ServiceBusyError as exc:
+                self._send_json(429, {"error": str(exc)})
+            except ServiceError as exc:
+                if exc.status == 0:
+                    self._send_json(503, {"error": str(exc)})
+                else:
+                    self._send_json(
+                        exc.status, exc.payload or {"error": str(exc)}
+                    )
+            except (ReproError, TypeError, ValueError) as exc:
+                self._send_json(400, {"error": str(exc)})
+            else:
+                status = 200 if record.get("state") in ("done", "failed") else 202
+                if record.get("state") == "failed":
+                    status = 500
+                self._send_json(status, record)
+
+    return Handler

@@ -40,7 +40,12 @@ from repro.pipeline import (
     build_stages,
     stage_cache_enabled,
 )
-from repro.pipeline.incremental import IncrementalState, coerce_incremental
+from repro.pipeline.incremental import (
+    IncrementalState,
+    MemoSpill,
+    coerce_incremental,
+    memo_spill_enabled_default,
+)
 from repro.rtl.generator import GenResult
 from repro.rtl.resources import ResourceReport
 from repro.scheduling.schedule import Schedule
@@ -161,8 +166,10 @@ class Flow:
             unless ``$REPRO_INCREMENTAL`` is ``off``; ``False``/``"off"``
             disables the per-loop scheduling/RTL memos, the placement
             trajectory reuse, and content-digest early cutoff.  The memos
-            live on this instance, so sweeps must reuse one ``Flow`` to
-            benefit; results are bit-identical either way.
+            live on this instance and write-through to
+            ``$REPRO_CACHE_DIR/memos`` (``$REPRO_MEMO_SPILL=off`` keeps
+            them memory-only), so warm reuse survives process recycling;
+            results are bit-identical either way.
     """
 
     #: Smoothing passes requested from the §4.1 characterization.
@@ -197,9 +204,16 @@ class Flow:
         return coerce_incremental(self.incremental)
 
     def _incremental_state(self) -> IncrementalState:
-        """Lazy per-instance incremental memo workspace."""
+        """Lazy per-instance incremental memo workspace.
+
+        The memos write-through to ``$REPRO_CACHE_DIR/memos`` (unless
+        ``$REPRO_MEMO_SPILL=off``), so a fresh ``Flow`` — a recycled
+        service worker, a new sweep process — warms up from whatever a
+        previous owner already scheduled/emitted/placed.
+        """
         if self._incremental_state_obj is None:
-            self._incremental_state_obj = IncrementalState()
+            spill = MemoSpill() if memo_spill_enabled_default() else None
+            self._incremental_state_obj = IncrementalState(spill=spill)
         return self._incremental_state_obj
 
     # ------------------------------------------------------------------

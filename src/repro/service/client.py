@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.flow import FlowResult
@@ -53,61 +54,115 @@ class ServiceBusyError(ServiceError):
 
 
 class ServiceClient:
-    """Talks to one ``repro serve`` daemon."""
+    """Talks to one ``repro serve`` daemon.
+
+    Connection-level failures (refused, reset — a node restarting or a
+    router fronting a briefly-dead replica) are retried ``retries`` extra
+    times with exponential backoff plus jitter before surfacing as
+    :class:`ServiceError` with ``status=0``.  Retrying ``POST /submit`` is
+    safe because submissions are content-addressed: a duplicate delivery
+    coalesces onto the in-flight job or hits the result store.  Set
+    ``retries=0`` for fail-fast probes (the cluster router does, so a dead
+    node is detected in one round-trip).
+    """
 
     def __init__(
         self,
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         timeout: float = 600.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.1,
+        retry_backoff_cap_s: float = 2.0,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_backoff_s = retry_backoff_s
+        self.retry_backoff_cap_s = retry_backoff_cap_s
 
     # -- transport -------------------------------------------------------
+    def _transport(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+        retry: bool = True,
+    ) -> Tuple[int, bytes]:
+        """One HTTP exchange → ``(status, raw body)``, with bounded
+        backoff-and-jitter retries on connection-level failures."""
+        attempts = self.retries + 1 if retry else 1
+        delay = self.retry_backoff_s
+        last: Optional[Exception] = None
+        for attempt in range(attempts):
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(method, path, body=body, headers=headers or {})
+                response = conn.getresponse()
+                return response.status, response.read()
+            # HTTPException covers the SIGKILL'd-server shapes that are
+            # not OSErrors: an empty response (BadStatusLine) or a
+            # connection that died mid-body (IncompleteRead).
+            except (OSError, http.client.HTTPException) as exc:
+                last = exc
+            finally:
+                conn.close()
+            if attempt + 1 < attempts:
+                # Full jitter keeps a thundering herd of clients from
+                # re-probing a restarting node in lockstep.
+                time.sleep(min(delay, self.retry_backoff_cap_s) * (0.5 + random.random()))
+                delay *= 2
+        raise ServiceError(
+            f"cannot reach repro service at {self.host}:{self.port} "
+            f"after {attempts} attempt(s): {last}",
+            status=0,
+        ) from last
+
     def _request(
-        self, method: str, path: str, payload: Optional[Dict[str, Any]] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        retry: bool = True,
     ) -> Dict[str, Any]:
         body = json.dumps(payload).encode() if payload is not None else None
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            conn.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"} if body else {},
-            )
-            response = conn.getresponse()
-            raw = response.read()
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot reach repro service at {self.host}:{self.port}: {exc}",
-                status=0,
-            ) from exc
-        finally:
-            conn.close()
+        status, raw = self._transport(
+            method,
+            path,
+            body=body,
+            headers={"Content-Type": "application/json"} if body else {},
+            retry=retry,
+        )
         try:
             document = json.loads(raw) if raw else {}
         except json.JSONDecodeError as exc:
             raise ServiceError(
-                f"malformed response from service ({response.status}): {exc}",
-                status=response.status,
+                f"malformed response from service ({status}): {exc}",
+                status=status,
             ) from exc
-        if response.status >= 400:
-            error = document.get("error", f"HTTP {response.status}")
+        if status >= 400:
+            error = document.get("error", f"HTTP {status}")
             if not isinstance(error, str):  # e.g. a failed job's structured record
                 error = json.dumps(error)
-            cls = ServiceBusyError if response.status == 429 else ServiceError
-            raise cls(error, status=response.status, payload=document)
+            cls = ServiceBusyError if status == 429 else ServiceError
+            raise cls(error, status=status, payload=document)
         return document
 
     # -- probes ----------------------------------------------------------
     def ping(self) -> bool:
-        try:
-            return bool(self._request("GET", "/healthz").get("ok"))
+        try:  # fail-fast: wait_ready and heartbeats do their own pacing
+            return bool(self._request("GET", "/healthz", retry=False).get("ok"))
         except ServiceError:
             return False
+
+    def health(self) -> Dict[str, Any]:
+        """The per-node ``/health`` vitals document (fail-fast, no
+        retries — heartbeat callers want dead nodes detected quickly)."""
+        return self._request("GET", "/health", retry=False)
 
     def wait_ready(self, timeout: float = 15.0, interval: float = 0.1) -> None:
         """Poll ``/healthz`` until the daemon answers (or raise)."""
@@ -174,24 +229,23 @@ class ServiceClient:
 
     def metrics(self) -> str:
         """The raw ``GET /metrics`` exposition text."""
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            conn.request("GET", "/metrics")
-            response = conn.getresponse()
-            raw = response.read()
-        except OSError as exc:
-            raise ServiceError(
-                f"cannot reach repro service at {self.host}:{self.port}: {exc}",
-                status=0,
-            ) from exc
-        finally:
-            conn.close()
-        if response.status >= 400:
-            raise ServiceError(
-                f"GET /metrics failed: HTTP {response.status}",
-                status=response.status,
-            )
+        status, raw = self._transport("GET", "/metrics")
+        if status >= 400:
+            raise ServiceError(f"GET /metrics failed: HTTP {status}", status=status)
         return raw.decode("utf-8")
+
+    def get_result_bytes(self, digest: str) -> Optional[bytes]:
+        """Download the raw result-store payload for ``digest`` from this
+        node (``None`` on a miss).  The peer-fetch transport: the caller
+        installs the bytes locally with :meth:`ResultStore.put_bytes`."""
+        status, raw = self._transport("GET", f"/result/{digest}", retry=False)
+        if status == 404:
+            return None
+        if status >= 400:
+            raise ServiceError(
+                f"GET /result/{digest} failed: HTTP {status}", status=status
+            )
+        return raw
 
     def get_trace(self, digest: str) -> Dict[str, Any]:
         """The merged per-request trace document for ``digest``."""

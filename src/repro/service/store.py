@@ -23,17 +23,30 @@ Guarantees:
   :meth:`ResultStore.put` evicts the least-recently-used entries beyond
   the bound.  Eviction is crash-safe: a missing sidecar or payload is
   treated as a miss, never an error.
+* **Write/evict exclusion** — writers and evictors (possibly in different
+  processes: every cluster node worker shares its node's store) serialize
+  on an ``flock`` over ``<root>/.lock``, and eviction re-checks each
+  victim's mtime against its directory-scan snapshot before unlinking.
+  Without this, an evictor working from a stale scan could delete the
+  entry a concurrent ``put`` just (re)wrote — the race
+  ``tests/test_store_concurrency.py`` hammers.  Reads stay lock-free.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pickle
 import tempfile
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX: degrade to unserialized writes
+    fcntl = None  # type: ignore[assignment]
 
 from repro.delay.cache import default_cache_dir
 from repro.engine.pool import ensure_pickle_depth
@@ -97,6 +110,32 @@ class ResultStore:
         self.root = root or default_store_dir()
         self.max_entries = max_entries
 
+    # -- locking ---------------------------------------------------------
+    @contextlib.contextmanager
+    def _exclusive(self) -> Iterator[None]:
+        """Cross-process writer/evictor mutual exclusion.
+
+        ``flock`` is per open-file-description, so a fresh handle per
+        acquisition keeps this usable from any process or thread; the
+        lock file itself is never an entry (no ``.pkl``/``.json`` suffix).
+        Callers must not nest acquisitions (same-thread re-acquisition on
+        a second handle would deadlock) — ``put``/``put_bytes`` therefore
+        call :meth:`_evict_locked` directly, not :meth:`evict`.
+        """
+        os.makedirs(self.root, exist_ok=True)
+        if fcntl is None:
+            yield
+            return
+        handle = open(os.path.join(self.root, ".lock"), "ab")
+        try:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+            finally:
+                handle.close()
+
     # -- paths -----------------------------------------------------------
     def _payload_path(self, digest: str) -> str:
         return os.path.join(self.root, f"{digest}.pkl")
@@ -128,6 +167,49 @@ class ResultStore:
         """Convenience: ``get`` + ``load`` in one call."""
         hit = self.get(digest)
         return hit.load() if hit is not None else None
+
+    def get_bytes(self, digest: str) -> Optional[bytes]:
+        """Raw payload pickle for ``digest`` (the ``/result/<digest>`` wire
+        format), or ``None`` on a miss.  Strictly local — the explicit
+        base-class call bypasses peer-fetch subclasses, so a node serving
+        its ``/result`` route can never recurse into the fleet."""
+        if ResultStore.get(self, digest) is None:  # sidecar check + LRU refresh
+            return None
+        try:
+            with open(self._payload_path(digest), "rb") as handle:
+                return handle.read()
+        except OSError:  # raced an eviction
+            return None
+
+    def put_bytes(self, digest: str, payload: bytes) -> Optional[StoredResult]:
+        """Install a payload fetched from a peer (write-through caching).
+
+        The payload embeds its own metadata, so a transferred entry is
+        self-describing: validate the schema and digest, then write
+        payload-first/sidecar-last exactly like :meth:`put`.  Returns
+        ``None`` (and stores nothing) for corrupt or mismatched payloads.
+        """
+        ensure_pickle_depth()
+        try:
+            document = pickle.loads(payload)
+        except Exception:
+            return None
+        if not isinstance(document, dict) or document.get("schema") != STORE_SCHEMA:
+            return None
+        meta = document.get("meta")
+        if not isinstance(meta, dict) or meta.get("digest") != digest:
+            return None
+        meta = dict(meta)
+        meta.pop("evicted", None)
+        with self._exclusive():
+            self._atomic_write(self._payload_path(digest), payload)
+            meta["payload_bytes"] = len(payload)
+            self._atomic_write(
+                self._meta_path(digest),
+                (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
+            )
+            self._evict_locked()
+        return StoredResult(digest=digest, meta=meta, path=self._payload_path(digest))
 
     def entries(self) -> List[Dict[str, Any]]:
         """All sidecar records, least-recently-used first."""
@@ -168,7 +250,6 @@ class ResultStore:
         down to ``max_entries``.  Returns the stored entry; the eviction
         count is available on ``entry.meta["evicted"]`` for observability.
         """
-        os.makedirs(self.root, exist_ok=True)
         digest = request.digest()
         meta = {
             "schema": STORE_SCHEMA,
@@ -187,17 +268,17 @@ class ResultStore:
         }
         ensure_pickle_depth()
         payload = {"schema": STORE_SCHEMA, "meta": meta, "result": result}
-        # Payload first, sidecar last: a reader that sees the sidecar is
-        # guaranteed the payload already exists.
-        self._atomic_write(
-            self._payload_path(digest), pickle.dumps(payload, protocol=4)
-        )
-        meta["payload_bytes"] = os.path.getsize(self._payload_path(digest))
-        self._atomic_write(
-            self._meta_path(digest),
-            (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
-        )
-        evicted = self.evict()
+        blob = pickle.dumps(payload, protocol=4)  # pickle outside the lock
+        with self._exclusive():
+            # Payload first, sidecar last: a reader that sees the sidecar
+            # is guaranteed the payload already exists.
+            self._atomic_write(self._payload_path(digest), blob)
+            meta["payload_bytes"] = len(blob)
+            self._atomic_write(
+                self._meta_path(digest),
+                (json.dumps(meta, indent=2, sort_keys=True) + "\n").encode(),
+            )
+            evicted = self._evict_locked()
         meta["evicted"] = evicted
         return StoredResult(digest=digest, meta=meta, path=self._payload_path(digest))
 
@@ -214,6 +295,16 @@ class ResultStore:
 
     def evict(self) -> int:
         """Drop least-recently-used entries beyond ``max_entries``."""
+        with self._exclusive():
+            return self._evict_locked()
+
+    def _evict_locked(self) -> int:
+        """Eviction body; caller holds :meth:`_exclusive`.
+
+        The writer lock rules out racing a ``put``, but lock-free readers
+        still refresh mtimes underneath us — so re-check each victim's
+        mtime against the scan snapshot and spare entries touched since
+        (they are no longer least-recently-used)."""
         records = self.entries()
         excess = len(records) - self.max_entries
         if excess <= 0:
@@ -223,7 +314,13 @@ class ResultStore:
             digest = record.get("digest")
             if not digest:
                 continue
-            for path in (self._payload_path(digest), self._meta_path(digest)):
+            meta_path = self._meta_path(digest)
+            try:
+                if os.path.getmtime(meta_path) != record["_mtime"]:
+                    continue
+            except OSError:
+                continue  # already gone
+            for path in (self._payload_path(digest), meta_path):
                 try:
                     os.unlink(path)
                 except OSError:

@@ -192,12 +192,14 @@ class TestCliService:
     """Argument wiring of serve/submit/status (live daemon paths are
     covered in test_service_http.py)."""
 
-    def test_submit_unreachable_daemon_exits_1(self, capsys):
-        assert main(["submit", "matmul", "--port", "1"]) == 1
+    def test_submit_unreachable_daemon_exits_3(self, capsys):
+        # Exit 3 = "try later" (same as backpressure): the daemon being
+        # down is transient, not a caller error.
+        assert main(["submit", "matmul", "--port", "1"]) == 3
         assert "cannot reach" in capsys.readouterr().err
 
-    def test_status_unreachable_daemon_exits_1(self, capsys):
-        assert main(["status", "--port", "1"]) == 1
+    def test_status_unreachable_daemon_exits_3(self, capsys):
+        assert main(["status", "--port", "1"]) == 3
         assert "cannot reach" in capsys.readouterr().err
 
     def test_submit_rejects_unknown_config(self, capsys):
