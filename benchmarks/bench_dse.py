@@ -1,0 +1,119 @@
+"""Design-space exploration — coalescing and warm re-search, measured.
+
+One seeded search over genome's ``plan × config × clock`` space from a
+cold cache, then the identical search again warm.  Recorded into
+``BENCH_flow.json`` under ``dse``: point/compile counters, the coalescing
+ratio, cold and warm wall clock, and the winner.
+
+Asserted, because they are the contract of the explorer:
+
+* point dedup + lowering coalescing + dominance pruning keep compiles at
+  or below ``MAX_COMPILE_RATIO`` of the enumerated points;
+* the winner is never worse than the hand-tuned ``full`` configuration
+  (generation 0 always contains it);
+* the warm re-search reproduces the cold report exactly (winner digest
+  included) while its flows skip pipeline stages via the content-
+  addressed stage store — and it is faster.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.dse import InlineBackend, explore
+from repro.flow import Flow
+from repro.pipeline.store import StageArtifactStore
+from repro.testing import synthetic_calibration
+
+DESIGN = "genome"
+BUDGET = 24
+SEED = 2020
+#: Compiles per enumerated point the search must stay at or below.
+MAX_COMPILE_RATIO = 0.60
+
+
+def _search(cache_dir):
+    backend = InlineBackend(
+        flow=Flow(
+            seed=SEED,
+            calibration=synthetic_calibration(),
+            stage_cache=StageArtifactStore(root=str(cache_dir)),
+        )
+    )
+    tracer = obs.Tracer()
+    start = time.perf_counter()
+    with obs.activate(tracer):
+        report = explore(
+            DESIGN, backend=backend, budget=BUDGET, seed=SEED
+        )
+    elapsed = time.perf_counter() - start
+    runs = obs.run_report(tracer)["runs"]
+    skipped = sum(
+        run["counters"].get("pipeline.stages_skipped", 0) for run in runs
+    )
+    return report, elapsed, skipped
+
+
+def test_dse_coalescing_and_warm_research(tmp_path, record, bench_extras):
+    cache = tmp_path / "stages"
+
+    cold, cold_s, cold_skipped = _search(cache)
+    warm, warm_s, warm_skipped = _search(cache)
+
+    ratio = cold.compiled / cold.enumerated
+    full = next(
+        e
+        for e in cold.evaluations
+        if e.generation == 0 and e.point.config_label == "full"
+    )
+
+    # -- the explorer's contract -----------------------------------------
+    assert cold.winner is not None
+    assert cold.winner.fmax_mhz >= full.fmax_mhz, (
+        cold.winner.fmax_mhz,
+        full.fmax_mhz,
+    )
+    assert ratio <= MAX_COMPILE_RATIO, (
+        f"{cold.compiled}/{cold.enumerated} = {ratio:.2f} compiles per "
+        f"enumerated point exceeds {MAX_COMPILE_RATIO}"
+    )
+    assert warm.to_dict() == cold.to_dict(), "warm re-search diverged"
+    assert warm_skipped > cold_skipped, (
+        "warm re-search never hit the stage store",
+        cold_skipped,
+        warm_skipped,
+    )
+    assert warm_s < cold_s, (warm_s, cold_s)
+
+    bench_extras["dse"] = {
+        "design": DESIGN,
+        "budget": BUDGET,
+        "seed": SEED,
+        "enumerated": cold.enumerated,
+        "compiled": cold.compiled,
+        "deduplicated": cold.deduplicated,
+        "coalesced": cold.coalesced,
+        "pruned": cold.pruned,
+        "compile_ratio": round(ratio, 4),
+        "cold_search_s": round(cold_s, 4),
+        "warm_search_s": round(warm_s, 4),
+        "warm_speedup": round(cold_s / warm_s, 2),
+        "warm_stages_skipped": warm_skipped,
+        "winner_fmax_mhz": round(cold.winner.fmax_mhz, 2),
+        "winner_digest": cold.winner.digest,
+        "full_fmax_mhz": round(full.fmax_mhz, 2),
+    }
+
+    record(
+        "bench_dse",
+        cold.summary()
+        + (
+            f"\n\ncompile ratio: {cold.compiled}/{cold.enumerated} = "
+            f"{ratio:.0%} (floor for naive enumeration: 100%)"
+            f"\ncold search: {cold_s:.2f}s, warm re-search: {warm_s:.2f}s "
+            f"({cold_s / warm_s:.1f}x, {warm_skipped:.0f} stages skipped)"
+            f"\nhand-tuned full: {full.fmax_mhz:.0f} MHz -> winner "
+            f"{cold.winner.fmax_mhz:.0f} MHz"
+        ),
+    )

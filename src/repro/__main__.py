@@ -21,7 +21,12 @@ Commands:
   sequential reference, every IR pass for metamorphic equivalence, and
   the stage cache for digest determinism; failures are shrunk to minimal
   reproducers in ``tests/fuzz_corpus/`` (exit 1 on any divergence);
-* ``tune <design>``                — auto-apply techniques until converged;
+* ``tune <design>``                — auto-apply techniques until converged
+  (``autotune`` is an alias);
+* ``dse <design> [--budget N]``    — seeded population search over
+  transform plans × optimization configs × clock targets
+  (``--backend inline|engine|service|cluster``, ``--json`` for the full
+  report; see :mod:`repro.dse`);
 * ``diagnose <design>``            — broadcast classification + advice;
 * ``diemap <design>``              — ASCII die map + worst broadcast net;
 * ``table1 | table2 | table3``     — reproduce a table (``--jobs N``);
@@ -447,6 +452,49 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _parse_design_params(items) -> dict:
+    """Parse repeated ``--set NAME=VALUE`` design-builder overrides."""
+    params = {}
+    for item in items or []:
+        name, eq, value = item.partition("=")
+        if not eq or not name:
+            raise CliUsageError(
+                f"bad --set {item!r}; expected NAME=VALUE (e.g. unroll=16)"
+            )
+        try:
+            params[name] = int(value)
+        except ValueError:
+            raise CliUsageError(
+                f"bad --set {item!r}; design parameters are integers"
+            )
+    return params
+
+
+def _cmd_dse(args) -> int:
+    from repro.dse import explore, make_backend
+
+    backend = make_backend(
+        args.backend,
+        jobs=getattr(args, "jobs", 1),
+        host=args.host,
+        port=args.port,
+        flow=_flow_for(args) if args.backend in ("inline", "engine") else None,
+    )
+    report = explore(
+        _check_design(args.design, include_extra=True),
+        params=_parse_design_params(args.set),
+        backend=backend,
+        budget=args.budget,
+        seed=args.seed,
+        max_generations=args.generations,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.winner is not None else 1
+
+
 def _cmd_diemap(args) -> int:
     from repro.physical.device import get_device
     from repro.physical.diemap import density_map, worst_broadcast_map
@@ -815,6 +863,8 @@ def _experiment_command(name: str):
 
 
 def main(argv=None) -> int:
+    from repro.dse.backends import BACKEND_NAMES
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     parser.add_argument("--seed", type=int, default=2020)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -951,10 +1001,56 @@ def main(argv=None) -> int:
     _add_flow_options(p_diag, jobs=False)
     p_diag.set_defaults(fn=_cmd_diagnose)
 
-    p_tune = sub.add_parser("tune", help="auto-apply the paper's techniques")
-    p_tune.add_argument("design", choices=design_names(include_extra=True))
-    _add_flow_options(p_tune, jobs=False)
-    p_tune.set_defaults(fn=_cmd_tune)
+    for alias in ("tune", "autotune"):
+        p_tune = sub.add_parser(
+            alias,
+            help="auto-apply the paper's techniques (greedy §4 policy)"
+            + ("" if alias == "tune" else "; alias of tune"),
+        )
+        p_tune.add_argument("design", choices=design_names(include_extra=True))
+        _add_flow_options(p_tune, jobs=False)
+        p_tune.set_defaults(fn=_cmd_tune)
+
+    p_dse = sub.add_parser(
+        "dse",
+        help="design-space exploration: seeded population search over "
+        "transform plans, configs and clock targets",
+    )
+    p_dse.add_argument("design", choices=design_names(include_extra=True))
+    p_dse.add_argument(
+        "--backend", default="inline", choices=BACKEND_NAMES,
+        help="where compiles run: this process, engine worker processes, "
+        "a flow-service daemon, or the cluster router (default inline)",
+    )
+    p_dse.add_argument(
+        "--budget", type=int, default=24, metavar="N",
+        help="maximum number of flow compiles (coalesced, duplicate and "
+        "pruned points are free; default 24)",
+    )
+    p_dse.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, metavar="N",
+        help="search + compile seed (same as the global --seed; "
+        "default 2020)",
+    )
+    p_dse.add_argument(
+        "--generations", type=int, default=8, metavar="N",
+        help="maximum mutation rounds after generation 0 (default 8)",
+    )
+    p_dse.add_argument(
+        "--set", action="append", default=[], metavar="NAME=VALUE",
+        help="design-builder parameter override (repeatable)",
+    )
+    p_dse.add_argument("--host", default="127.0.0.1")
+    p_dse.add_argument(
+        "--port", type=int, default=9321,
+        help="service daemon / cluster router port (default 9321)",
+    )
+    p_dse.add_argument(
+        "--json", action="store_true",
+        help="print the full machine-readable report",
+    )
+    _add_flow_options(p_dse)
+    p_dse.set_defaults(fn=_cmd_dse)
 
     p_map = sub.add_parser("diemap", help="ASCII die map + worst broadcast")
     p_map.add_argument("design", choices=design_names(include_extra=True))

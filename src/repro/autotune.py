@@ -146,8 +146,14 @@ def auto_optimize(
     current = best
     for _ in range(max_steps):
         nxt, action = _next_config(config, current.timing.path_class)
-        steps[-1].action = action if nxt is None else action
         if nxt is None:
+            # Terminal verdict: annotate the step we stopped *at* without
+            # discarding the action that produced it.  (A former version
+            # overwrote ``steps[-1].action`` unconditionally each
+            # iteration, attributing every decision to the step before the
+            # one it created — the log lost "baseline" and shifted every
+            # action up by one.)
+            steps[-1].action = f"{steps[-1].action}; {action}"
             break
         candidate = flow.run(design, nxt)
         config = nxt
@@ -156,12 +162,12 @@ def auto_optimize(
                 config=config,
                 fmax_mhz=candidate.fmax_mhz,
                 critical_class=candidate.timing.path_class.value,
-                action="",
+                action=action,
             )
         )
         current = candidate
         if candidate.fmax_mhz > best.fmax_mhz:
             best = candidate
-    if steps and not steps[-1].action:
-        steps[-1].action = "converged"
+    else:
+        steps[-1].action = f"{steps[-1].action}; stopped: step budget exhausted"
     return AutoTuneResult(best=best, steps=steps)

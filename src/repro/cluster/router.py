@@ -112,6 +112,7 @@ class ClusterRouter:
         clock_mhz: Optional[float] = None,
         seed: int = 2020,
         calibration_path: Optional[str] = None,
+        plan: Optional[Any] = None,
     ) -> FlowRequest:
         """The canonical request — byte-identical to what a node builds
         from the same submit body, so router and fleet agree on digests."""
@@ -122,6 +123,7 @@ class ClusterRouter:
             seed=seed,
             smooth_passes=1,
             calibration_path=calibration_path,
+            plan=plan,
             **dict(params or {}),
         )
 
@@ -137,6 +139,7 @@ class ClusterRouter:
         clock_mhz: Optional[float] = None,
         seed: int = 2020,
         calibration_path: Optional[str] = None,
+        plan: Optional[Any] = None,
     ) -> Dict[str, Any]:
         """Route one submission; returns the node's job record annotated
         with ``node`` (who served it) and ``served_from``.
@@ -155,6 +158,7 @@ class ClusterRouter:
             clock_mhz=clock_mhz,
             seed=seed,
             calibration_path=calibration_path,
+            plan=plan,
         )
         digest = request.digest()
 
@@ -183,6 +187,7 @@ class ClusterRouter:
                     clock_mhz=clock_mhz,
                     seed=seed,
                     calibration_path=calibration_path,
+                    plan=request.plan_spec(),
                 )
             except ServiceBusyError as exc:
                 # Backpressure spills to the backup; the node is healthy.

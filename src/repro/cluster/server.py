@@ -159,6 +159,7 @@ def _make_handler(router: ClusterRouter):
                     clock_mhz=body.get("clock_mhz"),
                     seed=body.get("seed", 2020),
                     calibration_path=body.get("calibration_path"),
+                    plan=body.get("plan"),
                 )
             except ServiceBusyError as exc:
                 self._send_json(429, {"error": str(exc)})

@@ -17,6 +17,7 @@ from repro.designs import (
     pattern_matching,
     stencil,
     stream_buffer,
+    vec_stream,
     vector_arith,
 )
 
@@ -38,6 +39,7 @@ DESIGN_BUILDERS: Dict[str, Callable[..., Design]] = {
 EXTRA_BUILDERS: Dict[str, Callable[..., Design]] = {
     "double_buffer": double_buffer.build,
     "dynamic_struct": dynamic_struct.build,
+    "vec_stream": vec_stream.build,
 }
 
 

@@ -1,0 +1,84 @@
+"""Split/merge streaming pipeline with parallel internal channels.
+
+A supplementary benchmark shaped after the multi-channel process networks
+of Alias's PPN work and the vectorizable streams of de Fine Licht et al.:
+a splitter kernel fans one input stream into two parallel internal FIFOs,
+a merger kernel recombines them, and an independent table kernel scales a
+ROM into an output buffer.  Every transform in
+:mod:`repro.ir.transforms` has a site here:
+
+* ``ch_hi``/``ch_lo`` are single-producer single-consumer internal integer
+  channels — widening (lane packing) and channel reuse (merging) apply;
+* ``scale_table`` is a pure affine buffer loop — tiling applies;
+* the design is built non-dataflow — streaming conversion applies;
+* every counted loop accepts unroll overrides.
+
+Not part of Table 1; it exists so transform equivalence and the
+design-space explorer have a design where the whole pass library is live.
+"""
+
+from __future__ import annotations
+
+from repro.designs.common import add_context_kernel, external_stream
+from repro.ir.builder import DFGBuilder
+from repro.ir.program import Buffer, Design, Fifo, Kernel, Loop
+from repro.ir.types import i32
+
+DEFAULT_DEPTH = 256
+DEFAULT_TABLE = 64
+
+
+def build(
+    depth: int = DEFAULT_DEPTH,
+    table: int = DEFAULT_TABLE,
+    clock_mhz: float = 300.0,
+) -> Design:
+    """Construct the split/merge pipeline + table scaler."""
+    design = Design(
+        "vec_stream",
+        device="aws-f1",
+        meta={
+            "clock_mhz": clock_mhz,
+            "paper_ref": "supplementary (PPN channels / vectorizable streams)",
+            "broadcast_type": "Sync (FIFO)",
+            "depth": depth,
+            "table": table,
+        },
+    )
+    in_fifo = external_stream(design, "vin", i32)
+    out_fifo = external_stream(design, "vout", i32)
+    ch_hi = design.add_fifo(Fifo("ch_hi", i32, depth=8))
+    ch_lo = design.add_fifo(Fifo("ch_lo", i32, depth=8))
+    rom = design.add_buffer(Buffer("coeff_rom", i32, depth=table))
+    acc = design.add_buffer(Buffer("acc_out", i32, depth=table))
+
+    # Splitter: one input element fans into two derived channel elements.
+    sb = DFGBuilder("split_body")
+    x = sb.fifo_read(in_fifo, name="x")
+    sb.fifo_write(ch_hi, sb.add(x, sb.const(3, i32, name="bias"), name="hi"))
+    sb.fifo_write(ch_lo, sb.mul(x, sb.const(5, i32, name="gain5"), name="lo"))
+
+    # Merger: recombine the channels onto the output stream.
+    mb = DFGBuilder("merge_body")
+    a = mb.fifo_read(ch_hi, name="a")
+    b = mb.fifo_read(ch_lo, name="b")
+    mb.fifo_write(out_fifo, mb.add(a, b, name="sum"))
+
+    # Table scaler: pure affine load/store loop, independent of the streams.
+    tb = DFGBuilder("table_body")
+    idx = tb.input("i", i32)
+    gain = tb.input("gain", i32, loop_invariant=True)
+    coeff = tb.load(rom, idx, name="coeff")
+    tb.store(acc, idx, tb.mul(coeff, gain, name="scaled"))
+
+    splitter = design.add_kernel(Kernel("splitter"))
+    splitter.add_loop(Loop("split", sb.build(), trip_count=depth, pipeline=True))
+    merger = design.add_kernel(Kernel("merger"))
+    merger.add_loop(Loop("merge", mb.build(), trip_count=depth, pipeline=True))
+    scaler = design.add_kernel(Kernel("scaler"))
+    scaler.add_loop(Loop("scale_table", tb.build(), trip_count=table, pipeline=True))
+    add_context_kernel(
+        design, luts=40_000, ffs=60_000, brams=16, dsps=120, name="vs_rest"
+    )
+    design.verify()
+    return design

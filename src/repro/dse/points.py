@@ -1,0 +1,131 @@
+"""Design-space points and their cheap pre-compile signals.
+
+A :class:`DsePoint` is one coordinate of the explored space:
+``TransformPlan × OptimizationConfig × clock target``.  Points are
+immutable, hashable and digest-stable (:meth:`DsePoint.digest` uses the
+shared :mod:`repro.hashing` recipe), so the explorer can coalesce
+duplicate proposals no matter which mutation path produced them.
+
+:func:`point_signals` computes the *cheap* signals the pruner consults
+before paying for a compile: the plan-applied, pragma-lowered design's op
+count and worst broadcast fanout (the paper's §3 predictor of broadcast-
+limited Fmax), plus the lowered design's content digest — two points whose
+plans lower to byte-identical designs under the same config and clock
+cannot differ in outcome, so the explorer reuses the first result
+(second-level coalescing, above the point-digest dedup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.hashing import content_digest
+from repro.ir.passes import apply_pragmas
+from repro.ir.program import Design
+from repro.ir.transforms import TransformPlan
+from repro.opt import CONFIG_LABELS, OptimizationConfig
+from repro.pipeline.digest import design_digest
+from repro.service.request import plan_to_spec, plan_to_tuple
+
+#: Version tag of the point digest encoding.
+POINT_SCHEMA = "repro-dse-point/1"
+
+
+@dataclass(frozen=True)
+class DsePoint:
+    """One ``plan × config × clock`` coordinate of the search space.
+
+    ``clock_mhz = None`` means the design's own clock target (the
+    hand-tuned baseline every search must be able to reproduce).
+    """
+
+    config: OptimizationConfig
+    plan: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = field(
+        default_factory=tuple
+    )
+    clock_mhz: Optional[float] = None
+
+    @classmethod
+    def make(
+        cls,
+        config: OptimizationConfig,
+        plan: Any = None,
+        clock_mhz: Optional[float] = None,
+    ) -> "DsePoint":
+        return cls(
+            config=config,
+            plan=plan_to_tuple(plan),
+            clock_mhz=None if clock_mhz is None else float(clock_mhz),
+        )
+
+    # -- views -----------------------------------------------------------
+    def plan_spec(self) -> list:
+        return plan_to_spec(self.plan)
+
+    def transform_plan(self) -> TransformPlan:
+        return TransformPlan.from_spec(self.plan_spec())
+
+    @property
+    def config_label(self) -> str:
+        """The named label when the config is one of the canonical six."""
+        for label, config in CONFIG_LABELS.items():
+            if config == self.config:
+                return label
+        return self.config.label
+
+    def spec(self) -> Dict[str, Any]:
+        """Canonical JSON encoding (also the digest payload)."""
+        return {
+            "config": self.config.to_json(),
+            "plan": self.plan_spec(),
+            "clock_mhz": self.clock_mhz,
+        }
+
+    def digest(self) -> str:
+        """The coalescing identity of this point (stable across processes)."""
+        return content_digest({"schema": POINT_SCHEMA, **self.spec()})
+
+    def describe(self) -> str:
+        names = "+".join(name for name, _params in self.plan) or "-"
+        clock = "design" if self.clock_mhz is None else f"{self.clock_mhz:.0f}MHz"
+        return f"[{self.config_label}] plan={names} clock={clock}"
+
+
+@dataclass(frozen=True)
+class PointSignals:
+    """Pre-compile signals of one point (config/clock-independent).
+
+    Attributes:
+        lowered_digest: Content digest of the plan-applied, pragma-lowered
+            design — the second-level coalescing key.
+        ops: Total operation count after lowering (predicted stage cost).
+        max_fanout: Worst value fanout after lowering (the §3 predictor of
+            broadcast-limited Fmax).
+    """
+
+    lowered_digest: str
+    ops: int
+    max_fanout: int
+
+    def dominates(self, other: "PointSignals") -> bool:
+        """Whether this point is predicted no worse than ``other`` on every
+        cheap axis (smaller-or-equal pressure and cost)."""
+        return self.ops <= other.ops and self.max_fanout <= other.max_fanout
+
+
+def point_signals(design: Design, plan: TransformPlan) -> PointSignals:
+    """Compute the cheap signals of ``plan`` applied to ``design``."""
+    transformed = plan.apply(design)
+    lowered = apply_pragmas(transformed)
+    ops = 0
+    max_fanout = 0
+    for _kernel, loop in lowered.all_loops():
+        ops += len(loop.body.ops)
+        for value in loop.body.values.values():
+            fanout = len(value.uses)
+            if fanout > max_fanout:
+                max_fanout = fanout
+    return PointSignals(
+        lowered_digest=design_digest(lowered), ops=ops, max_fanout=max_fanout
+    )

@@ -36,12 +36,21 @@ class FlowJob:
             ``(name, value)`` pairs so the job is hashable.
         tag: Free-form caller label (experiments use it to map results
             back to table rows / figure points).
+        plan: Transform plan applied before lowering, in the same hashable
+            nested-tuple form as :attr:`repro.service.request.FlowRequest.plan`
+            (empty = plain design).
+        clock_mhz: Per-job HLS clock-target override (``None`` keeps the
+            flow's / the design's target).
     """
 
     design: str
     config: OptimizationConfig
     params: Tuple[Tuple[str, Any], ...] = field(default_factory=tuple)
     tag: Optional[str] = None
+    plan: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = field(
+        default_factory=tuple
+    )
+    clock_mhz: Optional[float] = None
 
     @classmethod
     def make(
@@ -49,13 +58,19 @@ class FlowJob:
         design: str,
         config: OptimizationConfig,
         tag: Optional[str] = None,
+        plan: Any = None,
+        clock_mhz: Optional[float] = None,
         **params: Any,
     ) -> "FlowJob":
+        from repro.service.request import plan_to_tuple
+
         return cls(
             design=design,
             config=config,
             params=tuple(sorted(params.items())),
             tag=tag,
+            plan=plan_to_tuple(plan),
+            clock_mhz=None if clock_mhz is None else float(clock_mhz),
         )
 
     @property
@@ -112,4 +127,10 @@ def run_flow_job(flow: "Flow", job: FlowJob) -> "FlowResult":
     """Execute one job with ``flow`` — the same code path sequential and
     parallel execution share, so ``--jobs N`` cannot change results."""
     design = build_design(job.design, **job.param_dict)
-    return flow.run(design, job.config)
+    plan = None
+    if job.plan:
+        from repro.ir.transforms import TransformPlan
+        from repro.service.request import plan_to_spec
+
+        plan = TransformPlan.from_spec(plan_to_spec(job.plan))
+    return flow.run(design, job.config, plan=plan, clock_mhz=job.clock_mhz)

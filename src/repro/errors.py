@@ -25,6 +25,10 @@ class VerificationError(IRError):
     """A dataflow graph or design failed structural verification."""
 
 
+class TransformError(IRError):
+    """A design transform is inapplicable or would change semantics."""
+
+
 class SchedulingError(ReproError):
     """The scheduler could not produce a legal schedule."""
 

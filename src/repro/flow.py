@@ -23,7 +23,7 @@ actually invalidates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro import hashing, obs
 from repro.delay.cache import resolve_calibration
@@ -50,6 +50,9 @@ from repro.rtl.generator import GenResult
 from repro.rtl.resources import ResourceReport
 from repro.scheduling.schedule import Schedule
 from repro.sync.pruning import SyncPruningReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.transforms import TransformPlan
 
 #: Default HLS clock target when a design does not specify one (MHz).
 DEFAULT_CLOCK_MHZ = 300.0
@@ -257,6 +260,8 @@ class Flow:
         design: Design,
         config: OptimizationConfig = BASELINE,
         _overlay: Optional[MemoryStageStore] = None,
+        plan: Optional["TransformPlan"] = None,
+        clock_mhz: Optional[float] = None,
     ) -> FlowResult:
         """Run the full flow on ``design`` under ``config``.
 
@@ -276,11 +281,22 @@ class Flow:
         ``_overlay`` is an in-process stage store shared by
         :meth:`compare` and the sweep drivers so sibling runs reuse their
         common front-end even when the on-disk store is cold.
+
+        ``plan`` is an optional :class:`~repro.ir.transforms.TransformPlan`
+        applied by the ``pragmas`` stage before lowering; its digest enters
+        that stage's params, so planned and plan-free runs of one design
+        never share stage artifacts.  ``clock_mhz`` overrides both the
+        flow-level and the design-level clock target for this run only
+        (the explorer sweeps clocks without rebuilding flows).
         """
         clock_mhz = float(
-            self.clock_mhz or design.meta.get("clock_mhz", DEFAULT_CLOCK_MHZ)
+            clock_mhz
+            or self.clock_mhz
+            or design.meta.get("clock_mhz", DEFAULT_CLOCK_MHZ)
         )
         ctx: Dict[str, object] = {"design": design, "clock_ns": 1000.0 / clock_mhz}
+        if plan is not None and len(plan):
+            ctx["plan"] = plan
         if _overlay is None and self.incremental_enabled:
             # The persistent per-flow overlay: re-run sweep points whose
             # stage inputs are byte-identical skip those stages outright.

@@ -189,6 +189,28 @@ def _transform_broadcast(design: Design) -> Optional[Design]:
     return clone
 
 
+def _library_transform(name: str) -> Callable[[Design], Optional[Design]]:
+    """A metamorphic check for one transform-library pass.
+
+    Applies the pass's first enumerated candidate (candidate order is
+    deterministic for a given design), or skips the program when the pass
+    finds nothing applicable.  Candidates carry their own applicability
+    guards (trip divisibility, FIFO depth vs. merged-firing rate, buffer
+    privacy), so an applicable candidate must preserve behaviour — any
+    divergence is a transform bug, not a bad program.
+    """
+
+    def apply_first(design: Design) -> Optional[Design]:
+        from repro.ir.transforms import transform_type
+
+        candidates = transform_type(name).candidates(design)
+        if not candidates:
+            return None
+        return candidates[0].apply(design)
+
+    return apply_first
+
+
 #: Metamorphic transforms: name → design transform (None return = skip).
 PASS_TRANSFORMS: Dict[str, Callable[[Design], Optional[Design]]] = {
     "pragmas": _transform_pragmas,
@@ -196,6 +218,11 @@ PASS_TRANSFORMS: Dict[str, Callable[[Design], Optional[Design]]] = {
     "cse": _transform_cse,
     "prune": _transform_prune,
     "broadcast": _transform_broadcast,
+    "unroll": _library_transform("unroll"),
+    "tile": _library_transform("tile"),
+    "widen": _library_transform("widen"),
+    "stream": _library_transform("stream"),
+    "reuse": _library_transform("reuse"),
 }
 
 

@@ -1,0 +1,40 @@
+"""The transform pass library: named, parameterized design rewrites.
+
+Importing this package registers every concrete transform; see
+:mod:`repro.ir.transforms.base` for the model.
+"""
+
+from repro.ir.transforms.base import (
+    EMPTY_PLAN,
+    PLAN_SCHEMA,
+    Transform,
+    TransformPlan,
+    all_candidates,
+    register_transform,
+    transform_names,
+    transform_type,
+)
+from repro.ir.transforms.equiv import default_stimuli, equivalence_diffs
+from repro.ir.transforms.reuse import ReuseTransform
+from repro.ir.transforms.stream import StreamTransform
+from repro.ir.transforms.tile import TileTransform
+from repro.ir.transforms.unroll import UnrollTransform
+from repro.ir.transforms.widen import WidenTransform
+
+__all__ = [
+    "EMPTY_PLAN",
+    "PLAN_SCHEMA",
+    "Transform",
+    "TransformPlan",
+    "all_candidates",
+    "default_stimuli",
+    "equivalence_diffs",
+    "register_transform",
+    "transform_names",
+    "transform_type",
+    "ReuseTransform",
+    "StreamTransform",
+    "TileTransform",
+    "UnrollTransform",
+    "WidenTransform",
+]

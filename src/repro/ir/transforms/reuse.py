@@ -1,0 +1,106 @@
+"""Channel reuse: merge two parallel FIFOs onto one physical channel.
+
+Alias's polyhedral-process-network channel optimization, specialized to the
+pattern this IR can prove safe: two internal FIFOs with the same element
+type, written by the same single producer loop (once each per iteration)
+and read by the same single consumer loop (once each per iteration), with
+matching relative order on both sides.  Each firing then pushes/pops the
+two elements in a fixed alternating pattern, so routing both streams
+through the first channel (with the depths summed, preserving aggregate
+capacity) delivers every element to the same consumer use in the same
+order — while halving the channel count, the skid-buffer area, and the
+per-channel synchronization fan-in.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Tuple
+
+from repro.errors import TransformError
+from repro.ir.ops import Opcode
+from repro.ir.program import Design, Loop
+from repro.ir.transforms.base import Transform, register_transform
+
+
+def _single_endpoint(design: Design, fifo_name: str, opcode: Opcode) -> Tuple[Loop, int]:
+    """The unique loop touching ``fifo_name`` with ``opcode`` and the op index."""
+    hits: List[Tuple[Loop, int]] = []
+    for _kernel, loop in design.all_loops():
+        for index, op in enumerate(loop.body.ops):
+            if op.opcode is opcode and op.attrs["fifo"].name == fifo_name:
+                if op.attrs.get("unroll_shared"):
+                    raise TransformError(
+                        f"fifo {fifo_name!r}: {opcode} is unroll_shared"
+                    )
+                hits.append((loop, index))
+    if len(hits) != 1:
+        raise TransformError(
+            f"fifo {fifo_name!r} needs exactly one {opcode}, got {len(hits)}"
+        )
+    return hits[0]
+
+
+@register_transform
+class ReuseTransform(Transform):
+    """Merge fifo ``second`` into fifo ``first`` (depths summed)."""
+
+    name = "reuse"
+
+    def __init__(self, first: str, second: str) -> None:
+        super().__init__(first=str(first), second=str(second))
+
+    def apply(self, design: Design) -> Design:
+        first_name = str(self._params["first"])
+        second_name = str(self._params["second"])
+        if first_name == second_name:
+            raise TransformError("cannot merge a fifo with itself")
+        out = design.clone()
+        first = out.fifos.get(first_name)
+        second = out.fifos.get(second_name)
+        if first is None or second is None:
+            raise TransformError(
+                f"fifos {first_name!r}/{second_name!r} not both present"
+            )
+        if first.external or second.external:
+            raise TransformError("cannot merge external fifos (fixed interfaces)")
+        if first.elem_type != second.elem_type:
+            raise TransformError(
+                f"element types differ: {first.elem_type} vs {second.elem_type}"
+            )
+
+        writer1, w1 = _single_endpoint(out, first_name, Opcode.FIFO_WRITE)
+        writer2, w2 = _single_endpoint(out, second_name, Opcode.FIFO_WRITE)
+        reader1, r1 = _single_endpoint(out, first_name, Opcode.FIFO_READ)
+        reader2, r2 = _single_endpoint(out, second_name, Opcode.FIFO_READ)
+        if writer1 is not writer2:
+            raise TransformError("fifos have different producer loops")
+        if reader1 is not reader2:
+            raise TransformError("fifos have different consumer loops")
+        if writer1 is reader1:
+            raise TransformError("producer and consumer are the same loop")
+        if (w1 < w2) != (r1 < r2):
+            raise TransformError(
+                "write order and read order of the two fifos disagree"
+            )
+
+        for loop in (writer1, reader1):
+            for op in loop.body.ops:
+                if op.attrs.get("fifo") is second:
+                    op.attrs["fifo"] = first
+        first.depth = first.depth + second.depth
+        del out.fifos[second_name]
+        out.verify()
+        return out
+
+    @classmethod
+    def candidates(cls, design: Design) -> List["ReuseTransform"]:
+        out: List[ReuseTransform] = []
+        internal = sorted(
+            name for name, fifo in design.fifos.items() if not fifo.external
+        )
+        for first_name, second_name in combinations(internal, 2):
+            transform = cls(first=first_name, second=second_name)
+            if transform.applicable(design):
+                out.append(transform)
+        return out

@@ -1,0 +1,50 @@
+"""Dataflow streaming conversion: turn on ``#pragma HLS dataflow``.
+
+A non-dataflow design runs its kernels as one synchronized region; flipping
+the top-level dataflow flag makes each kernel a concurrent process stitched
+by FIFO channels (Fig. 5a).  The functional simulator already executes
+loops concurrently either way, so the conversion is behaviour-preserving by
+construction — what changes is the *flow*: the §3.2 synchronization
+broadcast appears (and §4.2 pruning gets something to split), skid-buffer
+control applies per process, and predicted fmax usually moves.
+
+Eligibility is exactly the design's own dataflow verification rule: every
+internal FIFO must have both a reader and a writer once kernels run
+concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TransformError, VerificationError
+from repro.ir.program import Design
+from repro.ir.transforms.base import Transform, register_transform
+
+
+@register_transform
+class StreamTransform(Transform):
+    """Convert a monolithic design into a dataflow (streaming) design."""
+
+    name = "stream"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def apply(self, design: Design) -> Design:
+        if design.dataflow:
+            raise TransformError(f"design {design.name!r} is already dataflow")
+        out = design.clone()
+        out.dataflow = True
+        try:
+            out.verify()
+        except VerificationError as exc:
+            raise TransformError(
+                f"design {design.name!r} cannot stream: {exc}"
+            ) from exc
+        return out
+
+    @classmethod
+    def candidates(cls, design: Design) -> List["StreamTransform"]:
+        transform = cls()
+        return [transform] if transform.applicable(design) else []

@@ -1,0 +1,240 @@
+"""Loop tiling: split one counted loop into concurrently-firing tiles.
+
+Tiling splits a trip-``T`` loop into ``t`` loops of trip ``T/t``; tile ``k``
+executes the original iterations ``k*T/t .. (k+1)*T/t - 1``, realized by
+adding a constant offset to the loop-index inputs of its body.  Each tile
+is an independent scheduling/placement unit, so downstream the broadcast
+fanout of loop-invariant operands is split ``t`` ways — the de Fine Licht
+HPC-transformations catalogue's tiling, recast for the paper's broadcast
+model.
+
+The functional simulator fires *all* loops concurrently (one iteration per
+cycle each), so tiles interleave: original iteration order is **not**
+preserved.  Eligibility must therefore guarantee order-independence:
+
+* no FIFO operations in the body (stream order would be permuted);
+* per buffer, at most one STORE in the body, this loop is its only writer
+  design-wide, and nobody (including this loop) loads a stored buffer —
+  only the final contents are observable, so commuting stores is safe
+  *provided addresses never collide across iterations*;
+* every STORE address is an injective function of the loop index: its
+  operand cone may contain only ADD/SUB/SHL/CONST ops, constants and
+  loop-invariant inputs, plus exactly one plain index input (``i``/``j``),
+  never in a shift-amount position;
+* buffers the loop loads are stored by no loop (read-only tables).
+
+These static guards are deliberately conservative; the dynamic
+interp-equivalence tests and the ``passes`` fuzz check are the backstop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import TransformError
+from repro.ir.dfg import DFG
+from repro.ir.ops import FIFO_OPS, Opcode
+from repro.ir.program import Design, Loop
+from repro.ir.transforms.base import (
+    Transform,
+    clone_inputs_into,
+    clone_op_into,
+    find_loop,
+    register_transform,
+    unique_loop_names,
+)
+from repro.ir.values import Value
+from repro.sim.dataflow import INDEX_INPUT_NAMES
+
+#: Tile counts the candidate enumeration proposes.
+CANDIDATE_TILES = (2, 4)
+
+_CONE_OPS = frozenset({Opcode.ADD, Opcode.SUB, Opcode.SHL, Opcode.CONST})
+
+
+def _index_affine(value: Value) -> Tuple[int, int]:
+    """``(occurrences, stride)`` of plain loop-index inputs in a cone.
+
+    ``stride`` is the coefficient the index is multiplied by on its path to
+    the root (1 when untouched, ``2**c`` through ``SHL`` by constant ``c``).
+    Raises :class:`TransformError` when the cone contains anything that
+    could break injectivity: a disallowed opcode, a per-iteration non-index
+    input, or an index feeding a shift amount.
+    """
+    if value.is_const:
+        return 0, 0
+    producer = value.producer
+    if producer is None:  # a graph input
+        base, sep, _ = value.name.partition("#")
+        if base in INDEX_INPUT_NAMES:
+            if sep:
+                raise TransformError(
+                    f"index input {value.name!r} is already unroll-lowered"
+                )
+            return 1, 1
+        if value.loop_invariant:
+            return 0, 0
+        raise TransformError(
+            f"store address depends on per-iteration input {value.name!r}"
+        )
+    if producer.opcode not in _CONE_OPS:
+        raise TransformError(
+            f"store address cone contains {producer.opcode} (not injective-safe)"
+        )
+    if producer.opcode is Opcode.CONST:
+        return 0, 0
+    if producer.opcode is Opcode.SHL:
+        data, amount = producer.operands
+        if _index_affine(amount)[0] != 0:
+            raise TransformError("loop index used as a shift amount")
+        if not amount.is_const:
+            raise TransformError("shift amount on the index path is not a constant")
+        occurrences, stride = _index_affine(data)
+        return occurrences, stride * (1 << int(amount.const))
+    total_occ = 0
+    total_stride = 0
+    for operand in producer.operands:
+        occurrences, stride = _index_affine(operand)
+        total_occ += occurrences
+        total_stride += stride
+    return total_occ, total_stride
+
+
+def _check_store_addresses(loop: Loop) -> None:
+    for op in loop.body.ops:
+        if op.opcode is not Opcode.STORE:
+            continue
+        address = op.operands[0]
+        occurrences, stride = _index_affine(address)
+        if occurrences != 1 or stride < 1:
+            raise TransformError(
+                f"store {op.name} address is not a one-index affine expression"
+            )
+        # The interpreter indexes modulo the buffer depth: injectivity over
+        # the trip space needs the full affine range inside one wrap.
+        depth = op.attrs["buffer"].depth
+        trip = loop.trip_count or 0
+        if (trip - 1) * stride >= depth:
+            raise TransformError(
+                f"store {op.name}: affine range {(trip - 1) * stride} "
+                f"reaches past buffer depth {depth} (mod-wrap would collide)"
+            )
+
+
+def _buffer_conflicts(design: Design, loop: Loop) -> None:
+    stored: Set[str] = set()
+    loaded: Set[str] = set()
+    per_buffer_stores: Dict[str, int] = {}
+    for op in loop.body.ops:
+        if op.opcode is Opcode.STORE:
+            name = op.attrs["buffer"].name
+            stored.add(name)
+            per_buffer_stores[name] = per_buffer_stores.get(name, 0) + 1
+        elif op.opcode is Opcode.LOAD:
+            loaded.add(op.attrs["buffer"].name)
+    for name, count in per_buffer_stores.items():
+        if count > 1:
+            raise TransformError(f"buffer {name!r} stored more than once per iteration")
+    for _kernel, other in design.all_loops():
+        for op in other.body.ops:
+            if op.opcode is Opcode.LOAD and op.attrs["buffer"].name in stored:
+                raise TransformError(
+                    f"stored buffer {op.attrs['buffer'].name!r} is also loaded"
+                )
+            if op.opcode is Opcode.STORE:
+                name = op.attrs["buffer"].name
+                if other is not loop and name in stored:
+                    raise TransformError(f"buffer {name!r} has multiple writers")
+                if name in loaded:
+                    raise TransformError(
+                        f"loaded buffer {name!r} is written elsewhere"
+                    )
+
+
+def _offset_body(body: DFG, offset: int, suffix: str) -> DFG:
+    """Clone ``body`` with every loop-index input shifted by ``offset``."""
+    out = DFG(f"{body.name}{suffix}")
+    mapping: Dict[Value, Value] = {}
+    for value in body.inputs:
+        new_value = out.input(
+            value.name, value.type, loop_invariant=value.loop_invariant
+        )
+        base = value.name.partition("#")[0]
+        if offset and base in INDEX_INPUT_NAMES:
+            off = out.const(offset, value.type, name=f"{value.name}_off")
+            shifted = out.add_op(
+                Opcode.ADD, [new_value, off], name=f"{value.name}_tiled"
+            )
+            mapping[value] = shifted.result
+        else:
+            mapping[value] = new_value
+    for op in body.ops:
+        clone_op_into(out, op, mapping)
+    out.verify()
+    return out
+
+
+@register_transform
+class TileTransform(Transform):
+    """Split ``loop`` into ``tiles`` offset-indexed concurrent loops."""
+
+    name = "tile"
+
+    def __init__(self, loop: str, tiles: int) -> None:
+        super().__init__(loop=str(loop), tiles=int(tiles))
+
+    def apply(self, design: Design) -> Design:
+        loop_name = str(self._params["loop"])
+        tiles = int(self._params["tiles"])
+        if tiles < 2:
+            raise TransformError(f"tile count must be >= 2, got {tiles}")
+        out = design.clone()
+        kernel, loop = find_loop(out, loop_name)
+        if loop.trip_count is None:
+            raise TransformError(f"loop {loop_name!r} has no static trip count")
+        if loop.trip_count % tiles != 0:
+            raise TransformError(
+                f"loop {loop_name!r}: trip {loop.trip_count} not divisible by {tiles}"
+            )
+        new_trip = loop.trip_count // tiles
+        if loop.unroll > 1 and (loop.unroll > new_trip or new_trip % loop.unroll):
+            raise TransformError(
+                f"loop {loop_name!r}: unroll {loop.unroll} does not divide tile "
+                f"trip {new_trip}"
+            )
+        if any(op.opcode in FIFO_OPS for op in loop.body.ops):
+            raise TransformError(f"loop {loop_name!r} touches FIFOs; tiling reorders")
+        _buffer_conflicts(out, loop)
+        _check_store_addresses(loop)
+
+        position = kernel.loops.index(loop)
+        tiles_list: List[Loop] = []
+        for k in range(tiles):
+            tiles_list.append(
+                Loop(
+                    name=f"{loop.name}_t{k}",
+                    body=_offset_body(loop.body, k * new_trip, f"_t{k}"),
+                    trip_count=new_trip,
+                    pipeline=loop.pipeline,
+                    ii=loop.ii,
+                    unroll=loop.unroll,
+                )
+            )
+        kernel.loops[position : position + 1] = tiles_list
+        out.verify()
+        return out
+
+    @classmethod
+    def candidates(cls, design: Design) -> List["TileTransform"]:
+        out: List[TileTransform] = []
+        addressable = set(unique_loop_names(design))
+        for _kernel, loop in design.all_loops():
+            if loop.name not in addressable or loop.trip_count is None:
+                continue
+            for tiles in CANDIDATE_TILES:
+                if loop.trip_count % tiles:
+                    continue
+                transform = cls(loop=loop.name, tiles=tiles)
+                if transform.applicable(design):
+                    out.append(transform)
+        return out

@@ -1,0 +1,91 @@
+"""Unroll-factor override: retarget a loop's ``#pragma HLS unroll``.
+
+This is the knob that *creates* the paper's data broadcasts: the unroll
+factor is exactly the fanout a loop-invariant operand acquires after
+:func:`repro.ir.passes.unroll_loop` replicates the body (Fig. 1/2).
+Raising it trades II for broadcast pressure; lowering it is often the
+cheapest way to pull a design back under the data-broadcast threshold.
+
+The transform only rewrites the pragma — lowering happens later in
+:func:`repro.ir.passes.apply_pragmas` — so the functional simulation,
+which runs un-lowered bodies, is trivially unchanged; the lowered form is
+covered by the long-standing ``pragmas`` metamorphic fuzz check.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import TransformError
+from repro.ir.program import Design
+from repro.ir.transforms.base import (
+    Transform,
+    check_rate_change,
+    find_loop,
+    register_transform,
+    unique_loop_names,
+)
+
+#: Largest unroll factor the candidate enumeration proposes.
+MAX_UNROLL = 64
+
+
+@register_transform
+class UnrollTransform(Transform):
+    """Set ``loop``'s unroll pragma to ``factor`` (1 removes it)."""
+
+    name = "unroll"
+
+    def __init__(self, loop: str, factor: int) -> None:
+        super().__init__(loop=str(loop), factor=int(factor))
+
+    def apply(self, design: Design) -> Design:
+        loop_name = str(self._params["loop"])
+        factor = int(self._params["factor"])
+        if factor < 1:
+            raise TransformError(f"unroll factor must be >= 1, got {factor}")
+        out = design.clone()
+        _kernel, loop = find_loop(out, loop_name)
+        if loop.trip_count is None:
+            raise TransformError(
+                f"loop {loop_name!r} has no static trip count to unroll over"
+            )
+        if loop.trip_count % factor != 0:
+            raise TransformError(
+                f"loop {loop_name!r}: trip {loop.trip_count} not divisible by {factor}"
+            )
+        # ``unroll_shared`` ops execute once per *merged* firing, so their
+        # rate (e.g. one FIFO element feeding a whole PE row) is part of the
+        # design's semantics at its built factor — retargeting would change
+        # how many elements the loop consumes or produces.
+        for op in loop.body.ops:
+            if op.attrs.get("unroll_shared"):
+                raise TransformError(
+                    f"loop {loop_name!r} has unroll_shared ops; the factor is "
+                    "rate-significant and cannot be overridden"
+                )
+        check_rate_change(out, loop, max(factor, loop.unroll))
+        loop.unroll = factor
+        out.verify()
+        return out
+
+    @classmethod
+    def candidates(cls, design: Design) -> List["UnrollTransform"]:
+        out: List[UnrollTransform] = []
+        addressable = set(unique_loop_names(design))
+        for _kernel, loop in design.all_loops():
+            if loop.name not in addressable or loop.trip_count is None:
+                continue
+            if any(op.attrs.get("unroll_shared") for op in loop.body.ops):
+                continue
+            factor = 1
+            while factor <= min(loop.trip_count, MAX_UNROLL):
+                if loop.trip_count % factor == 0 and factor != loop.unroll:
+                    try:
+                        check_rate_change(design, loop, max(factor, loop.unroll))
+                    except TransformError:
+                        pass
+                    else:
+                        out.append(cls(loop=loop.name, factor=factor))
+                factor *= 2
+        return out

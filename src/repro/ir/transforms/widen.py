@@ -1,0 +1,251 @@
+"""Vectorization widening: pack an internal FIFO's lanes into wide words.
+
+The de Fine Licht catalogue's "vectorization" applied to streaming
+channels: an internal FIFO carrying one element per cycle between a
+producer loop and a consumer loop is widened to carry ``lanes`` elements
+per word.  Both endpoint loops are unrolled by ``lanes`` (via the existing
+:func:`repro.ir.passes.unroll_loop` machinery), the producer's per-copy
+writes are replaced by a mask/shift/or pack into one wide write, and the
+consumer's per-copy reads become one wide read plus per-lane ``TRUNC``
+extracts (``attrs['lsb']`` selects the lane, exactly like the builder's
+``slice_``).
+
+Lane ``k`` occupies bits ``[k*w, (k+1)*w)`` of the wide word.  Packing
+masks each zero-extended lane to ``w`` bits before shifting — the
+interpreter's ``ZEXT`` wraps negative values to the *wide* width, so an
+unmasked lane would smear sign bits over its neighbours.  Unpacking via
+``TRUNC`` re-wraps to the element type, restoring signed values.
+
+Widening multiplies the channel's data throughput per handshake and cuts
+the handshake (synchronization) rate by ``lanes`` — at the cost of the
+unroll-induced broadcast pressure inside both endpoints, which is exactly
+the trade the design-space explorer arbitrates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TransformError
+from repro.ir.dfg import DFG
+from repro.ir.ops import Opcode
+from repro.ir.passes import unroll_loop
+from repro.ir.program import Design, Fifo, Kernel, Loop
+from repro.ir.transforms.base import (
+    Transform,
+    check_rate_change,
+    clone_inputs_into,
+    clone_op_into,
+    register_transform,
+)
+from repro.ir.types import MAX_WIDTH, DataType
+from repro.ir.values import Value
+
+#: Lane counts the candidate enumeration proposes.
+CANDIDATE_LANES = (2, 4)
+
+
+def _endpoint(design: Design, fifo_name: str, opcode: Opcode) -> Tuple[Kernel, Loop]:
+    """The unique (kernel, loop) performing ``opcode`` on ``fifo_name``."""
+    hits = []
+    for kernel, loop in design.all_loops():
+        ops = [
+            op
+            for op in loop.body.ops
+            if op.opcode is opcode and op.attrs["fifo"].name == fifo_name
+        ]
+        if not ops:
+            continue
+        if len(ops) > 1:
+            raise TransformError(
+                f"fifo {fifo_name!r}: multiple {opcode} ops in loop {loop.name!r}"
+            )
+        if ops[0].attrs.get("unroll_shared"):
+            raise TransformError(
+                f"fifo {fifo_name!r}: {opcode} is unroll_shared; rate would change"
+            )
+        hits.append((kernel, loop))
+    if len(hits) != 1:
+        raise TransformError(
+            f"fifo {fifo_name!r} needs exactly one {opcode} endpoint, got {len(hits)}"
+        )
+    return hits[0]
+
+
+def _check_endpoint_loop(design: Design, loop: Loop, fifo_name: str, lanes: int) -> None:
+    if loop.trip_count is None or loop.trip_count % lanes:
+        raise TransformError(
+            f"loop {loop.name!r}: trip count not divisible by {lanes}"
+        )
+    if loop.unroll != 1:
+        raise TransformError(f"loop {loop.name!r} already carries an unroll pragma")
+    for op in loop.body.ops:
+        if op.attrs.get("unroll_shared"):
+            raise TransformError(
+                f"loop {loop.name!r} has unroll_shared ops; unrolling by the "
+                "lane count would change their rate"
+            )
+    # The endpoint is unrolled by ``lanes``: its firing rate drops and its
+    # other channels see ``lanes`` accesses per firing.  The widened FIFO
+    # itself is excluded — packing collapses it back to one access.
+    check_rate_change(design, loop, lanes, exclude_fifo=fifo_name)
+
+
+def _pack_writes(body: DFG, fifo: Fifo, lanes: int, wide: DataType) -> DFG:
+    """Replace the ``lanes`` per-copy writes with one packed wide write."""
+    width = fifo.elem_type.bits // lanes  # fifo already carries the wide type
+    writes = [
+        op
+        for op in body.ops
+        if op.opcode is Opcode.FIFO_WRITE and op.attrs["fifo"].name == fifo.name
+    ]
+    if len(writes) != lanes:
+        raise TransformError(
+            f"expected {lanes} writes to {fifo.name!r} after unroll, got {len(writes)}"
+        )
+    out = DFG(f"{body.name}_pack")
+    mapping: Dict[Value, Value] = {}
+    clone_inputs_into(out, body, mapping)
+    write_set = {id(op) for op in writes}
+    last = writes[-1]
+    lane_values: List[Value] = []
+    for op in body.ops:
+        if id(op) in write_set:
+            lane_values.append(mapping[op.operands[0]])
+            if op is last:
+                mask = out.const((1 << width) - 1, wide, name="lane_mask")
+                packed: Optional[Value] = None
+                for k, lane in enumerate(lane_values):
+                    z = out.add_op(
+                        Opcode.ZEXT, [lane], result_type=wide, name=f"lane{k}_z"
+                    ).result
+                    m = out.add_op(Opcode.AND, [z, mask], name=f"lane{k}_m").result
+                    if k:
+                        shift = out.const(k * width, wide, name=f"lane{k}_shamt")
+                        m = out.add_op(
+                            Opcode.SHL, [m, shift], name=f"lane{k}_s"
+                        ).result
+                    packed = (
+                        m
+                        if packed is None
+                        else out.add_op(Opcode.OR, [packed, m], name=f"pack{k}").result
+                    )
+                out.add_op(Opcode.FIFO_WRITE, [packed], attrs={"fifo": fifo})
+            continue
+        clone_op_into(out, op, mapping)
+    out.verify()
+    return out
+
+
+def _split_reads(body: DFG, fifo: Fifo, lanes: int, wide: DataType, elem: DataType) -> DFG:
+    """Replace the ``lanes`` per-copy reads with one wide read + extracts."""
+    width = elem.bits
+    reads = [
+        op
+        for op in body.ops
+        if op.opcode is Opcode.FIFO_READ and op.attrs["fifo"].name == fifo.name
+    ]
+    if len(reads) != lanes:
+        raise TransformError(
+            f"expected {lanes} reads of {fifo.name!r} after unroll, got {len(reads)}"
+        )
+    out = DFG(f"{body.name}_unpack")
+    mapping: Dict[Value, Value] = {}
+    clone_inputs_into(out, body, mapping)
+    read_index = {id(op): k for k, op in enumerate(reads)}
+    wide_value: Optional[Value] = None
+    for op in body.ops:
+        k = read_index.get(id(op))
+        if k is not None:
+            if wide_value is None:
+                wide_value = out.add_op(
+                    Opcode.FIFO_READ,
+                    [],
+                    result_type=wide,
+                    attrs={"fifo": fifo},
+                    name=f"{fifo.name}_word",
+                ).result
+            extract = out.add_op(
+                Opcode.TRUNC,
+                [wide_value],
+                result_type=elem,
+                attrs={"lsb": k * width},
+                name=f"{op.result.name}_lane",
+            )
+            mapping[op.result] = extract.result
+            continue
+        clone_op_into(out, op, mapping)
+    out.verify()
+    return out
+
+
+@register_transform
+class WidenTransform(Transform):
+    """Widen internal FIFO ``fifo`` to carry ``lanes`` elements per word."""
+
+    name = "widen"
+
+    def __init__(self, fifo: str, lanes: int) -> None:
+        super().__init__(fifo=str(fifo), lanes=int(lanes))
+
+    def apply(self, design: Design) -> Design:
+        fifo_name = str(self._params["fifo"])
+        lanes = int(self._params["lanes"])
+        if lanes < 2:
+            raise TransformError(f"lane count must be >= 2, got {lanes}")
+        out = design.clone()
+        fifo = out.fifos.get(fifo_name)
+        if fifo is None:
+            raise TransformError(f"no fifo named {fifo_name!r}")
+        if fifo.external:
+            raise TransformError(f"fifo {fifo_name!r} is external (fixed interface)")
+        elem = fifo.elem_type
+        if not elem.is_int:
+            raise TransformError(f"fifo {fifo_name!r} carries {elem}; need an integer")
+        if elem.bits * lanes > MAX_WIDTH:
+            raise TransformError(
+                f"widened word {elem.bits * lanes} bits exceeds max {MAX_WIDTH}"
+            )
+        wide = DataType("uint", elem.bits * lanes)
+
+        prod_kernel, prod_loop = _endpoint(out, fifo_name, Opcode.FIFO_WRITE)
+        cons_kernel, cons_loop = _endpoint(out, fifo_name, Opcode.FIFO_READ)
+        if prod_loop is cons_loop:
+            raise TransformError(f"fifo {fifo_name!r} is a self-loop; cannot widen")
+        _check_endpoint_loop(out, prod_loop, fifo_name, lanes)
+        _check_endpoint_loop(out, cons_loop, fifo_name, lanes)
+
+        unrolled_prod = unroll_loop(prod_loop, lanes)
+        unrolled_cons = unroll_loop(cons_loop, lanes)
+        fifo.elem_type = wide  # depth stays: capacity in *words* is preserved
+        prod_body = _pack_writes(unrolled_prod.body, fifo, lanes, wide)
+        cons_body = _split_reads(unrolled_cons.body, fifo, lanes, wide, elem)
+
+        prod_kernel.loops[prod_kernel.loops.index(prod_loop)] = Loop(
+            name=prod_loop.name,
+            body=prod_body,
+            trip_count=unrolled_prod.trip_count,
+            pipeline=prod_loop.pipeline,
+            ii=prod_loop.ii,
+            unroll=1,
+        )
+        cons_kernel.loops[cons_kernel.loops.index(cons_loop)] = Loop(
+            name=cons_loop.name,
+            body=cons_body,
+            trip_count=unrolled_cons.trip_count,
+            pipeline=cons_loop.pipeline,
+            ii=cons_loop.ii,
+            unroll=1,
+        )
+        out.verify()
+        return out
+
+    @classmethod
+    def candidates(cls, design: Design) -> List["WidenTransform"]:
+        out: List[WidenTransform] = []
+        for fifo_name in sorted(design.fifos):
+            for lanes in CANDIDATE_LANES:
+                transform = cls(fifo=fifo_name, lanes=lanes)
+                if transform.applicable(design):
+                    out.append(transform)
+        return out

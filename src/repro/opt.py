@@ -11,6 +11,7 @@ design; Table 3 and Fig. 19 sweep them):
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Any, Dict
 
 from repro.control.styles import ControlStyle
 
@@ -36,6 +37,29 @@ class OptimizationConfig:
 
     def with_control(self, control: ControlStyle) -> "OptimizationConfig":
         return replace(self, control=control)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The canonical (sorted-key, JSON-able, hash-stable) encoding.
+
+        This is the single wire/digest form of a config — request hashing,
+        the DSE point digests and every serializing call site build on it,
+        so its key set and value types are part of the stored-result
+        compatibility contract.
+        """
+        return {
+            "broadcast_aware": bool(self.broadcast_aware),
+            "control": self.control.value,
+            "sync_pruning": bool(self.sync_pruning),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, Any]) -> "OptimizationConfig":
+        """Inverse of :meth:`to_json` (missing keys take the defaults)."""
+        return cls(
+            broadcast_aware=bool(payload.get("broadcast_aware", False)),
+            sync_pruning=bool(payload.get("sync_pruning", False)),
+            control=ControlStyle(payload.get("control", ControlStyle.STALL.value)),
+        )
 
 
 #: The unmodified HLS output (Table 1 "Orig").

@@ -66,15 +66,29 @@ _NO_TABLE_DIGEST = "cal-table:none"
 
 
 class PragmasStage(Stage):
-    """Verify the design and lower pragmas (loop unrolling — where data
-    broadcasts are born)."""
+    """Apply the transform plan (if any), verify the design and lower
+    pragmas (loop unrolling — where data broadcasts are born)."""
 
     name = "pragmas"
     inputs = ("design",)
     outputs = ("lowered",)
 
+    def params(self, flow, config, ctx):
+        # The plan rewrites the design before lowering, so its digest is
+        # part of this stage's identity.  Plan-free runs return the same
+        # empty params as before plans existed — their stored artifacts
+        # stay valid.
+        plan = ctx.get("plan")
+        if plan is None or not len(plan):
+            return {}
+        return {"plan": plan.digest()}
+
     def run(self, flow, config, ctx, span):
         design = ctx["design"]
+        plan = ctx.get("plan")
+        if plan is not None and len(plan):
+            span.set("plan_transforms", len(plan))
+            design = plan.apply(design)
         design.verify()
         lowered = apply_pragmas(design)
         span.set("kernels", len(lowered.kernels))

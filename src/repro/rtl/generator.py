@@ -399,7 +399,10 @@ class _LoopEmitter:
         buffer: Buffer = op.attrs["buffer"]
         cells = self.buffer_cells[buffer.name]
         group = op.attrs.get("bank_group")
-        if group is None:
+        if not isinstance(group, tuple):
+            # "per_copy" markers survive lowering when the loop's unroll
+            # factor is 1 (nothing to partition); the access sees the whole
+            # buffer, same as an unmarked op.
             return cells
         index, total = group
         size = math.ceil(len(cells) / total)

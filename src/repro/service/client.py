@@ -189,6 +189,7 @@ class ServiceClient:
         seed: int = 2020,
         calibration_path: Optional[str] = None,
         trace: Optional[TraceContext] = None,
+        plan: Optional[Any] = None,
     ) -> Dict[str, Any]:
         """Submit one compilation; returns the job record.
 
@@ -222,6 +223,12 @@ class ServiceClient:
             payload["clock_mhz"] = clock_mhz
         if calibration_path is not None:
             payload["calibration_path"] = calibration_path
+        if plan:
+            # Wire form: list of [name, {params}] (TransformPlan.to_spec,
+            # or anything FlowRequest.make(plan=...) accepts).
+            payload["plan"] = (
+                plan.to_spec() if hasattr(plan, "to_spec") else plan
+            )
         return self._request("POST", "/submit", payload)
 
     def status(self) -> Dict[str, Any]:

@@ -25,7 +25,6 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional, Tuple
 
 from repro import hashing
-from repro.control.styles import ControlStyle
 from repro.delay.cache import FORMAT_VERSION, CalibrationProvenance
 from repro.errors import ReproError
 from repro.opt import BASELINE, CONFIG_LABELS, OptimizationConfig
@@ -41,12 +40,12 @@ DEFAULT_SMOOTH_PASSES = 1
 
 
 def config_to_dict(config: OptimizationConfig) -> Dict[str, Any]:
-    """The canonical (JSON-able, hash-stable) encoding of a config."""
-    return {
-        "broadcast_aware": bool(config.broadcast_aware),
-        "sync_pruning": bool(config.sync_pruning),
-        "control": config.control.value,
-    }
+    """The canonical (JSON-able, hash-stable) encoding of a config.
+
+    Thin alias of :meth:`OptimizationConfig.to_json` — the config owns its
+    canonical form; this name survives for existing call sites.
+    """
+    return config.to_json()
 
 
 def config_from_spec(spec: Any) -> OptimizationConfig:
@@ -68,14 +67,35 @@ def config_from_spec(spec: Any) -> OptimizationConfig:
             ) from None
     if isinstance(spec, dict):
         try:
-            return OptimizationConfig(
-                broadcast_aware=bool(spec.get("broadcast_aware", False)),
-                sync_pruning=bool(spec.get("sync_pruning", False)),
-                control=ControlStyle(spec.get("control", ControlStyle.STALL.value)),
-            )
+            return OptimizationConfig.from_json(spec)
         except ValueError as exc:
             raise ReproError(f"bad config spec {spec!r}: {exc}") from exc
     raise ReproError(f"bad config spec of type {type(spec).__name__}: {spec!r}")
+
+
+def plan_to_tuple(plan: Any) -> Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...]:
+    """Normalize a plan spec to the hashable nested-tuple form.
+
+    Accepts ``None`` (empty plan), a :class:`~repro.ir.transforms.TransformPlan`,
+    or the wire list-of-``[name, {params}]`` form.  Going through
+    ``TransformPlan.from_spec`` validates transform names and parameters,
+    so a request can never carry a plan the worker would fail to decode.
+    """
+    from repro.ir.transforms import TransformPlan
+
+    try:
+        plan = TransformPlan.from_spec(plan)
+    except ReproError as exc:
+        raise ReproError(f"bad transform plan: {exc}") from exc
+    return tuple(
+        (name, tuple(sorted(params.items())))
+        for name, params in plan.to_spec()
+    )
+
+
+def plan_to_spec(plan: Tuple) -> list:
+    """The wire form (list of ``[name, {params}]``) of a plan tuple."""
+    return [[name, dict(params)] for name, params in plan]
 
 
 @dataclass(frozen=True)
@@ -93,6 +113,10 @@ class FlowRequest:
         smooth_passes: Smoothing passes of the §4.1 characterization.
         calibration_path: Explicit calibration file to pin, or ``None`` for
             the automatic provenance-keyed cache path.
+        plan: Transform plan applied before pragma lowering, in hashable
+            nested-tuple form (see :func:`plan_to_tuple`).  Empty for the
+            plain design; a non-empty plan changes the request digest, so
+            differently-transformed compiles of one design never coalesce.
     """
 
     design: str
@@ -102,6 +126,9 @@ class FlowRequest:
     seed: int = 2020
     smooth_passes: int = DEFAULT_SMOOTH_PASSES
     calibration_path: Optional[str] = None
+    plan: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = field(
+        default_factory=tuple
+    )
 
     @classmethod
     def make(
@@ -112,6 +139,7 @@ class FlowRequest:
         seed: int = 2020,
         smooth_passes: int = DEFAULT_SMOOTH_PASSES,
         calibration_path: Optional[str] = None,
+        plan: Any = None,
         **params: Any,
     ) -> "FlowRequest":
         return cls(
@@ -122,6 +150,7 @@ class FlowRequest:
             seed=int(seed),
             smooth_passes=int(smooth_passes),
             calibration_path=calibration_path,
+            plan=plan_to_tuple(plan),
         )
 
     # -- views -----------------------------------------------------------
@@ -150,9 +179,24 @@ class FlowRequest:
             device=device, seed=self.seed, smooth_passes=self.smooth_passes
         )
 
+    def plan_spec(self) -> list:
+        """The plan's wire form (list of ``[name, {params}]``)."""
+        return plan_to_spec(self.plan)
+
+    def transform_plan(self):
+        """The plan as an applicable :class:`~repro.ir.transforms.TransformPlan`."""
+        from repro.ir.transforms import TransformPlan
+
+        return TransformPlan.from_spec(self.plan_spec())
+
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical wire/hash encoding (round-trips via :meth:`from_dict`)."""
-        return {
+        """Canonical wire/hash encoding (round-trips via :meth:`from_dict`).
+
+        The ``plan`` key is present only when a plan is — plan-free
+        requests keep the exact pre-plan encoding, so every digest minted
+        before transform plans existed still matches its stored result.
+        """
+        payload: Dict[str, Any] = {
             "design": self.design,
             "config": config_to_dict(self.config),
             "params": {str(k): v for k, v in self.params},
@@ -160,6 +204,9 @@ class FlowRequest:
             "seed": self.seed,
             "calibration": self.provenance_dict(),
         }
+        if self.plan:
+            payload["plan"] = self.plan_spec()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "FlowRequest":
@@ -174,6 +221,7 @@ class FlowRequest:
                     calibration.get("smooth_passes", DEFAULT_SMOOTH_PASSES)
                 ),
                 calibration_path=calibration.get("path"),
+                plan=payload.get("plan"),
                 **dict(payload.get("params") or {}),
             )
         except (KeyError, TypeError, ValueError) as exc:
@@ -189,4 +237,7 @@ class FlowRequest:
     def describe(self) -> str:
         extra = ", ".join(f"{k}={v}" for k, v in self.params)
         suffix = f" ({extra})" if extra else ""
+        if self.plan:
+            names = "+".join(name for name, _params in self.plan)
+            suffix += f" plan={names}"
         return f"{self.design}[{self.config.label}]{suffix} seed={self.seed}"

@@ -247,6 +247,7 @@ class ServiceServer:
                 seed=body.get("seed", 2020),
                 smooth_passes=body.get("smooth_passes", 1),
                 calibration_path=body.get("calibration_path"),
+                plan=body.get("plan"),
                 **dict(body.get("params") or {}),
             )
         except (ReproError, TypeError, ValueError) as exc:

@@ -63,7 +63,7 @@ def execute_request(request: FlowRequest) -> FlowResult:
     )
     flow.SMOOTH_PASSES = request.smooth_passes
     design = build_design(request.design, **request.param_dict)
-    return flow.run(design, request.config)
+    return flow.run(design, request.config, plan=request.transform_plan())
 
 
 def _tag_roots(tracer: obs.Tracer, telemetry: Dict[str, Any]) -> None:

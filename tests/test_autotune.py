@@ -72,3 +72,42 @@ class TestLoop:
         assert tuned.best.fmax_mhz == pytest.approx(
             max(step.fmax_mhz for step in tuned.steps)
         )
+
+
+class TestDecisionLog:
+    """Regression: each logged action belongs to the step it *created*.
+
+    An earlier version overwrote ``steps[-1].action`` unconditionally every
+    iteration, so "baseline" vanished and every action was attributed to
+    the step before the one it produced.
+    """
+
+    @pytest.fixture(scope="class")
+    def tuned(self):
+        from repro.flow import Flow
+        from conftest import make_synthetic_table
+
+        flow = Flow(calibration=make_synthetic_table())
+        design = make_mini_stream_design(depth=1 << 18)
+        return auto_optimize(design, flow=flow)
+
+    def test_step_zero_action_is_baseline(self, tuned):
+        assert tuned.steps[0].action.startswith("baseline")
+
+    def test_actions_match_the_config_delta_they_created(self, tuned):
+        for prev, step in zip(tuned.steps, tuned.steps[1:]):
+            if step.config.broadcast_aware and not prev.config.broadcast_aware:
+                assert "§4.1" in step.action
+            if step.config.control.uses_skid and not prev.config.control.uses_skid:
+                assert "§4.3" in step.action
+            if step.config.sync_pruning and not prev.config.sync_pruning:
+                assert "§4.2" in step.action
+
+    def test_terminal_verdict_annotates_final_step(self, tuned):
+        final = tuned.steps[-1].action
+        assert "; " in final
+        assert "floor" in final or "budget exhausted" in final
+
+    def test_every_step_changed_the_config(self, tuned):
+        for prev, step in zip(tuned.steps, tuned.steps[1:]):
+            assert step.config != prev.config

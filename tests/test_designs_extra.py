@@ -13,7 +13,11 @@ class TestRegistry:
     def test_extras_listed_only_on_request(self):
         assert "double_buffer" not in design_names()
         assert "double_buffer" in design_names(include_extra=True)
-        assert set(EXTRA_BUILDERS) == {"double_buffer", "dynamic_struct"}
+        assert set(EXTRA_BUILDERS) == {
+            "double_buffer",
+            "dynamic_struct",
+            "vec_stream",
+        }
 
     @pytest.mark.parametrize("name", sorted(EXTRA_BUILDERS))
     def test_builds_and_lowers(self, name):

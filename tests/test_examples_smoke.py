@@ -39,6 +39,13 @@ class TestCheapExamples:
         out = capsys.readouterr().out
         assert "genome" in out and "pattern_matching" in out
 
+    def test_dse_demo(self, capsys):
+        run_example("dse_demo.py")
+        out = capsys.readouterr().out
+        assert "interp-equivalent: True" in out
+        assert "winner" in out
+        assert "re-run winner digest identical: True" in out
+
     def test_service_demo(self, capsys):
         run_example("service_demo.py")
         out = capsys.readouterr().out

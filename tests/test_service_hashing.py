@@ -168,3 +168,84 @@ class TestConfigSpec:
     def test_unknown_label_rejected(self):
         with pytest.raises(Exception):
             config_from_spec("not-a-config")
+
+    def test_to_json_from_json_roundtrip_all_labels(self):
+        from repro.opt import CONFIG_LABELS, OptimizationConfig
+
+        for label, config in CONFIG_LABELS.items():
+            payload = json.loads(json.dumps(config.to_json()))
+            assert OptimizationConfig.from_json(payload) == config, label
+
+    def test_to_json_digest_stable_across_processes(self):
+        """OptimizationConfig.to_json is part of the request identity: two
+        fresh interpreters with different hash seeds must hash it alike."""
+        from repro.opt import FULL
+
+        script = (
+            "from repro.hashing import content_digest;"
+            "from repro.opt import FULL;"
+            "print(content_digest(FULL.to_json()))"
+        )
+        digests = set()
+        for hash_seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={
+                    "PYTHONPATH": SRC_DIR,
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+                },
+            )
+            digests.add(proc.stdout.strip())
+        assert digests == {content_digest(FULL.to_json())}
+
+
+class TestPlanDigest:
+    """Transform plans are part of the request identity."""
+
+    PLAN = [["unroll", {"loop": "dp", "factor": 4}]]
+
+    def test_plan_free_wire_form_unchanged(self):
+        # Legacy stores index requests without a "plan" key; a plan-free
+        # request must keep producing byte-identical wire forms.
+        wire = FlowRequest.make("matmul", config="full").to_dict()
+        assert "plan" not in wire
+
+    def test_plan_changes_digest(self):
+        assert (
+            FlowRequest.make("matmul", config="full").digest()
+            != FlowRequest.make("matmul", config="full", plan=self.PLAN).digest()
+        )
+
+    def test_planned_wire_roundtrip_preserves_digest(self):
+        request = FlowRequest.make("matmul", config="full", plan=self.PLAN)
+        wire = json.loads(json.dumps(request.to_dict()))
+        assert wire["plan"] == self.PLAN
+        assert FlowRequest.from_dict(wire).digest() == request.digest()
+
+    def test_plan_digest_stable_across_processes(self):
+        script = (
+            "from repro.service.request import FlowRequest;"
+            "plan = [['unroll', {'loop': 'dp', 'factor': 4}]];"
+            "print(FlowRequest.make('matmul', config='full', plan=plan).digest())"
+        )
+        digests = set()
+        for hash_seed in ("0", "12345"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                env={
+                    "PYTHONPATH": SRC_DIR,
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": os.environ.get("PATH", "/usr/bin:/bin"),
+                },
+            )
+            digests.add(proc.stdout.strip())
+        assert digests == {
+            FlowRequest.make("matmul", config="full", plan=self.PLAN).digest()
+        }
+
+    def test_bad_plan_rejected(self):
+        with pytest.raises(Exception):
+            FlowRequest.make("matmul", plan=[["bogus", {}]])

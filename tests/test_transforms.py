@@ -1,0 +1,192 @@
+"""Tests for the transform pass library (repro.ir.transforms)."""
+
+import pytest
+
+from repro.designs.registry import DESIGN_BUILDERS, EXTRA_BUILDERS, build_design
+from repro.errors import ReproError
+from repro.ir.transforms import (
+    EMPTY_PLAN,
+    TransformPlan,
+    UnrollTransform,
+    WidenTransform,
+    all_candidates,
+    equivalence_diffs,
+    transform_names,
+    transform_type,
+)
+from repro.ir.passes import apply_pragmas
+
+#: Small builder parameters so the equivalence sweep simulates quickly.
+SMALL_PARAMS = {
+    "genome": {"unroll": 16},
+    "lstm": {"nodes": 32},
+    "face_detection": {"classifiers": 16},
+    "matmul": {"pes": 16},
+    "stream_buffer": {"depth": 2048},
+    "stencil": {"iterations": 2},
+    "vector_arith": {"width": 8},
+    "hbm_stencil": {"ports": 2},
+    "pattern_matching": {"comparators": 16, "pes": 4},
+    "double_buffer": {"pes": 8, "tile_depth": 64},
+    "dynamic_struct": {"heap_words": 1024},
+    "vec_stream": {"depth": 64, "table": 32},
+}
+
+MAX_SIM_CYCLES = 20_000
+
+#: Cap per (design, transform) so the sweep stays fast while every
+#: transform kind still sees every design it applies to.
+CANDIDATES_PER_PAIR = 2
+
+
+def small_design(name):
+    return build_design(name, **SMALL_PARAMS[name])
+
+
+def all_design_names():
+    return list(DESIGN_BUILDERS) + list(EXTRA_BUILDERS)
+
+
+class TestCandidates:
+    @pytest.mark.parametrize("design_name", all_design_names())
+    def test_candidates_construct(self, design_name):
+        design = small_design(design_name)
+        for transform in all_candidates(design):
+            assert transform.name in transform_names()
+            # Spec round-trips through the wire form.
+            name, params = transform.spec()
+            rebuilt = transform_type(name)(**params)
+            assert rebuilt == transform
+            assert rebuilt.digest() == transform.digest()
+
+    def test_vec_stream_exercises_every_kind(self):
+        # The supplementary vec_stream design was built so all five
+        # transforms apply somewhere.
+        kinds = {t.name for t in all_candidates(small_design("vec_stream"))}
+        assert kinds == set(transform_names())
+
+
+class TestEquivalence:
+    """Every enumerated candidate preserves interp behaviour."""
+
+    @pytest.mark.parametrize("design_name", all_design_names())
+    def test_candidates_equivalent(self, design_name):
+        design = small_design(design_name)
+        per_kind = {}
+        for transform in all_candidates(design):
+            picked = per_kind.setdefault(transform.name, [])
+            if len(picked) >= CANDIDATES_PER_PAIR:
+                continue
+            picked.append(transform)
+        for kind, picks in sorted(per_kind.items()):
+            for transform in picks:
+                transformed = transform.apply(design)
+                diffs = equivalence_diffs(
+                    design, transformed, max_cycles=MAX_SIM_CYCLES
+                )
+                assert diffs == [], f"{design_name}/{transform.spec()}: {diffs}"
+
+    @pytest.mark.parametrize("design_name", all_design_names())
+    def test_candidates_equivalent_after_lowering(self, design_name):
+        design = small_design(design_name)
+        seen = set()
+        for transform in all_candidates(design):
+            if transform.name in seen:
+                continue
+            seen.add(transform.name)
+            lowered = apply_pragmas(transform.apply(design))
+            diffs = equivalence_diffs(design, lowered, max_cycles=MAX_SIM_CYCLES)
+            assert diffs == [], f"{design_name}/{transform.spec()}: {diffs}"
+
+
+class TestProperties:
+    def test_unroll_divides_trip_count(self):
+        design = small_design("vec_stream")
+        for transform in UnrollTransform.candidates(design):
+            name, params = transform.spec()
+            out = transform.apply(design)
+            loops = {l.name: l for _k, l in out.all_loops()}
+            base = {l.name: l for _k, l in design.all_loops()}
+            loop = loops[params["loop"]]
+            assert loop.unroll == params["factor"]
+            assert base[params["loop"]].trip_count % params["factor"] == 0
+
+    def test_tile_divides_trip_counts(self):
+        design = small_design("vec_stream")
+        for transform in transform_type("tile").candidates(design):
+            name, params = transform.spec()
+            out = transform.apply(design)
+            base = {l.name: l for _k, l in design.all_loops()}
+            tiled = {l.name: l for _k, l in out.all_loops()}
+            original = base[params["loop"]]
+            assert original.trip_count % params["tiles"] == 0
+            # The tiled loop nest covers exactly the original trip count.
+            produced = [
+                l for name_, l in tiled.items() if name_ not in base
+            ]
+            total = sum(l.trip_count for l in produced) or tiled[
+                params["loop"]
+            ].trip_count * params["tiles"]
+            assert total == original.trip_count
+
+    def test_widen_preserves_lane_math(self):
+        design = small_design("vec_stream")
+        candidates = WidenTransform.candidates(design)
+        assert candidates, "vec_stream must offer widen candidates"
+        for transform in candidates:
+            _name, params = transform.spec()
+            out = transform.apply(design)
+            fifo = out.fifos[params["fifo"]]
+            base = design.fifos[params["fifo"]]
+            assert fifo.elem_type.bits == base.elem_type.bits * params["lanes"]
+            diffs = equivalence_diffs(design, out, max_cycles=MAX_SIM_CYCLES)
+            assert diffs == []
+
+    def test_unroll_rejects_rate_hazards(self):
+        # split writes internal FIFOs of depth 8: a 16x merged firing can
+        # never drain within one firing -> the guard must refuse.
+        design = small_design("vec_stream")
+        with pytest.raises(ReproError):
+            UnrollTransform(loop="split", factor=16).apply(design)
+
+    def test_unroll_candidates_respect_fifo_depth(self):
+        design = small_design("vec_stream")
+        for transform in UnrollTransform.candidates(design):
+            _name, params = transform.spec()
+            if params["loop"] == "split":
+                assert params["factor"] <= 8
+
+
+class TestPlans:
+    def test_plan_composition_equivalent(self):
+        design = small_design("vec_stream")
+        plan = TransformPlan.from_spec(
+            [["unroll", {"loop": "scale_table", "factor": 4}],
+             ["tile", {"loop": "scale_table", "tiles": 2}]]
+        )
+        out = plan.apply(design)
+        diffs = equivalence_diffs(design, out, max_cycles=MAX_SIM_CYCLES)
+        assert diffs == []
+
+    def test_plan_digest_stable_and_order_sensitive(self):
+        spec = [["unroll", {"loop": "scale_table", "factor": 4}],
+                ["tile", {"loop": "scale_table", "tiles": 2}]]
+        a = TransformPlan.from_spec(spec)
+        b = TransformPlan.from_spec(spec)
+        swapped = TransformPlan.from_spec(list(reversed(spec)))
+        assert a.digest() == b.digest()
+        assert a.digest() != swapped.digest()
+        assert a.to_spec() == spec
+
+    def test_empty_plan_is_identity(self):
+        design = small_design("vec_stream")
+        out = EMPTY_PLAN.apply(design)
+        from repro.pipeline.digest import design_digest
+
+        assert design_digest(out) == design_digest(design)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ReproError):
+            TransformPlan.from_spec([["no_such_transform", {}]])
+        with pytest.raises(ReproError):
+            TransformPlan.from_spec([["unroll", {"loop": "x"}]])
